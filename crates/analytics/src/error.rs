@@ -1,0 +1,78 @@
+//! Error type for calibration analytics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for analytics results.
+pub type Result<T> = std::result::Result<T, AnalyticsError>;
+
+/// Errors arising while fitting or interpreting calibration data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyticsError {
+    /// Fewer data points than the operation needs.
+    TooFewPoints {
+        /// Points required.
+        needed: usize,
+        /// Points supplied.
+        got: usize,
+    },
+    /// x and y slices differ in length.
+    LengthMismatch {
+        /// Length of the x slice.
+        xs: usize,
+        /// Length of the y slice.
+        ys: usize,
+    },
+    /// All x values identical — slope is undefined.
+    DegenerateAbscissa,
+    /// A non-finite value was encountered in the input.
+    NonFiniteInput,
+    /// The fitted slope is zero or negative where a positive calibration
+    /// slope is required (e.g. detection-limit computation).
+    NonPositiveSlope,
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::TooFewPoints { needed, got } => {
+                write!(f, "need at least {needed} points, got {got}")
+            }
+            AnalyticsError::LengthMismatch { xs, ys } => {
+                write!(f, "length mismatch: {xs} x-values vs {ys} y-values")
+            }
+            AnalyticsError::DegenerateAbscissa => {
+                write!(f, "all x values identical; slope undefined")
+            }
+            AnalyticsError::NonFiniteInput => write!(f, "input contains non-finite values"),
+            AnalyticsError::NonPositiveSlope => {
+                write!(f, "calibration slope must be positive")
+            }
+        }
+    }
+}
+
+impl Error for AnalyticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(
+            AnalyticsError::TooFewPoints { needed: 3, got: 1 }.to_string(),
+            "need at least 3 points, got 1"
+        );
+        assert_eq!(
+            AnalyticsError::LengthMismatch { xs: 4, ys: 5 }.to_string(),
+            "length mismatch: 4 x-values vs 5 y-values"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalyticsError>();
+    }
+}

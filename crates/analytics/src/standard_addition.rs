@@ -1,0 +1,196 @@
+//! The standard-addition method.
+//!
+//! Quantifying drugs in *serum* (the paper's end goal) faces matrix
+//! effects: proteins foul the electrode and depress the slope, so an
+//! external calibration over-reads or under-reads. Standard addition
+//! sidesteps this by spiking the unknown itself: the signal is measured
+//! at the native level and after known additions, and the unknown is the
+//! magnitude of the x-intercept of the regression line.
+
+use bios_units::{Amperes, Molar};
+
+use crate::error::{AnalyticsError, Result};
+use crate::regression::LinearFit;
+
+/// One spike level: how much standard was added, and the signal read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Addition {
+    /// Concentration added on top of the unknown.
+    pub added: Molar,
+    /// Measured signal at this total level.
+    pub signal: Amperes,
+}
+
+/// Estimates the unknown concentration from a standard-addition series.
+///
+/// The first point is conventionally the unspiked sample
+/// (`added = 0`). Requires at least three points, a positive fitted
+/// slope, and a non-negative intercept (a negative estimate means the
+/// series is inconsistent).
+///
+/// # Errors
+///
+/// * [`AnalyticsError::TooFewPoints`] with fewer than 3 additions.
+/// * [`AnalyticsError::NonPositiveSlope`] if the spikes do not raise the
+///   signal.
+/// * Regression errors for degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use bios_analytics::standard_addition::{estimate_unknown, Addition};
+/// use bios_units::{Amperes, Molar};
+///
+/// // True unknown: 0.4 mM, slope 10 µA/mM (matrix-suppressed — the
+/// // method doesn't care).
+/// let series = [0.0, 0.2, 0.4, 0.6].map(|spike| Addition {
+///     added: Molar::from_milli_molar(spike),
+///     signal: Amperes::from_micro_amps(10.0 * (0.4 + spike)),
+/// });
+/// let unknown = estimate_unknown(&series)?;
+/// assert!((unknown.as_milli_molar() - 0.4).abs() < 1e-9);
+/// # Ok::<(), bios_analytics::AnalyticsError>(())
+/// ```
+pub fn estimate_unknown(series: &[Addition]) -> Result<Molar> {
+    if series.len() < 3 {
+        return Err(AnalyticsError::TooFewPoints {
+            needed: 3,
+            got: series.len(),
+        });
+    }
+    let xs: Vec<f64> = series.iter().map(|a| a.added.as_milli_molar()).collect();
+    let ys: Vec<f64> = series.iter().map(|a| a.signal.as_micro_amps()).collect();
+    let fit = LinearFit::fit(&xs, &ys)?;
+    if fit.slope() <= 0.0 {
+        return Err(AnalyticsError::NonPositiveSlope);
+    }
+    // x-intercept = −intercept/slope; the unknown is its magnitude.
+    let x0 = -fit.intercept() / fit.slope();
+    if x0 > 0.0 {
+        // Positive x-intercept means the unspiked signal was *below*
+        // baseline — the series is inconsistent.
+        return Err(AnalyticsError::NonFiniteInput);
+    }
+    Ok(Molar::from_milli_molar(-x0))
+}
+
+/// Spike-recovery check: the fraction of a known added amount that the
+/// calibration slope reads back. 1.0 is ideal; departures flag matrix
+/// effects.
+///
+/// # Errors
+///
+/// * [`AnalyticsError::NonPositiveSlope`] if the spike is not positive
+///   or the external slope is not positive.
+pub fn spike_recovery(
+    unspiked_signal: Amperes,
+    spiked_signal: Amperes,
+    spike: Molar,
+    external_slope_micro_amps_per_milli_molar: f64,
+) -> Result<f64> {
+    if spike.as_molar() <= 0.0 || external_slope_micro_amps_per_milli_molar <= 0.0 {
+        return Err(AnalyticsError::NonPositiveSlope);
+    }
+    let recovered_milli_molar = (spiked_signal.as_micro_amps()
+        - unspiked_signal.as_micro_amps())
+        / external_slope_micro_amps_per_milli_molar;
+    Ok(recovered_milli_molar / spike.as_milli_molar())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(true_milli_molar: f64, slope: f64, spikes: &[f64]) -> Vec<Addition> {
+        spikes
+            .iter()
+            .map(|&s| Addition {
+                added: Molar::from_milli_molar(s),
+                signal: Amperes::from_micro_amps(slope * (true_milli_molar + s)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_unknown_independent_of_slope() {
+        // Matrix suppression halves the slope — estimate unchanged.
+        for slope in [10.0, 5.0, 1.3] {
+            let s = series(0.75, slope, &[0.0, 0.25, 0.5, 1.0]);
+            let est = estimate_unknown(&s).unwrap();
+            assert!(
+                (est.as_milli_molar() - 0.75).abs() < 1e-9,
+                "slope {slope}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_unknown_estimates_zero() {
+        let s = series(0.0, 8.0, &[0.0, 0.2, 0.4]);
+        let est = estimate_unknown(&s).unwrap();
+        assert!(est.as_milli_molar().abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let s = series(0.5, 10.0, &[0.0, 0.5]);
+        assert!(matches!(
+            estimate_unknown(&s),
+            Err(AnalyticsError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_series_rejected() {
+        let s = [0.0, 0.2, 0.4].map(|spike| Addition {
+            added: Molar::from_milli_molar(spike),
+            signal: Amperes::from_micro_amps(3.0),
+        });
+        assert!(matches!(
+            estimate_unknown(&s),
+            Err(AnalyticsError::NonPositiveSlope)
+        ));
+    }
+
+    #[test]
+    fn noisy_series_estimates_within_tolerance() {
+        let s: Vec<Addition> = [0.0f64, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &spike)| Addition {
+                added: Molar::from_milli_molar(spike),
+                signal: Amperes::from_micro_amps(
+                    6.0 * (0.6 + spike) + 0.05 * ((i as f64 * 2.1).sin()),
+                ),
+            })
+            .collect();
+        let est = estimate_unknown(&s).unwrap();
+        assert!((est.as_milli_molar() - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn recovery_is_unity_without_matrix_effects() {
+        let r = spike_recovery(
+            Amperes::from_micro_amps(4.0),
+            Amperes::from_micro_amps(9.0),
+            Molar::from_milli_molar(0.5),
+            10.0,
+        )
+        .unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suppressed_matrix_reads_low_recovery() {
+        // The in-matrix slope is 7 µA/mM but the external calibration
+        // says 10 — recovery reads 70 %.
+        let r = spike_recovery(
+            Amperes::from_micro_amps(4.0),
+            Amperes::from_micro_amps(4.0 + 7.0 * 0.5),
+            Molar::from_milli_molar(0.5),
+            10.0,
+        )
+        .unwrap();
+        assert!((r - 0.7).abs() < 1e-12);
+    }
+}

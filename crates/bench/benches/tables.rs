@@ -1,0 +1,31 @@
+//! Criterion benchmark of full table regeneration — the wall-clock cost
+//! of reproducing the paper's entire evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bios_bench::{run_table2, BlockReport};
+use bios_core::catalog;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2_glucose_block", |b| {
+        b.iter(|| {
+            black_box(
+                BlockReport::run("GLUCOSE", catalog::glucose_sensors(), 42)
+                    .expect("block runs"),
+            )
+        });
+    });
+    group.bench_function("table2_all_blocks", |b| {
+        b.iter(|| black_box(run_table2(42).expect("table runs")));
+    });
+    group.bench_function("table1_render", |b| {
+        b.iter(|| black_box(bios_bench::render_table1()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

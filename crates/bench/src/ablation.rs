@@ -1,0 +1,206 @@
+//! Ablation studies: decompose the design choices DESIGN.md calls out —
+//! surface modification, readout electronics, and post-filtering — into
+//! their individual contributions to the figures of merit.
+
+use bios_analytics::report::TextTable;
+use bios_analytics::LinearRangeOptions;
+use bios_core::protocol::{CalibrationProtocol, Chronoamperometry};
+use bios_core::sensor::{Biosensor, Technique};
+use bios_core::Analyte;
+use bios_enzyme::{EnzymeFilm, Oxidase, OxidaseKind};
+use bios_instrument::filter::FilterSpec;
+use bios_instrument::ReadoutChain;
+use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
+use bios_units::{ConcentrationRange, SurfaceLoading};
+
+/// A fixed reference film so that only the studied factor varies.
+fn reference_film() -> EnzymeFilm {
+    EnzymeFilm::builder()
+        .loading(SurfaceLoading::from_pico_mol_per_square_cm(8.0))
+        .retained_activity(1.0)
+        .km_shift(1.4)
+        .build()
+}
+
+fn sensor_with(modification: SurfaceModification) -> Biosensor {
+    Biosensor::builder("ablation glucose sensor", Analyte::Glucose)
+        .electrode(ElectrodeStock::EpflMicroChip.working_electrode())
+        .modification(modification)
+        .oxidase(Oxidase::stock(OxidaseKind::GlucoseOxidase), reference_film())
+        .technique(Technique::paper_chronoamperometry())
+        .build()
+}
+
+/// Ablation 1 — surface modification: same enzyme film and electrode,
+/// different nanostructuring. Shows how much of the paper's sensitivity
+/// comes from the CNT film's collection efficiency alone.
+#[must_use]
+pub fn render_modification_ablation() -> String {
+    let mut t = TextTable::new(vec![
+        "Modification",
+        "collection η",
+        "ET gain",
+        "model sensitivity",
+    ]);
+    for modification in [
+        SurfaceModification::bare(),
+        SurfaceModification::cnt_paste(),
+        SurfaceModification::titanate_nanotube(),
+        SurfaceModification::mwcnt_sol_gel(),
+        SurfaceModification::cnt_mat(),
+        SurfaceModification::mwcnt_au_film(),
+        SurfaceModification::mwcnt_butyric_acid(),
+        SurfaceModification::mwcnt_chloroform(),
+        SurfaceModification::mwcnt_nafion(),
+        SurfaceModification::n_doped_cnt_nafion(),
+    ] {
+        let sensor = sensor_with(modification.clone());
+        t.add_row(vec![
+            modification.name().to_owned(),
+            format!("{:.2}", modification.collection_efficiency()),
+            format!("{:.0}×", modification.electron_transfer_gain()),
+            sensor.model_sensitivity().to_string(),
+        ]);
+    }
+    format!(
+        "Ablation 1 — surface modification (fixed film, fixed electrode)\n{}",
+        t.render()
+    )
+}
+
+/// Ablation 2 — readout electronics: same sensor, three readout chains.
+/// Quantifies the §2.5 integration argument as a detection-limit ratio.
+#[must_use]
+pub fn render_readout_ablation(seed: u64) -> String {
+    let sensor = sensor_with(SurfaceModification::mwcnt_nafion());
+    let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0).expect("valid sweep");
+    let chains: [(&str, ReadoutChain); 3] = [
+        ("benchtop", ReadoutChain::benchtop(seed)),
+        ("integrated CMOS", ReadoutChain::integrated_cmos(seed)),
+        ("low-cost reader", ReadoutChain::low_cost(seed)),
+    ];
+    let mut t = TextTable::new(vec!["Readout", "noise RMS", "LOD", "R²"]);
+    for (name, chain) in chains {
+        let mut chain =
+            chain.auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
+        let noise = chain.noise_rms();
+        let curve =
+            Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 15);
+        let summary = curve
+            .summary(&LinearRangeOptions::default())
+            .expect("calibration analyzable");
+        t.add_row(vec![
+            name.to_owned(),
+            noise.to_string(),
+            format!("{:.3} µM", summary.detection_limit.as_micro_molar()),
+            format!("{:.5}", summary.r_squared),
+        ]);
+    }
+    format!(
+        "Ablation 2 — readout electronics (fixed MWCNT/Nafion sensor)\n{}",
+        t.render()
+    )
+}
+
+/// Ablation 3 — digital post-filter: blank noise after each filter,
+/// i.e. how much LOD the DSP stage buys.
+#[must_use]
+pub fn render_filter_ablation(seed: u64) -> String {
+    let mut t = TextTable::new(vec!["Filter", "blank σ"]);
+    for (name, filter) in [
+        ("none", FilterSpec::None),
+        ("moving average (5)", FilterSpec::MovingAverage(5)),
+        ("moving average (9)", FilterSpec::MovingAverage(9)),
+        ("Savitzky-Golay (7)", FilterSpec::SavitzkyGolay(7)),
+        ("exponential (α=0.2)", FilterSpec::Exponential(0.2)),
+    ] {
+        let mut chain = ReadoutChain::benchtop(seed).with_filter(filter);
+        let trace = vec![bios_units::Amperes::ZERO; 400];
+        let filtered = chain.digitize_trace(&trace);
+        let mean: f64 =
+            filtered.iter().map(|i| i.as_amps()).sum::<f64>() / filtered.len() as f64;
+        let var: f64 = filtered
+            .iter()
+            .map(|i| (i.as_amps() - mean).powi(2))
+            .sum::<f64>()
+            / (filtered.len() - 1) as f64;
+        t.add_row(vec![
+            name.to_owned(),
+            format!("{:.1} pA", var.sqrt() * 1e12),
+        ]);
+    }
+    format!("Ablation 3 — digital post-filter (benchtop chain blanks)\n{}", t.render())
+}
+
+/// Ablation 4 — linear-range detector tolerance: how the detected range
+/// of the paper's glucose sensor responds to the linearity criterion,
+/// relative to the published 0–1 mM.
+#[must_use]
+pub fn render_tolerance_ablation(seed: u64) -> String {
+    use bios_core::catalog;
+
+    let entry = catalog::our_glucose_sensor();
+    let sensor = entry.build_sensor();
+    let mut chain = entry.build_readout(seed);
+    let standards = entry.sweep().linspace(entry.sweep_points());
+    let curve = Chronoamperometry::default().calibrate(&sensor, &mut chain, &standards);
+
+    let mut t = TextTable::new(vec!["tolerance", "detected range", "S (µA·mM⁻¹·cm⁻²)"]);
+    for tol in [0.02, 0.05, 0.08, 0.12, 0.20] {
+        let options = LinearRangeOptions {
+            tolerance: tol,
+            ..LinearRangeOptions::default()
+        };
+        match curve.linear_range(&options) {
+            Ok((range, fit)) => t.add_row(vec![
+                format!("{:.0}%", tol * 100.0),
+                range.to_string(),
+                format!("{:.2}", fit.slope() / sensor.electrode().area().as_square_cm()),
+            ]),
+            Err(e) => t.add_row(vec![format!("{:.0}%", tol * 100.0), e.to_string(), "–".into()]),
+        }
+    }
+    format!(
+        "Ablation 4 — linearity tolerance (our glucose sensor, paper range 0–1 mM)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modification_ablation_orders_bare_last() {
+        let s = render_modification_ablation();
+        // Bare must appear and MWCNT/Nafion must produce a higher model
+        // sensitivity than bare (structural check on the rendering).
+        assert!(s.contains("bare"));
+        assert!(s.contains("MWCNT/Nafion"));
+        let bare = sensor_with(SurfaceModification::bare()).model_sensitivity();
+        let cnt = sensor_with(SurfaceModification::mwcnt_nafion()).model_sensitivity();
+        assert!(cnt.as_micro_amps_per_milli_molar_square_cm()
+            > 3.0 * bare.as_micro_amps_per_milli_molar_square_cm());
+    }
+
+    #[test]
+    fn readout_ablation_shows_integration_benefit() {
+        let s = render_readout_ablation(3);
+        assert!(s.contains("integrated CMOS"));
+        assert!(s.contains("low-cost"));
+    }
+
+    #[test]
+    fn tolerance_ablation_widens_range_monotonically() {
+        let s = render_tolerance_ablation(5);
+        assert!(s.contains("2%"));
+        assert!(s.contains("20%"));
+    }
+
+    #[test]
+    fn filter_ablation_reduces_sigma() {
+        let s = render_filter_ablation(3);
+        assert!(s.contains("none"));
+        assert!(s.contains("moving average (9)"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Runs the three ablation studies: surface modification, readout
+//! electronics, and digital post-filtering.
+//!
+//! Usage: `cargo run -p bios-bench --bin ablation [-- --seed N]`
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    println!("{}", bios_bench::ablation::render_modification_ablation());
+    println!("{}", bios_bench::ablation::render_readout_ablation(seed));
+    println!("{}", bios_bench::ablation::render_filter_ablation(seed));
+    println!("{}", bios_bench::ablation::render_tolerance_ablation(seed));
+}

@@ -1,0 +1,8 @@
+//! Prints the §2 classification-survey statistics from the literature
+//! registry.
+//!
+//! Usage: `cargo run -p bios-bench --bin survey`
+
+fn main() {
+    print!("{}", bios_bench::render_survey());
+}

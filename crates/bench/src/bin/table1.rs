@@ -1,0 +1,8 @@
+//! Regenerates Table 1 of the paper: the features (target, probe,
+//! technique) of the seven developed biosensors.
+//!
+//! Usage: `cargo run -p bios-bench --bin table1`
+
+fn main() {
+    print!("{}", bios_bench::render_table1());
+}

@@ -1,0 +1,66 @@
+//! Regenerates Table 2 of the paper: sensitivity, linear range, and
+//! detection limit for all 18 sensor configurations, comparing the
+//! simulated figures of merit against the published ones.
+//!
+//! Usage:
+//!   cargo run -p bios-bench --bin table2              # all blocks
+//!   cargo run -p bios-bench --bin table2 -- glucose   # one block
+//!   cargo run -p bios-bench --bin table2 -- --seed 7  # change the seed
+
+use bios_bench::BlockReport;
+use bios_core::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut block: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            name => block = Some(name.to_lowercase()),
+        }
+    }
+
+    let blocks: Vec<(&str, Vec<catalog::CatalogEntry>)> = match block.as_deref() {
+        Some("glucose") => vec![("GLUCOSE", catalog::glucose_sensors())],
+        Some("lactate") => vec![("LACTATE", catalog::lactate_sensors())],
+        Some("glutamate") => vec![("GLUTAMATE", catalog::glutamate_sensors())],
+        Some("cyp") => vec![("CYP450 DRUG SENSORS", catalog::cyp_sensors())],
+        Some(other) => {
+            eprintln!("unknown block '{other}'; use glucose|lactate|glutamate|cyp");
+            std::process::exit(2);
+        }
+        None => vec![
+            ("GLUCOSE", catalog::glucose_sensors()),
+            ("LACTATE", catalog::lactate_sensors()),
+            ("GLUTAMATE", catalog::glutamate_sensors()),
+            ("CYP450 DRUG SENSORS", catalog::cyp_sensors()),
+        ],
+    };
+
+    println!("Table 2: Comparison of electrochemical enzyme-based biosensors");
+    println!("(simulated calibration, seed {seed})\n");
+    let mut all_ok = true;
+    for (title, entries) in blocks {
+        match BlockReport::run(title, entries, seed) {
+            Ok(report) => {
+                println!("{}", report.render());
+                all_ok &= report.ordering_preserved();
+            }
+            Err(e) => {
+                eprintln!("{title}: calibration failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !all_ok {
+        eprintln!("WARNING: at least one block's sensitivity ordering diverged from the paper");
+        std::process::exit(1);
+    }
+}

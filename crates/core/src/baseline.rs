@@ -1,0 +1,227 @@
+//! The DNA-based cyclophosphamide baseline of Palaska et al. [32].
+//!
+//! §3.2.4 notes that before the paper's CYP2B6 sensor, the only
+//! electrochemical CP detectors were DNA-modified electrodes read out by
+//! differential pulse voltammetry: CP alkylates the immobilized strands
+//! and the guanine-oxidation DPV peak *drops* in proportion to drug
+//! exposure (a signal-off assay). This module implements that baseline
+//! so the paper's "first enzyme-based CP sensor" claim can be compared
+//! against the incumbent head-to-head.
+
+use serde::{Deserialize, Serialize};
+
+use bios_analytics::{CalibrationCurve, CalibrationPoint};
+use bios_electrochem::waveform::DifferentialPulse;
+use bios_instrument::ReadoutChain;
+use bios_nanomaterial::{Electrode, ElectrodeStock};
+use bios_units::{Amperes, Molar, Seconds, Volts};
+
+/// A DNA-modified electrode for cyclophosphamide, DPV readout.
+///
+/// The sensor's observable is the *suppression* of the guanine oxidation
+/// peak: `i(c) = i₀·(1 − ε·c/(K_d + c))`, with `ε` the maximum
+/// suppression fraction and `K_d` the apparent DNA-drug affinity.
+///
+/// # Examples
+///
+/// ```
+/// use bios_core::baseline::DnaCpSensor;
+/// use bios_units::Molar;
+///
+/// let sensor = DnaCpSensor::palaska2007();
+/// let blank = sensor.guanine_peak(Molar::ZERO);
+/// let dosed = sensor.guanine_peak(Molar::from_micro_molar(50.0));
+/// assert!(dosed < blank); // signal-off assay
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnaCpSensor {
+    electrode: Electrode,
+    /// Undamaged guanine peak current.
+    baseline_peak: Amperes,
+    /// Maximum fractional suppression at saturating drug.
+    max_suppression: f64,
+    /// Apparent affinity of the drug-DNA interaction.
+    affinity: Molar,
+    /// Incubation time per standard (DNA damage is slow).
+    incubation: Seconds,
+    /// Relative run-to-run scatter of the guanine peak (DNA-coverage
+    /// reproducibility — the assay's real noise floor, far above the
+    /// electronics).
+    peak_rsd: f64,
+}
+
+impl DnaCpSensor {
+    /// The carbon-paste configuration of [32]: ~2 µA guanine peak,
+    /// 60 % maximum suppression, K_d ≈ 400 µM, 5 min incubation.
+    #[must_use]
+    pub fn palaska2007() -> DnaCpSensor {
+        DnaCpSensor {
+            electrode: ElectrodeStock::DropSensSpe.working_electrode(),
+            baseline_peak: Amperes::from_micro_amps(2.0),
+            max_suppression: 0.6,
+            affinity: Molar::from_micro_molar(400.0),
+            incubation: Seconds::from_minutes(5.0),
+            peak_rsd: 0.02,
+        }
+    }
+
+    /// The working electrode.
+    #[must_use]
+    pub fn electrode(&self) -> &Electrode {
+        &self.electrode
+    }
+
+    /// Incubation time required per measurement — the throughput cost
+    /// the enzyme sensor avoids.
+    #[must_use]
+    pub fn incubation(&self) -> Seconds {
+        self.incubation
+    }
+
+    /// The DPV program of the guanine-oxidation scan.
+    #[must_use]
+    pub fn waveform(&self) -> DifferentialPulse {
+        DifferentialPulse::new(
+            Volts::from_milli_volts(200.0),
+            Volts::from_milli_volts(1200.0),
+            Volts::from_milli_volts(10.0),
+            Volts::from_milli_volts(50.0),
+            Seconds::from_millis(50.0),
+            Seconds::from_millis(200.0),
+        )
+    }
+
+    /// The guanine DPV peak after incubation with `cp` cyclophosphamide.
+    #[must_use]
+    pub fn guanine_peak(&self, cp: Molar) -> Amperes {
+        let c = cp.as_molar().max(0.0);
+        let suppression =
+            self.max_suppression * c / (self.affinity.as_molar() + c);
+        self.baseline_peak * (1.0 - suppression)
+    }
+
+    /// The calibration observable: peak *loss* relative to the blank,
+    /// which grows with concentration like an ordinary calibration
+    /// signal.
+    #[must_use]
+    pub fn peak_suppression(&self, cp: Molar) -> Amperes {
+        self.baseline_peak - self.guanine_peak(cp)
+    }
+
+    /// Runs a suppression calibration over `standards` through a readout
+    /// chain, producing a curve comparable to the enzyme sensor's.
+    ///
+    /// Each replicate draws a fresh guanine-peak realization (DNA
+    /// coverage varies run to run) before the electronic chain ever sees
+    /// it — the dominant noise source of the assay. Deterministic under
+    /// `seed`.
+    pub fn calibrate(
+        &self,
+        chain: &mut ReadoutChain,
+        standards: &[Molar],
+        replicates: usize,
+        seed: u64,
+    ) -> CalibrationCurve {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gaussian = move |rng: &mut StdRng| -> f64 {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let draw_peak = |nominal: Amperes, rng: &mut StdRng| {
+            nominal * (1.0 + self.peak_rsd * gaussian(rng))
+        };
+
+        // Noise floor: scatter of repeated blank-minus-blank differences
+        // (two fresh peak realizations each), matching the calibration
+        // observable.
+        let blanks: Vec<f64> = (0..30)
+            .map(|_| {
+                let a = chain.digitize(draw_peak(self.baseline_peak, &mut rng));
+                let b = chain.digitize(draw_peak(self.baseline_peak, &mut rng));
+                (a - b).as_amps()
+            })
+            .collect();
+        let mean = blanks.iter().sum::<f64>() / blanks.len() as f64;
+        let var = blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (blanks.len() - 1) as f64;
+        let blank_sigma = Amperes::from_amps(var.sqrt());
+
+        let points = standards
+            .iter()
+            .map(|&c| {
+                let reps = (0..replicates)
+                    .map(|_| {
+                        // Each replicate measures blank and dosed peaks;
+                        // the observable is their difference.
+                        let blank = chain.digitize(draw_peak(self.baseline_peak, &mut rng));
+                        let dosed = chain.digitize(draw_peak(self.guanine_peak(c), &mut rng));
+                        blank - dosed
+                    })
+                    .collect();
+                CalibrationPoint::new(c, reps)
+            })
+            .collect();
+        CalibrationCurve::new(points, self.electrode.area(), blank_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_analytics::LinearRangeOptions;
+    use bios_electrochem::waveform::Waveform;
+    use bios_units::ConcentrationRange;
+
+    #[test]
+    fn suppression_is_monotone_and_saturating() {
+        let s = DnaCpSensor::palaska2007();
+        let mut prev = -1.0;
+        for micro in [0.0, 10.0, 50.0, 200.0, 1000.0] {
+            let loss = s.peak_suppression(Molar::from_micro_molar(micro)).as_amps();
+            assert!(loss >= prev);
+            prev = loss;
+        }
+        // Bounded by ε·i0.
+        let max = s.peak_suppression(Molar::from_molar(1.0)).as_micro_amps();
+        assert!(max <= 2.0 * 0.6 + 1e-9);
+    }
+
+    #[test]
+    fn dpv_waveform_spans_guanine_window() {
+        let w = DnaCpSensor::palaska2007().waveform();
+        // Guanine oxidizes near +1.0 V; the scan must reach it.
+        let end = w.potential_at(w.duration());
+        assert!(end.as_milli_volts() >= 1000.0);
+    }
+
+    #[test]
+    fn dna_baseline_calibrates_but_underperforms_cyp_sensor() {
+        // Head-to-head on CP: the enzyme sensor must beat the DNA
+        // baseline on detection limit — the §3.2.4 motivation.
+        let dna = DnaCpSensor::palaska2007();
+        let mut chain = ReadoutChain::benchtop(5);
+        let standards = ConcentrationRange::from_micro_molar(0.0, 150.0)
+            .unwrap()
+            .linspace(16);
+        let curve = dna.calibrate(&mut chain, &standards, 3, 9);
+        let summary = curve.summary(&LinearRangeOptions::default()).unwrap();
+
+        let cyp = crate::catalog::cyp_sensors()
+            .into_iter()
+            .find(|e| e.id() == "cyp/cyclophosphamide")
+            .unwrap();
+        let cyp_summary = cyp.run_calibration(5).unwrap().summary;
+
+        assert!(summary.detection_limit > cyp_summary.detection_limit);
+        assert!(summary.sensitivity < cyp_summary.sensitivity);
+    }
+
+    #[test]
+    fn incubation_cost_is_material() {
+        let s = DnaCpSensor::palaska2007();
+        assert!(s.incubation().as_seconds() >= 120.0);
+    }
+}

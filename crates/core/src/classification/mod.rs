@@ -1,0 +1,16 @@
+//! The paper's §2 classification as a typed ontology.
+//!
+//! Section 2 of the paper proposes "an essential classification of
+//! biosensors" along five axes: target, sensing element, transduction
+//! mechanism, nanotechnology, and electrode technology. This module
+//! encodes that taxonomy as enums ([`taxonomy`]) and populates a
+//! queryable [`registry::SensorRegistry`] with the literature devices the
+//! survey cites — so the survey itself becomes an executable artifact.
+
+pub mod registry;
+pub mod taxonomy;
+
+pub use registry::{SensorClassEntry, SensorRegistry};
+pub use taxonomy::{
+    ElectrodeTechnology, NanoMaterialClass, SensingElement, Target, Transduction,
+};

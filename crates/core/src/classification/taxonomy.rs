@@ -1,0 +1,191 @@
+//! The five classification axes of §2.
+
+use serde::{Deserialize, Serialize};
+
+/// §2.1 — what the biosensor detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Nucleic acids: diagnosis, sequencing, food/environment analysis.
+    Dna,
+    /// Small metabolites: glucose, lactate, cholesterol, glutamate,
+    /// creatinine…
+    Metabolite,
+    /// Disease biomarkers: proteins, peptides, tumor-related metabolites
+    /// (PSA, CA-125), auto-antibodies.
+    Biomarker,
+    /// Pathogens: viral RNA, hepatitis antigens, bacteria.
+    Pathogen,
+    /// Drugs: paracetamol, theophylline, anticancer agents…
+    Drug,
+}
+
+/// §2.2 — the biological recognition element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensingElement {
+    /// Catalytic proteins; need a cofactor; bind analyte at the active
+    /// site.
+    Enzyme,
+    /// Bind antigens specifically; no catalysis (ELISA-style assays).
+    Antibody,
+    /// Base-pairing strands, often labeled.
+    NucleicAcid,
+    /// Cell-membrane receptor proteins read out through ion channels.
+    Receptor,
+}
+
+/// §2.3 — how recognition becomes a measurable signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transduction {
+    /// Spectroscopic/colorimetric readout, fluorescent labels.
+    Optical,
+    /// Surface plasmon resonance (a prominent optical sub-family).
+    SurfacePlasmonResonance,
+    /// Quartz crystal microbalance / microcantilever mass detection.
+    Piezoelectric,
+    /// Capacitance-change detection.
+    ImpedimetricCapacitive,
+    /// Charge-transfer-resistance detection with a redox probe.
+    ImpedimetricFaradic,
+    /// Zero-current potential measurement (ion-selective electrodes).
+    Potentiometric,
+    /// Field-effect devices with functionalized gate or channel.
+    FieldEffect,
+    /// Current measurement under applied potential — the paper's choice.
+    Amperometric,
+}
+
+impl Transduction {
+    /// Whether the mechanism is electrochemical (the family §2.5 argues
+    /// is most suitable for CMOS integration).
+    #[must_use]
+    pub fn is_electrochemical(&self) -> bool {
+        matches!(
+            self,
+            Transduction::ImpedimetricCapacitive
+                | Transduction::ImpedimetricFaradic
+                | Transduction::Potentiometric
+                | Transduction::FieldEffect
+                | Transduction::Amperometric
+        )
+    }
+}
+
+/// §2.4 — the nanomaterial (if any) enhancing the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NanoMaterialClass {
+    /// Metallic nanoparticles (Au, Ag, Pt).
+    Nanoparticle,
+    /// Semiconductor quantum dots (≤ 10 nm, used as labels).
+    QuantumDot,
+    /// Core-shell particles (metal core, organic/inorganic shell).
+    CoreShell,
+    /// Metallic or semiconducting nanowires.
+    Nanowire,
+    /// Carbon nanotubes — ballistic conduction, protein adsorption.
+    CarbonNanotube,
+    /// Non-carbon nanotubes (e.g. titanate).
+    OtherNanotube,
+}
+
+/// §2.5 — electrode / integration technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElectrodeTechnology {
+    /// Disposable screen-printed strips — the market-dominant format.
+    Disposable,
+    /// Microfabricated electrodes integrated with CMOS readout.
+    Integrated,
+    /// Vertically stacked 3-D integration with through-silicon vias
+    /// (Guiducci et al. [17]).
+    ThreeDimensionalStack,
+    /// Conventional bulk electrodes (lab glassware).
+    Conventional,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Target::Dna => "DNA",
+            Target::Metabolite => "metabolite",
+            Target::Biomarker => "biomarker",
+            Target::Pathogen => "pathogen",
+            Target::Drug => "drug",
+        })
+    }
+}
+
+impl std::fmt::Display for SensingElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SensingElement::Enzyme => "enzyme",
+            SensingElement::Antibody => "antibody",
+            SensingElement::NucleicAcid => "nucleic acid",
+            SensingElement::Receptor => "receptor",
+        })
+    }
+}
+
+impl std::fmt::Display for Transduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transduction::Optical => "optical",
+            Transduction::SurfacePlasmonResonance => "SPR",
+            Transduction::Piezoelectric => "piezoelectric",
+            Transduction::ImpedimetricCapacitive => "impedimetric (capacitive)",
+            Transduction::ImpedimetricFaradic => "impedimetric (Faradic)",
+            Transduction::Potentiometric => "potentiometric",
+            Transduction::FieldEffect => "field-effect",
+            Transduction::Amperometric => "amperometric",
+        })
+    }
+}
+
+impl std::fmt::Display for NanoMaterialClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NanoMaterialClass::Nanoparticle => "nanoparticle",
+            NanoMaterialClass::QuantumDot => "quantum dot",
+            NanoMaterialClass::CoreShell => "core-shell",
+            NanoMaterialClass::Nanowire => "nanowire",
+            NanoMaterialClass::CarbonNanotube => "carbon nanotube",
+            NanoMaterialClass::OtherNanotube => "non-carbon nanotube",
+        })
+    }
+}
+
+impl std::fmt::Display for ElectrodeTechnology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ElectrodeTechnology::Disposable => "disposable",
+            ElectrodeTechnology::Integrated => "integrated",
+            ElectrodeTechnology::ThreeDimensionalStack => "3-D stacked",
+            ElectrodeTechnology::Conventional => "conventional",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electrochemical_family_membership() {
+        assert!(Transduction::Amperometric.is_electrochemical());
+        assert!(Transduction::Potentiometric.is_electrochemical());
+        assert!(Transduction::FieldEffect.is_electrochemical());
+        assert!(!Transduction::Optical.is_electrochemical());
+        assert!(!Transduction::Piezoelectric.is_electrochemical());
+        assert!(!Transduction::SurfacePlasmonResonance.is_electrochemical());
+    }
+
+    #[test]
+    fn displays_cover_all_variants() {
+        assert_eq!(Target::Dna.to_string(), "DNA");
+        assert_eq!(SensingElement::NucleicAcid.to_string(), "nucleic acid");
+        assert_eq!(Transduction::SurfacePlasmonResonance.to_string(), "SPR");
+        assert_eq!(NanoMaterialClass::CarbonNanotube.to_string(), "carbon nanotube");
+        assert_eq!(
+            ElectrodeTechnology::ThreeDimensionalStack.to_string(),
+            "3-D stacked"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Butler–Volmer electron-transfer kinetics.
+//!
+//! The carbon-nanotube electrode modifications at the heart of the paper
+//! work by raising the heterogeneous standard rate constant `k⁰` (ballistic
+//! conduction, tip/wall field emission — §2.4). These functions quantify
+//! how current responds to overpotential for a finite `k⁰`.
+
+use bios_units::{
+    Amperes, Kelvin, Molar, SquareCm, Volts, FARADAY, GAS_CONSTANT,
+};
+
+/// Kinetic parameters of a heterogeneous electron transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferKinetics {
+    /// Standard heterogeneous rate constant, cm · s⁻¹.
+    pub k0_cm_per_s: f64,
+    /// Cathodic transfer coefficient α (0 < α < 1, usually ≈ 0.5).
+    pub alpha: f64,
+    /// Electrons transferred per event.
+    pub n: u32,
+}
+
+impl TransferKinetics {
+    /// Symmetric (α = 0.5) single-electron kinetics with the given `k⁰`.
+    #[must_use]
+    pub fn symmetric(k0_cm_per_s: f64) -> TransferKinetics {
+        TransferKinetics {
+            k0_cm_per_s,
+            alpha: 0.5,
+            n: 1,
+        }
+    }
+
+    /// Dimensionless reversibility parameter Λ = k⁰/√(D·f·v) used to
+    /// classify a voltammetric experiment (Matsuda–Ayabe): Λ ≳ 15 is
+    /// reversible, 15 > Λ > 10⁻³ quasireversible, below that irreversible.
+    ///
+    /// `d` is the diffusion coefficient in cm²/s, `scan_rate_v_per_s` the
+    /// sweep rate, `t` the temperature.
+    #[must_use]
+    pub fn matsuda_ayabe(&self, d: f64, scan_rate_v_per_s: f64, t: Kelvin) -> f64 {
+        let f_over_rt = FARADAY / (GAS_CONSTANT * t.as_kelvin());
+        self.k0_cm_per_s / (d * f_over_rt * scan_rate_v_per_s).sqrt()
+    }
+
+    /// Reversibility classification per Matsuda–Ayabe.
+    #[must_use]
+    pub fn regime(&self, d: f64, scan_rate_v_per_s: f64, t: Kelvin) -> Reversibility {
+        let lambda = self.matsuda_ayabe(d, scan_rate_v_per_s, t);
+        if lambda >= 15.0 {
+            Reversibility::Reversible
+        } else if lambda >= 1e-3 {
+            Reversibility::Quasireversible
+        } else {
+            Reversibility::Irreversible
+        }
+    }
+}
+
+/// Kinetic regime of a voltammetric experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reversibility {
+    /// Electron transfer fast enough that Nernst equilibrium holds at the
+    /// surface throughout the sweep.
+    Reversible,
+    /// Finite kinetics distort and separate the peaks.
+    Quasireversible,
+    /// Transfer so slow only the forward branch is seen.
+    Irreversible,
+}
+
+/// Exchange current density `j₀ = n·F·k⁰·C` (A · cm⁻²) for a couple with
+/// equal bulk oxidized/reduced concentrations `c`.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::butler_volmer::exchange_current_density;
+/// use bios_units::Molar;
+///
+/// let j0 = exchange_current_density(1, 1e-3, Molar::from_milli_molar(1.0));
+/// assert!(j0 > 0.0);
+/// ```
+#[must_use]
+pub fn exchange_current_density(n: u32, k0_cm_per_s: f64, c: Molar) -> f64 {
+    // mol/L → mol/cm³ is a factor of 1e-3.
+    f64::from(n) * FARADAY * k0_cm_per_s * c.as_molar() * 1e-3
+}
+
+/// Butler–Volmer current for overpotential `eta` on electrode area `area`.
+///
+/// `i = j₀·A·[exp((1−α)·nF·η/RT) − exp(−α·nF·η/RT)]`
+///
+/// Anodic currents are positive by convention.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::butler_volmer::{butler_volmer_current, TransferKinetics};
+/// use bios_units::{Kelvin, Molar, SquareCm, Volts};
+///
+/// let k = TransferKinetics::symmetric(1e-3);
+/// let i = butler_volmer_current(
+///     &k,
+///     Molar::from_milli_molar(1.0),
+///     SquareCm::from_square_cm(0.1),
+///     Volts::from_milli_volts(100.0),
+///     Kelvin::ROOM,
+/// );
+/// assert!(i.as_amps() > 0.0);
+/// ```
+#[must_use]
+pub fn butler_volmer_current(
+    kinetics: &TransferKinetics,
+    bulk: Molar,
+    area: SquareCm,
+    eta: Volts,
+    t: Kelvin,
+) -> Amperes {
+    let j0 = exchange_current_density(kinetics.n, kinetics.k0_cm_per_s, bulk);
+    let nf_over_rt = f64::from(kinetics.n) * FARADAY / (GAS_CONSTANT * t.as_kelvin());
+    let x = nf_over_rt * eta.as_volts();
+    let anodic = ((1.0 - kinetics.alpha) * x).exp();
+    let cathodic = (-kinetics.alpha * x).exp();
+    Amperes::from_amps(j0 * area.as_square_cm() * (anodic - cathodic))
+}
+
+/// Small-overpotential (linearized) charge-transfer resistance
+/// `R_ct = RT/(nF·j₀·A)` in ohms.
+///
+/// Faradic impedimetric biosensors (§2.3) measure exactly this quantity.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::butler_volmer::{charge_transfer_resistance, TransferKinetics};
+/// use bios_units::{Kelvin, Molar, SquareCm};
+///
+/// let slow = TransferKinetics::symmetric(1e-5);
+/// let fast = TransferKinetics::symmetric(1e-2);
+/// let c = Molar::from_milli_molar(1.0);
+/// let a = SquareCm::from_square_cm(0.1);
+/// let r_slow = charge_transfer_resistance(&slow, c, a, Kelvin::ROOM);
+/// let r_fast = charge_transfer_resistance(&fast, c, a, Kelvin::ROOM);
+/// assert!(r_slow > r_fast);
+/// ```
+#[must_use]
+pub fn charge_transfer_resistance(
+    kinetics: &TransferKinetics,
+    bulk: Molar,
+    area: SquareCm,
+    t: Kelvin,
+) -> f64 {
+    let j0 = exchange_current_density(kinetics.n, kinetics.k0_cm_per_s, bulk);
+    GAS_CONSTANT * t.as_kelvin()
+        / (f64::from(kinetics.n) * FARADAY * j0 * area.as_square_cm())
+}
+
+/// Tafel slope `b = 2.303·RT/(α·n·F)` in volts per decade of current —
+/// the high-overpotential asymptote of Butler–Volmer.
+#[must_use]
+pub fn tafel_slope(kinetics: &TransferKinetics, t: Kelvin) -> Volts {
+    Volts::from_volts(
+        std::f64::consts::LN_10 * GAS_CONSTANT * t.as_kelvin()
+            / (kinetics.alpha * f64::from(kinetics.n) * FARADAY),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kin() -> TransferKinetics {
+        TransferKinetics::symmetric(1e-3)
+    }
+
+    #[test]
+    fn zero_overpotential_gives_zero_net_current() {
+        let i = butler_volmer_current(
+            &kin(),
+            Molar::from_milli_molar(1.0),
+            SquareCm::from_square_cm(0.1),
+            Volts::ZERO,
+            Kelvin::ROOM,
+        );
+        assert!(i.as_amps().abs() < 1e-18);
+    }
+
+    #[test]
+    fn current_is_antisymmetric_for_symmetric_alpha() {
+        let c = Molar::from_milli_molar(1.0);
+        let a = SquareCm::from_square_cm(0.1);
+        let eta = Volts::from_milli_volts(50.0);
+        let fwd = butler_volmer_current(&kin(), c, a, eta, Kelvin::ROOM);
+        let rev = butler_volmer_current(&kin(), c, a, -eta, Kelvin::ROOM);
+        assert!((fwd.as_amps() + rev.as_amps()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn current_scales_with_k0() {
+        let c = Molar::from_milli_molar(1.0);
+        let a = SquareCm::from_square_cm(0.1);
+        let eta = Volts::from_milli_volts(20.0);
+        let slow = butler_volmer_current(
+            &TransferKinetics::symmetric(1e-4),
+            c,
+            a,
+            eta,
+            Kelvin::ROOM,
+        );
+        let fast = butler_volmer_current(
+            &TransferKinetics::symmetric(1e-3),
+            c,
+            a,
+            eta,
+            Kelvin::ROOM,
+        );
+        assert!((fast.as_amps() / slow.as_amps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tafel_slope_near_118_mv_per_decade() {
+        // α = 0.5, n = 1 at room temperature → ≈ 118 mV/decade.
+        let b = tafel_slope(&kin(), Kelvin::ROOM);
+        assert!((b.as_milli_volts() - 118.3).abs() < 0.5);
+    }
+
+    #[test]
+    fn matsuda_ayabe_classification() {
+        // Very fast kinetics at slow scan → reversible.
+        let fast = TransferKinetics::symmetric(1.0);
+        assert_eq!(
+            fast.regime(1e-5, 0.05, Kelvin::ROOM),
+            Reversibility::Reversible
+        );
+        // Sluggish kinetics at fast scan → irreversible.
+        let slow = TransferKinetics::symmetric(1e-8);
+        assert_eq!(
+            slow.regime(1e-5, 1.0, Kelvin::ROOM),
+            Reversibility::Irreversible
+        );
+        // In between → quasireversible.
+        let mid = TransferKinetics::symmetric(1e-3);
+        assert_eq!(
+            mid.regime(1e-5, 0.1, Kelvin::ROOM),
+            Reversibility::Quasireversible
+        );
+    }
+
+    #[test]
+    fn charge_transfer_resistance_decreases_with_concentration() {
+        let a = SquareCm::from_square_cm(0.1);
+        let r1 = charge_transfer_resistance(&kin(), Molar::from_milli_molar(1.0), a, Kelvin::ROOM);
+        let r2 = charge_transfer_resistance(&kin(), Molar::from_milli_molar(2.0), a, Kelvin::ROOM);
+        assert!((r1 / r2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! The Cottrell equation: diffusion-limited chronoamperometry.
+//!
+//! The oxidase sensors in the paper are read out by chronoamperometry —
+//! the working electrode is held at +650 mV and the current sampled once
+//! the transient settles. The Cottrell relation is the ideal response to
+//! the potential step and anchors the steady-state current model.
+
+use bios_units::{Amperes, DiffusionCoefficient, Molar, SquareCm, Seconds, FARADAY};
+
+/// Current `t` seconds after a potential step into the diffusion-limited
+/// regime:
+///
+/// `i(t) = n·F·A·C·√(D/(π·t))`
+///
+/// # Panics
+///
+/// Panics if `t` is zero (the ideal Cottrell current diverges at `t = 0`)
+/// or if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::cottrell::cottrell_current;
+/// use bios_units::{DiffusionCoefficient, Molar, SquareCm, Seconds};
+///
+/// let d = DiffusionCoefficient::from_square_cm_per_second(1e-5);
+/// let i1 = cottrell_current(1, SquareCm::from_square_cm(0.1), d,
+///                           Molar::from_milli_molar(1.0), Seconds::from_seconds(1.0));
+/// let i4 = cottrell_current(1, SquareCm::from_square_cm(0.1), d,
+///                           Molar::from_milli_molar(1.0), Seconds::from_seconds(4.0));
+/// // i ∝ 1/√t: quadrupling t halves the current.
+/// assert!((i1.as_amps() / i4.as_amps() - 2.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn cottrell_current(
+    n: u32,
+    area: SquareCm,
+    d: DiffusionCoefficient,
+    bulk: Molar,
+    t: Seconds,
+) -> Amperes {
+    assert!(n > 0, "electron count must be at least 1");
+    assert!(t.as_seconds() > 0.0, "Cottrell current diverges at t = 0");
+    // mol/L → mol/cm³.
+    let c = bulk.as_molar() * 1e-3;
+    let i = f64::from(n)
+        * FARADAY
+        * area.as_square_cm()
+        * c
+        * (d.as_square_cm_per_second() / (std::f64::consts::PI * t.as_seconds())).sqrt();
+    Amperes::from_amps(i)
+}
+
+/// Full Cottrell transient sampled at `times`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`cottrell_current`].
+#[must_use]
+pub fn cottrell_transient(
+    n: u32,
+    area: SquareCm,
+    d: DiffusionCoefficient,
+    bulk: Molar,
+    times: &[Seconds],
+) -> Vec<Amperes> {
+    times
+        .iter()
+        .map(|&t| cottrell_current(n, area, d, bulk, t))
+        .collect()
+}
+
+/// Steady-state current through a stagnant diffusion layer of thickness
+/// `delta_cm` (Nernst diffusion-layer model):
+///
+/// `i_ss = n·F·A·D·C/δ`
+///
+/// Real chronoamperometric sensors settle to this plateau (set by
+/// convection or by the enzyme-film thickness) instead of decaying
+/// forever; it is the current the paper's calibration points sample.
+///
+/// # Panics
+///
+/// Panics if `delta_cm` is not positive or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::cottrell::steady_state_current;
+/// use bios_units::{DiffusionCoefficient, Molar, SquareCm};
+///
+/// let i = steady_state_current(
+///     2,
+///     SquareCm::from_square_mm(0.25),
+///     DiffusionCoefficient::from_square_cm_per_second(1.43e-5),
+///     Molar::from_milli_molar(0.5),
+///     20e-4, // 20 µm diffusion layer
+/// );
+/// assert!(i.as_micro_amps() > 0.0);
+/// ```
+#[must_use]
+pub fn steady_state_current(
+    n: u32,
+    area: SquareCm,
+    d: DiffusionCoefficient,
+    bulk: Molar,
+    delta_cm: f64,
+) -> Amperes {
+    assert!(n > 0, "electron count must be at least 1");
+    assert!(
+        delta_cm > 0.0 && delta_cm.is_finite(),
+        "diffusion layer thickness must be positive"
+    );
+    let c = bulk.as_molar() * 1e-3;
+    Amperes::from_amps(
+        f64::from(n) * FARADAY * area.as_square_cm() * d.as_square_cm_per_second() * c / delta_cm,
+    )
+}
+
+/// Time after the step at which the Cottrell current decays to the
+/// steady-state plateau — the crossover where sampling should happen.
+///
+/// Setting `i_cottrell(t*) = i_ss` gives `t* = D·δ²/(π·D²) = δ²/(π·D)`.
+///
+/// # Panics
+///
+/// Panics if `delta_cm` is not positive.
+#[must_use]
+pub fn settling_time(d: DiffusionCoefficient, delta_cm: f64) -> Seconds {
+    assert!(
+        delta_cm > 0.0 && delta_cm.is_finite(),
+        "diffusion layer thickness must be positive"
+    );
+    Seconds::from_seconds(delta_cm * delta_cm / (std::f64::consts::PI * d.as_square_cm_per_second()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::from_square_cm_per_second(1e-5)
+    }
+
+    #[test]
+    fn inverse_sqrt_time_decay() {
+        let a = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(1.0);
+        let i1 = cottrell_current(1, a, d(), c, Seconds::from_seconds(0.25));
+        let i2 = cottrell_current(1, a, d(), c, Seconds::from_seconds(1.0));
+        assert!((i1.as_amps() / i2.as_amps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_in_concentration_and_area() {
+        let a = SquareCm::from_square_cm(0.1);
+        let t = Seconds::from_seconds(1.0);
+        let i1 = cottrell_current(1, a, d(), Molar::from_milli_molar(1.0), t);
+        let i2 = cottrell_current(1, a, d(), Molar::from_milli_molar(3.0), t);
+        assert!((i2.as_amps() / i1.as_amps() - 3.0).abs() < 1e-12);
+        let i3 = cottrell_current(1, a * 2.0, d(), Molar::from_milli_molar(1.0), t);
+        assert!((i3.as_amps() / i1.as_amps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_magnitude() {
+        // n=1, A=1 cm², D=1e-5 cm²/s, C=1 mM, t=1 s:
+        // i = 96485 * 1e-6 mol/cm³ * sqrt(1e-5/π) ≈ 172 µA... let's verify
+        // against the closed form itself evaluated by hand:
+        let i = cottrell_current(
+            1,
+            SquareCm::from_square_cm(1.0),
+            d(),
+            Molar::from_milli_molar(1.0),
+            Seconds::from_seconds(1.0),
+        );
+        let expected = 96485.33212 * 1e-6 * (1e-5 / std::f64::consts::PI).sqrt();
+        assert!((i.as_amps() - expected).abs() / expected < 1e-12);
+        // ≈ 0.172 mA·cm⁻²·mM⁻¹ scale — sanity on the order of magnitude.
+        assert!(i.as_micro_amps() > 100.0 && i.as_micro_amps() < 300.0);
+    }
+
+    #[test]
+    fn transient_is_monotone_decreasing() {
+        let times: Vec<Seconds> = (1..10).map(|k| Seconds::from_seconds(k as f64)).collect();
+        let trace = cottrell_transient(
+            1,
+            SquareCm::from_square_cm(0.1),
+            d(),
+            Molar::from_milli_molar(1.0),
+            &times,
+        );
+        for w in trace.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn steady_state_scales_inverse_delta() {
+        let a = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(1.0);
+        let thin = steady_state_current(1, a, d(), c, 10e-4);
+        let thick = steady_state_current(1, a, d(), c, 20e-4);
+        assert!((thin.as_amps() / thick.as_amps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settling_time_matches_crossover() {
+        let delta = 20e-4;
+        let ts = settling_time(d(), delta);
+        let a = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(1.0);
+        let cot = cottrell_current(1, a, d(), c, ts);
+        let ss = steady_state_current(1, a, d(), c, delta);
+        assert!((cot.as_amps() / ss.as_amps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn zero_time_panics() {
+        let _ = cottrell_current(
+            1,
+            SquareCm::from_square_cm(0.1),
+            d(),
+            Molar::from_milli_molar(1.0),
+            Seconds::ZERO,
+        );
+    }
+}

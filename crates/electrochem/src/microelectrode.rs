@@ -1,0 +1,147 @@
+//! Ultramicroelectrode (UME) behaviour — the physics behind the paper's
+//! miniaturization argument.
+//!
+//! Shrinking electrodes below ~25 µm changes the transport regime from
+//! planar to radial diffusion: the current reaches a true steady state
+//! `i_ss = 4·n·F·D·C·r` (inlaid disc) instead of decaying forever, and
+//! the signal *density* grows as the radius falls — the quantitative
+//! basis for §1's claim that "system miniaturization increases also
+//! sensor response and requires small samples".
+
+use bios_units::{
+    Amperes, Centimeters, CurrentDensity, DiffusionCoefficient, Molar, Seconds, SquareCm, FARADAY,
+};
+
+/// Steady-state diffusion-limited current of an inlaid disc
+/// ultramicroelectrode of radius `r`: `i_ss = 4·n·F·D·C·r`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the radius is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::microelectrode::disc_steady_state;
+/// use bios_units::{Centimeters, DiffusionCoefficient, Molar};
+///
+/// // A 5 µm-radius disc in 1 mM analyte: a few nanoamps, forever.
+/// let i = disc_steady_state(
+///     1,
+///     Centimeters::from_micro_meters(5.0),
+///     DiffusionCoefficient::from_square_cm_per_second(1e-5),
+///     Molar::from_milli_molar(1.0),
+/// );
+/// assert!(i.as_nano_amps() > 1.0 && i.as_nano_amps() < 10.0);
+/// ```
+#[must_use]
+pub fn disc_steady_state(
+    n: u32,
+    radius: Centimeters,
+    d: DiffusionCoefficient,
+    bulk: Molar,
+) -> Amperes {
+    assert!(n > 0, "electron count must be at least 1");
+    assert!(radius.as_cm() > 0.0, "radius must be positive");
+    let c = bulk.as_molar() * 1e-3; // mol/cm³
+    Amperes::from_amps(
+        4.0 * f64::from(n) * FARADAY * d.as_square_cm_per_second() * c * radius.as_cm(),
+    )
+}
+
+/// The steady-state current *density* of the disc — grows as 1/r, the
+/// miniaturization payoff.
+#[must_use]
+pub fn disc_steady_state_density(
+    n: u32,
+    radius: Centimeters,
+    d: DiffusionCoefficient,
+    bulk: Molar,
+) -> CurrentDensity {
+    let i = disc_steady_state(n, radius, d, bulk);
+    let area = SquareCm::from_square_cm(std::f64::consts::PI * radius.as_cm() * radius.as_cm());
+    i / area
+}
+
+/// The time after a potential step at which a disc of radius `r`
+/// transitions from planar (Cottrell) to radial (steady-state)
+/// behaviour: `t* ≈ r²/D`.
+///
+/// # Panics
+///
+/// Panics if the radius is not positive.
+#[must_use]
+pub fn radial_transition_time(radius: Centimeters, d: DiffusionCoefficient) -> Seconds {
+    assert!(radius.as_cm() > 0.0, "radius must be positive");
+    Seconds::from_seconds(radius.as_cm() * radius.as_cm() / d.as_square_cm_per_second())
+}
+
+/// Whether an electrode of radius `r` behaves as a microelectrode on the
+/// experiment's timescale `t` (radial transport dominates).
+#[must_use]
+pub fn is_radial_regime(radius: Centimeters, d: DiffusionCoefficient, t: Seconds) -> bool {
+    t > radial_transition_time(radius, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> DiffusionCoefficient {
+        DiffusionCoefficient::from_square_cm_per_second(1e-5)
+    }
+
+    #[test]
+    fn current_linear_in_radius_and_concentration() {
+        let c = Molar::from_milli_molar(1.0);
+        let i1 = disc_steady_state(1, Centimeters::from_micro_meters(5.0), d(), c);
+        let i2 = disc_steady_state(1, Centimeters::from_micro_meters(10.0), d(), c);
+        assert!((i2.as_amps() / i1.as_amps() - 2.0).abs() < 1e-12);
+        let i3 = disc_steady_state(
+            1,
+            Centimeters::from_micro_meters(5.0),
+            d(),
+            Molar::from_milli_molar(3.0),
+        );
+        assert!((i3.as_amps() / i1.as_amps() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_magnitude() {
+        // 4·F·D·C·r for r = 5 µm, D = 1e-5, C = 1 mM:
+        // 4·96485·1e-5·1e-6·5e-4 ≈ 1.93 nA.
+        let i = disc_steady_state(
+            1,
+            Centimeters::from_micro_meters(5.0),
+            d(),
+            Molar::from_milli_molar(1.0),
+        );
+        assert!((i.as_nano_amps() - 1.93).abs() < 0.02);
+    }
+
+    #[test]
+    fn density_grows_as_radius_shrinks() {
+        let c = Molar::from_milli_molar(1.0);
+        let j_big = disc_steady_state_density(1, Centimeters::from_micro_meters(50.0), d(), c);
+        let j_small = disc_steady_state_density(1, Centimeters::from_micro_meters(5.0), d(), c);
+        assert!(
+            (j_small.as_amps_per_square_cm() / j_big.as_amps_per_square_cm() - 10.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn transition_time_scales_with_radius_squared() {
+        let t1 = radial_transition_time(Centimeters::from_micro_meters(5.0), d());
+        let t2 = radial_transition_time(Centimeters::from_micro_meters(10.0), d());
+        assert!((t2.as_seconds() / t1.as_seconds() - 4.0).abs() < 1e-9);
+        // 5 µm disc: t* = 25e-8/1e-5 = 25 ms.
+        assert!((t1.as_millis() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn micro_vs_macro_regimes() {
+        let t = Seconds::from_seconds(1.0);
+        assert!(is_radial_regime(Centimeters::from_micro_meters(5.0), d(), t));
+        assert!(!is_radial_regime(Centimeters::from_mm(2.0), d(), t));
+    }
+}

@@ -1,0 +1,306 @@
+//! Redox-couple descriptors and tabulated transport properties.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::{DiffusionCoefficient, Volts};
+
+use crate::butler_volmer::TransferKinetics;
+
+/// Tabulated aqueous diffusion coefficients (25 °C) for species relevant
+/// to the paper's sensors.
+pub mod diffusion {
+    use bios_units::DiffusionCoefficient;
+
+    /// Glucose, 6.7 × 10⁻⁶ cm²/s.
+    pub const GLUCOSE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(6.7e-6);
+    /// L-lactate, 1.0 × 10⁻⁵ cm²/s.
+    pub const LACTATE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(1.0e-5);
+    /// L-glutamate, 7.6 × 10⁻⁶ cm²/s.
+    pub const GLUTAMATE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(7.6e-6);
+    /// Hydrogen peroxide — the species the oxidase sensors actually
+    /// oxidize at +650 mV — 1.43 × 10⁻⁵ cm²/s.
+    pub const HYDROGEN_PEROXIDE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(1.43e-5);
+    /// Dissolved O₂, 2.1 × 10⁻⁵ cm²/s.
+    pub const OXYGEN: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(2.1e-5);
+    /// Cyclophosphamide (mid-size organic), ≈ 4.5 × 10⁻⁶ cm²/s.
+    pub const CYCLOPHOSPHAMIDE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(4.5e-6);
+    /// Ferrocyanide redox probe, 6.5 × 10⁻⁶ cm²/s.
+    pub const FERROCYANIDE: DiffusionCoefficient =
+        DiffusionCoefficient::from_square_cm_per_second(6.5e-6);
+}
+
+/// A redox couple: everything the simulators need to know about the
+/// electroactive species.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::RedoxCouple;
+/// use bios_units::{DiffusionCoefficient, Volts};
+///
+/// let h2o2 = RedoxCouple::builder("H2O2 oxidation")
+///     .standard_potential(Volts::from_milli_volts(400.0))
+///     .electrons(2)
+///     .diffusion(DiffusionCoefficient::from_square_cm_per_second(1.43e-5))
+///     .rate_constant(1e-4)
+///     .build();
+/// assert_eq!(h2o2.electrons(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedoxCouple {
+    name: String,
+    standard_potential: Volts,
+    electrons: u32,
+    alpha: f64,
+    k0_cm_per_s: f64,
+    diffusion: DiffusionCoefficient,
+}
+
+impl RedoxCouple {
+    /// Starts building a couple with the given display name.
+    #[must_use]
+    pub fn builder(name: &str) -> RedoxCoupleBuilder {
+        RedoxCoupleBuilder {
+            name: name.to_owned(),
+            standard_potential: Volts::ZERO,
+            electrons: 1,
+            alpha: 0.5,
+            k0_cm_per_s: 1e-3,
+            diffusion: DiffusionCoefficient::from_square_cm_per_second(1e-5),
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Formal/standard potential `E⁰`.
+    #[must_use]
+    pub fn standard_potential(&self) -> Volts {
+        self.standard_potential
+    }
+
+    /// Electrons transferred, `n`.
+    #[must_use]
+    pub fn electrons(&self) -> u32 {
+        self.electrons
+    }
+
+    /// Transfer coefficient α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Standard heterogeneous rate constant `k⁰`, cm/s.
+    #[must_use]
+    pub fn rate_constant(&self) -> f64 {
+        self.k0_cm_per_s
+    }
+
+    /// Diffusion coefficient of the electroactive species.
+    #[must_use]
+    pub fn diffusion(&self) -> DiffusionCoefficient {
+        self.diffusion
+    }
+
+    /// The couple's electron-transfer kinetics bundle.
+    #[must_use]
+    pub fn kinetics(&self) -> TransferKinetics {
+        TransferKinetics {
+            k0_cm_per_s: self.k0_cm_per_s,
+            alpha: self.alpha,
+            n: self.electrons,
+        }
+    }
+
+    /// Returns a copy with the rate constant multiplied by `factor` —
+    /// how surface modifications (CNT films) accelerate the couple.
+    #[must_use]
+    pub fn with_rate_enhanced(&self, factor: f64) -> RedoxCouple {
+        let mut out = self.clone();
+        out.k0_cm_per_s *= factor;
+        out
+    }
+
+    /// The ferrocyanide/ferricyanide probe used to characterize electrode
+    /// surfaces in virtually every CNT-biosensor paper.
+    #[must_use]
+    pub fn ferrocyanide_probe() -> RedoxCouple {
+        RedoxCouple::builder("Fe(CN)6^3-/4-")
+            .standard_potential(Volts::from_milli_volts(230.0))
+            .electrons(1)
+            .diffusion(diffusion::FERROCYANIDE)
+            .rate_constant(5e-3)
+            .build()
+    }
+
+    /// H₂O₂ oxidation at a metallic electrode, the detection reaction of
+    /// every oxidase sensor in Table 2.
+    #[must_use]
+    pub fn hydrogen_peroxide_oxidation() -> RedoxCouple {
+        RedoxCouple::builder("H2O2 -> O2 + 2H+ + 2e-")
+            .standard_potential(Volts::from_milli_volts(400.0))
+            .electrons(2)
+            .diffusion(diffusion::HYDROGEN_PEROXIDE)
+            .rate_constant(2e-4)
+            .build()
+    }
+
+    /// The cytochrome-P450 heme Fe(III)/Fe(II) couple driving the drug
+    /// sensors (§3.2.4).
+    #[must_use]
+    pub fn cyp_heme() -> RedoxCouple {
+        RedoxCouple::builder("CYP450 Fe(III)/Fe(II)")
+            .standard_potential(Volts::from_milli_volts(-300.0))
+            .electrons(1)
+            .diffusion(DiffusionCoefficient::from_square_cm_per_second(1e-6))
+            .rate_constant(5e-4)
+            .build()
+    }
+}
+
+/// Builder for [`RedoxCouple`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct RedoxCoupleBuilder {
+    name: String,
+    standard_potential: Volts,
+    electrons: u32,
+    alpha: f64,
+    k0_cm_per_s: f64,
+    diffusion: DiffusionCoefficient,
+}
+
+impl RedoxCoupleBuilder {
+    /// Sets the formal potential `E⁰`.
+    #[must_use]
+    pub fn standard_potential(mut self, e0: Volts) -> Self {
+        self.standard_potential = e0;
+        self
+    }
+
+    /// Sets the electron count `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn electrons(mut self, n: u32) -> Self {
+        assert!(n > 0, "electron count must be at least 1");
+        self.electrons = n;
+        self
+    }
+
+    /// Sets the transfer coefficient α.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "transfer coefficient must lie in (0, 1)"
+        );
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the standard rate constant `k⁰` in cm/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k0` is not positive and finite.
+    #[must_use]
+    pub fn rate_constant(mut self, k0_cm_per_s: f64) -> Self {
+        assert!(
+            k0_cm_per_s > 0.0 && k0_cm_per_s.is_finite(),
+            "rate constant must be positive and finite"
+        );
+        self.k0_cm_per_s = k0_cm_per_s;
+        self
+    }
+
+    /// Sets the diffusion coefficient.
+    #[must_use]
+    pub fn diffusion(mut self, d: DiffusionCoefficient) -> Self {
+        self.diffusion = d;
+        self
+    }
+
+    /// Finalizes the couple.
+    #[must_use]
+    pub fn build(self) -> RedoxCouple {
+        RedoxCouple {
+            name: self.name,
+            standard_potential: self.standard_potential,
+            electrons: self.electrons,
+            alpha: self.alpha,
+            k0_cm_per_s: self.k0_cm_per_s,
+            diffusion: self.diffusion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let c = RedoxCouple::builder("test").build();
+        assert_eq!(c.electrons(), 1);
+        assert_eq!(c.alpha(), 0.5);
+        assert!(c.rate_constant() > 0.0);
+    }
+
+    #[test]
+    fn rate_enhancement_multiplies_k0() {
+        let base = RedoxCouple::hydrogen_peroxide_oxidation();
+        let boosted = base.with_rate_enhanced(50.0);
+        assert!((boosted.rate_constant() / base.rate_constant() - 50.0).abs() < 1e-9);
+        // Everything else is untouched.
+        assert_eq!(boosted.electrons(), base.electrons());
+        assert_eq!(boosted.standard_potential(), base.standard_potential());
+    }
+
+    #[test]
+    fn stock_couples_have_expected_shapes() {
+        assert_eq!(RedoxCouple::hydrogen_peroxide_oxidation().electrons(), 2);
+        assert_eq!(RedoxCouple::ferrocyanide_probe().electrons(), 1);
+        assert!(RedoxCouple::cyp_heme().standard_potential().as_volts() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer coefficient")]
+    fn alpha_must_be_fractional() {
+        let _ = RedoxCouple::builder("bad").alpha(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn k0_must_be_positive() {
+        let _ = RedoxCouple::builder("bad").rate_constant(0.0);
+    }
+
+    #[test]
+    fn kinetics_bundle_matches_fields() {
+        let c = RedoxCouple::builder("x")
+            .electrons(2)
+            .alpha(0.4)
+            .rate_constant(3e-3)
+            .build();
+        let k = c.kinetics();
+        assert_eq!(k.n, 2);
+        assert_eq!(k.alpha, 0.4);
+        assert_eq!(k.k0_cm_per_s, 3e-3);
+    }
+}

@@ -1,0 +1,526 @@
+//! Digital simulation of sweep voltammetry.
+//!
+//! Simulates the coupled diffusion of the oxidized and reduced halves of a
+//! redox couple under a swept potential, producing full voltammograms —
+//! the "hysteresis plots" the paper's CYP450 sensors are read from. The
+//! surface condition is either Nernstian (reversible) or Butler–Volmer
+//! (quasireversible), selected automatically from the couple's `k⁰`.
+//!
+//! Validated against the Randles–Ševčík closed form (see tests).
+
+use bios_units::{Amperes, Kelvin, Molar, Seconds, SquareCm, Volts, FARADAY, GAS_CONSTANT};
+
+use crate::species::RedoxCouple;
+use crate::waveform::{CyclicSweep, Waveform};
+
+/// One simulated current/potential trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Voltammogram {
+    points: Vec<VoltammogramPoint>,
+}
+
+/// A single sample of the voltammogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltammogramPoint {
+    /// Time from sweep start.
+    pub time: Seconds,
+    /// Applied potential.
+    pub potential: Volts,
+    /// Measured current (anodic positive).
+    pub current: Amperes,
+}
+
+impl Voltammogram {
+    /// Creates a voltammogram from raw points.
+    #[must_use]
+    pub fn new(points: Vec<VoltammogramPoint>) -> Voltammogram {
+        Voltammogram { points }
+    }
+
+    /// All samples in sweep order.
+    #[must_use]
+    pub fn points(&self) -> &[VoltammogramPoint] {
+        &self.points
+    }
+
+    /// The most anodic (most positive current) sample.
+    #[must_use]
+    pub fn anodic_peak(&self) -> Option<VoltammogramPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.current.as_amps().total_cmp(&b.current.as_amps()))
+    }
+
+    /// The most cathodic (most negative current) sample.
+    #[must_use]
+    pub fn cathodic_peak(&self) -> Option<VoltammogramPoint> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.current.as_amps().total_cmp(&b.current.as_amps()))
+    }
+
+    /// Anodic-to-cathodic peak potential separation, when both exist.
+    #[must_use]
+    pub fn peak_separation(&self) -> Option<Volts> {
+        let a = self.anodic_peak()?;
+        let c = self.cathodic_peak()?;
+        Some(Volts::from_volts(
+            (a.potential.as_volts() - c.potential.as_volts()).abs(),
+        ))
+    }
+
+    /// Loop (hysteresis) area in volt·amps, computed by the shoelace
+    /// formula over the (E, i) trace. The paper reads drug concentration
+    /// off the hysteresis plot; the loop area is a robust scalar proxy.
+    #[must_use]
+    pub fn hysteresis_area(&self) -> f64 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for k in 0..n {
+            let p = &self.points[k];
+            let q = &self.points[(k + 1) % n];
+            acc += p.potential.as_volts() * q.current.as_amps()
+                - q.potential.as_volts() * p.current.as_amps();
+        }
+        (acc / 2.0).abs()
+    }
+}
+
+/// Configuration and state for a cyclic-voltammetry digital simulation.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::voltammetry::CvSimulator;
+/// use bios_electrochem::{CyclicSweep, RedoxCouple};
+/// use bios_units::{Kelvin, Molar, ScanRate, SquareCm, Volts};
+///
+/// let couple = RedoxCouple::ferrocyanide_probe();
+/// let sweep = CyclicSweep::new(
+///     Volts::from_milli_volts(-170.0),
+///     Volts::from_milli_volts(630.0),
+///     ScanRate::from_milli_volts_per_second(100.0),
+///     1,
+/// );
+/// let vg = CvSimulator::new(couple, SquareCm::from_square_cm(0.1))
+///     .with_reduced_bulk(Molar::from_milli_molar(1.0))
+///     .run(&sweep);
+/// let peak = vg.anodic_peak().expect("sweep produced samples");
+/// assert!(peak.current.as_micro_amps() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CvSimulator {
+    couple: RedoxCouple,
+    area: SquareCm,
+    temperature: Kelvin,
+    oxidized_bulk: Molar,
+    reduced_bulk: Molar,
+    nodes: usize,
+    /// Samples stored per simulated second of sweep.
+    samples_per_second: f64,
+    /// EC′ pseudo-first-order regeneration rate, s⁻¹: the reduced form
+    /// is chemically re-oxidized in solution (substrate turnover), so
+    /// the cathodic wave becomes catalytic. 0 disables the mechanism.
+    catalytic_rate_per_s: f64,
+}
+
+impl CvSimulator {
+    /// Creates a simulator for `couple` on an electrode of geometric
+    /// `area`, with no analyte present (set bulks before running).
+    #[must_use]
+    pub fn new(couple: RedoxCouple, area: SquareCm) -> CvSimulator {
+        CvSimulator {
+            couple,
+            area,
+            temperature: Kelvin::ROOM,
+            oxidized_bulk: Molar::ZERO,
+            reduced_bulk: Molar::ZERO,
+            nodes: 240,
+            samples_per_second: 50.0,
+            catalytic_rate_per_s: 0.0,
+        }
+    }
+
+    /// Enables the EC′ catalytic mechanism: after electro-reduction, the
+    /// reduced form is chemically converted back to the oxidized form at
+    /// pseudo-first-order rate `k` (set by the substrate concentration
+    /// and the catalyst turnover). The cathodic wave then plateaus at a
+    /// substrate-dependent catalytic current instead of peaking — the
+    /// textbook signature of mediated enzyme catalysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or non-finite.
+    #[must_use]
+    pub fn with_catalytic_rate(mut self, k_per_s: f64) -> CvSimulator {
+        assert!(
+            k_per_s >= 0.0 && k_per_s.is_finite(),
+            "catalytic rate must be non-negative and finite"
+        );
+        self.catalytic_rate_per_s = k_per_s;
+        self
+    }
+
+    /// Sets the bulk concentration of the oxidized form.
+    #[must_use]
+    pub fn with_oxidized_bulk(mut self, c: Molar) -> CvSimulator {
+        self.oxidized_bulk = c;
+        self
+    }
+
+    /// Sets the bulk concentration of the reduced form.
+    #[must_use]
+    pub fn with_reduced_bulk(mut self, c: Molar) -> CvSimulator {
+        self.reduced_bulk = c;
+        self
+    }
+
+    /// Sets the cell temperature.
+    #[must_use]
+    pub fn with_temperature(mut self, t: Kelvin) -> CvSimulator {
+        self.temperature = t;
+        self
+    }
+
+    /// Overrides the spatial resolution (default 240 nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 16 nodes are requested.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: usize) -> CvSimulator {
+        assert!(nodes >= 16, "simulation needs at least 16 nodes");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Runs the sweep and returns the voltammogram.
+    #[must_use]
+    pub fn run(&self, sweep: &CyclicSweep) -> Voltammogram {
+        let d = self.couple.diffusion().as_square_cm_per_second();
+        let t_total = sweep.duration().as_seconds();
+        // Domain: 6 diffusion lengths keeps the far boundary unperturbed.
+        let length = 6.0 * (d * t_total).sqrt();
+        let dx = length / (self.nodes - 1) as f64;
+        // Explicit stability with margin.
+        let dt = 0.4 * dx * dx / d;
+        let steps = (t_total / dt).ceil() as usize;
+        let dt = t_total / steps as f64;
+        let r = d * dt / (dx * dx);
+
+        let c_ox_bulk = self.oxidized_bulk.as_molar() * 1e-3;
+        let c_red_bulk = self.reduced_bulk.as_molar() * 1e-3;
+        let mut c_ox = vec![c_ox_bulk; self.nodes];
+        let mut c_red = vec![c_red_bulk; self.nodes];
+        let mut old_ox = c_ox.clone();
+        let mut old_red = c_red.clone();
+
+        let n = f64::from(self.couple.electrons());
+        let f_over_rt = n * FARADAY / (GAS_CONSTANT * self.temperature.as_kelvin());
+        let e0 = self.couple.standard_potential().as_volts();
+        let k0 = self.couple.rate_constant();
+        let alpha = self.couple.alpha();
+        let nfa = n * FARADAY * self.area.as_square_cm();
+
+        let sample_every = ((1.0 / self.samples_per_second) / dt).max(1.0) as usize;
+        let mut points = Vec::with_capacity(steps / sample_every + 2);
+
+        for step in 0..=steps {
+            let t = step as f64 * dt;
+            let e = sweep.potential_at(Seconds::from_seconds(t)).as_volts();
+
+            // Butler–Volmer surface flux (reduction positive), linearized
+            // against the first interior node.
+            let x = f_over_rt * (e - e0);
+            let kf = k0 * (-alpha * x).exp(); // reduction of O
+            let kb = k0 * ((1.0 - alpha) * x).exp(); // oxidation of R
+            let j = (kf * c_ox[1] - kb * c_red[1]) / (1.0 + (kf + kb) * dx / d);
+            // Surface concentrations consistent with that flux.
+            c_ox[0] = (c_ox[1] - j * dx / d).max(0.0);
+            c_red[0] = (c_red[1] + j * dx / d).max(0.0);
+
+            // Anodic-positive current.
+            let i = -nfa * j;
+            if step % sample_every == 0 || step == steps {
+                points.push(VoltammogramPoint {
+                    time: Seconds::from_seconds(t),
+                    potential: Volts::from_volts(e),
+                    current: Amperes::from_amps(i),
+                });
+            }
+
+            if step == steps {
+                break;
+            }
+
+            // Diffuse the interior (FTCS) with the EC′ source/sink.
+            old_ox.copy_from_slice(&c_ox);
+            old_red.copy_from_slice(&c_red);
+            let kc = self.catalytic_rate_per_s * dt;
+            for i in 1..self.nodes - 1 {
+                let regenerated = kc * old_red[i];
+                c_ox[i] = old_ox[i]
+                    + r * (old_ox[i + 1] - 2.0 * old_ox[i] + old_ox[i - 1])
+                    + regenerated;
+                c_red[i] = (old_red[i]
+                    + r * (old_red[i + 1] - 2.0 * old_red[i] + old_red[i - 1])
+                    - regenerated)
+                    .max(0.0);
+            }
+            c_ox[self.nodes - 1] = c_ox_bulk;
+            c_red[self.nodes - 1] = c_red_bulk;
+        }
+
+        Voltammogram::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randles_sevcik::reversible_peak_current;
+    use bios_units::ScanRate;
+
+    fn fast_couple() -> RedoxCouple {
+        // k0 large → reversible behaviour.
+        RedoxCouple::builder("fast probe")
+            .standard_potential(Volts::from_milli_volts(230.0))
+            .electrons(1)
+            .rate_constant(1.0)
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .build()
+    }
+
+    fn sweep() -> CyclicSweep {
+        CyclicSweep::new(
+            Volts::from_milli_volts(-170.0),
+            Volts::from_milli_volts(630.0),
+            ScanRate::from_milli_volts_per_second(100.0),
+            1,
+        )
+    }
+
+    #[test]
+    fn reversible_peak_matches_randles_sevcik() {
+        let area = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(1.0);
+        let vg = CvSimulator::new(fast_couple(), area)
+            .with_reduced_bulk(c)
+            .with_nodes(300)
+            .run(&sweep());
+        let sim_peak = vg.anodic_peak().unwrap().current;
+        let analytic = reversible_peak_current(
+            1,
+            area,
+            fast_couple().diffusion(),
+            c,
+            ScanRate::from_milli_volts_per_second(100.0),
+            Kelvin::ROOM,
+        );
+        let rel = (sim_peak.as_amps() - analytic.as_amps()).abs() / analytic.as_amps();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn reversible_peak_potential_near_e0_plus_28mv() {
+        let vg = CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1))
+            .with_reduced_bulk(Molar::from_milli_molar(1.0))
+            .with_nodes(300)
+            .run(&sweep());
+        let peak_e = vg.anodic_peak().unwrap().potential.as_milli_volts();
+        // E_p = E0 + 28.5/n mV for an anodic reversible sweep.
+        assert!((peak_e - (230.0 + 28.5)).abs() < 12.0, "peak at {peak_e} mV");
+    }
+
+    #[test]
+    fn peak_current_linear_in_concentration() {
+        let area = SquareCm::from_square_cm(0.1);
+        let run = |mm: f64| {
+            CvSimulator::new(fast_couple(), area)
+                .with_reduced_bulk(Molar::from_milli_molar(mm))
+                .run(&sweep())
+                .anodic_peak()
+                .unwrap()
+                .current
+                .as_amps()
+        };
+        let i1 = run(0.5);
+        let i2 = run(1.0);
+        assert!((i2 / i1 - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn return_sweep_shows_cathodic_peak() {
+        let vg = CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1))
+            .with_reduced_bulk(Molar::from_milli_molar(1.0))
+            .run(&sweep());
+        let cat = vg.cathodic_peak().unwrap();
+        assert!(cat.current.as_amps() < 0.0);
+        // Reversible ΔEp ≈ 57 mV; digital + quasi effects allow slack.
+        let sep = vg.peak_separation().unwrap();
+        assert!(
+            sep.as_milli_volts() > 40.0 && sep.as_milli_volts() < 120.0,
+            "separation {sep}"
+        );
+    }
+
+    #[test]
+    fn sluggish_kinetics_depress_and_shift_peak() {
+        let slow = RedoxCouple::builder("slow probe")
+            .standard_potential(Volts::from_milli_volts(230.0))
+            .electrons(1)
+            .rate_constant(1e-5)
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .build();
+        let area = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(1.0);
+        let fast_vg = CvSimulator::new(fast_couple(), area)
+            .with_reduced_bulk(c)
+            .run(&sweep());
+        let slow_vg = CvSimulator::new(slow, area)
+            .with_reduced_bulk(c)
+            .run(&sweep());
+        let fast_peak = fast_vg.anodic_peak().unwrap();
+        let slow_peak = slow_vg.anodic_peak().unwrap();
+        assert!(slow_peak.current < fast_peak.current);
+        assert!(slow_peak.potential > fast_peak.potential);
+    }
+
+    #[test]
+    fn blank_solution_gives_negligible_current() {
+        let vg = CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1)).run(&sweep());
+        let peak = vg.anodic_peak().unwrap();
+        assert!(peak.current.as_nano_amps().abs() < 1.0);
+    }
+
+    #[test]
+    fn catalytic_ec_prime_exceeds_diffusive_peak() {
+        // Oxidized species present; sweep cathodic. With regeneration,
+        // the reduction current exceeds the purely diffusive peak.
+        let couple = RedoxCouple::builder("heme-like")
+            .standard_potential(Volts::from_milli_volts(-300.0))
+            .electrons(1)
+            .rate_constant(0.5)
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .build();
+        let sweep = CyclicSweep::new(
+            Volts::from_milli_volts(100.0),
+            Volts::from_milli_volts(-700.0),
+            ScanRate::from_milli_volts_per_second(50.0),
+            1,
+        );
+        let area = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(0.5);
+        let run = |k: f64| {
+            CvSimulator::new(couple.clone(), area)
+                .with_oxidized_bulk(c)
+                .with_catalytic_rate(k)
+                .run(&sweep)
+        };
+        let diffusive = run(0.0);
+        let catalytic = run(5.0);
+        let i_diff = diffusive.cathodic_peak().unwrap().current.as_amps().abs();
+        let i_cat = catalytic.cathodic_peak().unwrap().current.as_amps().abs();
+        assert!(i_cat > 1.5 * i_diff, "catalytic {i_cat} vs diffusive {i_diff}");
+    }
+
+    #[test]
+    fn catalytic_current_scales_as_sqrt_rate() {
+        // Savéant limit: i_cat = n·F·A·C·√(k·D), independent of scan
+        // rate, ∝ √k.
+        let couple = RedoxCouple::builder("mediator")
+            .standard_potential(Volts::from_milli_volts(-300.0))
+            .electrons(1)
+            .rate_constant(1.0)
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .build();
+        let sweep = CyclicSweep::new(
+            Volts::from_milli_volts(100.0),
+            Volts::from_milli_volts(-700.0),
+            ScanRate::from_milli_volts_per_second(50.0),
+            1,
+        );
+        let area = SquareCm::from_square_cm(0.1);
+        let c = Molar::from_milli_molar(0.5);
+        let plateau = |k: f64| {
+            CvSimulator::new(couple.clone(), area)
+                .with_oxidized_bulk(c)
+                .with_catalytic_rate(k)
+                .run(&sweep)
+                .cathodic_peak()
+                .unwrap()
+                .current
+                .as_amps()
+                .abs()
+        };
+        let i16 = plateau(16.0);
+        let i64 = plateau(64.0);
+        let ratio = i64 / i16;
+        assert!((ratio - 2.0).abs() < 0.25, "ratio {ratio}");
+        // And the absolute plateau approaches the Savéant expression.
+        let analytic = 96485.332 * area.as_square_cm() * (0.5e-6) * (64.0 * 6.5e-6f64).sqrt();
+        let rel = (i64 - analytic).abs() / analytic;
+        assert!(rel < 0.3, "plateau {i64} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn catalytic_return_branch_retraces_forward_branch() {
+        // In the pure kinetic (S-shaped) regime the forward and return
+        // traces nearly coincide: no diffusive peak to hystere around.
+        let couple = RedoxCouple::builder("mediator")
+            .standard_potential(Volts::from_milli_volts(-300.0))
+            .electrons(1)
+            .rate_constant(1.0)
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .build();
+        let sweep = CyclicSweep::new(
+            Volts::from_milli_volts(100.0),
+            Volts::from_milli_volts(-700.0),
+            ScanRate::from_milli_volts_per_second(50.0),
+            1,
+        );
+        let vg = CvSimulator::new(couple, SquareCm::from_square_cm(0.1))
+            .with_oxidized_bulk(Molar::from_milli_molar(0.5))
+            .with_catalytic_rate(25.0)
+            .run(&sweep);
+        // Compare currents at −500 mV on each branch.
+        let at_branch = |forward: bool| {
+            let pts = vg.points();
+            let half = pts.len() / 2;
+            let slice = if forward { &pts[..half] } else { &pts[half..] };
+            slice
+                .iter()
+                .min_by(|a, b| {
+                    (a.potential.as_milli_volts() + 500.0)
+                        .abs()
+                        .total_cmp(&(b.potential.as_milli_volts() + 500.0).abs())
+                })
+                .unwrap()
+                .current
+                .as_amps()
+        };
+        let fwd = at_branch(true);
+        let ret = at_branch(false);
+        assert!(
+            (fwd - ret).abs() / fwd.abs() < 0.15,
+            "branches diverge: {fwd} vs {ret}"
+        );
+    }
+
+    #[test]
+    fn hysteresis_area_grows_with_concentration() {
+        let area = SquareCm::from_square_cm(0.1);
+        let run = |mm: f64| {
+            CvSimulator::new(fast_couple(), area)
+                .with_reduced_bulk(Molar::from_milli_molar(mm))
+                .run(&sweep())
+                .hysteresis_area()
+        };
+        assert!(run(1.0) > run(0.25));
+    }
+}

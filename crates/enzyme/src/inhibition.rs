@@ -1,0 +1,164 @@
+//! Reversible enzyme inhibition models.
+//!
+//! Drug-panel sensing (the paper's personalized-therapy use case) must
+//! cope with co-administered compounds competing for the same P450
+//! isoform; these models quantify how an inhibitor reshapes the apparent
+//! kinetics.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::{Molar, RateConstant};
+
+use crate::michaelis::MichaelisMenten;
+
+/// Classical reversible inhibition mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inhibition {
+    /// Inhibitor binds the free enzyme only: apparent `K_M` rises,
+    /// `V_max` unchanged.
+    Competitive {
+        /// Inhibition constant `K_i`.
+        ki: Molar,
+    },
+    /// Inhibitor binds the enzyme–substrate complex only: both apparent
+    /// `K_M` and `V_max` fall by the same factor.
+    Uncompetitive {
+        /// Inhibition constant `K_i'`.
+        ki: Molar,
+    },
+    /// Inhibitor binds both forms equally: `V_max` falls, `K_M`
+    /// unchanged.
+    NonCompetitive {
+        /// Inhibition constant `K_i`.
+        ki: Molar,
+    },
+    /// Excess substrate itself inhibits (second molecule binds the ES
+    /// complex): rate passes through a maximum at `√(K_M·K_si)`.
+    Substrate {
+        /// Substrate-inhibition constant `K_si`.
+        ksi: Molar,
+    },
+}
+
+impl Inhibition {
+    /// The apparent kinetics seen in the presence of `inhibitor` at the
+    /// given concentration (for [`Inhibition::Substrate`] the inhibitor
+    /// *is* the substrate and this returns the base kinetics — use
+    /// [`Inhibition::rate`] instead).
+    #[must_use]
+    pub fn apparent(&self, base: &MichaelisMenten, inhibitor: Molar) -> MichaelisMenten {
+        match *self {
+            Inhibition::Competitive { ki } => {
+                let factor = 1.0 + inhibitor.as_molar() / ki.as_molar();
+                MichaelisMenten::new(base.kcat(), base.km() * factor)
+            }
+            Inhibition::Uncompetitive { ki } => {
+                let factor = 1.0 + inhibitor.as_molar() / ki.as_molar();
+                MichaelisMenten::new(base.kcat() / factor, base.km() / factor)
+            }
+            Inhibition::NonCompetitive { ki } => {
+                let factor = 1.0 + inhibitor.as_molar() / ki.as_molar();
+                MichaelisMenten::new(base.kcat() / factor, base.km())
+            }
+            Inhibition::Substrate { .. } => *base,
+        }
+    }
+
+    /// Per-molecule rate with both substrate and inhibitor present.
+    #[must_use]
+    pub fn rate(&self, base: &MichaelisMenten, substrate: Molar, inhibitor: Molar) -> RateConstant {
+        match *self {
+            Inhibition::Substrate { ksi } => {
+                let s = substrate.as_molar().max(0.0);
+                let denom = base.km().as_molar() + s + s * s / ksi.as_molar();
+                RateConstant::from_per_second(base.kcat().as_per_second() * s / denom)
+            }
+            _ => self.apparent(base, inhibitor).turnover_rate(substrate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MichaelisMenten {
+        MichaelisMenten::new(
+            RateConstant::from_per_second(100.0),
+            Molar::from_milli_molar(1.0),
+        )
+    }
+
+    fn mm(v: f64) -> Molar {
+        Molar::from_milli_molar(v)
+    }
+
+    #[test]
+    fn competitive_raises_km_only() {
+        let inh = Inhibition::Competitive { ki: mm(1.0) };
+        let app = inh.apparent(&base(), mm(1.0));
+        assert!((app.km().as_milli_molar() - 2.0).abs() < 1e-12);
+        assert_eq!(app.kcat(), base().kcat());
+        // High substrate overcomes competitive inhibition.
+        let v_inh = inh.rate(&base(), mm(1000.0), mm(1.0));
+        assert!(v_inh.as_per_second() > 99.0);
+    }
+
+    #[test]
+    fn uncompetitive_scales_both_down() {
+        let inh = Inhibition::Uncompetitive { ki: mm(1.0) };
+        let app = inh.apparent(&base(), mm(1.0));
+        assert!((app.km().as_milli_molar() - 0.5).abs() < 1e-12);
+        assert!((app.kcat().as_per_second() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noncompetitive_lowers_vmax_only() {
+        let inh = Inhibition::NonCompetitive { ki: mm(1.0) };
+        let app = inh.apparent(&base(), mm(1.0));
+        assert_eq!(app.km(), base().km());
+        assert!((app.kcat().as_per_second() - 50.0).abs() < 1e-12);
+        // Not overcome by substrate.
+        let v = inh.rate(&base(), mm(1000.0), mm(1.0));
+        assert!(v.as_per_second() < 51.0);
+    }
+
+    #[test]
+    fn all_reduce_rate_at_moderate_substrate() {
+        let s = mm(1.0);
+        let i = mm(2.0);
+        let v0 = base().turnover_rate(s).as_per_second();
+        for inh in [
+            Inhibition::Competitive { ki: mm(1.0) },
+            Inhibition::Uncompetitive { ki: mm(1.0) },
+            Inhibition::NonCompetitive { ki: mm(1.0) },
+        ] {
+            let v = inh.rate(&base(), s, i).as_per_second();
+            assert!(v < v0, "{inh:?} did not inhibit");
+        }
+    }
+
+    #[test]
+    fn zero_inhibitor_recovers_base_kinetics() {
+        for inh in [
+            Inhibition::Competitive { ki: mm(1.0) },
+            Inhibition::Uncompetitive { ki: mm(1.0) },
+            Inhibition::NonCompetitive { ki: mm(1.0) },
+        ] {
+            let v = inh.rate(&base(), mm(0.7), Molar::ZERO).as_per_second();
+            let v0 = base().turnover_rate(mm(0.7)).as_per_second();
+            assert!((v - v0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn substrate_inhibition_has_a_maximum() {
+        let inh = Inhibition::Substrate { ksi: mm(10.0) };
+        // Optimum at √(K_M·K_si) = √10 ≈ 3.16 mM.
+        let v_low = inh.rate(&base(), mm(0.5), Molar::ZERO).as_per_second();
+        let v_opt = inh.rate(&base(), mm(3.16), Molar::ZERO).as_per_second();
+        let v_high = inh.rate(&base(), mm(100.0), Molar::ZERO).as_per_second();
+        assert!(v_opt > v_low);
+        assert!(v_opt > v_high);
+    }
+}

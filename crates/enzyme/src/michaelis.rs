@@ -1,0 +1,283 @@
+//! Michaelis–Menten and Hill kinetics.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::{Molar, RateConstant};
+
+/// Michaelis–Menten kinetics of a single-substrate enzyme:
+///
+/// `v = k_cat·[S]/(K_M + [S])` (per enzyme molecule).
+///
+/// # Examples
+///
+/// ```
+/// use bios_enzyme::MichaelisMenten;
+/// use bios_units::{Molar, RateConstant};
+///
+/// let mm = MichaelisMenten::new(
+///     RateConstant::from_per_second(100.0),
+///     Molar::from_milli_molar(1.0),
+/// );
+/// // Saturation: rate approaches k_cat at high substrate.
+/// let v = mm.turnover_rate(Molar::from_milli_molar(100.0));
+/// assert!(v.as_per_second() > 99.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MichaelisMenten {
+    kcat: RateConstant,
+    km: Molar,
+}
+
+impl MichaelisMenten {
+    /// Creates kinetics from the turnover number `k_cat` and the Michaelis
+    /// constant `K_M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K_M` is not strictly positive.
+    #[must_use]
+    pub fn new(kcat: RateConstant, km: Molar) -> MichaelisMenten {
+        assert!(km.as_molar() > 0.0, "Michaelis constant must be positive");
+        MichaelisMenten { kcat, km }
+    }
+
+    /// Turnover number `k_cat`.
+    #[must_use]
+    pub fn kcat(&self) -> RateConstant {
+        self.kcat
+    }
+
+    /// Michaelis constant `K_M`.
+    #[must_use]
+    pub fn km(&self) -> Molar {
+        self.km
+    }
+
+    /// Per-molecule turnover rate at substrate concentration `s`.
+    #[must_use]
+    pub fn turnover_rate(&self, s: Molar) -> RateConstant {
+        let frac = self.saturation(s);
+        RateConstant::from_per_second(self.kcat.as_per_second() * frac)
+    }
+
+    /// The saturation fraction `[S]/(K_M + [S])` ∈ [0, 1).
+    #[must_use]
+    pub fn saturation(&self, s: Molar) -> f64 {
+        let s = s.as_molar().max(0.0);
+        s / (self.km.as_molar() + s)
+    }
+
+    /// Catalytic efficiency `k_cat/K_M` in M⁻¹·s⁻¹ — the second-order
+    /// limit at vanishing substrate.
+    #[must_use]
+    pub fn efficiency_per_molar_second(&self) -> f64 {
+        self.kcat.as_per_second() / self.km.as_molar()
+    }
+
+    /// Relative deviation of the true rate from the low-substrate linear
+    /// extrapolation at concentration `s`: `[S]/(K_M + [S])`.
+    ///
+    /// This is the quantity the linear-range detector thresholds: a 5 %
+    /// linearity tolerance is exceeded once `s > K_M/19`.
+    #[must_use]
+    pub fn linearity_deviation(&self, s: Molar) -> f64 {
+        self.saturation(s)
+    }
+
+    /// The substrate concentration at which the linearity deviation
+    /// reaches `tolerance` — the theoretical end of the linear range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tolerance < 1`.
+    #[must_use]
+    pub fn linear_limit(&self, tolerance: f64) -> Molar {
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "tolerance must lie in (0, 1)"
+        );
+        // s/(Km+s) = tol  →  s = Km·tol/(1−tol).
+        Molar::from_molar(self.km.as_molar() * tolerance / (1.0 - tolerance))
+    }
+
+    /// Inverse of [`MichaelisMenten::linear_limit`]: the apparent `K_M`
+    /// that puts the end of the linear range at `limit` for the given
+    /// `tolerance`. Used to calibrate catalog sensors from their reported
+    /// linear ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tolerance < 1` and `limit > 0`.
+    #[must_use]
+    pub fn km_for_linear_limit(limit: Molar, tolerance: f64) -> Molar {
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "tolerance must lie in (0, 1)"
+        );
+        assert!(limit.as_molar() > 0.0, "linear limit must be positive");
+        Molar::from_molar(limit.as_molar() * (1.0 - tolerance) / tolerance)
+    }
+}
+
+/// Hill kinetics for cooperative binding:
+/// `v = k_cat·[S]ⁿ/(K₀.₅ⁿ + [S]ⁿ)`.
+///
+/// Reduces to Michaelis–Menten at `n = 1`; some P450 isoforms (notably
+/// CYP3A4) show mild cooperativity.
+///
+/// # Examples
+///
+/// ```
+/// use bios_enzyme::michaelis::Hill;
+/// use bios_units::{Molar, RateConstant};
+///
+/// let h = Hill::new(RateConstant::from_per_second(10.0),
+///                   Molar::from_micro_molar(50.0), 1.6);
+/// assert!((h.saturation(Molar::from_micro_molar(50.0)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hill {
+    kcat: RateConstant,
+    k_half: Molar,
+    coefficient: f64,
+}
+
+impl Hill {
+    /// Creates Hill kinetics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `K₀.₅` is not positive or the coefficient is not positive.
+    #[must_use]
+    pub fn new(kcat: RateConstant, k_half: Molar, coefficient: f64) -> Hill {
+        assert!(k_half.as_molar() > 0.0, "half-saturation must be positive");
+        assert!(coefficient > 0.0, "Hill coefficient must be positive");
+        Hill {
+            kcat,
+            k_half,
+            coefficient,
+        }
+    }
+
+    /// Turnover number.
+    #[must_use]
+    pub fn kcat(&self) -> RateConstant {
+        self.kcat
+    }
+
+    /// Half-saturation concentration `K₀.₅`.
+    #[must_use]
+    pub fn k_half(&self) -> Molar {
+        self.k_half
+    }
+
+    /// Hill coefficient `n`.
+    #[must_use]
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient
+    }
+
+    /// Saturation fraction at substrate `s`.
+    #[must_use]
+    pub fn saturation(&self, s: Molar) -> f64 {
+        let x = (s.as_molar().max(0.0) / self.k_half.as_molar()).powf(self.coefficient);
+        x / (1.0 + x)
+    }
+
+    /// Per-molecule rate at substrate `s`.
+    #[must_use]
+    pub fn turnover_rate(&self, s: Molar) -> RateConstant {
+        RateConstant::from_per_second(self.kcat.as_per_second() * self.saturation(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MichaelisMenten {
+        MichaelisMenten::new(
+            RateConstant::from_per_second(700.0),
+            Molar::from_milli_molar(33.0),
+        )
+    }
+
+    #[test]
+    fn half_rate_at_km() {
+        let v = mm().turnover_rate(Molar::from_milli_molar(33.0));
+        assert!((v.as_per_second() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_substrate() {
+        let mut prev = -1.0;
+        for c in [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0] {
+            let v = mm().turnover_rate(Molar::from_milli_molar(c)).as_per_second();
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_substrate_gives_zero_rate() {
+        assert_eq!(mm().turnover_rate(Molar::ZERO).as_per_second(), 0.0);
+    }
+
+    #[test]
+    fn rate_never_exceeds_kcat() {
+        let v = mm().turnover_rate(Molar::from_molar(100.0));
+        assert!(v.as_per_second() < 700.0);
+    }
+
+    #[test]
+    fn efficiency_is_kcat_over_km() {
+        let e = mm().efficiency_per_molar_second();
+        assert!((e - 700.0 / 0.033).abs() / e < 1e-12);
+    }
+
+    #[test]
+    fn linear_limit_round_trips_with_km_for_linear_limit() {
+        let tol = 0.05;
+        let limit = mm().linear_limit(tol);
+        let km = MichaelisMenten::km_for_linear_limit(limit, tol);
+        assert!((km.as_molar() - 0.033).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_percent_linearity_at_km_over_19() {
+        let limit = mm().linear_limit(0.05);
+        assert!((limit.as_milli_molar() - 33.0 / 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hill_reduces_to_mm_at_n_one() {
+        let h = Hill::new(
+            RateConstant::from_per_second(700.0),
+            Molar::from_milli_molar(33.0),
+            1.0,
+        );
+        for c in [0.5, 5.0, 50.0] {
+            let s = Molar::from_milli_molar(c);
+            assert!((h.saturation(s) - mm().saturation(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hill_steeper_with_larger_n() {
+        let k = Molar::from_micro_molar(50.0);
+        let h1 = Hill::new(RateConstant::from_per_second(1.0), k, 1.0);
+        let h2 = Hill::new(RateConstant::from_per_second(1.0), k, 2.0);
+        // Below K½ the cooperative enzyme is *less* saturated…
+        let low = Molar::from_micro_molar(10.0);
+        assert!(h2.saturation(low) < h1.saturation(low));
+        // …and above it, more.
+        let high = Molar::from_micro_molar(250.0);
+        assert!(h2.saturation(high) > h1.saturation(high));
+    }
+
+    #[test]
+    #[should_panic(expected = "Michaelis constant")]
+    fn zero_km_rejected() {
+        let _ = MichaelisMenten::new(RateConstant::from_per_second(1.0), Molar::ZERO);
+    }
+}

@@ -1,0 +1,206 @@
+//! Oxidase sensing elements: glucose, lactate, and glutamate oxidase.
+//!
+//! The paper's metabolite sensors (Table 1) all pair an oxidase with
+//! chronoamperometric H₂O₂ detection: the enzyme oxidizes its substrate,
+//! hands the electrons to O₂, and the resulting H₂O₂ is oxidized at the
+//! electrode at +650 mV, two electrons per molecule.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::{Molar, RateConstant};
+
+use crate::ping_pong::{PingPongBiBi, AIR_SATURATED_O2};
+
+/// Which oxidase is immobilized on the electrode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OxidaseKind {
+    /// Glucose oxidase from *Aspergillus niger* (GOD, EC 1.1.3.4).
+    GlucoseOxidase,
+    /// Lactate oxidase from *Pediococcus* sp. (LOD, EC 1.1.3.2).
+    LactateOxidase,
+    /// L-glutamate oxidase from *Streptomyces* sp. (GlOD, EC 1.4.3.11).
+    GlutamateOxidase,
+}
+
+impl OxidaseKind {
+    /// Conventional abbreviation used in the paper (GOD/LOD/GlOD).
+    #[must_use]
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            OxidaseKind::GlucoseOxidase => "GOD",
+            OxidaseKind::LactateOxidase => "LOD",
+            OxidaseKind::GlutamateOxidase => "GlOD",
+        }
+    }
+
+    /// The metabolite this oxidase detects.
+    #[must_use]
+    pub fn substrate_name(&self) -> &'static str {
+        match self {
+            OxidaseKind::GlucoseOxidase => "glucose",
+            OxidaseKind::LactateOxidase => "lactate",
+            OxidaseKind::GlutamateOxidase => "glutamate",
+        }
+    }
+}
+
+/// A fully-parameterized oxidase sensing element.
+///
+/// # Examples
+///
+/// ```
+/// use bios_enzyme::{Oxidase, OxidaseKind};
+/// use bios_units::Molar;
+///
+/// let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
+/// let v = god.peroxide_generation_rate(Molar::from_milli_molar(5.0));
+/// assert!(v.as_per_second() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Oxidase {
+    kind: OxidaseKind,
+    kinetics: PingPongBiBi,
+    oxygen: Molar,
+}
+
+impl Oxidase {
+    /// Builds the literature ("solution") form of each oxidase:
+    ///
+    /// | enzyme | k_cat (s⁻¹) | K_M substrate | K_M O₂ |
+    /// |---|---|---|---|
+    /// | GOD  | 700 | 25 mM | 200 µM |
+    /// | LOD  | 150 | 0.7 mM | 130 µM |
+    /// | GlOD | 75  | 0.2 mM | 140 µM |
+    #[must_use]
+    pub fn stock(kind: OxidaseKind) -> Oxidase {
+        let (kcat, ka_milli, kb_micro) = match kind {
+            OxidaseKind::GlucoseOxidase => (700.0, 25.0, 200.0),
+            OxidaseKind::LactateOxidase => (150.0, 0.7, 130.0),
+            OxidaseKind::GlutamateOxidase => (75.0, 0.2, 140.0),
+        };
+        Oxidase {
+            kind,
+            kinetics: PingPongBiBi::new(
+                RateConstant::from_per_second(kcat),
+                Molar::from_milli_molar(ka_milli),
+                Molar::from_micro_molar(kb_micro),
+            ),
+            oxygen: AIR_SATURATED_O2,
+        }
+    }
+
+    /// Builds an oxidase with custom kinetics — used by the catalog to
+    /// model immobilization-shifted apparent constants.
+    #[must_use]
+    pub fn with_kinetics(kind: OxidaseKind, kinetics: PingPongBiBi) -> Oxidase {
+        Oxidase {
+            kind,
+            kinetics,
+            oxygen: AIR_SATURATED_O2,
+        }
+    }
+
+    /// Which oxidase this is.
+    #[must_use]
+    pub fn kind(&self) -> OxidaseKind {
+        self.kind
+    }
+
+    /// The two-substrate kinetics.
+    #[must_use]
+    pub fn kinetics(&self) -> PingPongBiBi {
+        self.kinetics
+    }
+
+    /// Ambient dissolved-oxygen level the sensor operates at.
+    #[must_use]
+    pub fn oxygen(&self) -> Molar {
+        self.oxygen
+    }
+
+    /// Returns a copy operating at a different dissolved-O₂ level
+    /// (hypoxic tissue, degassed buffer, cell-culture medium…).
+    #[must_use]
+    pub fn with_oxygen(mut self, oxygen: Molar) -> Oxidase {
+        self.oxygen = oxygen;
+        self
+    }
+
+    /// Per-molecule H₂O₂ production rate at the ambient oxygen level —
+    /// one H₂O₂ per catalytic cycle.
+    #[must_use]
+    pub fn peroxide_generation_rate(&self, substrate: Molar) -> RateConstant {
+        self.kinetics.rate(substrate, self.oxygen)
+    }
+
+    /// Electrons delivered to the electrode per catalytic turnover: H₂O₂
+    /// oxidation is a 2-electron process.
+    #[must_use]
+    pub fn electrons_per_turnover(&self) -> u32 {
+        2
+    }
+
+    /// The apparent Michaelis–Menten kinetics in the analyte at the
+    /// ambient oxygen level.
+    #[must_use]
+    pub fn apparent_kinetics(&self) -> crate::michaelis::MichaelisMenten {
+        self.kinetics.apparent_in_a(self.oxygen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_constants_are_distinct() {
+        let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
+        let lod = Oxidase::stock(OxidaseKind::LactateOxidase);
+        let glod = Oxidase::stock(OxidaseKind::GlutamateOxidase);
+        assert!(god.kinetics().kcat() > lod.kinetics().kcat());
+        assert!(lod.kinetics().kcat() > glod.kinetics().kcat());
+        assert!(god.kinetics().ka() > lod.kinetics().ka());
+        assert!(lod.kinetics().ka() > glod.kinetics().ka());
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(OxidaseKind::GlucoseOxidase.abbreviation(), "GOD");
+        assert_eq!(OxidaseKind::LactateOxidase.abbreviation(), "LOD");
+        assert_eq!(OxidaseKind::GlutamateOxidase.abbreviation(), "GlOD");
+    }
+
+    #[test]
+    fn peroxide_rate_zero_without_substrate() {
+        let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
+        assert_eq!(god.peroxide_generation_rate(Molar::ZERO).as_per_second(), 0.0);
+    }
+
+    #[test]
+    fn hypoxia_suppresses_output() {
+        let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
+        let s = Molar::from_milli_molar(5.0);
+        let v_air = god.peroxide_generation_rate(s);
+        let v_low = god
+            .with_oxygen(Molar::from_micro_molar(20.0))
+            .peroxide_generation_rate(s);
+        assert!(v_low < v_air);
+    }
+
+    #[test]
+    fn two_electrons_per_h2o2() {
+        assert_eq!(
+            Oxidase::stock(OxidaseKind::LactateOxidase).electrons_per_turnover(),
+            2
+        );
+    }
+
+    #[test]
+    fn apparent_kinetics_below_solution_values() {
+        let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
+        let app = god.apparent_kinetics();
+        // O2 limitation pulls both constants below the solution values.
+        assert!(app.kcat() < god.kinetics().kcat());
+        assert!(app.km() < god.kinetics().ka());
+    }
+}

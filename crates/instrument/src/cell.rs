@@ -1,0 +1,125 @@
+//! The electrochemical cell seen from the electronics.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::{Amperes, Ohms, Volts};
+
+/// Electrical model of a three-electrode cell: the potentiostat drives
+/// the counter electrode so that (working − reference) tracks the
+/// programmed potential, but the uncompensated solution resistance `R_u`
+/// between reference and working still drops `i·R_u`.
+///
+/// # Examples
+///
+/// ```
+/// use bios_instrument::ThreeElectrodeCell;
+/// use bios_units::{Amperes, Ohms, Volts};
+///
+/// let cell = ThreeElectrodeCell::new(Ohms::from_ohms(150.0), Volts::from_milli_volts(5.0));
+/// let eff = cell.effective_potential(
+///     Volts::from_milli_volts(650.0),
+///     Amperes::from_micro_amps(10.0),
+/// );
+/// // 10 µA × 150 Ω = 1.5 mV of iR error, plus the 5 mV reference offset.
+/// assert!((eff.as_milli_volts() - (650.0 - 1.5 + 5.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreeElectrodeCell {
+    uncompensated: Ohms,
+    reference_offset: Volts,
+}
+
+impl ThreeElectrodeCell {
+    /// Creates a cell model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the uncompensated resistance is negative.
+    #[must_use]
+    pub fn new(uncompensated: Ohms, reference_offset: Volts) -> ThreeElectrodeCell {
+        assert!(
+            uncompensated.as_ohms() >= 0.0,
+            "uncompensated resistance cannot be negative"
+        );
+        ThreeElectrodeCell {
+            uncompensated,
+            reference_offset,
+        }
+    }
+
+    /// An ideal cell: no iR drop, no reference drift.
+    #[must_use]
+    pub fn ideal() -> ThreeElectrodeCell {
+        ThreeElectrodeCell::new(Ohms::from_ohms(0.0), Volts::ZERO)
+    }
+
+    /// Typical buffered-saline cell on a screen-printed electrode.
+    #[must_use]
+    pub fn typical_spe() -> ThreeElectrodeCell {
+        ThreeElectrodeCell::new(Ohms::from_ohms(200.0), Volts::from_milli_volts(3.0))
+    }
+
+    /// Uncompensated solution resistance.
+    #[must_use]
+    pub fn uncompensated(&self) -> Ohms {
+        self.uncompensated
+    }
+
+    /// Reference-electrode offset from its nominal potential.
+    #[must_use]
+    pub fn reference_offset(&self) -> Volts {
+        self.reference_offset
+    }
+
+    /// The potential actually experienced by the working interface when
+    /// the instrument programs `applied` and `current` flows.
+    #[must_use]
+    pub fn effective_potential(&self, applied: Volts, current: Amperes) -> Volts {
+        let ir = self.uncompensated.as_ohms() * current.as_amps();
+        Volts::from_volts(applied.as_volts() - ir + self.reference_offset.as_volts())
+    }
+
+    /// The iR error magnitude at a given current.
+    #[must_use]
+    pub fn ir_drop(&self, current: Amperes) -> Volts {
+        Volts::from_volts(self.uncompensated.as_ohms() * current.as_amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_cell_is_transparent() {
+        let cell = ThreeElectrodeCell::ideal();
+        let e = Volts::from_milli_volts(650.0);
+        assert_eq!(
+            cell.effective_potential(e, Amperes::from_micro_amps(100.0)),
+            e
+        );
+    }
+
+    #[test]
+    fn ir_drop_scales_with_current() {
+        let cell = ThreeElectrodeCell::typical_spe();
+        let a = cell.ir_drop(Amperes::from_micro_amps(1.0));
+        let b = cell.ir_drop(Amperes::from_micro_amps(5.0));
+        assert!((b.as_volts() / a.as_volts() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn microelectrode_currents_make_negligible_ir() {
+        // The integration argument: small electrodes → small currents →
+        // tiny iR error even in resistive media.
+        let cell = ThreeElectrodeCell::new(Ohms::from_kilo_ohms(1.0), Volts::ZERO);
+        let drop = cell.ir_drop(Amperes::from_nano_amps(50.0));
+        assert!(drop.as_milli_volts() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_resistance_rejected() {
+        let _ = ThreeElectrodeCell::new(Ohms::from_ohms(-1.0), Volts::ZERO);
+    }
+}

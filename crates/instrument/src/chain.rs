@@ -1,0 +1,230 @@
+//! The assembled readout chain: noise → amplifier → ADC → filter.
+
+use bios_units::{Amperes, Ohms, Volts};
+
+use crate::adc::Adc;
+use crate::amplifier::TransimpedanceAmplifier;
+use crate::filter::FilterSpec;
+use crate::noise::NoiseGenerator;
+
+/// A complete current-measurement chain with realistic imperfections.
+///
+/// Three presets reflect the §2.5 narrative:
+///
+/// * [`ReadoutChain::benchtop`] — a lab potentiostat (reference quality);
+/// * [`ReadoutChain::integrated_cmos`] — the paper's integrated front end,
+///   with the SNR benefit of placing the electronics next to the sensor;
+/// * [`ReadoutChain::low_cost`] — a noisy disposable-reader baseline.
+///
+/// # Examples
+///
+/// ```
+/// use bios_instrument::ReadoutChain;
+/// use bios_units::Amperes;
+///
+/// let mut cmos = ReadoutChain::integrated_cmos(1);
+/// let mut cheap = ReadoutChain::low_cost(1);
+/// assert!(cmos.noise_rms().as_amps() < cheap.noise_rms().as_amps());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadoutChain {
+    tia: TransimpedanceAmplifier,
+    adc: Adc,
+    noise: NoiseGenerator,
+    filter: FilterSpec,
+}
+
+impl ReadoutChain {
+    /// Builds a chain from explicit stages.
+    #[must_use]
+    pub fn new(
+        tia: TransimpedanceAmplifier,
+        adc: Adc,
+        noise: NoiseGenerator,
+        filter: FilterSpec,
+    ) -> ReadoutChain {
+        ReadoutChain {
+            tia,
+            adc,
+            noise,
+            filter,
+        }
+    }
+
+    /// Laboratory benchtop potentiostat: 1 MΩ gain, 16-bit converter,
+    /// ~60 pA input noise.
+    #[must_use]
+    pub fn benchtop(seed: u64) -> ReadoutChain {
+        ReadoutChain {
+            tia: TransimpedanceAmplifier::new(Ohms::from_mega_ohms(1.0), Volts::from_volts(3.3)),
+            adc: Adc::new(16, Volts::from_volts(3.3)),
+            noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(50.0))
+                .with_flicker(Amperes::from_pico_amps(30.0)),
+            filter: FilterSpec::MovingAverage(5),
+        }
+    }
+
+    /// Integrated CMOS front end co-located with the sensor: shorter
+    /// leads and on-chip conversion cut pickup and flicker.
+    #[must_use]
+    pub fn integrated_cmos(seed: u64) -> ReadoutChain {
+        ReadoutChain {
+            tia: TransimpedanceAmplifier::new(Ohms::from_mega_ohms(10.0), Volts::from_volts(1.8)),
+            adc: Adc::new(14, Volts::from_volts(1.8)),
+            noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(20.0))
+                .with_flicker(Amperes::from_pico_amps(10.0)),
+            filter: FilterSpec::MovingAverage(5),
+        }
+    }
+
+    /// Cheap handheld reader: coarse converter, long leads, mains pickup.
+    #[must_use]
+    pub fn low_cost(seed: u64) -> ReadoutChain {
+        ReadoutChain {
+            tia: TransimpedanceAmplifier::new(Ohms::from_mega_ohms(1.0), Volts::from_volts(3.3)),
+            adc: Adc::new(12, Volts::from_volts(3.3)),
+            noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(2000.0))
+                .with_flicker(Amperes::from_pico_amps(1500.0)),
+            filter: FilterSpec::MovingAverage(3),
+        }
+    }
+
+    /// Auto-ranges the amplifier of an existing chain so `expected_max`
+    /// sits inside 80 % of full scale.
+    #[must_use]
+    pub fn auto_ranged_for(mut self, expected_max: Amperes) -> ReadoutChain {
+        self.tia = TransimpedanceAmplifier::auto_range(expected_max, self.tia.rail());
+        self
+    }
+
+    /// Replaces the noise generator (keeps amplifier/ADC).
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseGenerator) -> ReadoutChain {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the post-filter.
+    #[must_use]
+    pub fn with_filter(mut self, filter: FilterSpec) -> ReadoutChain {
+        self.filter = filter;
+        self
+    }
+
+    /// The amplifier stage.
+    #[must_use]
+    pub fn amplifier(&self) -> &TransimpedanceAmplifier {
+        &self.tia
+    }
+
+    /// The converter stage.
+    #[must_use]
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// Input-referred RMS noise of the front end (excluding
+    /// quantization).
+    #[must_use]
+    pub fn noise_rms(&self) -> Amperes {
+        self.noise.total_rms()
+    }
+
+    /// Measures one current sample through the full chain: adds input
+    /// noise, amplifies (with clipping), quantizes, and refers the result
+    /// back to a current.
+    pub fn digitize(&mut self, true_current: Amperes) -> Amperes {
+        let noisy = Amperes::from_amps(true_current.as_amps() + self.noise.sample().as_amps());
+        let v = self.tia.convert(noisy);
+        let vq = self.adc.digitize(v);
+        self.tia.invert(vq)
+    }
+
+    /// Measures a whole trace and applies the configured post-filter.
+    pub fn digitize_trace(&mut self, trace: &[Amperes]) -> Vec<Amperes> {
+        let raw: Vec<f64> = trace.iter().map(|&i| self.digitize(i).as_amps()).collect();
+        self.filter
+            .apply(&raw)
+            .into_iter()
+            .map(Amperes::from_amps)
+            .collect()
+    }
+
+    /// Estimates the blank noise floor: digitizes `n` zero-current
+    /// samples and returns their standard deviation. This is the σ in
+    /// the 3σ detection-limit computation.
+    pub fn blank_sigma(&mut self, n: usize) -> Amperes {
+        assert!(n >= 2, "need at least 2 blank samples");
+        let xs: Vec<f64> = (0..n)
+            .map(|_| self.digitize(Amperes::ZERO).as_amps())
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        Amperes::from_amps(var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digitize_preserves_signal_scale() {
+        let mut chain = ReadoutChain::benchtop(5);
+        let i = Amperes::from_nano_amps(500.0);
+        let mean: f64 = (0..200)
+            .map(|_| chain.digitize(i).as_nano_amps())
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn cmos_quieter_than_low_cost() {
+        let mut cmos = ReadoutChain::integrated_cmos(9);
+        let mut cheap = ReadoutChain::low_cost(9);
+        let s1 = cmos.blank_sigma(2000);
+        let s2 = cheap.blank_sigma(2000);
+        assert!(s1.as_amps() * 3.0 < s2.as_amps(), "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn blank_sigma_close_to_generator_rms() {
+        let mut chain = ReadoutChain::benchtop(13).with_filter(FilterSpec::None);
+        let sigma = chain.blank_sigma(5000);
+        let spec = chain.noise_rms();
+        // Quantization adds a little; flicker correlations add scatter.
+        assert!(sigma.as_amps() > 0.5 * spec.as_amps());
+        assert!(sigma.as_amps() < 2.0 * spec.as_amps());
+    }
+
+    #[test]
+    fn clipping_limits_large_signals() {
+        let mut chain = ReadoutChain::benchtop(1);
+        let reading = chain.digitize(Amperes::from_micro_amps(100.0));
+        let fs = chain.amplifier().full_scale_current();
+        assert!(reading.as_amps() <= fs.as_amps() * 1.001);
+    }
+
+    #[test]
+    fn auto_range_prevents_clipping() {
+        let expected = Amperes::from_micro_amps(50.0);
+        let mut chain = ReadoutChain::benchtop(1).auto_ranged_for(expected);
+        let reading = chain.digitize(expected);
+        assert!((reading.as_micro_amps() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn trace_filtering_reduces_scatter() {
+        let trace = vec![Amperes::from_nano_amps(100.0); 200];
+        let mut raw_chain = ReadoutChain::benchtop(21).with_filter(FilterSpec::None);
+        let mut filt_chain = ReadoutChain::benchtop(21).with_filter(FilterSpec::MovingAverage(9));
+        let spread = |xs: &[Amperes]| {
+            let m = xs.iter().map(|x| x.as_amps()).sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x.as_amps() - m).powi(2)).sum::<f64>().sqrt()
+        };
+        let raw = raw_chain.digitize_trace(&trace);
+        let filt = filt_chain.digitize_trace(&trace);
+        assert!(spread(&filt) < spread(&raw));
+    }
+}

@@ -1,0 +1,138 @@
+//! Peak detection on sampled traces.
+//!
+//! The CYP450 sensors are quantified by voltammetric peak height
+//! ("the peak height is proportional to drug concentration", §3.1);
+//! this module extracts peaks robustly from noisy, baseline-tilted
+//! traces.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Sample index of the apex.
+    pub index: usize,
+    /// Apex value (after any baseline correction performed by the caller).
+    pub height: f64,
+    /// Prominence: apex minus the higher of the two flanking minima.
+    pub prominence: f64,
+}
+
+/// Finds local maxima with at least `min_prominence`, ordered by
+/// descending prominence.
+///
+/// # Examples
+///
+/// ```
+/// use bios_instrument::peak::find_peaks;
+///
+/// let trace = vec![0.0, 1.0, 0.2, 5.0, 0.1, 2.0, 0.0];
+/// let peaks = find_peaks(&trace, 0.5);
+/// assert_eq!(peaks[0].index, 3);
+/// assert_eq!(peaks.len(), 3);
+/// ```
+#[must_use]
+pub fn find_peaks(samples: &[f64], min_prominence: f64) -> Vec<Peak> {
+    let n = samples.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let mut peaks = Vec::new();
+    for i in 1..n - 1 {
+        if samples[i] > samples[i - 1] && samples[i] >= samples[i + 1] {
+            // Walk left and right to the bracketing minima.
+            let mut left_min = samples[i];
+            for j in (0..i).rev() {
+                if samples[j] > samples[i] {
+                    break;
+                }
+                left_min = left_min.min(samples[j]);
+            }
+            let mut right_min = samples[i];
+            for &s in &samples[i + 1..] {
+                if s > samples[i] {
+                    break;
+                }
+                right_min = right_min.min(s);
+            }
+            let prominence = samples[i] - left_min.max(right_min);
+            if prominence >= min_prominence {
+                peaks.push(Peak {
+                    index: i,
+                    height: samples[i],
+                    prominence,
+                });
+            }
+        }
+    }
+    peaks.sort_by(|a, b| b.prominence.total_cmp(&a.prominence));
+    peaks
+}
+
+/// The single most prominent peak, if any clears `min_prominence`.
+#[must_use]
+pub fn dominant_peak(samples: &[f64], min_prominence: f64) -> Option<Peak> {
+    find_peaks(samples, min_prominence).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_gaussian_apex() {
+        let x: Vec<f64> = (0..101)
+            .map(|i| (-((i as f64 - 40.0) / 6.0).powi(2)).exp())
+            .collect();
+        let p = dominant_peak(&x, 0.1).unwrap();
+        assert_eq!(p.index, 40);
+        assert!((p.height - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prominence_filters_ripples() {
+        let mut x: Vec<f64> = (0..200)
+            .map(|i| 0.05 * ((i as f64) * 0.7).sin())
+            .collect();
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 4.0 * (-((i as f64 - 100.0) / 8.0).powi(2)).exp();
+        }
+        let peaks = find_peaks(&x, 1.0);
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0].index as i64 - 100).abs() <= 2);
+    }
+
+    #[test]
+    fn two_peaks_ordered_by_prominence() {
+        let mut x = vec![0.0; 120];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = 2.0 * (-((i as f64 - 30.0) / 5.0).powi(2)).exp()
+                + 5.0 * (-((i as f64 - 80.0) / 5.0).powi(2)).exp();
+        }
+        let peaks = find_peaks(&x, 0.5);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 80);
+        assert_eq!(peaks[1].index, 30);
+    }
+
+    #[test]
+    fn flat_or_short_traces_yield_nothing() {
+        assert!(find_peaks(&[1.0, 1.0], 0.1).is_empty());
+        assert!(find_peaks(&[2.0; 50], 0.1).is_empty());
+        assert!(find_peaks(&[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn monotone_trace_has_no_interior_peak() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(find_peaks(&x, 0.0).is_empty());
+    }
+
+    #[test]
+    fn plateau_peak_detected_once() {
+        let x = vec![0.0, 1.0, 3.0, 3.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, 0.5);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! The potentiostat: waveform execution against a cell and a device
+//! model.
+//!
+//! Ties the pieces of this crate together: a potential program is
+//! applied through the [`crate::cell::ThreeElectrodeCell`] (which
+//! distorts it by iR drop and reference offset), the device under test
+//! responds through a caller-supplied current model, and the
+//! [`crate::chain::ReadoutChain`] digitizes what flows.
+
+use bios_units::{Amperes, Seconds, Volts};
+
+use crate::cell::ThreeElectrodeCell;
+use crate::chain::ReadoutChain;
+
+/// One sample of an executed experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PotentiostatSample {
+    /// Time from program start.
+    pub time: Seconds,
+    /// The potential the instrument *programmed*.
+    pub programmed: Volts,
+    /// The potential the interface actually saw (iR-corrected).
+    pub effective: Volts,
+    /// The digitized current.
+    pub current: Amperes,
+}
+
+/// A potentiostat: cell model + readout chain + sampling rate.
+///
+/// # Examples
+///
+/// ```
+/// use bios_instrument::potentiostat::Potentiostat;
+/// use bios_instrument::{ReadoutChain, ThreeElectrodeCell};
+/// use bios_units::{Amperes, Seconds, Volts};
+///
+/// let mut p = Potentiostat::new(
+///     ThreeElectrodeCell::ideal(),
+///     ReadoutChain::benchtop(7).auto_ranged_for(Amperes::from_micro_amps(8.0)),
+///     Seconds::from_millis(10.0),
+/// );
+/// // A resistor as the "device": i = E / 100 kΩ.
+/// let trace = p.run(
+///     |t| if t.as_seconds() < 0.5 { Volts::ZERO } else { Volts::from_milli_volts(650.0) },
+///     Seconds::from_seconds(1.0),
+///     |e, _t| Amperes::from_amps(e.as_volts() / 1e5),
+/// );
+/// assert!(!trace.is_empty());
+/// let last = trace.last().unwrap();
+/// assert!((last.current.as_micro_amps() - 6.5).abs() < 0.5);
+/// ```
+#[derive(Debug)]
+pub struct Potentiostat {
+    cell: ThreeElectrodeCell,
+    chain: ReadoutChain,
+    sample_interval: Seconds,
+}
+
+impl Potentiostat {
+    /// Creates a potentiostat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample interval is not positive.
+    #[must_use]
+    pub fn new(
+        cell: ThreeElectrodeCell,
+        chain: ReadoutChain,
+        sample_interval: Seconds,
+    ) -> Potentiostat {
+        assert!(
+            sample_interval.as_seconds() > 0.0,
+            "sample interval must be positive"
+        );
+        Potentiostat {
+            cell,
+            chain,
+            sample_interval,
+        }
+    }
+
+    /// The cell model.
+    #[must_use]
+    pub fn cell(&self) -> &ThreeElectrodeCell {
+        &self.cell
+    }
+
+    /// Sampling interval.
+    #[must_use]
+    pub fn sample_interval(&self) -> Seconds {
+        self.sample_interval
+    }
+
+    /// Executes `program` for `duration`, evaluating the device through
+    /// `device` (true current as a function of the *effective* interface
+    /// potential and time) and digitizing each sample.
+    ///
+    /// The iR feedback is solved by one fixed-point pass per sample: the
+    /// previous sample's current sets this sample's iR drop — accurate
+    /// for the slowly varying currents of biosensing.
+    pub fn run(
+        &mut self,
+        program: impl Fn(Seconds) -> Volts,
+        duration: Seconds,
+        device: impl Fn(Volts, Seconds) -> Amperes,
+    ) -> Vec<PotentiostatSample> {
+        let n = (duration.as_seconds() / self.sample_interval.as_seconds()).floor() as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        let mut last_current = Amperes::ZERO;
+        for k in 0..=n {
+            let t = Seconds::from_seconds(k as f64 * self.sample_interval.as_seconds());
+            let programmed = program(t);
+            let effective = self.cell.effective_potential(programmed, last_current);
+            let true_current = device(effective, t);
+            let current = self.chain.digitize(true_current);
+            last_current = true_current;
+            out.push(PotentiostatSample {
+                time: t,
+                programmed,
+                effective,
+                current,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::Ohms;
+
+    fn resistor(r_ohms: f64) -> impl Fn(Volts, Seconds) -> Amperes {
+        move |e, _| Amperes::from_amps(e.as_volts() / r_ohms)
+    }
+
+    #[test]
+    fn executes_full_program() {
+        let mut p = Potentiostat::new(
+            ThreeElectrodeCell::ideal(),
+            ReadoutChain::benchtop(3),
+            Seconds::from_millis(100.0),
+        );
+        let trace = p.run(
+            |_| Volts::from_milli_volts(650.0),
+            Seconds::from_seconds(2.0),
+            resistor(1e6),
+        );
+        assert_eq!(trace.len(), 21);
+        assert!((trace[0].time.as_seconds()).abs() < 1e-12);
+        assert!((trace[20].time.as_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_cell_passes_program_through() {
+        let mut p = Potentiostat::new(
+            ThreeElectrodeCell::ideal(),
+            ReadoutChain::benchtop(3),
+            Seconds::from_millis(50.0),
+        );
+        let trace = p.run(
+            |_| Volts::from_milli_volts(400.0),
+            Seconds::from_seconds(0.5),
+            resistor(1e6),
+        );
+        for s in &trace {
+            assert_eq!(s.programmed, s.effective);
+        }
+    }
+
+    #[test]
+    fn ir_drop_reduces_effective_potential() {
+        // 10 kΩ uncompensated with a 100 kΩ device: ~10 % potential loss.
+        let mut p = Potentiostat::new(
+            ThreeElectrodeCell::new(Ohms::from_kilo_ohms(10.0), Volts::ZERO),
+            ReadoutChain::benchtop(3),
+            Seconds::from_millis(50.0),
+        );
+        let trace = p.run(
+            |_| Volts::from_milli_volts(1000.0),
+            Seconds::from_seconds(0.5),
+            resistor(1e5),
+        );
+        let last = trace.last().unwrap();
+        assert!(last.effective.as_milli_volts() < 950.0);
+        assert!(last.effective.as_milli_volts() > 850.0);
+    }
+
+    #[test]
+    fn measured_current_tracks_device_scale() {
+        let mut p = Potentiostat::new(
+            ThreeElectrodeCell::ideal(),
+            ReadoutChain::benchtop(9)
+                .auto_ranged_for(Amperes::from_micro_amps(1.0)),
+            Seconds::from_millis(20.0),
+        );
+        let trace = p.run(
+            |_| Volts::from_milli_volts(650.0),
+            Seconds::from_seconds(0.4),
+            resistor(1e6),
+        );
+        let mean: f64 = trace.iter().map(|s| s.current.as_micro_amps()).sum::<f64>()
+            / trace.len() as f64;
+        assert!((mean - 0.65).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval")]
+    fn zero_interval_rejected() {
+        let _ = Potentiostat::new(
+            ThreeElectrodeCell::ideal(),
+            ReadoutChain::benchtop(1),
+            Seconds::ZERO,
+        );
+    }
+}

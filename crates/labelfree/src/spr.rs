@@ -1,0 +1,192 @@
+//! Surface plasmon resonance sensing.
+//!
+//! §2.3: "If the excitation frequency matches the oscillation frequency
+//! of surface charge density, electromagnetic waves propagate along the
+//! interface… as soon as the dielectric changes (because the target
+//! molecules bind the receptor), there is also a change in the
+//! refractive index."
+//!
+//! The model is the standard biosensing chain: Langmuir binding →
+//! adsorbed protein mass → refractive-index increment (de Feijter) →
+//! resonance shift in response units (1 RU = 10⁻⁶ refractive-index
+//! units ≈ 1 pg/mm² of protein).
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::Molar;
+
+/// An SPR channel functionalized with a receptor layer.
+///
+/// # Examples
+///
+/// ```
+/// use bios_labelfree::SprSensor;
+/// use bios_units::Molar;
+///
+/// let spr = SprSensor::biacore_like();
+/// // Half-saturation response exactly at K_D.
+/// let half = spr.response_units(spr.kd());
+/// let max = spr.saturation_response_units();
+/// assert!((half / max - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SprSensor {
+    /// Receptor surface density, pg-equivalent capacity per mm² at full
+    /// occupancy (R_max in instrument terms, in RU).
+    r_max_ru: f64,
+    /// Receptor–analyte dissociation constant.
+    kd: Molar,
+    /// Baseline instrument noise, RU (RMS).
+    noise_ru: f64,
+    /// Angular sensitivity: millidegrees of resonance shift per 1000 RU.
+    millideg_per_kilo_ru: f64,
+}
+
+impl SprSensor {
+    /// A typical research-grade instrument channel: R_max 1200 RU,
+    /// nanomolar antibody affinity, 0.3 RU noise.
+    #[must_use]
+    pub fn biacore_like() -> SprSensor {
+        SprSensor {
+            r_max_ru: 1200.0,
+            kd: Molar::from_nano_molar(10.0),
+            noise_ru: 0.3,
+            millideg_per_kilo_ru: 100.0,
+        }
+    }
+
+    /// Builds a custom channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_max_ru` or `noise_ru` is not positive.
+    #[must_use]
+    pub fn new(r_max_ru: f64, kd: Molar, noise_ru: f64) -> SprSensor {
+        assert!(r_max_ru > 0.0, "R_max must be positive");
+        assert!(noise_ru > 0.0, "noise must be positive");
+        SprSensor {
+            r_max_ru,
+            kd,
+            noise_ru,
+            millideg_per_kilo_ru: 100.0,
+        }
+    }
+
+    /// The receptor–analyte dissociation constant.
+    #[must_use]
+    pub fn kd(&self) -> Molar {
+        self.kd
+    }
+
+    /// Response at full receptor occupancy.
+    #[must_use]
+    pub fn saturation_response_units(&self) -> f64 {
+        self.r_max_ru
+    }
+
+    /// Equilibrium response at analyte concentration `c`, in RU.
+    #[must_use]
+    pub fn response_units(&self, c: Molar) -> f64 {
+        let x = c.as_molar().max(0.0);
+        self.r_max_ru * x / (self.kd.as_molar() + x)
+    }
+
+    /// The resonance-angle shift corresponding to a response, in
+    /// millidegrees.
+    #[must_use]
+    pub fn angle_shift_millideg(&self, response_ru: f64) -> f64 {
+        response_ru / 1000.0 * self.millideg_per_kilo_ru
+    }
+
+    /// 3σ detection limit in concentration units: the analyte level
+    /// whose equilibrium response equals three noise RMS.
+    #[must_use]
+    pub fn detection_limit(&self) -> Molar {
+        let r_min = 3.0 * self.noise_ru;
+        // Invert the Langmuir response: c = K_D·r/(R_max − r).
+        Molar::from_molar(self.kd.as_molar() * r_min / (self.r_max_ru - r_min))
+    }
+
+    /// Association-phase transient toward equilibrium with observed rate
+    /// `k_obs = k_on·c + k_off`: `R(t) = R_eq·(1 − e^(−k_obs·t))`.
+    ///
+    /// `k_on` in M⁻¹s⁻¹; `k_off` is derived from `K_D = k_off/k_on`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_on` or `t_seconds` is not positive.
+    #[must_use]
+    pub fn association_transient(
+        &self,
+        c: Molar,
+        k_on_per_molar_second: f64,
+        t_seconds: f64,
+    ) -> f64 {
+        assert!(k_on_per_molar_second > 0.0, "k_on must be positive");
+        assert!(t_seconds >= 0.0, "time cannot be negative");
+        let k_off = k_on_per_molar_second * self.kd.as_molar();
+        let k_obs = k_on_per_molar_second * c.as_molar().max(0.0) + k_off;
+        self.response_units(c) * (1.0 - (-k_obs * t_seconds).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn langmuir_shape() {
+        let s = SprSensor::biacore_like();
+        assert_eq!(s.response_units(Molar::ZERO), 0.0);
+        let r = s.response_units(Molar::from_micro_molar(10.0));
+        assert!(r > 0.99 * s.saturation_response_units());
+        assert!(r <= s.saturation_response_units());
+    }
+
+    #[test]
+    fn detection_limit_in_sub_nanomolar_band() {
+        // 0.3 RU noise on a 1200 RU channel with 10 nM K_D →
+        // 3σ ≈ 0.9/1199 · 10 nM ≈ 7.5 pM.
+        let lod = SprSensor::biacore_like().detection_limit();
+        assert!(lod.as_nano_molar() > 0.001 && lod.as_nano_molar() < 0.1,
+                "LOD {} nM", lod.as_nano_molar());
+    }
+
+    #[test]
+    fn quieter_instrument_detects_less() {
+        let loud = SprSensor::new(1200.0, Molar::from_nano_molar(10.0), 1.0);
+        let quiet = SprSensor::new(1200.0, Molar::from_nano_molar(10.0), 0.1);
+        assert!(quiet.detection_limit() < loud.detection_limit());
+    }
+
+    #[test]
+    fn angle_shift_is_linear_in_response() {
+        let s = SprSensor::biacore_like();
+        let a1 = s.angle_shift_millideg(100.0);
+        let a2 = s.angle_shift_millideg(200.0);
+        assert!((a2 / a1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn association_approaches_equilibrium() {
+        let s = SprSensor::biacore_like();
+        let c = Molar::from_nano_molar(20.0);
+        let k_on = 1e5; // M⁻¹s⁻¹
+        let early = s.association_transient(c, k_on, 10.0);
+        let late = s.association_transient(c, k_on, 10_000.0);
+        let eq = s.response_units(c);
+        assert!(early < late);
+        assert!((late - eq).abs() / eq < 1e-6);
+    }
+
+    #[test]
+    fn higher_concentration_binds_faster() {
+        let s = SprSensor::biacore_like();
+        let k_on = 1e5;
+        let t = 30.0;
+        // Fractional completion at t is higher for the higher
+        // concentration (larger k_obs).
+        let frac = |c: Molar| s.association_transient(c, k_on, t) / s.response_units(c);
+        assert!(frac(Molar::from_nano_molar(100.0)) > frac(Molar::from_nano_molar(5.0)));
+    }
+}

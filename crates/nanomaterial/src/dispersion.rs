@@ -1,0 +1,116 @@
+//! Carbon-nanotube dispersion media.
+//!
+//! Pristine MWCNT are hydrophobic and bundle badly; the paper (§2.4)
+//! highlights Wang et al.'s finding that Nafion solubilizes nanotubes
+//! into well-dispersed films. The dispersant determines how uniform the
+//! cast film is — and through that the electron-transfer benefit that
+//! actually materializes.
+
+use serde::{Deserialize, Serialize};
+
+/// The solvent/matrix MWCNT are dispersed in before drop-casting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dispersant {
+    /// 0.5 % Nafion in ethanol — the paper's oxidase-sensor recipe and
+    /// the best dispersion quality [54].
+    Nafion,
+    /// Chloroform — the paper's CYP450-sensor recipe; evaporates fast,
+    /// decent dispersion.
+    Chloroform,
+    /// Mineral oil (carbon-paste composites, [41]); poor electronic pathways.
+    MineralOil,
+    /// Silica sol-gel matrix ([19]); entraps enzyme, moderate quality.
+    SolGel,
+    /// Plain aqueous suspension (sonicated only); bundles re-aggregate.
+    Water,
+}
+
+impl Dispersant {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dispersant::Nafion => "Nafion 0.5%",
+            Dispersant::Chloroform => "chloroform",
+            Dispersant::MineralOil => "mineral oil",
+            Dispersant::SolGel => "sol-gel",
+            Dispersant::Water => "water",
+        }
+    }
+
+    /// Film-quality factor in (0, 1]: the fraction of the nanotube
+    /// network that ends up electrically wired to the electrode.
+    #[must_use]
+    pub fn film_quality(&self) -> f64 {
+        match self {
+            Dispersant::Nafion => 0.95,
+            Dispersant::Chloroform => 0.85,
+            Dispersant::SolGel => 0.6,
+            Dispersant::Water => 0.4,
+            Dispersant::MineralOil => 0.25,
+        }
+    }
+
+    /// Whether the matrix also acts as a permselective barrier against
+    /// anionic interferents (Nafion famously rejects ascorbate/urate).
+    #[must_use]
+    pub fn rejects_anionic_interferents(&self) -> bool {
+        matches!(self, Dispersant::Nafion)
+    }
+}
+
+impl std::fmt::Display for Dispersant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nafion_is_best_dispersant() {
+        // The Wang et al. [54] result the paper leans on.
+        for other in [
+            Dispersant::Chloroform,
+            Dispersant::MineralOil,
+            Dispersant::SolGel,
+            Dispersant::Water,
+        ] {
+            assert!(Dispersant::Nafion.film_quality() > other.film_quality());
+        }
+    }
+
+    #[test]
+    fn mineral_oil_is_worst() {
+        for other in [
+            Dispersant::Nafion,
+            Dispersant::Chloroform,
+            Dispersant::SolGel,
+            Dispersant::Water,
+        ] {
+            assert!(Dispersant::MineralOil.film_quality() < other.film_quality());
+        }
+    }
+
+    #[test]
+    fn quality_is_a_fraction() {
+        for d in [
+            Dispersant::Nafion,
+            Dispersant::Chloroform,
+            Dispersant::MineralOil,
+            Dispersant::SolGel,
+            Dispersant::Water,
+        ] {
+            let q = d.film_quality();
+            assert!(q > 0.0 && q <= 1.0);
+        }
+    }
+
+    #[test]
+    fn only_nafion_blocks_anions() {
+        assert!(Dispersant::Nafion.rejects_anionic_interferents());
+        assert!(!Dispersant::Chloroform.rejects_anionic_interferents());
+    }
+}

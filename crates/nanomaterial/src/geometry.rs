@@ -1,0 +1,238 @@
+//! Electrode geometries and the paper's stock devices.
+
+use serde::{Deserialize, Serialize};
+
+use bios_units::SquareCm;
+
+use crate::material::ElectrodeMaterial;
+
+/// The role an electrode plays in a three-electrode cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElectrodeRole {
+    /// Where the sensing chemistry happens and the current is measured.
+    Working,
+    /// Closes the current loop.
+    Counter,
+    /// Potential reference; passes (ideally) no current.
+    Reference,
+}
+
+/// A physical electrode: material + geometric area + role.
+///
+/// # Examples
+///
+/// ```
+/// use bios_nanomaterial::{Electrode, ElectrodeMaterial, ElectrodeRole};
+/// use bios_units::SquareCm;
+///
+/// let we = Electrode::new(
+///     ElectrodeMaterial::Gold,
+///     SquareCm::from_square_mm(0.25),
+///     ElectrodeRole::Working,
+/// );
+/// assert_eq!(we.area().as_square_mm(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Electrode {
+    material: ElectrodeMaterial,
+    area: SquareCm,
+    role: ElectrodeRole,
+}
+
+impl Electrode {
+    /// Creates an electrode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is not positive.
+    #[must_use]
+    pub fn new(material: ElectrodeMaterial, area: SquareCm, role: ElectrodeRole) -> Electrode {
+        assert!(area.as_square_cm() > 0.0, "electrode area must be positive");
+        Electrode {
+            material,
+            area,
+            role,
+        }
+    }
+
+    /// Bulk material.
+    #[must_use]
+    pub fn material(&self) -> ElectrodeMaterial {
+        self.material
+    }
+
+    /// Geometric area.
+    #[must_use]
+    pub fn area(&self) -> SquareCm {
+        self.area
+    }
+
+    /// Cell role.
+    #[must_use]
+    pub fn role(&self) -> ElectrodeRole {
+        self.role
+    }
+}
+
+/// The stock electrode systems used in the paper (§3.1) and the cited
+/// literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElectrodeStock {
+    /// DropSens carbon-paste screen-printed electrode: 13 mm² graphite
+    /// working electrode, graphite counter, Ag reference. Used for the
+    /// paper's CYP450 drug sensors.
+    DropSensSpe,
+    /// EPFL microfabricated chip: five 0.25 mm² Au working electrodes,
+    /// Au counter, Pt reference. Used for the paper's oxidase sensors.
+    EpflMicroChip,
+    /// A conventional 3 mm-diameter glassy-carbon disc (≈ 7.1 mm²) — the
+    /// default electrode of the cited literature sensors.
+    GlassyCarbonDisc,
+    /// Platinum disc microelectrode (1 mm diameter ≈ 0.79 mm²), used by
+    /// the glutamate literature baselines.
+    PlatinumDisc,
+}
+
+impl ElectrodeStock {
+    /// The working electrode of this stock system.
+    #[must_use]
+    pub fn working_electrode(&self) -> Electrode {
+        match self {
+            ElectrodeStock::DropSensSpe => Electrode::new(
+                ElectrodeMaterial::Graphite,
+                SquareCm::from_square_mm(13.0),
+                ElectrodeRole::Working,
+            ),
+            ElectrodeStock::EpflMicroChip => Electrode::new(
+                ElectrodeMaterial::Gold,
+                SquareCm::from_square_mm(0.25),
+                ElectrodeRole::Working,
+            ),
+            ElectrodeStock::GlassyCarbonDisc => Electrode::new(
+                ElectrodeMaterial::GlassyCarbon,
+                SquareCm::from_square_mm(7.07),
+                ElectrodeRole::Working,
+            ),
+            ElectrodeStock::PlatinumDisc => Electrode::new(
+                ElectrodeMaterial::Platinum,
+                SquareCm::from_square_mm(0.785),
+                ElectrodeRole::Working,
+            ),
+        }
+    }
+
+    /// The counter electrode.
+    #[must_use]
+    pub fn counter_electrode(&self) -> Electrode {
+        let (material, area_mm2) = match self {
+            ElectrodeStock::DropSensSpe => (ElectrodeMaterial::Graphite, 30.0),
+            ElectrodeStock::EpflMicroChip => (ElectrodeMaterial::Gold, 2.0),
+            ElectrodeStock::GlassyCarbonDisc | ElectrodeStock::PlatinumDisc => {
+                (ElectrodeMaterial::Platinum, 50.0)
+            }
+        };
+        Electrode::new(
+            material,
+            SquareCm::from_square_mm(area_mm2),
+            ElectrodeRole::Counter,
+        )
+    }
+
+    /// The reference electrode.
+    #[must_use]
+    pub fn reference_electrode(&self) -> Electrode {
+        let material = match self {
+            ElectrodeStock::DropSensSpe => ElectrodeMaterial::SilverChloride,
+            ElectrodeStock::EpflMicroChip => ElectrodeMaterial::Platinum,
+            ElectrodeStock::GlassyCarbonDisc | ElectrodeStock::PlatinumDisc => {
+                ElectrodeMaterial::SilverChloride
+            }
+        };
+        Electrode::new(
+            material,
+            SquareCm::from_square_mm(5.0),
+            ElectrodeRole::Reference,
+        )
+    }
+
+    /// Number of independently addressable working electrodes (the EPFL
+    /// chip is a 5-channel array — the basis of the multi-target
+    /// platform).
+    #[must_use]
+    pub fn working_channels(&self) -> usize {
+        match self {
+            ElectrodeStock::EpflMicroChip => 5,
+            _ => 1,
+        }
+    }
+
+    /// Whether the device is disposable (vs permanently integrated) —
+    /// the §2.5 axis of the classification.
+    #[must_use]
+    pub fn is_disposable(&self) -> bool {
+        matches!(self, ElectrodeStock::DropSensSpe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_areas_are_exact() {
+        let spe = ElectrodeStock::DropSensSpe.working_electrode();
+        assert!((spe.area().as_square_mm() - 13.0).abs() < 1e-12);
+        let chip = ElectrodeStock::EpflMicroChip.working_electrode();
+        assert!((chip.area().as_square_mm() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_materials_are_exact() {
+        assert_eq!(
+            ElectrodeStock::DropSensSpe.working_electrode().material(),
+            ElectrodeMaterial::Graphite
+        );
+        assert_eq!(
+            ElectrodeStock::DropSensSpe.reference_electrode().material(),
+            ElectrodeMaterial::SilverChloride
+        );
+        assert_eq!(
+            ElectrodeStock::EpflMicroChip.working_electrode().material(),
+            ElectrodeMaterial::Gold
+        );
+        assert_eq!(
+            ElectrodeStock::EpflMicroChip.reference_electrode().material(),
+            ElectrodeMaterial::Platinum
+        );
+    }
+
+    #[test]
+    fn chip_has_five_channels() {
+        assert_eq!(ElectrodeStock::EpflMicroChip.working_channels(), 5);
+        assert_eq!(ElectrodeStock::DropSensSpe.working_channels(), 1);
+    }
+
+    #[test]
+    fn roles_are_assigned() {
+        let s = ElectrodeStock::GlassyCarbonDisc;
+        assert_eq!(s.working_electrode().role(), ElectrodeRole::Working);
+        assert_eq!(s.counter_electrode().role(), ElectrodeRole::Counter);
+        assert_eq!(s.reference_electrode().role(), ElectrodeRole::Reference);
+    }
+
+    #[test]
+    fn counter_is_larger_than_working_for_spe() {
+        let s = ElectrodeStock::DropSensSpe;
+        assert!(s.counter_electrode().area() > s.working_electrode().area());
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn zero_area_rejected() {
+        let _ = Electrode::new(
+            ElectrodeMaterial::Gold,
+            SquareCm::from_square_cm(0.0),
+            ElectrodeRole::Working,
+        );
+    }
+}

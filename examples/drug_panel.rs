@@ -1,0 +1,103 @@
+//! The personalized-therapy scenario of the paper's introduction:
+//! monitoring anticancer drug levels in a patient sample with the
+//! multi-panel CYP450 platform.
+//!
+//! Mounts all four CYP sensors on screen-printed electrodes, calibrates
+//! each, then quantifies an unknown "patient" cocktail of
+//! cyclophosphamide + ifosfamide by inverting the calibration fits.
+//!
+//! Run with: `cargo run --example drug_panel`
+
+use biosim::core::catalog;
+use biosim::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    println!("== Multi-panel anticancer drug monitoring ==\n");
+
+    // A patient sample after combination chemotherapy (unknown to the
+    // quantification step).
+    let truth_cp = Molar::from_micro_molar(35.0);
+    let truth_ifo = Molar::from_micro_molar(60.0);
+    let patient = Sample::physiological_serum()
+        .with_analyte(Analyte::Cyclophosphamide, truth_cp)
+        .with_analyte(Analyte::Ifosfamide, truth_ifo);
+
+    for entry in catalog::cyp_sensors() {
+        // Calibrate the channel first (standard additions).
+        let outcome = entry.run_calibration(7)?;
+        let fit_sensitivity = outcome.summary.sensitivity;
+
+        // Measure the patient sample on the calibrated channel.
+        let sensor = entry.build_sensor();
+        let mut chain = entry.build_readout(99);
+        let current = chain.digitize(sensor.respond_to_sample(&patient));
+
+        // Invert: concentration = current / (sensitivity × area).
+        let slope_micro_amps_per_milli_molar = fit_sensitivity
+            .as_micro_amps_per_milli_molar_square_cm()
+            * sensor.electrode().area().as_square_cm();
+        let estimated = Molar::from_milli_molar(
+            (current.as_micro_amps() / slope_micro_amps_per_milli_molar).max(0.0),
+        );
+
+        let true_level = patient.concentration(entry.analyte());
+        println!("{:<22} ({})", entry.label(), entry.analyte());
+        println!("  calibrated sensitivity: {fit_sensitivity}");
+        println!("  LOD:                    {}", outcome.summary.detection_limit);
+        println!("  channel current:        {current}");
+        if true_level.as_molar() > 0.0 {
+            let err = (estimated.as_micro_molar() - true_level.as_micro_molar())
+                / true_level.as_micro_molar();
+            println!(
+                "  estimated {:.1} µM vs true {:.1} µM ({:+.1}%)",
+                estimated.as_micro_molar(),
+                true_level.as_micro_molar(),
+                err * 100.0
+            );
+        } else {
+            println!(
+                "  estimated {:.2} µM (drug absent — reading is noise, \
+                 below LOD {})",
+                estimated.as_micro_molar(),
+                outcome.summary.detection_limit
+            );
+        }
+        println!();
+    }
+
+    // External calibration under-reads in serum (matrix suppression);
+    // standard addition on the sample itself removes the bias.
+    println!("== Matrix correction by standard addition (CP channel) ==\n");
+    let entry = catalog::cyp_sensors()
+        .into_iter()
+        .find(|e| e.analyte() == Analyte::Cyclophosphamide)
+        .expect("CP sensor");
+    let sensor = entry.build_sensor();
+    let mut chain = entry.build_readout(123);
+    use biosim::analytics::standard_addition::{estimate_unknown, Addition};
+    let series: Vec<Addition> = [0.0, 20.0, 40.0, 60.0]
+        .iter()
+        .map(|&spike| {
+            let total = Molar::from_micro_molar(truth_cp.as_micro_molar() + spike);
+            let spiked = patient.clone().with_analyte(Analyte::Cyclophosphamide, total);
+            Addition {
+                added: Molar::from_micro_molar(spike),
+                signal: chain.digitize(sensor.respond_to_sample(&spiked)),
+            }
+        })
+        .collect();
+    let corrected = estimate_unknown(&series).map_err(CoreError::from)?;
+    println!(
+        "standard-addition estimate: {:.1} µM vs true {:.1} µM ({:+.1}%)\n",
+        corrected.as_micro_molar(),
+        truth_cp.as_micro_molar(),
+        (corrected.as_micro_molar() / truth_cp.as_micro_molar() - 1.0) * 100.0
+    );
+
+    println!(
+        "Therapy guidance: a clinician would titrate the next dose from\n\
+         the measured drug levels instead of the population mean — the\n\
+         personalized-medicine loop the paper motivates."
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! # biosim
+//!
+//! An integrated biosensor simulation platform — a from-scratch Rust
+//! reproduction of the system described in *"Integrated Biosensors for
+//! Personalized Medicine"* (G. De Micheli, C. Boero, C. Baj-Rossi,
+//! I. Taurino, S. Carrara — DAC 2012).
+//!
+//! The paper's physical platform — carbon-nanotube-modified enzyme
+//! electrodes with integrated electrochemical readout for metabolite and
+//! anticancer-drug monitoring — is virtualized end to end: electrode
+//! physics, enzyme kinetics, nanomaterial surface models, a potentiostat
+//! readout chain with realistic noise, calibration protocols, and the
+//! analytics that extract sensitivity, linear range, and detection limit.
+//!
+//! This facade crate re-exports all subsystem crates:
+//!
+//! | module | crate | what it models |
+//! |---|---|---|
+//! | [`units`] | `bios-units` | typed physical quantities |
+//! | [`electrochem`] | `bios-electrochem` | Nernst/Butler–Volmer/Cottrell physics, diffusion, voltammetry |
+//! | [`enzyme`] | `bios-enzyme` | Michaelis–Menten, oxidases, P450 isoforms, films |
+//! | [`nanomaterial`] | `bios-nanomaterial` | electrodes and CNT surface modifications |
+//! | [`instrument`] | `bios-instrument` | amplifier, ADC, noise, filters |
+//! | [`analytics`] | `bios-analytics` | regression, linear range, LOD |
+//! | [`core`] | `bios-core` | the composed platform, protocols, Table 1/2 catalog |
+//!
+//! # Quick start
+//!
+//! ```
+//! use biosim::core::catalog;
+//!
+//! // Run the paper's glucose sensor through a full simulated
+//! // calibration and read off its figures of merit.
+//! let entry = catalog::our_glucose_sensor();
+//! let outcome = entry.run_calibration(42)?;
+//! println!("sensitivity: {}", outcome.summary.sensitivity);
+//! println!("linear range: {}", outcome.summary.linear_range);
+//! println!("LOD: {}", outcome.summary.detection_limit);
+//! # Ok::<(), biosim::core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bios_analytics as analytics;
+pub use bios_core as core;
+pub use bios_electrochem as electrochem;
+pub use bios_enzyme as enzyme;
+pub use bios_instrument as instrument;
+pub use bios_labelfree as labelfree;
+pub use bios_nanomaterial as nanomaterial;
+pub use bios_units as units;
+
+/// Commonly used items for scripting against the platform.
+pub mod prelude {
+    pub use bios_analytics::{CalibrationCurve, CalibrationSummary, LinearFit};
+    pub use bios_core::catalog;
+    pub use bios_core::platform::SensingPlatform;
+    pub use bios_core::protocol::{CalibrationProtocol, Chronoamperometry, CyclicVoltammetry};
+    pub use bios_core::{Analyte, Biosensor, CoreError, Sample};
+    pub use bios_instrument::ReadoutChain;
+    pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
+    pub use bios_units::{
+        Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let c = Molar::from_milli_molar(5.0);
+        assert!(c.as_micro_molar() > 0.0);
+        let entry = catalog::our_glucose_sensor();
+        assert!(entry.is_ours());
+    }
+}
