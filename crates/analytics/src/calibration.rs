@@ -1,7 +1,5 @@
 //! Calibration curves from replicate standard additions.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Amperes, ConcentrationRange, Molar, Sensitivity, SquareCm};
 
 use crate::error::{AnalyticsError, Result};
@@ -11,7 +9,7 @@ use crate::regression::LinearFit;
 
 /// One standard: a known concentration with its replicate current
 /// readings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationPoint {
     concentration: Molar,
     replicates: Vec<Amperes>,
@@ -92,7 +90,7 @@ impl CalibrationPoint {
 /// assert!((s.as_micro_amps_per_milli_molar_square_cm() - 7.2 / 0.13).abs() < 0.1);
 /// # Ok::<(), bios_analytics::AnalyticsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationCurve {
     points: Vec<CalibrationPoint>,
     electrode_area: SquareCm,
@@ -195,7 +193,10 @@ impl CalibrationCurve {
     /// # Errors
     ///
     /// Propagates regression errors from the detector.
-    pub fn linear_range(&self, options: &LinearRangeOptions) -> Result<(ConcentrationRange, LinearFit)> {
+    pub fn linear_range(
+        &self,
+        options: &LinearRangeOptions,
+    ) -> Result<(ConcentrationRange, LinearFit)> {
         detect_linear_range(self, options)
     }
 
@@ -257,7 +258,7 @@ impl CalibrationCurve {
 }
 
 /// The figures of merit of one calibrated sensor — one Table 2 row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationSummary {
     /// Area-normalized sensitivity.
     pub sensitivity: Sensitivity,
@@ -405,8 +406,7 @@ mod tests {
                 )
             })
             .collect();
-        let curve =
-            CalibrationCurve::new(points, SquareCm::from_square_cm(1.0), Amperes::ZERO);
+        let curve = CalibrationCurve::new(points, SquareCm::from_square_cm(1.0), Amperes::ZERO);
         let fit = curve.fit_all().unwrap();
         assert!(matches!(
             curve.sensitivity_from_fit(&fit),

@@ -7,8 +7,6 @@
 //! linear) and extended upward until Michaelis–Menten curvature breaks
 //! the fit.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::ConcentrationRange;
 
 use crate::calibration::CalibrationCurve;
@@ -16,7 +14,7 @@ use crate::error::{AnalyticsError, Result};
 use crate::regression::LinearFit;
 
 /// Tuning parameters for the detector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearRangeOptions {
     /// Number of low-concentration points the initial fit is anchored on.
     pub anchor_points: usize,
@@ -126,11 +124,7 @@ mod tests {
     use crate::calibration::CalibrationPoint;
     use bios_units::{Amperes, Molar, SquareCm};
 
-    fn curve_from(
-        f: impl Fn(f64) -> f64,
-        n: usize,
-        max_mm: f64,
-    ) -> CalibrationCurve {
+    fn curve_from(f: impl Fn(f64) -> f64, n: usize, max_mm: f64) -> CalibrationCurve {
         let points = (0..n)
             .map(|k| {
                 let c = max_mm * k as f64 / (n - 1) as f64;
@@ -150,8 +144,7 @@ mod tests {
     #[test]
     fn perfectly_linear_data_uses_everything() {
         let curve = curve_from(|c| 7.0 * c, 15, 2.0);
-        let (range, fit) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        let (range, fit) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
         assert!((range.high().as_milli_molar() - 2.0).abs() < 1e-9);
         assert!((fit.slope() - 7.0).abs() < 1e-9);
     }
@@ -161,8 +154,7 @@ mod tests {
         // MM with K_M = 2 mM: 5% deviation at ~0.105 mM… sweep to 10 mM.
         let km = 2.0;
         let curve = curve_from(|c| 50.0 * c / (km + c), 40, 10.0);
-        let (range, _) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        let (range, _) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
         let high = range.high().as_milli_molar();
         assert!(high < 2.0, "detected {high} mM");
         assert!(high > 0.1, "detected {high} mM");
@@ -188,8 +180,7 @@ mod tests {
     #[test]
     fn range_never_exceeds_sweep() {
         let curve = curve_from(|c| 3.0 * c, 10, 1.0);
-        let (range, _) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        let (range, _) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
         assert!(range.high().as_milli_molar() <= 1.0 + 1e-12);
         assert!(range.low().as_milli_molar() >= 0.0);
     }
@@ -231,8 +222,7 @@ mod tests {
             SquareCm::from_square_cm(1.0),
             Amperes::from_nano_amps(1.0),
         );
-        let (range, fit) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        let (range, fit) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
         assert!((range.high().as_milli_molar() - 0.8).abs() < 1e-9);
         assert!((fit.slope() - 10.0).abs() < 0.2);
     }

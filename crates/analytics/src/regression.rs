@@ -1,7 +1,5 @@
 //! Least-squares line fitting with diagnostics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{AnalyticsError, Result};
 
 /// An ordinary-least-squares line `y = slope·x + intercept` with the
@@ -19,7 +17,7 @@ use crate::error::{AnalyticsError, Result};
 /// assert!(fit.r_squared() > 0.99);
 /// # Ok::<(), bios_analytics::AnalyticsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     slope: f64,
     intercept: f64,

@@ -91,8 +91,7 @@ pub fn spike_recovery(
     if spike.as_molar() <= 0.0 || external_slope_micro_amps_per_milli_molar <= 0.0 {
         return Err(AnalyticsError::NonPositiveSlope);
     }
-    let recovered_milli_molar = (spiked_signal.as_micro_amps()
-        - unspiked_signal.as_micro_amps())
+    let recovered_milli_molar = (spiked_signal.as_micro_amps() - unspiked_signal.as_micro_amps())
         / external_slope_micro_amps_per_milli_molar;
     Ok(recovered_milli_molar / spike.as_milli_molar())
 }
@@ -117,10 +116,7 @@ mod tests {
         for slope in [10.0, 5.0, 1.3] {
             let s = series(0.75, slope, &[0.0, 0.25, 0.5, 1.0]);
             let est = estimate_unknown(&s).unwrap();
-            assert!(
-                (est.as_milli_molar() - 0.75).abs() < 1e-9,
-                "slope {slope}"
-            );
+            assert!((est.as_milli_molar() - 0.75).abs() < 1e-9, "slope {slope}");
         }
     }
 

@@ -1,55 +1,65 @@
 //! Property tests for the analytics crate: regression exactness,
 //! detector bounds, and limit arithmetic over randomized data.
-
-use proptest::prelude::*;
+//! Sampled deterministically via `bios_prng::cases`.
 
 use bios_analytics::{
-    detect_linear_range, detection_limit, quantification_limit, CalibrationCurve,
-    CalibrationPoint, LinearFit, LinearRangeOptions,
+    detect_linear_range, detection_limit, quantification_limit, CalibrationCurve, CalibrationPoint,
+    LinearFit, LinearRangeOptions,
 };
+use bios_prng::cases;
 use bios_units::{Amperes, Molar, SquareCm};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// OLS recovers an exact line perfectly for any slope/intercept.
-    #[test]
-    fn exact_line_recovery(
-        slope in -1e3f64..1e3,
-        intercept in -1e3f64..1e3,
-        n in 3usize..50,
-    ) {
+/// OLS recovers an exact line perfectly for any slope/intercept.
+#[test]
+fn exact_line_recovery() {
+    cases(0x0501, 64, |rng| {
+        let slope = rng.uniform_in(-1e3, 1e3);
+        let intercept = rng.uniform_in(-1e3, 1e3);
+        let n = rng.index_in(3, 50);
         let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.37).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let fit = LinearFit::fit(&xs, &ys).unwrap();
-        prop_assert!((fit.slope() - slope).abs() < 1e-6 + slope.abs() * 1e-9);
-        prop_assert!((fit.intercept() - intercept).abs() < 1e-6 + intercept.abs() * 1e-9);
-        prop_assert!(fit.r_squared() > 1.0 - 1e-9 || slope == 0.0);
-    }
+        assert!((fit.slope() - slope).abs() < 1e-6 + slope.abs() * 1e-9);
+        assert!((fit.intercept() - intercept).abs() < 1e-6 + intercept.abs() * 1e-9);
+        assert!(fit.r_squared() > 1.0 - 1e-9 || slope == 0.0);
+    });
+}
 
-    /// R² is invariant under affine rescaling of both axes.
-    #[test]
-    fn r_squared_scale_invariant(
-        seed_pts in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 5..30),
-        sx in 0.01f64..100.0,
-        sy in 0.01f64..100.0,
-    ) {
-        let xs: Vec<f64> = seed_pts.iter().enumerate().map(|(i, p)| i as f64 + p.0 / 100.0).collect();
+/// R² is invariant under affine rescaling of both axes.
+#[test]
+fn r_squared_scale_invariant() {
+    cases(0x0502, 64, |rng| {
+        let n = rng.index_in(5, 30);
+        let seed_pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.uniform_in(-10.0, 10.0), rng.uniform_in(-10.0, 10.0)))
+            .collect();
+        let sx = rng.log_uniform_in(0.01, 100.0);
+        let sy = rng.log_uniform_in(0.01, 100.0);
+        let xs: Vec<f64> = seed_pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 + p.0 / 100.0)
+            .collect();
         let ys: Vec<f64> = seed_pts.iter().map(|p| p.0 * 2.0 + p.1).collect();
         let fit1 = LinearFit::fit(&xs, &ys).unwrap();
         let xs2: Vec<f64> = xs.iter().map(|x| x * sx).collect();
         let ys2: Vec<f64> = ys.iter().map(|y| y * sy).collect();
         let fit2 = LinearFit::fit(&xs2, &ys2).unwrap();
-        prop_assert!((fit1.r_squared() - fit2.r_squared()).abs() < 1e-9);
+        assert!((fit1.r_squared() - fit2.r_squared()).abs() < 1e-9);
         // Slope transforms as sy/sx.
-        prop_assert!((fit2.slope() - fit1.slope() * sy / sx).abs()
-            < 1e-9 * (1.0 + fit1.slope().abs() * sy / sx));
-    }
+        assert!(
+            (fit2.slope() - fit1.slope() * sy / sx).abs()
+                < 1e-9 * (1.0 + fit1.slope().abs() * sy / sx)
+        );
+    });
+}
 
-    /// Fit residual SD of a noisy line is of the order of the injected
-    /// noise amplitude.
-    #[test]
-    fn residual_sd_tracks_noise(amp in 0.01f64..1.0) {
+/// Fit residual SD of a noisy line is of the order of the injected
+/// noise amplitude.
+#[test]
+fn residual_sd_tracks_noise() {
+    cases(0x0503, 64, |rng| {
+        let amp = rng.uniform_in(0.01, 1.0);
         let xs: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
         let ys: Vec<f64> = xs
             .iter()
@@ -59,37 +69,38 @@ proptest! {
         let fit = LinearFit::fit(&xs, &ys).unwrap();
         // sin-noise has RMS amp/√2.
         let expected = amp / 2f64.sqrt();
-        prop_assert!(fit.residual_sd() < expected * 1.5);
-        prop_assert!(fit.residual_sd() > expected * 0.5);
-    }
+        assert!(fit.residual_sd() < expected * 1.5);
+        assert!(fit.residual_sd() > expected * 0.5);
+    });
+}
 
-    /// LOD and LOQ scale exactly with noise and inversely with slope;
-    /// LOQ/LOD = 10/3 always.
-    #[test]
-    fn limit_arithmetic(
-        sigma_na in 0.01f64..100.0,
-        slope in 0.01f64..1e3,
-    ) {
+/// LOD and LOQ scale exactly with noise and inversely with slope;
+/// LOQ/LOD = 10/3 always.
+#[test]
+fn limit_arithmetic() {
+    cases(0x0504, 64, |rng| {
+        let sigma_na = rng.log_uniform_in(0.01, 100.0);
+        let slope = rng.log_uniform_in(0.01, 1e3);
         let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[0.0, slope, 2.0 * slope]).unwrap();
         let sigma = Amperes::from_nano_amps(sigma_na);
         let lod = detection_limit(sigma, &fit).unwrap();
         let loq = quantification_limit(sigma, &fit).unwrap();
-        prop_assert!((loq.as_molar() / lod.as_molar() - 10.0 / 3.0).abs() < 1e-9);
+        assert!((loq.as_molar() / lod.as_molar() - 10.0 / 3.0).abs() < 1e-9);
         let expected_milli_molar = 3.0 * sigma_na * 1e-3 / slope;
-        prop_assert!((lod.as_milli_molar() - expected_milli_molar).abs()
-            / expected_milli_molar < 1e-9);
-    }
+        assert!((lod.as_milli_molar() - expected_milli_molar).abs() / expected_milli_molar < 1e-9);
+    });
+}
 
-    /// The linear-range detector returns a range inside the sweep, with
-    /// a fit whose length matches the included points, for any
-    /// saturating curve.
-    #[test]
-    fn detector_output_is_well_formed(
-        km in 0.2f64..50.0,
-        vmax in 1.0f64..100.0,
-        n in 8usize..60,
-        top in 1.0f64..20.0,
-    ) {
+/// The linear-range detector returns a range inside the sweep, with
+/// a fit whose length matches the included points, for any
+/// saturating curve.
+#[test]
+fn detector_output_is_well_formed() {
+    cases(0x0505, 64, |rng| {
+        let km = rng.uniform_in(0.2, 50.0);
+        let vmax = rng.uniform_in(1.0, 100.0);
+        let n = rng.index_in(8, 60);
+        let top = rng.uniform_in(1.0, 20.0);
         let points: Vec<CalibrationPoint> = (0..n)
             .map(|k| {
                 let c = top * k as f64 / (n - 1) as f64;
@@ -105,20 +116,20 @@ proptest! {
             SquareCm::from_square_cm(1.0),
             Amperes::from_nano_amps(1.0),
         );
-        let (range, fit) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
-        prop_assert!(range.low().as_milli_molar() >= -1e-12);
-        prop_assert!(range.high().as_milli_molar() <= top + 1e-9);
-        prop_assert!(fit.len() >= 3);
-        prop_assert!(fit.slope() > 0.0);
-    }
+        let (range, fit) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        assert!(range.low().as_milli_molar() >= -1e-12);
+        assert!(range.high().as_milli_molar() <= top + 1e-9);
+        assert!(fit.len() >= 3);
+        assert!(fit.slope() > 0.0);
+    });
+}
 
-    /// A strictly linear calibration is always detected in full.
-    #[test]
-    fn fully_linear_data_fully_included(
-        slope in 0.1f64..100.0,
-        n in 6usize..40,
-    ) {
+/// A strictly linear calibration is always detected in full.
+#[test]
+fn fully_linear_data_fully_included() {
+    cases(0x0506, 64, |rng| {
+        let slope = rng.log_uniform_in(0.1, 100.0);
+        let n = rng.index_in(6, 40);
         let points: Vec<CalibrationPoint> = (0..n)
             .map(|k| {
                 let c = k as f64 * 0.1;
@@ -134,16 +145,19 @@ proptest! {
             SquareCm::from_square_cm(1.0),
             Amperes::from_nano_amps(1.0),
         );
-        let (range, fit) =
-            detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
-        prop_assert!((range.high().as_milli_molar() - top).abs() < 1e-9);
-        prop_assert!((fit.slope() - slope).abs() / slope < 1e-9);
-    }
+        let (range, fit) = detect_linear_range(&curve, &LinearRangeOptions::default()).unwrap();
+        assert!((range.high().as_milli_molar() - top).abs() < 1e-9);
+        assert!((fit.slope() - slope).abs() / slope < 1e-9);
+    });
+}
 
-    /// Replicate statistics: the mean lies between min and max and the
-    /// SD is zero iff all replicates coincide.
-    #[test]
-    fn replicate_statistics(reps in prop::collection::vec(0.0f64..100.0, 1..10)) {
+/// Replicate statistics: the mean lies between min and max and the
+/// SD is zero iff all replicates coincide.
+#[test]
+fn replicate_statistics() {
+    cases(0x0507, 64, |rng| {
+        let n = rng.index_in(1, 10);
+        let reps: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.0, 100.0)).collect();
         let point = CalibrationPoint::new(
             Molar::from_milli_molar(1.0),
             reps.iter().map(|&r| Amperes::from_micro_amps(r)).collect(),
@@ -151,13 +165,13 @@ proptest! {
         let mean = point.mean_current().as_micro_amps();
         let lo = reps.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = reps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
         let sd = point.current_sd().as_micro_amps();
         let all_same = reps.iter().all(|&r| (r - reps[0]).abs() < 1e-12);
         if all_same {
-            prop_assert!(sd < 1e-9);
+            assert!(sd < 1e-9);
         } else {
-            prop_assert!(sd > 0.0);
+            assert!(sd > 0.0);
         }
-    }
+    });
 }

@@ -1,38 +1,30 @@
-//! Criterion benchmarks of the calibration protocols and platform
+//! Wall-clock benchmarks of the calibration protocols and platform
 //! multiplexing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bios_bench::timing::BenchGroup;
 use bios_core::catalog;
 use bios_core::platform::SensingPlatform;
 use bios_core::protocol::{CalibrationProtocol, Chronoamperometry};
 use bios_core::Sample;
 
-fn bench_calibration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("calibration");
-    group.sample_size(30);
+fn bench_calibration() {
+    let group = BenchGroup::new("calibration");
     let entry = catalog::our_glucose_sensor();
     let sensor = entry.build_sensor();
     let standards = entry.sweep().linspace(entry.sweep_points());
-    group.bench_function("chronoamperometric_sweep_25pts", |b| {
-        b.iter(|| {
-            let mut chain = entry.build_readout(7);
-            black_box(Chronoamperometry::default().calibrate(
-                &sensor,
-                &mut chain,
-                &standards,
-            ))
-        });
+    group.bench("chronoamperometric_sweep_25pts", || {
+        let mut chain = entry.build_readout(7);
+        black_box(Chronoamperometry::default().calibrate(&sensor, &mut chain, &standards))
     });
-    group.bench_function("full_entry_run_with_analysis", |b| {
-        b.iter(|| black_box(entry.run_calibration(7).expect("calibration runs")));
+    group.bench("full_entry_run_with_analysis", || {
+        black_box(entry.run_calibration(7).expect("calibration runs"))
     });
-    group.finish();
 }
 
-fn bench_platform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("platform");
+fn bench_platform() {
+    let group = BenchGroup::new("platform");
     let mut platform = SensingPlatform::epfl_chip(3);
     platform
         .mount(0, catalog::our_glucose_sensor().build_sensor())
@@ -44,11 +36,12 @@ fn bench_platform(c: &mut Criterion) {
         .mount(2, catalog::our_glutamate_sensor().build_sensor())
         .expect("mount");
     let sample = Sample::cell_culture_medium();
-    group.bench_function("measure_all_3_channels", |b| {
-        b.iter(|| black_box(platform.measure_all(black_box(&sample))));
+    group.bench("measure_all_3_channels", || {
+        black_box(platform.measure_all(black_box(&sample)))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_calibration, bench_platform);
-criterion_main!(benches);
+fn main() {
+    bench_calibration();
+    bench_platform();
+}

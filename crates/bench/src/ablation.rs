@@ -26,7 +26,10 @@ fn sensor_with(modification: SurfaceModification) -> Biosensor {
     Biosensor::builder("ablation glucose sensor", Analyte::Glucose)
         .electrode(ElectrodeStock::EpflMicroChip.working_electrode())
         .modification(modification)
-        .oxidase(Oxidase::stock(OxidaseKind::GlucoseOxidase), reference_film())
+        .oxidase(
+            Oxidase::stock(OxidaseKind::GlucoseOxidase),
+            reference_film(),
+        )
         .technique(Technique::paper_chronoamperometry())
         .build()
 }
@@ -81,11 +84,9 @@ pub fn render_readout_ablation(seed: u64) -> String {
     ];
     let mut t = TextTable::new(vec!["Readout", "noise RMS", "LOD", "R²"]);
     for (name, chain) in chains {
-        let mut chain =
-            chain.auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
+        let mut chain = chain.auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
         let noise = chain.noise_rms();
-        let curve =
-            Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 15);
+        let curve = Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 15);
         let summary = curve
             .summary(&LinearRangeOptions::default())
             .expect("calibration analyzable");
@@ -117,8 +118,7 @@ pub fn render_filter_ablation(seed: u64) -> String {
         let mut chain = ReadoutChain::benchtop(seed).with_filter(filter);
         let trace = vec![bios_units::Amperes::ZERO; 400];
         let filtered = chain.digitize_trace(&trace);
-        let mean: f64 =
-            filtered.iter().map(|i| i.as_amps()).sum::<f64>() / filtered.len() as f64;
+        let mean: f64 = filtered.iter().map(|i| i.as_amps()).sum::<f64>() / filtered.len() as f64;
         let var: f64 = filtered
             .iter()
             .map(|i| (i.as_amps() - mean).powi(2))
@@ -129,7 +129,10 @@ pub fn render_filter_ablation(seed: u64) -> String {
             format!("{:.1} pA", var.sqrt() * 1e12),
         ]);
     }
-    format!("Ablation 3 — digital post-filter (benchtop chain blanks)\n{}", t.render())
+    format!(
+        "Ablation 3 — digital post-filter (benchtop chain blanks)\n{}",
+        t.render()
+    )
 }
 
 /// Ablation 4 — linear-range detector tolerance: how the detected range
@@ -155,13 +158,83 @@ pub fn render_tolerance_ablation(seed: u64) -> String {
             Ok((range, fit)) => t.add_row(vec![
                 format!("{:.0}%", tol * 100.0),
                 range.to_string(),
-                format!("{:.2}", fit.slope() / sensor.electrode().area().as_square_cm()),
+                format!(
+                    "{:.2}",
+                    fit.slope() / sensor.electrode().area().as_square_cm()
+                ),
             ]),
-            Err(e) => t.add_row(vec![format!("{:.0}%", tol * 100.0), e.to_string(), "–".into()]),
+            Err(e) => t.add_row(vec![
+                format!("{:.0}%", tol * 100.0),
+                e.to_string(),
+                "–".into(),
+            ]),
         }
     }
     format!(
         "Ablation 4 — linearity tolerance (our glucose sensor, paper range 0–1 mM)\n{}",
+        t.render()
+    )
+}
+
+/// Ablation 5 — seed stability: the paper's glucose sensor calibrated
+/// across many noise seeds through the fleet runtime, exposing the
+/// Monte-Carlo spread hiding behind every single-seed table row.
+#[must_use]
+pub fn render_seed_ablation(seed0: u64, replicates: usize) -> String {
+    use bios_core::catalog;
+    use bios_runtime::{Fleet, Runtime, RuntimeConfig};
+
+    let runtime = Runtime::new(RuntimeConfig::from_env());
+    let fleet = Fleet::builder("seed-stability")
+        .sensor(catalog::our_glucose_sensor())
+        .seeds(seed0..seed0 + replicates as u64)
+        .build();
+    let report = runtime.run(&fleet);
+
+    let stats = |values: &[f64]| -> (f64, f64) {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (values.len().max(2) - 1) as f64;
+        (mean, var.sqrt())
+    };
+    let sensitivities: Vec<f64> = report
+        .successes()
+        .map(|(_, o)| {
+            o.summary
+                .sensitivity
+                .as_micro_amps_per_milli_molar_square_cm()
+        })
+        .collect();
+    let lods: Vec<f64> = report
+        .successes()
+        .map(|(_, o)| o.summary.detection_limit.as_micro_molar())
+        .collect();
+    let r2s: Vec<f64> = report
+        .successes()
+        .map(|(_, o)| o.summary.r_squared)
+        .collect();
+
+    let mut t = TextTable::new(vec!["figure of merit", "mean", "SD"]);
+    let (m, s) = stats(&sensitivities);
+    t.add_row(vec![
+        "sensitivity (µA·mM⁻¹·cm⁻²)".into(),
+        format!("{m:.2}"),
+        format!("{s:.3}"),
+    ]);
+    let (m, s) = stats(&lods);
+    t.add_row(vec![
+        "LOD (µM)".into(),
+        format!("{m:.2}"),
+        format!("{s:.3}"),
+    ]);
+    let (m, s) = stats(&r2s);
+    t.add_row(vec!["R²".into(), format!("{m:.5}"), format!("{s:.6}")]);
+    format!(
+        "Ablation 5 — seed stability (our glucose sensor, {} seeds on {} workers, \
+         {} failures)\n{}",
+        replicates,
+        report.workers,
+        report.failures().count(),
         t.render()
     )
 }
@@ -179,8 +252,10 @@ mod tests {
         assert!(s.contains("MWCNT/Nafion"));
         let bare = sensor_with(SurfaceModification::bare()).model_sensitivity();
         let cnt = sensor_with(SurfaceModification::mwcnt_nafion()).model_sensitivity();
-        assert!(cnt.as_micro_amps_per_milli_molar_square_cm()
-            > 3.0 * bare.as_micro_amps_per_milli_molar_square_cm());
+        assert!(
+            cnt.as_micro_amps_per_milli_molar_square_cm()
+                > 3.0 * bare.as_micro_amps_per_milli_molar_square_cm()
+        );
     }
 
     #[test]
@@ -202,5 +277,13 @@ mod tests {
         let s = render_filter_ablation(3);
         assert!(s.contains("none"));
         assert!(s.contains("moving average (9)"));
+    }
+
+    #[test]
+    fn seed_ablation_reports_spread() {
+        let s = render_seed_ablation(0, 8);
+        assert!(s.contains("8 seeds"));
+        assert!(s.contains("0 failures"));
+        assert!(s.contains("sensitivity"));
     }
 }

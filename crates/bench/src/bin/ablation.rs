@@ -1,5 +1,6 @@
-//! Runs the three ablation studies: surface modification, readout
-//! electronics, and digital post-filtering.
+//! Runs the ablation studies: surface modification, readout
+//! electronics, digital post-filtering, linearity tolerance, and the
+//! fleet-runtime seed-stability sweep.
 //!
 //! Usage: `cargo run -p bios-bench --bin ablation [-- --seed N]`
 
@@ -13,4 +14,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_readout_ablation(seed));
     println!("{}", bios_bench::ablation::render_filter_ablation(seed));
     println!("{}", bios_bench::ablation::render_tolerance_ablation(seed));
+    println!("{}", bios_bench::ablation::render_seed_ablation(seed, 32));
 }

@@ -1,8 +1,105 @@
 //! Prints the §2 classification-survey statistics from the literature
-//! registry.
+//! registry, then benchmarks the fleet runtime (full catalog × several
+//! seeds, sequential vs pooled) and writes the measurements to
+//! `BENCH_runtime.json`.
 //!
-//! Usage: `cargo run -p bios-bench --bin survey`
+//! Usage: `cargo run -p bios-bench --release --bin survey [-- --workers N]`
+
+use std::io::Write;
+
+use bios_core::catalog;
+use bios_runtime::{Fleet, Runtime, RuntimeConfig};
 
 fn main() {
     print!("{}", bios_bench::render_survey());
+
+    let mut config = RuntimeConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            config = config.with_workers(
+                args.next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers needs a positive integer"),
+            );
+        }
+    }
+
+    // The benchmark fleet: every catalog sensor (Table 2 rows plus the
+    // multi-panel entries) across several replicate seeds.
+    let mut sensors = catalog::all_table2();
+    sensors.extend(catalog::multi_panel_sensors());
+    let fleet = Fleet::builder("survey-bench")
+        .sensors(sensors)
+        .seeds(0..6)
+        .build();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let sequential = Runtime::new(RuntimeConfig::default().with_workers(1).with_cache(false))
+        .run_sequential(&fleet);
+    let runtime = Runtime::new(config);
+    let concurrent = runtime.run(&fleet);
+    assert_eq!(
+        sequential.summaries_digest(),
+        concurrent.summaries_digest(),
+        "fleet results must not depend on the worker count"
+    );
+    // Second pass over the same fleet: the steady state of repeated
+    // catalog/bench runs, served from the memo cache.
+    let cached = runtime.run(&fleet);
+
+    let speedup = sequential.elapsed.as_secs_f64() / concurrent.elapsed.as_secs_f64();
+    let warm_speedup = sequential.elapsed.as_secs_f64() / cached.elapsed.as_secs_f64();
+    let metrics = runtime.metrics();
+    println!(
+        "\nFleet runtime benchmark ({} jobs, {} cores):",
+        fleet.len(),
+        cores
+    );
+    println!(
+        "  sequential: {:?} ({:.1} jobs/s)",
+        sequential.elapsed,
+        sequential.throughput_jobs_per_sec()
+    );
+    println!(
+        "  {} workers, cold: {:?} ({:.1} jobs/s, {:.2}x)",
+        concurrent.workers,
+        concurrent.elapsed,
+        concurrent.throughput_jobs_per_sec(),
+        speedup
+    );
+    println!(
+        "  {} workers, warm cache: {:?} ({:.1} jobs/s, {:.2}x, {} of {} jobs from cache)",
+        cached.workers,
+        cached.elapsed,
+        cached.throughput_jobs_per_sec(),
+        warm_speedup,
+        cached.cache_hits(),
+        fleet.len()
+    );
+
+    let json = format!(
+        "{{\n  \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
+         \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
+         \"warm_cache_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
+         \"warm_cache_speedup\": {:.3},\n  \
+         \"throughput_jobs_per_sec\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"metrics\": {}\n}}\n",
+        concurrent.workers,
+        cores,
+        fleet.len(),
+        sequential.elapsed.as_secs_f64(),
+        concurrent.elapsed.as_secs_f64(),
+        cached.elapsed.as_secs_f64(),
+        speedup,
+        warm_speedup,
+        cached.throughput_jobs_per_sec(),
+        metrics.cache_hit_rate(),
+        metrics.to_json(),
+    );
+    let path = "BENCH_runtime.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

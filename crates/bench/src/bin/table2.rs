@@ -2,18 +2,26 @@
 //! detection limit for all 18 sensor configurations, comparing the
 //! simulated figures of merit against the published ones.
 //!
+//! Calibrations fan out across the fleet runtime's worker pool; pass
+//! `--sequential` for the single-threaded parity path.
+//!
 //! Usage:
-//!   cargo run -p bios-bench --bin table2              # all blocks
-//!   cargo run -p bios-bench --bin table2 -- glucose   # one block
-//!   cargo run -p bios-bench --bin table2 -- --seed 7  # change the seed
+//!   cargo run -p bios-bench --bin table2                 # all blocks
+//!   cargo run -p bios-bench --bin table2 -- glucose      # one block
+//!   cargo run -p bios-bench --bin table2 -- --seed 7     # change the seed
+//!   cargo run -p bios-bench --bin table2 -- --workers 8  # pool size
+//!   cargo run -p bios-bench --bin table2 -- --sequential # parity path
 
-use bios_bench::BlockReport;
+use bios_bench::{table2_blocks, BlockReport};
 use bios_core::catalog;
+use bios_runtime::{Runtime, RuntimeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut block: Option<String> = None;
+    let mut config = RuntimeConfig::from_env();
+    let mut sequential = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -23,6 +31,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs an integer");
             }
+            "--workers" => {
+                config = config.with_workers(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--workers needs a positive integer"),
+                );
+            }
+            "--sequential" => sequential = true,
             name => block = Some(name.to_lowercase()),
         }
     }
@@ -36,19 +52,27 @@ fn main() {
             eprintln!("unknown block '{other}'; use glucose|lactate|glutamate|cyp");
             std::process::exit(2);
         }
-        None => vec![
-            ("GLUCOSE", catalog::glucose_sensors()),
-            ("LACTATE", catalog::lactate_sensors()),
-            ("GLUTAMATE", catalog::glutamate_sensors()),
-            ("CYP450 DRUG SENSORS", catalog::cyp_sensors()),
-        ],
+        None => table2_blocks(),
     };
 
+    let runtime = Runtime::new(config);
     println!("Table 2: Comparison of electrochemical enzyme-based biosensors");
-    println!("(simulated calibration, seed {seed})\n");
+    println!(
+        "(simulated calibration, seed {seed}, {} path)\n",
+        if sequential {
+            "sequential".to_owned()
+        } else {
+            format!("{} workers", runtime.workers())
+        }
+    );
     let mut all_ok = true;
     for (title, entries) in blocks {
-        match BlockReport::run(title, entries, seed) {
+        let report = if sequential {
+            BlockReport::run(title, entries, seed).map_err(|e| e.to_string())
+        } else {
+            BlockReport::run_on(&runtime, title, entries, seed).map_err(|e| e.to_string())
+        };
+        match report {
             Ok(report) => {
                 println!("{}", report.render());
                 all_ok &= report.ordering_preserved();

@@ -12,19 +12,21 @@
 //!   `glutamate`, `cyp`).
 //! * `survey` — the §2 classification registry statistics.
 //!
-//! Criterion benches (`cargo bench -p bios-bench`) measure simulation
+//! Wall-clock benches (`cargo bench -p bios-bench`) measure simulation
 //! throughput of the physics kernels, the calibration protocols, and the
-//! full table regeneration.
+//! full table regeneration via the std-only [`timing`] harness.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod timing;
 
 use bios_analytics::report::{format_percent, TextTable};
 use bios_analytics::CalibrationSummary;
 use bios_core::catalog::{self, CatalogEntry};
 use bios_core::classification::{SensorRegistry, Transduction};
 use bios_core::CoreError;
+use bios_runtime::{Fleet, JobError, Runtime};
 
 /// One Table 2 row compared paper-vs-simulation.
 #[derive(Debug, Clone)]
@@ -40,7 +42,10 @@ impl RowComparison {
     #[must_use]
     pub fn sensitivity_error(&self) -> f64 {
         let paper = self.entry.paper().sensitivity;
-        (self.measured.sensitivity.as_micro_amps_per_milli_molar_square_cm()
+        (self
+            .measured
+            .sensitivity
+            .as_micro_amps_per_milli_molar_square_cm()
             - paper.as_micro_amps_per_milli_molar_square_cm())
             / paper.as_micro_amps_per_milli_molar_square_cm()
     }
@@ -58,9 +63,7 @@ impl RowComparison {
     #[must_use]
     pub fn lod_error(&self) -> Option<f64> {
         let paper = self.entry.paper().detection_limit?;
-        Some(
-            (self.measured.detection_limit.as_molar() - paper.as_molar()) / paper.as_molar(),
-        )
+        Some((self.measured.detection_limit.as_molar() - paper.as_molar()) / paper.as_molar())
     }
 }
 
@@ -79,7 +82,11 @@ impl BlockReport {
     /// # Errors
     ///
     /// Propagates the first calibration failure.
-    pub fn run(title: &str, entries: Vec<CatalogEntry>, seed: u64) -> Result<BlockReport, CoreError> {
+    pub fn run(
+        title: &str,
+        entries: Vec<CatalogEntry>,
+        seed: u64,
+    ) -> Result<BlockReport, CoreError> {
         let rows = entries
             .into_iter()
             .map(|entry| {
@@ -90,6 +97,43 @@ impl BlockReport {
                 })
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(BlockReport {
+            title: title.to_owned(),
+            rows,
+        })
+    }
+
+    /// Runs the block through the fleet runtime: jobs fan out across
+    /// the runtime's workers and repeat runs hit its memo cache. Keeps
+    /// the [`BlockReport::run`] contract by failing on the first job
+    /// error; drive [`Runtime::run`] directly when per-job error
+    /// aggregation is wanted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-job error (calibration failure or worker
+    /// panic).
+    pub fn run_on(
+        runtime: &Runtime,
+        title: &str,
+        entries: Vec<CatalogEntry>,
+        seed: u64,
+    ) -> Result<BlockReport, JobError> {
+        let fleet = Fleet::builder(title)
+            .sensors(entries.iter().cloned())
+            .seed(seed)
+            .build();
+        let report = runtime.run(&fleet);
+        let rows = entries
+            .into_iter()
+            .zip(report.results)
+            .map(|(entry, result)| {
+                result.outcome.map(|outcome| RowComparison {
+                    entry,
+                    measured: outcome.summary,
+                })
+            })
+            .collect::<Result<Vec<_>, JobError>>()?;
         Ok(BlockReport {
             title: title.to_owned(),
             rows,
@@ -154,7 +198,10 @@ impl BlockReport {
                 format!(
                     "{}{}",
                     row.entry.label(),
-                    row.entry.citation().map(|c| format!(" {c}")).unwrap_or_default()
+                    row.entry
+                        .citation()
+                        .map(|c| format!(" {c}"))
+                        .unwrap_or_default()
                 ),
                 format!(
                     "{:.2}",
@@ -169,9 +216,9 @@ impl BlockReport {
                 format_percent(row.sensitivity_error()),
                 paper.linear_range.to_string(),
                 row.measured.linear_range.to_string(),
-                paper
-                    .detection_limit
-                    .map_or("–".to_owned(), |l| format!("{:.2} µM", l.as_micro_molar())),
+                paper.detection_limit.map_or("–".to_owned(), |l| {
+                    format!("{:.2} µM", l.as_micro_molar())
+                }),
                 format!("{:.2} µM", row.measured.detection_limit.as_micro_molar()),
             ]);
         }
@@ -179,23 +226,49 @@ impl BlockReport {
             "{}\n{}ordering preserved: {}\n",
             self.title,
             t.render(),
-            if self.ordering_preserved() { "yes" } else { "NO" }
+            if self.ordering_preserved() {
+                "yes"
+            } else {
+                "NO"
+            }
         )
     }
 }
 
-/// Runs all four Table 2 blocks.
+/// The four Table 2 blocks in paper order.
+#[must_use]
+pub fn table2_blocks() -> Vec<(&'static str, Vec<CatalogEntry>)> {
+    vec![
+        ("GLUCOSE", catalog::glucose_sensors()),
+        ("LACTATE", catalog::lactate_sensors()),
+        ("GLUTAMATE", catalog::glutamate_sensors()),
+        ("CYP450 DRUG SENSORS", catalog::cyp_sensors()),
+    ]
+}
+
+/// Runs all four Table 2 blocks sequentially on the calling thread —
+/// the parity reference for [`run_table2_on`].
 ///
 /// # Errors
 ///
 /// Propagates the first calibration failure.
 pub fn run_table2(seed: u64) -> Result<Vec<BlockReport>, CoreError> {
-    Ok(vec![
-        BlockReport::run("GLUCOSE", catalog::glucose_sensors(), seed)?,
-        BlockReport::run("LACTATE", catalog::lactate_sensors(), seed)?,
-        BlockReport::run("GLUTAMATE", catalog::glutamate_sensors(), seed)?,
-        BlockReport::run("CYP450 DRUG SENSORS", catalog::cyp_sensors(), seed)?,
-    ])
+    table2_blocks()
+        .into_iter()
+        .map(|(title, entries)| BlockReport::run(title, entries, seed))
+        .collect()
+}
+
+/// Runs all four Table 2 blocks through the fleet runtime.
+///
+/// # Errors
+///
+/// Returns the first per-job error.
+pub fn run_table2_on(runtime: &Runtime, seed: u64) -> Result<Vec<BlockReport>, JobError> {
+    table2_blocks()
+        .into_iter()
+        .map(|(title, entries)| BlockReport::run_on(runtime, title, entries, seed))
+        .collect()
 }
 
 /// Renders Table 1 (targets, probes, techniques of the seven developed
@@ -211,7 +284,10 @@ pub fn render_table1() -> String {
             sensor.technique().label().to_owned(),
         ]);
     }
-    format!("Table 1: Features of different metabolite biosensors.\n{}", t.render())
+    format!(
+        "Table 1: Features of different metabolite biosensors.\n{}",
+        t.render()
+    )
 }
 
 /// Renders the §2 survey statistics from the classification registry,
@@ -231,7 +307,10 @@ pub fn render_survey() -> String {
         Transduction::SurfacePlasmonResonance,
         Transduction::Piezoelectric,
     ] {
-        t.add_row(vec![tx.to_string(), reg.by_transduction(tx).len().to_string()]);
+        t.add_row(vec![
+            tx.to_string(),
+            reg.by_transduction(tx).len().to_string(),
+        ]);
     }
     format!(
         "Section 2 survey registry: {} devices, {:.0}% nanomaterial-enhanced,\n{} electrochemical.\n\n{}",
@@ -296,5 +375,31 @@ mod tests {
         let s = render_survey();
         assert!(s.contains("amperometric"));
         assert!(s.contains("devices"));
+    }
+
+    #[test]
+    fn fleet_block_matches_sequential_block() {
+        let runtime = Runtime::with_workers(4);
+        let fleet = BlockReport::run_on(&runtime, "GLUCOSE", catalog::glucose_sensors(), 42)
+            .expect("fleet block runs");
+        let sequential =
+            BlockReport::run("GLUCOSE", catalog::glucose_sensors(), 42).expect("block runs");
+        assert_eq!(fleet.render(), sequential.render());
+    }
+
+    #[test]
+    fn table2_on_runtime_matches_sequential() {
+        let runtime = Runtime::with_workers(4);
+        let fleet: Vec<String> = run_table2_on(&runtime, 42)
+            .expect("table runs")
+            .iter()
+            .map(BlockReport::render)
+            .collect();
+        let sequential: Vec<String> = run_table2(42)
+            .expect("table runs")
+            .iter()
+            .map(BlockReport::render)
+            .collect();
+        assert_eq!(fleet, sequential);
     }
 }

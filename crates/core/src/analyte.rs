@@ -1,12 +1,10 @@
 //! The analytes the platform detects, and common interferents.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::Molar;
 
 /// Every species the paper's platform measures (Table 1) plus the
 /// endogenous interferents that plague amperometric sensing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Analyte {
     /// Blood sugar — the most-studied metabolite of the last fifty years.
     Glucose,
@@ -141,7 +139,11 @@ mod tests {
 
     #[test]
     fn interferents_are_not_targets() {
-        for a in [Analyte::AscorbicAcid, Analyte::UricAcid, Analyte::Paracetamol] {
+        for a in [
+            Analyte::AscorbicAcid,
+            Analyte::UricAcid,
+            Analyte::Paracetamol,
+        ] {
             assert!(!a.is_platform_target());
         }
     }

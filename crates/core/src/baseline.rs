@@ -8,8 +8,6 @@
 //! so the paper's "first enzyme-based CP sensor" claim can be compared
 //! against the incumbent head-to-head.
 
-use serde::{Deserialize, Serialize};
-
 use bios_analytics::{CalibrationCurve, CalibrationPoint};
 use bios_electrochem::waveform::DifferentialPulse;
 use bios_instrument::ReadoutChain;
@@ -33,7 +31,7 @@ use bios_units::{Amperes, Molar, Seconds, Volts};
 /// let dosed = sensor.guanine_peak(Molar::from_micro_molar(50.0));
 /// assert!(dosed < blank); // signal-off assay
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DnaCpSensor {
     electrode: Electrode,
     /// Undamaged guanine peak current.
@@ -95,8 +93,7 @@ impl DnaCpSensor {
     #[must_use]
     pub fn guanine_peak(&self, cp: Molar) -> Amperes {
         let c = cp.as_molar().max(0.0);
-        let suppression =
-            self.max_suppression * c / (self.affinity.as_molar() + c);
+        let suppression = self.max_suppression * c / (self.affinity.as_molar() + c);
         self.baseline_peak * (1.0 - suppression)
     }
 
@@ -122,17 +119,10 @@ impl DnaCpSensor {
         replicates: usize,
         seed: u64,
     ) -> CalibrationCurve {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
-        let gaussian = move |rng: &mut StdRng| -> f64 {
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
-        let draw_peak = |nominal: Amperes, rng: &mut StdRng| {
-            nominal * (1.0 + self.peak_rsd * gaussian(rng))
-        };
+        use bios_prng::Rng;
+        let mut rng = Rng::seed_from_u64(seed);
+        let draw_peak =
+            |nominal: Amperes, rng: &mut Rng| nominal * (1.0 + self.peak_rsd * rng.gaussian());
 
         // Noise floor: scatter of repeated blank-minus-blank differences
         // (two fresh peak realizations each), matching the calibration
@@ -145,8 +135,8 @@ impl DnaCpSensor {
             })
             .collect();
         let mean = blanks.iter().sum::<f64>() / blanks.len() as f64;
-        let var = blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (blanks.len() - 1) as f64;
+        let var =
+            blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (blanks.len() - 1) as f64;
         let blank_sigma = Amperes::from_amps(var.sqrt());
 
         let points = standards

@@ -20,8 +20,6 @@
 //! reproduced table is an output of the pipeline, not an echo of its
 //! inputs.
 
-use serde::{Deserialize, Serialize};
-
 use bios_analytics::{CalibrationCurve, CalibrationSummary, LinearRangeOptions};
 use bios_enzyme::michaelis::MichaelisMenten;
 use bios_enzyme::{CypIsoform, CypSensorChemistry, EnzymeFilm, Oxidase, OxidaseKind};
@@ -42,7 +40,7 @@ use crate::sensor::{Biosensor, Technique};
 const LINEARITY_TOLERANCE: f64 = 0.05;
 
 /// The paper-reported figures of merit for one Table 2 row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperFigures {
     /// Reported sensitivity.
     pub sensitivity: Sensitivity,
@@ -54,7 +52,7 @@ pub struct PaperFigures {
 }
 
 /// Which enzyme chemistry an entry mounts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ChemistryKind {
     Oxidase(OxidaseKind),
     Cyp(CypIsoform),
@@ -75,7 +73,7 @@ enum ChemistryKind {
 /// let s = sensor.model_sensitivity();
 /// assert!(s.relative_error(ours.paper().sensitivity) < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogEntry {
     id: String,
     label: String,
@@ -142,6 +140,43 @@ impl CatalogEntry {
         self.sweep_points
     }
 
+    /// Returns the entry with a different number of standards in the
+    /// calibration sweep. Mainly useful for stress and fault-injection
+    /// scenarios: fewer than 3 points makes [`CatalogEntry::run_calibration`]
+    /// fail figure-of-merit extraction.
+    #[must_use]
+    pub fn with_sweep_points(mut self, sweep_points: usize) -> CatalogEntry {
+        self.sweep_points = sweep_points;
+        self
+    }
+
+    /// Returns the entry under a different id (e.g. to mount the same
+    /// recipe as several fleet channels without cache aliasing).
+    #[must_use]
+    pub fn with_id(mut self, id: &str) -> CatalogEntry {
+        self.id = id.to_owned();
+        self
+    }
+
+    /// A stable 64-bit fingerprint (FNV-1a) of everything that
+    /// determines the calibration protocol: electrode, modification,
+    /// chemistry, technique, sweep, and the paper figures the film
+    /// recipe is derived from. Entries that would simulate differently
+    /// fingerprint differently, so `(id, fingerprint, seed)` is a sound
+    /// memo-cache key for [`CatalogEntry::run_calibration`].
+    #[must_use]
+    pub fn protocol_fingerprint(&self) -> u64 {
+        // The Debug rendering covers every field of the entry, and f64
+        // Debug output is shortest-round-trip, so distinct bit patterns
+        // render distinctly.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
     /// The apparent Michaelis constant implied by the reported linear
     /// range at the 5 % linearity tolerance.
     #[must_use]
@@ -157,7 +192,10 @@ impl CatalogEntry {
     pub fn build_sensor(&self) -> Biosensor {
         let km_target = self.target_km();
         let coll = self.modification.collection_efficiency();
-        let s_target = self.paper.sensitivity.as_micro_amps_per_milli_molar_square_cm();
+        let s_target = self
+            .paper
+            .sensitivity
+            .as_micro_amps_per_milli_molar_square_cm();
 
         match self.chemistry {
             ChemistryKind::Oxidase(kind) => {
@@ -183,8 +221,7 @@ impl CatalogEntry {
             ChemistryKind::Cyp(isoform) => {
                 let chemistry = CypSensorChemistry::stock(isoform);
                 let km_shift = km_target.as_molar() / chemistry.binding().km().as_molar();
-                let kcat_eff =
-                    chemistry.binding().kcat().as_per_second() * chemistry.coupling();
+                let kcat_eff = chemistry.binding().kcat().as_per_second() * chemistry.coupling();
                 let n = f64::from(chemistry.electrons_per_turnover());
                 let gamma = s_target * km_target.as_molar() / (1e3 * n * FARADAY * coll * kcat_eff);
                 let film = EnzymeFilm::builder()
@@ -832,7 +869,11 @@ mod tests {
             e.paper().sensitivity
         );
         let lod_rel = (s.detection_limit.as_micro_molar() - 2.0).abs() / 2.0;
-        assert!(lod_rel < 1.0, "LOD {} µM", s.detection_limit.as_micro_molar());
+        assert!(
+            lod_rel < 1.0,
+            "LOD {} µM",
+            s.detection_limit.as_micro_molar()
+        );
         assert!(s.r_squared > 0.99);
     }
 
@@ -852,7 +893,11 @@ mod tests {
         for e in multi_panel_sensors() {
             let outcome = e.run_calibration(17).unwrap();
             assert!(
-                outcome.summary.sensitivity.relative_error(e.paper().sensitivity) < 0.15,
+                outcome
+                    .summary
+                    .sensitivity
+                    .relative_error(e.paper().sensitivity)
+                    < 0.15,
                 "{}",
                 e.id()
             );

@@ -11,6 +11,4 @@ pub mod registry;
 pub mod taxonomy;
 
 pub use registry::{SensorClassEntry, SensorRegistry};
-pub use taxonomy::{
-    ElectrodeTechnology, NanoMaterialClass, SensingElement, Target, Transduction,
-};
+pub use taxonomy::{ElectrodeTechnology, NanoMaterialClass, SensingElement, Target, Transduction};

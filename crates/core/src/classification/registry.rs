@@ -1,13 +1,11 @@
 //! The literature survey of §2 as a queryable registry.
 
-use serde::{Deserialize, Serialize};
-
 use super::taxonomy::{
     ElectrodeTechnology, NanoMaterialClass, SensingElement, Target, Transduction,
 };
 
 /// One surveyed device: a point in the five-axis classification space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorClassEntry {
     /// Short description ("glucose SPE strip", "CNT-FET PSA sensor", …).
     pub name: String,
@@ -61,7 +59,7 @@ impl SensorClassEntry {
 ///     assert!(amp > reg.by_transduction(t).len());
 /// }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SensorRegistry {
     entries: Vec<SensorClassEntry>,
 }
@@ -86,108 +84,376 @@ impl SensorRegistry {
         let e = SensorClassEntry::new;
         let entries = vec![
             // §2.1 targets / §2.3 transduction survey.
-            e("DNA microarray (light-generated oligo arrays)", "[35]",
-              T::Dna, El::NucleicAcid, Tx::Optical, None, Tech::Conventional),
-            e("label-free electronic DNA chip", "[45]",
-              T::Dna, El::NucleicAcid, Tx::ImpedimetricCapacitive, None, Tech::Integrated),
-            e("home blood-glucose strip", "[30]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric, None, Tech::Disposable),
-            e("sports-medicine lactate sensor", "[31]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric, None, Tech::Disposable),
-            e("cobalt-oxide cholesterol sensor", "[43]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::Nanoparticle), Tech::Conventional),
-            e("in-vivo glutamate microsensor", "[38]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric, None, Tech::Conventional),
-            e("creatinine biosensor", "[21]",
-              T::Metabolite, El::Enzyme, Tx::Potentiometric, None, Tech::Conventional),
-            e("multiplexed PSA assay", "[58]",
-              T::Biomarker, El::Antibody, Tx::Amperometric, None, Tech::Disposable),
-            e("CA-125 immunosensor (thionine/AuNP carbon paste)", "[47]",
-              T::Biomarker, El::Antibody, Tx::Amperometric,
-              Some(Nano::Nanoparticle), Tech::Conventional),
-            e("SPR autoimmune-antibody panel", "[11]",
-              T::Biomarker, El::Antibody, Tx::SurfacePlasmonResonance, None, Tech::Conventional),
-            e("dengue RNA / hepatitis-B antigen screen", "[11]",
-              T::Pathogen, El::NucleicAcid, Tx::Optical, None, Tech::Disposable),
-            e("cardiac-marker (AMI) protein panel", "[11]",
-              T::Biomarker, El::Antibody, Tx::SurfacePlasmonResonance, None, Tech::Conventional),
-            e("paracetamol / theophylline / chlorpromazine / salicylate monitors", "[53]",
-              T::Drug, El::Enzyme, Tx::Amperometric, None, Tech::Disposable),
-            e("multi-panel P450 drug detector in serum", "[9]",
-              T::Drug, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Disposable),
-            e("ELISA (enzyme-linked immunosorbent assay)", "[25]",
-              T::Biomarker, El::Antibody, Tx::Optical, None, Tech::Conventional),
-            e("ion-channel receptor platform", "[46]",
-              T::Drug, El::Receptor, Tx::Potentiometric, None, Tech::Conventional),
-            e("QCM DNA / immunoassay microbalance", "[13]",
-              T::Dna, El::NucleicAcid, Tx::Piezoelectric, None, Tech::Conventional),
-            e("capacitive microsystem for biomarkers", "[50]",
-              T::Biomarker, El::Antibody, Tx::ImpedimetricCapacitive, None, Tech::Integrated),
-            e("Faradic impedimetric immunosensor", "[37]",
-              T::Biomarker, El::Antibody, Tx::ImpedimetricFaradic, None, Tech::Conventional),
-            e("potentiometric urea / creatinine sensors", "[23]",
-              T::Metabolite, El::Enzyme, Tx::Potentiometric, None, Tech::Conventional),
-            e("ISFET biological sensor", "[24]",
-              T::Metabolite, El::Enzyme, Tx::FieldEffect, None, Tech::Integrated),
-            e("CNT-FET prostate-cancer diagnostic", "[22]",
-              T::Biomarker, El::Antibody, Tx::FieldEffect,
-              Some(Nano::CarbonNanotube), Tech::Integrated),
-            e("nanowire conductometric biosensors", "[39]",
-              T::Biomarker, El::Enzyme, Tx::FieldEffect,
-              Some(Nano::Nanowire), Tech::Integrated),
-            e("AuNP-enhanced voltammetric sensors", "[36]",
-              T::Biomarker, El::Antibody, Tx::Amperometric,
-              Some(Nano::Nanoparticle), Tech::Conventional),
-            e("quantum-dot labeled assays", "[27]",
-              T::Biomarker, El::Antibody, Tx::Optical,
-              Some(Nano::QuantumDot), Tech::Conventional),
-            e("core-shell nanoparticle chemosensors", "[2]",
-              T::Biomarker, El::Antibody, Tx::Optical,
-              Some(Nano::CoreShell), Tech::Conventional),
-            e("direct-ET glucose oxidase on CNT", "[7]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("DNA-modified electrodes for cyclophosphamide", "[32]",
-              T::Drug, El::NucleicAcid, Tx::Amperometric, None, Tech::Disposable),
-            e("3-D stacked bio-electronic interface", "[17]",
-              T::Dna, El::NucleicAcid, Tx::ImpedimetricCapacitive,
-              None, Tech::ThreeDimensionalStack),
+            e(
+                "DNA microarray (light-generated oligo arrays)",
+                "[35]",
+                T::Dna,
+                El::NucleicAcid,
+                Tx::Optical,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "label-free electronic DNA chip",
+                "[45]",
+                T::Dna,
+                El::NucleicAcid,
+                Tx::ImpedimetricCapacitive,
+                None,
+                Tech::Integrated,
+            ),
+            e(
+                "home blood-glucose strip",
+                "[30]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "sports-medicine lactate sensor",
+                "[31]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "cobalt-oxide cholesterol sensor",
+                "[43]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::Nanoparticle),
+                Tech::Conventional,
+            ),
+            e(
+                "in-vivo glutamate microsensor",
+                "[38]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "creatinine biosensor",
+                "[21]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Potentiometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "multiplexed PSA assay",
+                "[58]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Amperometric,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "CA-125 immunosensor (thionine/AuNP carbon paste)",
+                "[47]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Amperometric,
+                Some(Nano::Nanoparticle),
+                Tech::Conventional,
+            ),
+            e(
+                "SPR autoimmune-antibody panel",
+                "[11]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::SurfacePlasmonResonance,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "dengue RNA / hepatitis-B antigen screen",
+                "[11]",
+                T::Pathogen,
+                El::NucleicAcid,
+                Tx::Optical,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "cardiac-marker (AMI) protein panel",
+                "[11]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::SurfacePlasmonResonance,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "paracetamol / theophylline / chlorpromazine / salicylate monitors",
+                "[53]",
+                T::Drug,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "multi-panel P450 drug detector in serum",
+                "[9]",
+                T::Drug,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Disposable,
+            ),
+            e(
+                "ELISA (enzyme-linked immunosorbent assay)",
+                "[25]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Optical,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "ion-channel receptor platform",
+                "[46]",
+                T::Drug,
+                El::Receptor,
+                Tx::Potentiometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "QCM DNA / immunoassay microbalance",
+                "[13]",
+                T::Dna,
+                El::NucleicAcid,
+                Tx::Piezoelectric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "capacitive microsystem for biomarkers",
+                "[50]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::ImpedimetricCapacitive,
+                None,
+                Tech::Integrated,
+            ),
+            e(
+                "Faradic impedimetric immunosensor",
+                "[37]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::ImpedimetricFaradic,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "potentiometric urea / creatinine sensors",
+                "[23]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Potentiometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "ISFET biological sensor",
+                "[24]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::FieldEffect,
+                None,
+                Tech::Integrated,
+            ),
+            e(
+                "CNT-FET prostate-cancer diagnostic",
+                "[22]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::FieldEffect,
+                Some(Nano::CarbonNanotube),
+                Tech::Integrated,
+            ),
+            e(
+                "nanowire conductometric biosensors",
+                "[39]",
+                T::Biomarker,
+                El::Enzyme,
+                Tx::FieldEffect,
+                Some(Nano::Nanowire),
+                Tech::Integrated,
+            ),
+            e(
+                "AuNP-enhanced voltammetric sensors",
+                "[36]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Amperometric,
+                Some(Nano::Nanoparticle),
+                Tech::Conventional,
+            ),
+            e(
+                "quantum-dot labeled assays",
+                "[27]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Optical,
+                Some(Nano::QuantumDot),
+                Tech::Conventional,
+            ),
+            e(
+                "core-shell nanoparticle chemosensors",
+                "[2]",
+                T::Biomarker,
+                El::Antibody,
+                Tx::Optical,
+                Some(Nano::CoreShell),
+                Tech::Conventional,
+            ),
+            e(
+                "direct-ET glucose oxidase on CNT",
+                "[7]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "DNA-modified electrodes for cyclophosphamide",
+                "[32]",
+                T::Drug,
+                El::NucleicAcid,
+                Tx::Amperometric,
+                None,
+                Tech::Disposable,
+            ),
+            e(
+                "3-D stacked bio-electronic interface",
+                "[17]",
+                T::Dna,
+                El::NucleicAcid,
+                Tx::ImpedimetricCapacitive,
+                None,
+                Tech::ThreeDimensionalStack,
+            ),
             // Table 2 literature baselines.
-            e("CNT-mat glucose electrode", "[42]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("MWCNT/Nafion cast glucose film", "[49]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("MWCNT + Au film glucose sensor", "[55]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("butyric-acid MWCNT glucose sensor", "[18]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("CNT-paste lactate electrode", "[41]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("titanate-nanotube lactate sensor", "[57]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::OtherNanotube), Tech::Conventional),
-            e("sol-gel MWCNT lactate film", "[19]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("N-doped CNT lactate electrode", "[16]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("Nafion/GlOD glutamate sensor", "[33]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric, None, Tech::Conventional),
-            e("chitosan/GlOD glutamate film", "[59]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric, None, Tech::Conventional),
-            e("PU/MWCNT polypyrrole glutamate microsensor", "[1]",
-              T::Metabolite, El::Enzyme, Tx::Amperometric,
-              Some(Nano::CarbonNanotube), Tech::Conventional),
-            e("porous-silicon P450 arachidonic-acid sensor", "[14]",
-              T::Metabolite, El::Enzyme, Tx::Optical, None, Tech::Integrated),
+            e(
+                "CNT-mat glucose electrode",
+                "[42]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "MWCNT/Nafion cast glucose film",
+                "[49]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "MWCNT + Au film glucose sensor",
+                "[55]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "butyric-acid MWCNT glucose sensor",
+                "[18]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "CNT-paste lactate electrode",
+                "[41]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "titanate-nanotube lactate sensor",
+                "[57]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::OtherNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "sol-gel MWCNT lactate film",
+                "[19]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "N-doped CNT lactate electrode",
+                "[16]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "Nafion/GlOD glutamate sensor",
+                "[33]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "chitosan/GlOD glutamate film",
+                "[59]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                None,
+                Tech::Conventional,
+            ),
+            e(
+                "PU/MWCNT polypyrrole glutamate microsensor",
+                "[1]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Amperometric,
+                Some(Nano::CarbonNanotube),
+                Tech::Conventional,
+            ),
+            e(
+                "porous-silicon P450 arachidonic-acid sensor",
+                "[14]",
+                T::Metabolite,
+                El::Enzyme,
+                Tx::Optical,
+                None,
+                Tech::Integrated,
+            ),
         ];
         SensorRegistry { entries }
     }
@@ -223,7 +489,10 @@ impl SensorRegistry {
     /// Entries using `element` for recognition.
     #[must_use]
     pub fn by_element(&self, element: SensingElement) -> Vec<&SensorClassEntry> {
-        self.entries.iter().filter(|e| e.element == element).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.element == element)
+            .collect()
     }
 
     /// Entries transduced by `mechanism`.
@@ -268,7 +537,10 @@ impl SensorRegistry {
         if self.entries.is_empty() {
             return 0.0;
         }
-        self.entries.iter().filter(|e| e.nanomaterial.is_some()).count() as f64
+        self.entries
+            .iter()
+            .filter(|e| e.nanomaterial.is_some())
+            .count() as f64
             / self.entries.len() as f64
     }
 
@@ -398,7 +670,10 @@ mod tests {
             .into_iter()
             .filter(|e| e.target == Target::Metabolite)
             .collect();
-        assert_eq!(metabolite_only.len(), reg.by_target(Target::Metabolite).len());
+        assert_eq!(
+            metabolite_only.len(),
+            reg.by_target(Target::Metabolite).len()
+        );
         assert!(!metabolite_only.is_empty());
     }
 

@@ -1,9 +1,7 @@
 //! The five classification axes of §2.
 
-use serde::{Deserialize, Serialize};
-
 /// §2.1 — what the biosensor detects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Target {
     /// Nucleic acids: diagnosis, sequencing, food/environment analysis.
     Dna,
@@ -20,7 +18,7 @@ pub enum Target {
 }
 
 /// §2.2 — the biological recognition element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SensingElement {
     /// Catalytic proteins; need a cofactor; bind analyte at the active
     /// site.
@@ -34,7 +32,7 @@ pub enum SensingElement {
 }
 
 /// §2.3 — how recognition becomes a measurable signal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transduction {
     /// Spectroscopic/colorimetric readout, fluorescent labels.
     Optical,
@@ -71,7 +69,7 @@ impl Transduction {
 }
 
 /// §2.4 — the nanomaterial (if any) enhancing the device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NanoMaterialClass {
     /// Metallic nanoparticles (Au, Ag, Pt).
     Nanoparticle,
@@ -88,7 +86,7 @@ pub enum NanoMaterialClass {
 }
 
 /// §2.5 — electrode / integration technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElectrodeTechnology {
     /// Disposable screen-printed strips — the market-dominant format.
     Disposable,
@@ -182,7 +180,10 @@ mod tests {
         assert_eq!(Target::Dna.to_string(), "DNA");
         assert_eq!(SensingElement::NucleicAcid.to_string(), "nucleic acid");
         assert_eq!(Transduction::SurfacePlasmonResonance.to_string(), "SPR");
-        assert_eq!(NanoMaterialClass::CarbonNanotube.to_string(), "carbon nanotube");
+        assert_eq!(
+            NanoMaterialClass::CarbonNanotube.to_string(),
+            "carbon nanotube"
+        );
         assert_eq!(
             ElectrodeTechnology::ThreeDimensionalStack.to_string(),
             "3-D stacked"

@@ -51,10 +51,7 @@ impl fmt::Display for CoreError {
             CoreError::AnalyteMismatch {
                 expected,
                 requested,
-            } => write!(
-                f,
-                "sensor detects {expected} but {requested} was requested"
-            ),
+            } => write!(f, "sensor detects {expected} but {requested} was requested"),
         }
     }
 }

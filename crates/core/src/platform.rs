@@ -221,10 +221,9 @@ impl SensingPlatform {
 /// a disposable biolayer on top and permanent readout/processing/power
 /// layers below.
 pub mod stack {
-    use serde::{Deserialize, Serialize};
 
     /// A layer's role in the stack.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
     pub enum LayerKind {
         /// The disposable biolayer in contact with the sample.
         BioInterface,
@@ -239,7 +238,7 @@ pub mod stack {
     }
 
     /// One layer of the stack.
-    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    #[derive(Debug, Clone, Copy, PartialEq)]
     pub struct Layer {
         /// The layer's role.
         pub kind: LayerKind,
@@ -261,7 +260,7 @@ pub mod stack {
     /// // fraction of the stack's build cost.
     /// assert!(stack.recurring_cost() < 0.2 * stack.build_cost());
     /// ```
-    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    #[derive(Debug, Clone, PartialEq)]
     pub struct IntegratedStack {
         layers: Vec<Layer>,
     }
@@ -398,9 +397,12 @@ mod tests {
 
     fn loaded_platform() -> SensingPlatform {
         let mut p = SensingPlatform::epfl_chip(7);
-        p.mount(0, catalog::our_glucose_sensor().build_sensor()).unwrap();
-        p.mount(1, catalog::our_lactate_sensor().build_sensor()).unwrap();
-        p.mount(2, catalog::our_glutamate_sensor().build_sensor()).unwrap();
+        p.mount(0, catalog::our_glucose_sensor().build_sensor())
+            .unwrap();
+        p.mount(1, catalog::our_lactate_sensor().build_sensor())
+            .unwrap();
+        p.mount(2, catalog::our_glutamate_sensor().build_sensor())
+            .unwrap();
         p
     }
 
@@ -432,7 +434,9 @@ mod tests {
             p.measure(9, &Sample::blank()),
             Err(CoreError::ChannelOutOfRange { channel: 9, .. })
         ));
-        assert!(p.mount(9, catalog::our_glucose_sensor().build_sensor()).is_err());
+        assert!(p
+            .mount(9, catalog::our_glucose_sensor().build_sensor())
+            .is_err());
     }
 
     #[test]
@@ -463,8 +467,10 @@ mod tests {
     fn crosstalk_leaks_neighbour_signal() {
         let build = |xtalk: f64| {
             let mut p = SensingPlatform::epfl_chip(7).with_crosstalk(xtalk);
-            p.mount(0, catalog::our_glucose_sensor().build_sensor()).unwrap();
-            p.mount(1, catalog::our_lactate_sensor().build_sensor()).unwrap();
+            p.mount(0, catalog::our_glucose_sensor().build_sensor())
+                .unwrap();
+            p.mount(1, catalog::our_lactate_sensor().build_sensor())
+                .unwrap();
             p
         };
         // Strong glucose signal, nothing for the lactate channel.
@@ -474,7 +480,10 @@ mod tests {
         let mut leaky = build(0.05);
         let clean = ideal.measure(1, &sample).unwrap().current;
         let dirty = leaky.measure(1, &sample).unwrap().current;
-        assert!(dirty.as_amps() > clean.as_amps() + 1e-10, "{clean} vs {dirty}");
+        assert!(
+            dirty.as_amps() > clean.as_amps() + 1e-10,
+            "{clean} vs {dirty}"
+        );
         // The leak is ~5 % of the glucose channel's signal.
         let glucose = ideal.measure(0, &sample).unwrap().current;
         let leak = dirty.as_amps() - clean.as_amps();

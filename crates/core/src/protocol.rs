@@ -133,8 +133,8 @@ impl Chronoamperometry {
             .map(|_| self.read_once(chain, Amperes::ZERO).as_amps())
             .collect();
         let mean = blanks.iter().sum::<f64>() / blanks.len() as f64;
-        let var = blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (blanks.len() - 1) as f64;
+        let var =
+            blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (blanks.len() - 1) as f64;
         Amperes::from_amps(var.sqrt())
     }
 }
@@ -202,17 +202,15 @@ impl CalibrationProtocol for CyclicVoltammetry {
             .map(|_| chain.digitize(Amperes::ZERO).as_amps())
             .collect();
         let mean = blanks.iter().sum::<f64>() / blanks.len() as f64;
-        let var = blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (blanks.len() - 1) as f64;
+        let var =
+            blanks.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (blanks.len() - 1) as f64;
         let blank_sigma = Amperes::from_amps(var.sqrt());
 
         let points = standards
             .iter()
             .map(|&c| {
                 let peak = sensor.faradaic_current(c);
-                let replicates = (0..self.replicates)
-                    .map(|_| chain.digitize(peak))
-                    .collect();
+                let replicates = (0..self.replicates).map(|_| chain.digitize(peak)).collect();
                 CalibrationPoint::new(c, replicates)
             })
             .collect();
@@ -249,8 +247,7 @@ mod tests {
         let mut chain = ReadoutChain::benchtop(3)
             .auto_ranged_for(s.faradaic_current(Molar::from_milli_molar(1.5)));
         let range = ConcentrationRange::from_milli_molar(0.0, 1.0).unwrap();
-        let curve =
-            Chronoamperometry::default().calibrate_over(&s, &mut chain, &range, 11);
+        let curve = Chronoamperometry::default().calibrate_over(&s, &mut chain, &range, 11);
         let measured = curve.sensitivity().unwrap();
         let model = s.model_sensitivity();
         let rel = measured.relative_error(model);
@@ -265,8 +262,9 @@ mod tests {
             replicates: 5,
             ..Chronoamperometry::default()
         };
-        let standards: Vec<Molar> =
-            (0..7).map(|k| Molar::from_milli_molar(0.1 * k as f64)).collect();
+        let standards: Vec<Molar> = (0..7)
+            .map(|k| Molar::from_milli_molar(0.1 * k as f64))
+            .collect();
         let curve = protocol.calibrate(&s, &mut chain, &standards);
         assert_eq!(curve.points().len(), 7);
         assert!(curve.points().iter().all(|p| p.replicates().len() == 5));
@@ -301,8 +299,7 @@ mod tests {
     fn transient_decays_to_plateau() {
         let s = sensor();
         let c = Molar::from_milli_molar(0.5);
-        let mut chain = ReadoutChain::benchtop(5)
-            .auto_ranged_for(Amperes::from_micro_amps(1.0));
+        let mut chain = ReadoutChain::benchtop(5).auto_ranged_for(Amperes::from_micro_amps(1.0));
         let protocol = Chronoamperometry::default();
         let trace = protocol.transient(&s, c, &mut chain, Seconds::from_millis(100.0));
         assert!(trace.len() > 100);
@@ -312,14 +309,16 @@ mod tests {
         assert!(early > 3.0 * late, "early {early}, late {late}");
         // …and the tail approaches the model's steady current.
         let plateau = s.faradaic_current(c).as_amps();
-        assert!((late - plateau).abs() / plateau < 0.25, "late {late} vs plateau {plateau}");
+        assert!(
+            (late - plateau).abs() / plateau < 0.25,
+            "late {late} vs plateau {plateau}"
+        );
     }
 
     #[test]
     fn transient_is_eventually_decreasing() {
         let s = sensor();
-        let mut chain = ReadoutChain::benchtop(8)
-            .auto_ranged_for(Amperes::from_micro_amps(1.0));
+        let mut chain = ReadoutChain::benchtop(8).auto_ranged_for(Amperes::from_micro_amps(1.0));
         let trace = Chronoamperometry::default().transient(
             &s,
             Molar::from_milli_molar(0.5),
@@ -359,8 +358,7 @@ mod tests {
         let mut chain = ReadoutChain::benchtop(11)
             .auto_ranged_for(s.faradaic_current(Molar::from_micro_molar(100.0)));
         let range = ConcentrationRange::from_micro_molar(0.0, 70.0).unwrap();
-        let curve =
-            CyclicVoltammetry::default().calibrate_over(&s, &mut chain, &range, 10);
+        let curve = CyclicVoltammetry::default().calibrate_over(&s, &mut chain, &range, 10);
         let fit = curve.fit_all().unwrap();
         assert!(fit.slope() > 0.0);
         assert!(fit.r_squared() > 0.98);

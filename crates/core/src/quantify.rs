@@ -5,13 +5,11 @@
 //! the analyte concentration — or say honestly that the reading is below
 //! the detection limit or beyond the linear range.
 
-use serde::{Deserialize, Serialize};
-
 use bios_analytics::CalibrationSummary;
 use bios_units::{Amperes, ConcentrationRange, Molar, SquareCm};
 
 /// Outcome of quantifying one reading.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Quantification {
     /// A concentration inside the validated range.
     Level(Molar),
@@ -59,7 +57,7 @@ impl Quantification {
 /// assert!((level.as_micro_molar() - 400.0).abs() / 400.0 < 0.15);
 /// # Ok::<(), bios_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantifier {
     /// Calibration slope, µA per mM (already area-integrated).
     slope_micro_amps_per_milli_molar: f64,

@@ -3,8 +3,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::Molar;
 
 use crate::analyte::Analyte;
@@ -26,7 +24,7 @@ use crate::analyte::Analyte;
 /// );
 /// assert!(dosed.concentration(Analyte::Cyclophosphamide).as_micro_molar() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     concentrations: HashMap<Analyte, Molar>,
     /// Fraction of the buffer-calibration slope retained in this matrix
@@ -181,8 +179,7 @@ mod tests {
 
     #[test]
     fn with_and_without_round_trip() {
-        let s = Sample::blank()
-            .with_analyte(Analyte::Ifosfamide, Molar::from_micro_molar(80.0));
+        let s = Sample::blank().with_analyte(Analyte::Ifosfamide, Molar::from_micro_molar(80.0));
         assert!((s.concentration(Analyte::Ifosfamide).as_micro_molar() - 80.0).abs() < 1e-9);
         let s = s.without_analyte(Analyte::Ifosfamide);
         assert!(s.is_blank());
@@ -228,7 +225,10 @@ mod tests {
     #[test]
     fn culture_medium_is_glucose_rich() {
         let m = Sample::cell_culture_medium();
-        assert!(m.concentration(Analyte::Glucose) > Sample::physiological_serum().concentration(Analyte::Glucose));
+        assert!(
+            m.concentration(Analyte::Glucose)
+                > Sample::physiological_serum().concentration(Analyte::Glucose)
+        );
     }
 
     #[test]

@@ -12,8 +12,6 @@
 //! collection efficiency and loading capacity come from the surface
 //! modification.
 
-use serde::{Deserialize, Serialize};
-
 use bios_enzyme::michaelis::MichaelisMenten;
 use bios_enzyme::{CypSensorChemistry, EnzymeFilm, Oxidase};
 use bios_nanomaterial::{Electrode, SurfaceModification};
@@ -24,7 +22,7 @@ use crate::sample::Sample;
 
 /// The electrochemical technique a sensor is read out with (Table 1's
 /// third column).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Technique {
     /// Hold a fixed oxidizing bias, read the settled current — the
     /// oxidase recipe (+650 mV in the paper).
@@ -84,7 +82,7 @@ impl Technique {
 }
 
 /// The immobilized recognition chemistry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SensorChemistry {
     /// Oxidase + H₂O₂ detection (metabolite sensors).
     Oxidase {
@@ -171,7 +169,7 @@ impl SensorChemistry {
 /// let i2 = sensor.faradaic_current(Molar::from_milli_molar(1.0));
 /// assert!(i2 > i1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Biosensor {
     name: String,
     analyte: Analyte,
@@ -238,7 +236,11 @@ impl Biosensor {
     #[must_use]
     pub fn faradaic_current(&self, c: Molar) -> Amperes {
         let apparent = self.chemistry.apparent_kinetics();
-        let gamma = self.chemistry.film().effective_loading().as_mol_per_square_cm();
+        let gamma = self
+            .chemistry
+            .film()
+            .effective_loading()
+            .as_mol_per_square_cm();
         let turnover = apparent.turnover_rate(c).as_per_second();
         let flux = gamma * turnover; // mol/(cm²·s)
         let n = f64::from(self.chemistry.electrons());
@@ -251,13 +253,17 @@ impl Biosensor {
     #[must_use]
     pub fn model_sensitivity(&self) -> Sensitivity {
         let apparent = self.chemistry.apparent_kinetics();
-        let gamma = self.chemistry.film().effective_loading().as_mol_per_square_cm();
+        let gamma = self
+            .chemistry
+            .film()
+            .effective_loading()
+            .as_mol_per_square_cm();
         let n = f64::from(self.chemistry.electrons());
         let coll = self.modification.collection_efficiency();
         // dI/dC at C→0, per area: n·F·coll·Γ·kcat/K_M with K_M in mol/L;
         // convert A/(cm²·M) to µA/(cm²·mM): ×1e6 µA/A ×1e-3 M/mM.
-        let slope = n * FARADAY * coll * gamma * apparent.kcat().as_per_second()
-            / apparent.km().as_molar();
+        let slope =
+            n * FARADAY * coll * gamma * apparent.kcat().as_per_second() / apparent.km().as_molar();
         Sensitivity::new(slope * 1e3)
     }
 
@@ -550,7 +556,10 @@ mod tests {
 
     #[test]
     fn zero_concentration_zero_current() {
-        assert_eq!(glucose_sensor().faradaic_current(Molar::ZERO), Amperes::ZERO);
+        assert_eq!(
+            glucose_sensor().faradaic_current(Molar::ZERO),
+            Amperes::ZERO
+        );
         assert_eq!(cp_sensor().faradaic_current(Molar::ZERO), Amperes::ZERO);
     }
 

@@ -1,11 +1,11 @@
 //! Property tests sweeping the *entire* sensor catalog: invariants that
 //! must hold for every Table 2 row and every multi-panel entry, at any
-//! concentration and under any seed.
-
-use proptest::prelude::*;
+//! concentration and under any seed. Sampled deterministically via
+//! `bios_prng::cases`.
 
 use bios_core::catalog::{self, CatalogEntry};
 use bios_core::Sample;
+use bios_prng::{cases, Rng};
 use bios_units::Molar;
 
 fn every_entry() -> Vec<CatalogEntry> {
@@ -14,131 +14,145 @@ fn every_entry() -> Vec<CatalogEntry> {
     v
 }
 
-fn entry_strategy() -> impl Strategy<Value = CatalogEntry> {
-    let n = every_entry().len();
-    (0..n).prop_map(|i| every_entry().swap_remove(i))
+fn any_entry(rng: &mut Rng) -> CatalogEntry {
+    let mut v = every_entry();
+    let i = rng.index(v.len());
+    v.swap_remove(i)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every catalog sensor's forward model is non-negative, monotone,
-    /// and bounded by its saturation current.
-    #[test]
-    fn forward_model_invariants(
-        entry in entry_strategy(),
-        frac_lo in 0.0f64..1.0,
-        frac_step in 0.0f64..1.0,
-    ) {
+/// Every catalog sensor's forward model is non-negative, monotone,
+/// and bounded by its saturation current.
+#[test]
+fn forward_model_invariants() {
+    cases(0x0701, 48, |rng| {
+        let entry = any_entry(rng);
+        let frac_lo = rng.uniform();
+        let frac_step = rng.uniform();
         let sensor = entry.build_sensor();
         let top = entry.sweep().high().as_molar();
         let c1 = Molar::from_molar(top * frac_lo);
         let c2 = Molar::from_molar(top * frac_lo + top * frac_step);
         let i1 = sensor.faradaic_current(c1);
         let i2 = sensor.faradaic_current(c2);
-        prop_assert!(i1.as_amps() >= 0.0);
-        prop_assert!(i2.as_amps() >= i1.as_amps());
+        assert!(i1.as_amps() >= 0.0);
+        assert!(i2.as_amps() >= i1.as_amps());
         // Bounded: MM never exceeds the C→∞ asymptote.
         let saturation = sensor.faradaic_current(Molar::from_molar(1e3));
-        prop_assert!(i2.as_amps() <= saturation.as_amps() * (1.0 + 1e-12));
-    }
+        assert!(i2.as_amps() <= saturation.as_amps() * (1.0 + 1e-12));
+    });
+}
 
-    /// The forward model's analytic sensitivity equals the paper value
-    /// for every entry (the calibration identity the catalog guarantees).
-    #[test]
-    fn model_sensitivity_identity(entry in entry_strategy()) {
+/// The forward model's analytic sensitivity equals the paper value
+/// for every entry (the calibration identity the catalog guarantees).
+#[test]
+fn model_sensitivity_identity() {
+    for entry in every_entry() {
         let s = entry.build_sensor().model_sensitivity();
-        prop_assert!(s.relative_error(entry.paper().sensitivity) < 1e-9, "{}", entry.id());
+        assert!(
+            s.relative_error(entry.paper().sensitivity) < 1e-9,
+            "{}",
+            entry.id()
+        );
     }
+}
 
-    /// Blank samples never produce faradaic current on any catalog
-    /// sensor, regardless of interferent-free matrix.
-    #[test]
-    fn blanks_are_silent(entry in entry_strategy(), matrix in 0.2f64..1.0) {
+/// Blank samples never produce faradaic current on any catalog
+/// sensor, regardless of interferent-free matrix.
+#[test]
+fn blanks_are_silent() {
+    cases(0x0702, 48, |rng| {
+        let entry = any_entry(rng);
+        let matrix = rng.uniform_in(0.2, 1.0);
         let sensor = entry.build_sensor();
         let blank = Sample::blank().with_matrix_factor(matrix);
-        prop_assert_eq!(sensor.respond_to_sample(&blank).as_amps(), 0.0);
-    }
+        assert_eq!(sensor.respond_to_sample(&blank).as_amps(), 0.0);
+    });
+}
 
-    /// The matrix factor scales the analyte response exactly linearly.
-    #[test]
-    fn matrix_factor_is_multiplicative(
-        entry in entry_strategy(),
-        frac in 0.05f64..1.0,
-        matrix in 0.2f64..1.0,
-    ) {
+/// The matrix factor scales the analyte response exactly linearly.
+#[test]
+fn matrix_factor_is_multiplicative() {
+    cases(0x0703, 48, |rng| {
+        let entry = any_entry(rng);
+        let frac = rng.uniform_in(0.05, 1.0);
+        let matrix = rng.uniform_in(0.2, 1.0);
         let sensor = entry.build_sensor();
         let c = Molar::from_molar(entry.sweep().high().as_molar() * frac);
         let clean = Sample::blank().with_analyte(sensor.analyte(), c);
         let fouled = clean.clone().with_matrix_factor(matrix);
         let i_clean = sensor.respond_to_sample(&clean).as_amps();
         let i_fouled = sensor.respond_to_sample(&fouled).as_amps();
-        prop_assert!((i_fouled - i_clean * matrix).abs() <= i_clean * 1e-9);
-    }
+        assert!((i_fouled - i_clean * matrix).abs() <= i_clean * 1e-9);
+    });
+}
 
-    /// Calibration under any seed yields positive figures of merit with
-    /// the range inside the sweep, for a random catalog entry.
-    #[test]
-    fn any_entry_calibrates_under_any_seed(
-        entry in entry_strategy(),
-        seed in 0u64..500,
-    ) {
+/// Calibration under any seed yields positive figures of merit with
+/// the range inside the sweep, for a random catalog entry.
+#[test]
+fn any_entry_calibrates_under_any_seed() {
+    cases(0x0704, 48, |rng| {
+        let entry = any_entry(rng);
+        let seed = rng.next_u64() % 500;
         let outcome = entry.run_calibration(seed).unwrap();
         let s = outcome.summary;
-        prop_assert!(s.sensitivity.as_micro_amps_per_milli_molar_square_cm() > 0.0);
-        prop_assert!(s.detection_limit.as_molar() > 0.0);
+        assert!(s.sensitivity.as_micro_amps_per_milli_molar_square_cm() > 0.0);
+        assert!(s.detection_limit.as_molar() > 0.0);
         // Allow one ULP of linspace endpoint rounding.
-        prop_assert!(
-            s.linear_range.high().as_molar()
-                <= entry.sweep().high().as_molar() * (1.0 + 1e-12)
+        assert!(
+            s.linear_range.high().as_molar() <= entry.sweep().high().as_molar() * (1.0 + 1e-12)
         );
-        prop_assert!(s.r_squared > 0.9, "{}: R² {}", entry.id(), s.r_squared);
+        assert!(s.r_squared > 0.9, "{}: R² {}", entry.id(), s.r_squared);
         // Sensitivity lands within a generous band of the paper value
         // for every entry and every seed.
-        prop_assert!(
+        assert!(
             s.sensitivity.relative_error(entry.paper().sensitivity) < 0.30,
             "{} seed {}",
             entry.id(),
             seed
         );
-    }
+    });
+}
 
-    /// Classification places every catalog sensor in the enzyme +
-    /// amperometric cell of the taxonomy, with a nanomaterial exactly
-    /// when the modification is nanostructured (the polymer-film
-    /// literature baselines [33]/[59] carry none).
-    #[test]
-    fn classification_is_consistent(entry in entry_strategy()) {
-        use bios_core::classification::{SensingElement, Transduction};
+/// Classification places every catalog sensor in the enzyme +
+/// amperometric cell of the taxonomy, with a nanomaterial exactly
+/// when the modification is nanostructured (the polymer-film
+/// literature baselines [33]/[59] carry none).
+#[test]
+fn classification_is_consistent() {
+    use bios_core::classification::{SensingElement, Transduction};
+    for entry in every_entry() {
         let sensor = entry.build_sensor();
         let class = sensor.classify();
-        prop_assert_eq!(class.element, SensingElement::Enzyme);
-        prop_assert_eq!(class.transduction, Transduction::Amperometric);
+        assert_eq!(class.element, SensingElement::Enzyme);
+        assert_eq!(class.transduction, Transduction::Amperometric);
         let expects_nano = sensor.modification().cnt_dimensions().is_some()
             || sensor.modification().is_nanostructured();
-        prop_assert_eq!(class.nanomaterial.is_some(), expects_nano, "{}", entry.id());
+        assert_eq!(class.nanomaterial.is_some(), expects_nano, "{}", entry.id());
     }
+}
 
-    /// The quantifier round-trips any in-range concentration within
-    /// 20 % for any entry (noise + fit bias included).
-    #[test]
-    fn quantifier_round_trips_all_entries(
-        entry in entry_strategy(),
-        frac in 0.25f64..0.75,
-        seed in 0u64..100,
-    ) {
+/// The quantifier round-trips any in-range concentration within
+/// 20 % for any entry (noise + fit bias included).
+#[test]
+fn quantifier_round_trips_all_entries() {
+    cases(0x0705, 48, |rng| {
         use bios_core::quantify::Quantifier;
+        let entry = any_entry(rng);
+        let frac = rng.uniform_in(0.25, 0.75);
+        let seed = rng.next_u64() % 100;
         let outcome = entry.run_calibration(seed).unwrap();
         let sensor = entry.build_sensor();
         let q = Quantifier::from_calibration(&outcome.summary, sensor.electrode().area());
         let c = Molar::from_molar(outcome.summary.linear_range.high().as_molar() * frac);
         // Skip sub-LOD targets (tiny linear ranges at low seeds).
-        prop_assume!(c > outcome.summary.detection_limit * 2.0);
+        if c <= outcome.summary.detection_limit * 2.0 {
+            return;
+        }
         let mut chain = entry.build_readout(seed.wrapping_add(7));
         let reading = chain.digitize(sensor.faradaic_current(c));
         if let Some(level) = q.quantify(reading).level() {
             let rel = (level.as_molar() - c.as_molar()).abs() / c.as_molar();
-            prop_assert!(rel < 0.20, "{}: {rel}", entry.id());
+            assert!(rel < 0.20, "{}: {rel}", entry.id());
         }
-    }
+    });
 }

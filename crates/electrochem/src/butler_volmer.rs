@@ -5,9 +5,7 @@
 //! conduction, tip/wall field emission — §2.4). These functions quantify
 //! how current responds to overpotential for a finite `k⁰`.
 
-use bios_units::{
-    Amperes, Kelvin, Molar, SquareCm, Volts, FARADAY, GAS_CONSTANT,
-};
+use bios_units::{Amperes, Kelvin, Molar, SquareCm, Volts, FARADAY, GAS_CONSTANT};
 
 /// Kinetic parameters of a heterogeneous electron transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,8 +150,7 @@ pub fn charge_transfer_resistance(
     t: Kelvin,
 ) -> f64 {
     let j0 = exchange_current_density(kinetics.n, kinetics.k0_cm_per_s, bulk);
-    GAS_CONSTANT * t.as_kelvin()
-        / (f64::from(kinetics.n) * FARADAY * j0 * area.as_square_cm())
+    GAS_CONSTANT * t.as_kelvin() / (f64::from(kinetics.n) * FARADAY * j0 * area.as_square_cm())
 }
 
 /// Tafel slope `b = 2.303·RT/(α·n·F)` in volts per decade of current —
@@ -201,20 +198,10 @@ mod tests {
         let c = Molar::from_milli_molar(1.0);
         let a = SquareCm::from_square_cm(0.1);
         let eta = Volts::from_milli_volts(20.0);
-        let slow = butler_volmer_current(
-            &TransferKinetics::symmetric(1e-4),
-            c,
-            a,
-            eta,
-            Kelvin::ROOM,
-        );
-        let fast = butler_volmer_current(
-            &TransferKinetics::symmetric(1e-3),
-            c,
-            a,
-            eta,
-            Kelvin::ROOM,
-        );
+        let slow =
+            butler_volmer_current(&TransferKinetics::symmetric(1e-4), c, a, eta, Kelvin::ROOM);
+        let fast =
+            butler_volmer_current(&TransferKinetics::symmetric(1e-3), c, a, eta, Kelvin::ROOM);
         assert!((fast.as_amps() / slow.as_amps() - 10.0).abs() < 1e-9);
     }
 

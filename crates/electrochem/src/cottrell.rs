@@ -5,7 +5,7 @@
 //! the transient settles. The Cottrell relation is the ideal response to
 //! the potential step and anchors the steady-state current model.
 
-use bios_units::{Amperes, DiffusionCoefficient, Molar, SquareCm, Seconds, FARADAY};
+use bios_units::{Amperes, DiffusionCoefficient, Molar, Seconds, SquareCm, FARADAY};
 
 /// Current `t` seconds after a potential step into the diffusion-limited
 /// regime:
@@ -131,7 +131,9 @@ pub fn settling_time(d: DiffusionCoefficient, delta_cm: f64) -> Seconds {
         delta_cm > 0.0 && delta_cm.is_finite(),
         "diffusion layer thickness must be positive"
     );
-    Seconds::from_seconds(delta_cm * delta_cm / (std::f64::consts::PI * d.as_square_cm_per_second()))
+    Seconds::from_seconds(
+        delta_cm * delta_cm / (std::f64::consts::PI * d.as_square_cm_per_second()),
+    )
 }
 
 #[cfg(test)]

@@ -7,8 +7,6 @@
 //! so binding modulates channel conductivity. This module models both: a
 //! charge-to-threshold-shift gate model and a square-law MOSFET readout.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Amperes, Molar, Volts};
 
 /// A biologically functionalized FET.
@@ -29,7 +27,7 @@ use bios_units::{Amperes, Molar, Volts};
 /// let bound = fet.drain_current(Molar::from_nano_molar(10.0));
 /// assert!(bound != blank);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BioFet {
     /// Probe surface density, m⁻² (sites available for binding).
     probe_density_per_m2: f64,
@@ -149,7 +147,10 @@ mod tests {
     fn negative_targets_raise_threshold_and_cut_current() {
         let fet = BioFet::psa_cnt_fet();
         let shift = fet.threshold_shift(Molar::from_nano_molar(50.0));
-        assert!(shift.as_volts() > 0.0, "negative charge raises V_th of n-FET");
+        assert!(
+            shift.as_volts() > 0.0,
+            "negative charge raises V_th of n-FET"
+        );
         let i0 = fet.drain_current(Molar::ZERO);
         let i = fet.drain_current(Molar::from_nano_molar(50.0));
         assert!(i < i0);

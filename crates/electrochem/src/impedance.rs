@@ -10,11 +10,9 @@
 //! and provides the spectrum analysis a sensor readout needs (Nyquist
 //! semicircle diameter → `R_ct`).
 
-use serde::{Deserialize, Serialize};
-
 /// A complex number; minimal ad-hoc implementation to avoid external
 /// dependencies.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -83,7 +81,7 @@ impl std::ops::Mul<f64> for Complex {
 /// let z_lf = cell.impedance(1.0);
 /// assert!(z_lf.re > 3_000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandlesCell {
     /// Solution (series) resistance, Ω.
     pub solution_resistance: f64,
@@ -227,10 +225,7 @@ mod tests {
         let c = cell();
         let spec = c.spectrum(0.01, 1e6, 400);
         let est = estimate_charge_transfer(&spec);
-        assert!(
-            (est - 10_000.0).abs() / 10_000.0 < 0.05,
-            "estimated {est}"
-        );
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.05, "estimated {est}");
     }
 
     #[test]

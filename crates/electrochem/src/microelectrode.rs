@@ -141,7 +141,11 @@ mod tests {
     #[test]
     fn micro_vs_macro_regimes() {
         let t = Seconds::from_seconds(1.0);
-        assert!(is_radial_regime(Centimeters::from_micro_meters(5.0), d(), t));
+        assert!(is_radial_regime(
+            Centimeters::from_micro_meters(5.0),
+            d(),
+            t
+        ));
         assert!(!is_radial_regime(Centimeters::from_mm(2.0), d(), t));
     }
 }

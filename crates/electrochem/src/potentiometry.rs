@@ -7,14 +7,12 @@
 //! Nernst equation, which adds interference through selectivity
 //! coefficients.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Kelvin, Molar, Volts};
 
 use crate::nernst::nernstian_slope_per_decade;
 
 /// An interfering ion with its selectivity coefficient.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interferent {
     /// Potentiometric selectivity coefficient `K^pot_{ij}` (smaller is
     /// better; 10⁻³ means a 1000× selectivity margin).
@@ -40,7 +38,7 @@ pub struct Interferent {
 /// // One decade → one Nernstian slope (≈ 59 mV).
 /// assert!(((e2 - e1).as_milli_volts() - 59.2).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IonSelectiveElectrode {
     standard_potential: Volts,
     charge: i32,
@@ -57,7 +55,11 @@ impl IonSelectiveElectrode {
     ///
     /// Panics if `z == 0`.
     #[must_use]
-    pub fn new(standard_potential: Volts, charge: i32, temperature: Kelvin) -> IonSelectiveElectrode {
+    pub fn new(
+        standard_potential: Volts,
+        charge: i32,
+        temperature: Kelvin,
+    ) -> IonSelectiveElectrode {
         assert!(charge != 0, "ion charge cannot be zero");
         IonSelectiveElectrode {
             standard_potential,

@@ -6,7 +6,9 @@
 //! irreversible couples and serve as the reference the digital simulation
 //! in [`crate::voltammetry`] is validated against.
 
-use bios_units::{Amperes, DiffusionCoefficient, Kelvin, Molar, ScanRate, SquareCm, Volts, FARADAY, GAS_CONSTANT};
+use bios_units::{
+    Amperes, DiffusionCoefficient, Kelvin, Molar, ScanRate, SquareCm, Volts, FARADAY, GAS_CONSTANT,
+};
 
 /// Reversible Randles–Ševčík peak current:
 ///

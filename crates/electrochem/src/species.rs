@@ -1,7 +1,5 @@
 //! Redox-couple descriptors and tabulated transport properties.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{DiffusionCoefficient, Volts};
 
 use crate::butler_volmer::TransferKinetics;
@@ -52,7 +50,7 @@ pub mod diffusion {
 ///     .build();
 /// assert_eq!(h2o2.electrons(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RedoxCouple {
     name: String,
     standard_potential: Volts,

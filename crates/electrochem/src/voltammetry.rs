@@ -264,11 +264,9 @@ impl CvSimulator {
             let kc = self.catalytic_rate_per_s * dt;
             for i in 1..self.nodes - 1 {
                 let regenerated = kc * old_red[i];
-                c_ox[i] = old_ox[i]
-                    + r * (old_ox[i + 1] - 2.0 * old_ox[i] + old_ox[i - 1])
-                    + regenerated;
-                c_red[i] = (old_red[i]
-                    + r * (old_red[i + 1] - 2.0 * old_red[i] + old_red[i - 1])
+                c_ox[i] =
+                    old_ox[i] + r * (old_ox[i + 1] - 2.0 * old_ox[i] + old_ox[i - 1]) + regenerated;
+                c_red[i] = (old_red[i] + r * (old_red[i + 1] - 2.0 * old_red[i] + old_red[i - 1])
                     - regenerated)
                     .max(0.0);
             }
@@ -292,7 +290,9 @@ mod tests {
             .standard_potential(Volts::from_milli_volts(230.0))
             .electrons(1)
             .rate_constant(1.0)
-            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(
+                6.5e-6,
+            ))
             .build()
     }
 
@@ -334,7 +334,10 @@ mod tests {
             .run(&sweep());
         let peak_e = vg.anodic_peak().unwrap().potential.as_milli_volts();
         // E_p = E0 + 28.5/n mV for an anodic reversible sweep.
-        assert!((peak_e - (230.0 + 28.5)).abs() < 12.0, "peak at {peak_e} mV");
+        assert!(
+            (peak_e - (230.0 + 28.5)).abs() < 12.0,
+            "peak at {peak_e} mV"
+        );
     }
 
     #[test]
@@ -375,7 +378,9 @@ mod tests {
             .standard_potential(Volts::from_milli_volts(230.0))
             .electrons(1)
             .rate_constant(1e-5)
-            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(
+                6.5e-6,
+            ))
             .build();
         let area = SquareCm::from_square_cm(0.1);
         let c = Molar::from_milli_molar(1.0);
@@ -406,7 +411,9 @@ mod tests {
             .standard_potential(Volts::from_milli_volts(-300.0))
             .electrons(1)
             .rate_constant(0.5)
-            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(
+                6.5e-6,
+            ))
             .build();
         let sweep = CyclicSweep::new(
             Volts::from_milli_volts(100.0),
@@ -426,7 +433,10 @@ mod tests {
         let catalytic = run(5.0);
         let i_diff = diffusive.cathodic_peak().unwrap().current.as_amps().abs();
         let i_cat = catalytic.cathodic_peak().unwrap().current.as_amps().abs();
-        assert!(i_cat > 1.5 * i_diff, "catalytic {i_cat} vs diffusive {i_diff}");
+        assert!(
+            i_cat > 1.5 * i_diff,
+            "catalytic {i_cat} vs diffusive {i_diff}"
+        );
     }
 
     #[test]
@@ -437,7 +447,9 @@ mod tests {
             .standard_potential(Volts::from_milli_volts(-300.0))
             .electrons(1)
             .rate_constant(1.0)
-            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(
+                6.5e-6,
+            ))
             .build();
         let sweep = CyclicSweep::new(
             Volts::from_milli_volts(100.0),
@@ -476,7 +488,9 @@ mod tests {
             .standard_potential(Volts::from_milli_volts(-300.0))
             .electrons(1)
             .rate_constant(1.0)
-            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(6.5e-6))
+            .diffusion(bios_units::DiffusionCoefficient::from_square_cm_per_second(
+                6.5e-6,
+            ))
             .build();
         let sweep = CyclicSweep::new(
             Volts::from_milli_volts(100.0),

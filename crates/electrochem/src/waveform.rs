@@ -69,8 +69,16 @@ impl PotentialStep {
     ///
     /// Panics if `step_at` is not before `duration`.
     #[must_use]
-    pub fn new(baseline: Volts, level: Volts, step_at: Seconds, duration: Seconds) -> PotentialStep {
-        assert!(step_at < duration, "step must occur before the program ends");
+    pub fn new(
+        baseline: Volts,
+        level: Volts,
+        step_at: Seconds,
+        duration: Seconds,
+    ) -> PotentialStep {
+        assert!(
+            step_at < duration,
+            "step must occur before the program ends"
+        );
         PotentialStep {
             baseline,
             level,
@@ -122,7 +130,10 @@ impl LinearSweep {
     /// Panics if the rate is not positive or the endpoints coincide.
     #[must_use]
     pub fn new(start: Volts, end: Volts, rate: ScanRate) -> LinearSweep {
-        assert!(rate.as_volts_per_second() > 0.0, "scan rate must be positive");
+        assert!(
+            rate.as_volts_per_second() > 0.0,
+            "scan rate must be positive"
+        );
         assert!(start != end, "sweep endpoints must differ");
         LinearSweep { start, end, rate }
     }
@@ -197,7 +208,10 @@ impl CyclicSweep {
     /// `cycles == 0`.
     #[must_use]
     pub fn new(start: Volts, vertex: Volts, rate: ScanRate, cycles: u32) -> CyclicSweep {
-        assert!(rate.as_volts_per_second() > 0.0, "scan rate must be positive");
+        assert!(
+            rate.as_volts_per_second() > 0.0,
+            "scan rate must be positive"
+        );
         assert!(start != vertex, "sweep vertices must differ");
         assert!(cycles > 0, "at least one cycle required");
         CyclicSweep {
@@ -296,8 +310,14 @@ impl DifferentialPulse {
         period: Seconds,
     ) -> DifferentialPulse {
         assert!(step.as_volts() > 0.0, "staircase step must be positive");
-        assert!(amplitude.as_volts() > 0.0, "pulse amplitude must be positive");
-        assert!(pulse_width < period, "pulse must be shorter than the period");
+        assert!(
+            amplitude.as_volts() > 0.0,
+            "pulse amplitude must be positive"
+        );
+        assert!(
+            pulse_width < period,
+            "pulse must be shorter than the period"
+        );
         assert!(start != end, "endpoints must differ");
         DifferentialPulse {
             start,
@@ -387,7 +407,11 @@ mod tests {
 
     #[test]
     fn linear_sweep_travels_at_rate() {
-        let w = LinearSweep::new(mv(-200.0), mv(300.0), ScanRate::from_milli_volts_per_second(50.0));
+        let w = LinearSweep::new(
+            mv(-200.0),
+            mv(300.0),
+            ScanRate::from_milli_volts_per_second(50.0),
+        );
         assert_eq!(w.potential_at(s(0.0)), mv(-200.0));
         assert!((w.potential_at(s(2.0)).as_milli_volts() - -100.0).abs() < 1e-9);
         assert!((w.duration().as_seconds() - 10.0).abs() < 1e-12);
@@ -397,13 +421,22 @@ mod tests {
 
     #[test]
     fn downward_sweep_supported() {
-        let w = LinearSweep::new(mv(300.0), mv(-200.0), ScanRate::from_milli_volts_per_second(100.0));
+        let w = LinearSweep::new(
+            mv(300.0),
+            mv(-200.0),
+            ScanRate::from_milli_volts_per_second(100.0),
+        );
         assert!((w.potential_at(s(1.0)).as_milli_volts() - 200.0).abs() < 1e-9);
     }
 
     #[test]
     fn cyclic_sweep_is_triangular_and_returns() {
-        let w = CyclicSweep::new(mv(-600.0), mv(200.0), ScanRate::from_milli_volts_per_second(100.0), 1);
+        let w = CyclicSweep::new(
+            mv(-600.0),
+            mv(200.0),
+            ScanRate::from_milli_volts_per_second(100.0),
+            1,
+        );
         // Span 800 mV at 100 mV/s → 8 s out, 8 s back.
         assert!((w.duration().as_seconds() - 16.0).abs() < 1e-9);
         assert_eq!(w.potential_at(s(0.0)), mv(-600.0));
@@ -414,7 +447,12 @@ mod tests {
 
     #[test]
     fn multi_cycle_repeats() {
-        let w = CyclicSweep::new(mv(0.0), mv(100.0), ScanRate::from_milli_volts_per_second(100.0), 3);
+        let w = CyclicSweep::new(
+            mv(0.0),
+            mv(100.0),
+            ScanRate::from_milli_volts_per_second(100.0),
+            3,
+        );
         let one = w.cycle_duration().as_seconds();
         let e1 = w.potential_at(s(0.3 * one));
         let e2 = w.potential_at(s(1.3 * one));
@@ -445,18 +483,18 @@ mod tests {
         // Early in tread 0: base potential.
         assert!((w.potential_at(Seconds::from_millis(10.0)).as_milli_volts()).abs() < 1e-9);
         // End of tread 0: pulsed.
-        assert!(
-            (w.potential_at(Seconds::from_millis(180.0)).as_milli_volts() - 25.0).abs() < 1e-9
-        );
+        assert!((w.potential_at(Seconds::from_millis(180.0)).as_milli_volts() - 25.0).abs() < 1e-9);
         // Tread 3 base.
-        assert!(
-            (w.potential_at(Seconds::from_millis(650.0)).as_milli_volts() - 30.0).abs() < 1e-9
-        );
+        assert!((w.potential_at(Seconds::from_millis(650.0)).as_milli_volts() - 30.0).abs() < 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "must differ")]
     fn degenerate_sweep_rejected() {
-        let _ = LinearSweep::new(mv(100.0), mv(100.0), ScanRate::from_milli_volts_per_second(50.0));
+        let _ = LinearSweep::new(
+            mv(100.0),
+            mv(100.0),
+            ScanRate::from_milli_volts_per_second(50.0),
+        );
     }
 }

@@ -1,28 +1,23 @@
 //! Property tests for the electrochemistry engine: scaling laws,
 //! conservation, and boundary behaviour over randomized parameters.
-
-use proptest::prelude::*;
+//! Sampled deterministically via `bios_prng::cases`.
 
 use bios_electrochem::butler_volmer::{butler_volmer_current, TransferKinetics};
 use bios_electrochem::diffusion::{DiffusionGrid, SurfaceBoundary};
 use bios_electrochem::waveform::{CyclicSweep, LinearSweep, PotentialStep, Waveform};
 use bios_electrochem::{cottrell, nernst, randles_sevcik};
-use bios_units::{
-    DiffusionCoefficient, Kelvin, Molar, ScanRate, Seconds, SquareCm, Volts,
-};
+use bios_prng::cases;
+use bios_units::{DiffusionCoefficient, Kelvin, Molar, ScanRate, Seconds, SquareCm, Volts};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Cottrell current scales exactly linearly in area and
-    /// concentration and as 1/√t.
-    #[test]
-    fn cottrell_scaling_laws(
-        area in 1e-3f64..1.0,
-        c in 1e-3f64..20.0,
-        t in 0.01f64..100.0,
-        k in 1.5f64..10.0,
-    ) {
+/// Cottrell current scales exactly linearly in area and
+/// concentration and as 1/√t.
+#[test]
+fn cottrell_scaling_laws() {
+    cases(0x0101, 48, |rng| {
+        let area = rng.log_uniform_in(1e-3, 1.0);
+        let c = rng.log_uniform_in(1e-3, 20.0);
+        let t = rng.log_uniform_in(0.01, 100.0);
+        let k = rng.uniform_in(1.5, 10.0);
         let d = DiffusionCoefficient::from_square_cm_per_second(1e-5);
         let base = cottrell::cottrell_current(
             1,
@@ -38,7 +33,7 @@ proptest! {
             Molar::from_milli_molar(c),
             Seconds::from_seconds(t),
         );
-        prop_assert!((double_area.as_amps() / base.as_amps() - k).abs() < 1e-9);
+        assert!((double_area.as_amps() / base.as_amps() - k).abs() < 1e-9);
         let later = cottrell::cottrell_current(
             1,
             SquareCm::from_square_cm(area),
@@ -46,79 +41,93 @@ proptest! {
             Molar::from_milli_molar(c),
             Seconds::from_seconds(t * k * k),
         );
-        prop_assert!((base.as_amps() / later.as_amps() - k).abs() < 1e-9);
-    }
+        assert!((base.as_amps() / later.as_amps() - k).abs() < 1e-9);
+    });
+}
 
-    /// The Nernst ratio is the exponential of the normalized
-    /// overpotential: multiplicative in potential shifts.
-    #[test]
-    fn nernst_ratio_is_multiplicative(
-        e1 in -0.3f64..0.3,
-        e2 in -0.3f64..0.3,
-    ) {
+/// The Nernst ratio is the exponential of the normalized
+/// overpotential: multiplicative in potential shifts.
+#[test]
+fn nernst_ratio_is_multiplicative() {
+    cases(0x0102, 48, |rng| {
+        let e1 = rng.uniform_in(-0.3, 0.3);
+        let e2 = rng.uniform_in(-0.3, 0.3);
         let e0 = Volts::ZERO;
         let r1 = nernst::nernst_ratio(Volts::from_volts(e1), e0, 1, Kelvin::ROOM);
         let r2 = nernst::nernst_ratio(Volts::from_volts(e2), e0, 1, Kelvin::ROOM);
         let r12 = nernst::nernst_ratio(Volts::from_volts(e1 + e2), e0, 1, Kelvin::ROOM);
-        prop_assert!((r1 * r2 - r12).abs() / r12 < 1e-9);
-    }
+        assert!((r1 * r2 - r12).abs() / r12 < 1e-9);
+    });
+}
 
-    /// Butler–Volmer current is strictly increasing in overpotential.
-    #[test]
-    fn butler_volmer_monotone_in_overpotential(
-        alpha in 0.2f64..0.8,
-        k0 in 1e-6f64..1e-1,
-        eta_a in -0.3f64..0.3,
-        deta in 1e-4f64..0.2,
-    ) {
-        let kin = TransferKinetics { k0_cm_per_s: k0, alpha, n: 1 };
+/// Butler–Volmer current is strictly increasing in overpotential.
+#[test]
+fn butler_volmer_monotone_in_overpotential() {
+    cases(0x0103, 48, |rng| {
+        let alpha = rng.uniform_in(0.2, 0.8);
+        let k0 = rng.log_uniform_in(1e-6, 1e-1);
+        let eta_a = rng.uniform_in(-0.3, 0.3);
+        let deta = rng.uniform_in(1e-4, 0.2);
+        let kin = TransferKinetics {
+            k0_cm_per_s: k0,
+            alpha,
+            n: 1,
+        };
         let c = Molar::from_milli_molar(1.0);
         let a = SquareCm::from_square_cm(0.1);
         let i1 = butler_volmer_current(&kin, c, a, Volts::from_volts(eta_a), Kelvin::ROOM);
         let i2 = butler_volmer_current(&kin, c, a, Volts::from_volts(eta_a + deta), Kelvin::ROOM);
-        prop_assert!(i2.as_amps() > i1.as_amps());
-    }
+        assert!(i2.as_amps() > i1.as_amps());
+    });
+}
 
-    /// Randles–Ševčík peak is exactly √v in scan rate and linear in C.
-    #[test]
-    fn randles_sevcik_scalings(
-        v in 0.005f64..1.0,
-        c in 0.01f64..10.0,
-        k in 1.2f64..8.0,
-    ) {
+/// Randles–Ševčík peak is exactly √v in scan rate and linear in C.
+#[test]
+fn randles_sevcik_scalings() {
+    cases(0x0104, 48, |rng| {
+        let v = rng.log_uniform_in(0.005, 1.0);
+        let c = rng.log_uniform_in(0.01, 10.0);
+        let k = rng.uniform_in(1.2, 8.0);
         let d = DiffusionCoefficient::from_square_cm_per_second(6.5e-6);
         let area = SquareCm::from_square_cm(0.1);
         let base = randles_sevcik::reversible_peak_current(
-            1, area, d,
+            1,
+            area,
+            d,
             Molar::from_milli_molar(c),
             ScanRate::from_volts_per_second(v),
             Kelvin::ROOM,
         );
         let faster = randles_sevcik::reversible_peak_current(
-            1, area, d,
+            1,
+            area,
+            d,
             Molar::from_milli_molar(c),
             ScanRate::from_volts_per_second(v * k * k),
             Kelvin::ROOM,
         );
-        prop_assert!((faster.as_amps() / base.as_amps() - k).abs() < 1e-9);
+        assert!((faster.as_amps() / base.as_amps() - k).abs() < 1e-9);
         let richer = randles_sevcik::reversible_peak_current(
-            1, area, d,
+            1,
+            area,
+            d,
             Molar::from_milli_molar(c * k),
             ScanRate::from_volts_per_second(v),
             Kelvin::ROOM,
         );
-        prop_assert!((richer.as_amps() / base.as_amps() - k).abs() < 1e-9);
-    }
+        assert!((richer.as_amps() / base.as_amps() - k).abs() < 1e-9);
+    });
+}
 
-    /// Mass is conserved by the explicit solver under a blocking wall
-    /// for any stable step size.
-    #[test]
-    fn diffusion_conserves_mass(
-        nodes in 11usize..200,
-        bulk in 0.01f64..10.0,
-        frac in 0.1f64..0.95,
-        steps in 1usize..150,
-    ) {
+/// Mass is conserved by the explicit solver under a blocking wall
+/// for any stable step size.
+#[test]
+fn diffusion_conserves_mass() {
+    cases(0x0105, 24, |rng| {
+        let nodes = rng.index_in(11, 200);
+        let bulk = rng.log_uniform_in(0.01, 10.0);
+        let frac = rng.uniform_in(0.1, 0.95);
+        let steps = rng.index_in(1, 150);
         let mut g = DiffusionGrid::new(
             DiffusionCoefficient::from_square_cm_per_second(1e-5),
             Molar::from_milli_molar(bulk),
@@ -131,16 +140,17 @@ proptest! {
             g.step_explicit(dt);
         }
         let after = g.inventory_mol_per_cm2();
-        prop_assert!((after - before).abs() / before < 1e-9);
-    }
+        assert!((after - before).abs() / before < 1e-9);
+    });
+}
 
-    /// Concentrations never go negative or exceed bulk under a
-    /// consuming surface.
-    #[test]
-    fn diffusion_respects_physical_bounds(
-        steps in 1usize..300,
-        frac in 0.1f64..0.95,
-    ) {
+/// Concentrations never go negative or exceed bulk under a
+/// consuming surface.
+#[test]
+fn diffusion_respects_physical_bounds() {
+    cases(0x0106, 24, |rng| {
+        let steps = rng.index_in(1, 300);
+        let frac = rng.uniform_in(0.1, 0.95);
         let bulk = 1.0;
         let mut g = DiffusionGrid::new(
             DiffusionCoefficient::from_square_cm_per_second(1e-5),
@@ -155,15 +165,18 @@ proptest! {
         }
         for i in 0..g.nodes() {
             let c = g.concentration_at(i).as_milli_molar();
-            prop_assert!(c >= -1e-12, "node {i} negative: {c}");
-            prop_assert!(c <= bulk + 1e-9, "node {i} exceeds bulk: {c}");
+            assert!(c >= -1e-12, "node {i} negative: {c}");
+            assert!(c <= bulk + 1e-9, "node {i} exceeds bulk: {c}");
         }
-    }
+    });
+}
 
-    /// Crank–Nicolson agrees with the explicit integrator at matched
-    /// (stable) steps, for random durations.
-    #[test]
-    fn integrators_agree(steps in 10usize..200) {
+/// Crank–Nicolson agrees with the explicit integrator at matched
+/// (stable) steps, for random durations.
+#[test]
+fn integrators_agree() {
+    cases(0x0107, 16, |rng| {
+        let steps = rng.index_in(10, 200);
         let make = || {
             let mut g = DiffusionGrid::new(
                 DiffusionCoefficient::from_square_cm_per_second(1e-5),
@@ -184,19 +197,20 @@ proptest! {
         for i in 0..ge.nodes() {
             let a = ge.concentration_at(i).as_milli_molar();
             let b = gc.concentration_at(i).as_milli_molar();
-            prop_assert!((a - b).abs() < 1e-2, "node {i}: {a} vs {b}");
+            assert!((a - b).abs() < 1e-2, "node {i}: {a} vs {b}");
         }
-    }
+    });
+}
 
-    /// Waveform sampling covers [0, duration] and respects the
-    /// programmed potentials for all three waveform families.
-    #[test]
-    fn waveforms_stay_in_window(
-        low_mv in -800.0f64..-10.0,
-        high_mv in 10.0f64..800.0,
-        rate in 5.0f64..500.0,
-        t_frac in 0.0f64..1.0,
-    ) {
+/// Waveform sampling covers [0, duration] and respects the
+/// programmed potentials for all three waveform families.
+#[test]
+fn waveforms_stay_in_window() {
+    cases(0x0108, 48, |rng| {
+        let low_mv = rng.uniform_in(-800.0, -10.0);
+        let high_mv = rng.uniform_in(10.0, 800.0);
+        let rate = rng.uniform_in(5.0, 500.0);
+        let t_frac = rng.uniform();
         let lo = Volts::from_milli_volts(low_mv);
         let hi = Volts::from_milli_volts(high_mv);
         let sr = ScanRate::from_milli_volts_per_second(rate);
@@ -204,28 +218,33 @@ proptest! {
         let cv = CyclicSweep::new(lo, hi, sr, 1);
         let t = Seconds::from_seconds(cv.duration().as_seconds() * t_frac);
         let e = cv.potential_at(t);
-        prop_assert!(e >= lo && e <= hi, "CV left window: {e}");
+        assert!(e >= lo && e <= hi, "CV left window: {e}");
 
         let ls = LinearSweep::new(lo, hi, sr);
         let t = Seconds::from_seconds(ls.duration().as_seconds() * t_frac);
         let e = ls.potential_at(t);
-        prop_assert!(e >= lo && e <= hi, "sweep left window: {e}");
+        assert!(e >= lo && e <= hi, "sweep left window: {e}");
 
-        let step = PotentialStep::new(lo, hi,
-            Seconds::from_seconds(0.5), Seconds::from_seconds(2.0));
+        let step = PotentialStep::new(
+            lo,
+            hi,
+            Seconds::from_seconds(0.5),
+            Seconds::from_seconds(2.0),
+        );
         let t = Seconds::from_seconds(2.0 * t_frac);
         let e = step.potential_at(t);
-        prop_assert!(e == lo || e == hi);
-    }
+        assert!(e == lo || e == hi);
+    });
+}
 
-    /// Cyclic sweeps return exactly to the start potential at the end
-    /// of every cycle.
-    #[test]
-    fn cyclic_sweep_closes(
-        low_mv in -500.0f64..0.0,
-        high_mv in 10.0f64..500.0,
-        cycles in 1u32..4,
-    ) {
+/// Cyclic sweeps return exactly to the start potential at the end
+/// of every cycle.
+#[test]
+fn cyclic_sweep_closes() {
+    cases(0x0109, 48, |rng| {
+        let low_mv = rng.uniform_in(-500.0, 0.0);
+        let high_mv = rng.uniform_in(10.0, 500.0);
+        let cycles = rng.index_in(1, 4) as u32;
         let cv = CyclicSweep::new(
             Volts::from_milli_volts(low_mv),
             Volts::from_milli_volts(high_mv),
@@ -233,11 +252,9 @@ proptest! {
             cycles,
         );
         for k in 1..=cycles {
-            let t = Seconds::from_seconds(
-                cv.cycle_duration().as_seconds() * f64::from(k) - 1e-9,
-            );
+            let t = Seconds::from_seconds(cv.cycle_duration().as_seconds() * f64::from(k) - 1e-9);
             let e = cv.potential_at(t);
-            prop_assert!((e.as_milli_volts() - low_mv).abs() < 1.0, "cycle {k}: {e}");
+            assert!((e.as_milli_volts() - low_mv).abs() < 1.0, "cycle {k}: {e}");
         }
-    }
+    });
 }

@@ -10,14 +10,12 @@
 //! custom CYP (BM3-like) → arachidonic acid, CYP1A2 → Ftorafur®,
 //! CYP2B6 → cyclophosphamide, CYP3A4 → ifosfamide.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Molar, RateConstant, Volts};
 
 use crate::michaelis::MichaelisMenten;
 
 /// P450 isoforms used by the paper's sensor family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CypIsoform {
     /// Customized fatty-acid-active isoform (CYP102A1/BM3 family),
     /// supplied by EMPA for arachidonic-acid sensing.
@@ -80,7 +78,7 @@ impl CypIsoform {
 /// let high = cyp.catalytic_turnover(Molar::from_micro_molar(60.0));
 /// assert!(high.as_per_second() > low.as_per_second());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CypSensorChemistry {
     isoform: CypIsoform,
     binding: MichaelisMenten,
@@ -176,9 +174,7 @@ impl CypSensorChemistry {
     /// `s`, including the coupling loss.
     #[must_use]
     pub fn catalytic_turnover(&self, s: Molar) -> RateConstant {
-        RateConstant::from_per_second(
-            self.binding.turnover_rate(s).as_per_second() * self.coupling,
-        )
+        RateConstant::from_per_second(self.binding.turnover_rate(s).as_per_second() * self.coupling)
     }
 }
 
@@ -202,7 +198,10 @@ mod tests {
 
     #[test]
     fn names_match_paper_table1() {
-        assert_eq!(CypIsoform::Custom102A1.paper_substrate(), "arachidonic acid");
+        assert_eq!(
+            CypIsoform::Custom102A1.paper_substrate(),
+            "arachidonic acid"
+        );
         assert_eq!(CypIsoform::Cyp1A2.paper_substrate(), "Ftorafur");
         assert_eq!(CypIsoform::Cyp2B6.paper_substrate(), "cyclophosphamide");
         assert_eq!(CypIsoform::Cyp3A4.paper_substrate(), "ifosfamide");

@@ -13,8 +13,6 @@
 //! The film's output is an areal product flux (mol · cm⁻² · s⁻¹), which
 //! the sensor model converts to current via `i = n·F·A·η_coll·flux`.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Centimeters, DiffusionCoefficient, Molar, SurfaceLoading};
 
 use crate::michaelis::MichaelisMenten;
@@ -39,7 +37,7 @@ use crate::michaelis::MichaelisMenten;
 /// let flux = film.product_flux(&kinetics, Molar::from_milli_molar(1.0));
 /// assert!(flux > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnzymeFilm {
     loading: SurfaceLoading,
     retained_activity: f64,
@@ -103,11 +101,7 @@ impl EnzymeFilm {
     /// φ ≪ 1 means kinetics-limited (the whole film works); φ ≫ 1 means
     /// the outer skin does all the catalysis.
     #[must_use]
-    pub fn thiele_modulus(
-        &self,
-        kinetics: &MichaelisMenten,
-        d_film: DiffusionCoefficient,
-    ) -> f64 {
+    pub fn thiele_modulus(&self, kinetics: &MichaelisMenten, d_film: DiffusionCoefficient) -> f64 {
         let gamma = self.effective_loading().as_mol_per_square_cm();
         let thickness = self.thickness.as_cm();
         if thickness == 0.0 || gamma == 0.0 {
@@ -139,8 +133,7 @@ impl EnzymeFilm {
     #[must_use]
     pub fn product_flux(&self, solution_kinetics: &MichaelisMenten, s: Molar) -> f64 {
         let apparent = self.apparent_kinetics(solution_kinetics);
-        self.effective_loading().as_mol_per_square_cm()
-            * apparent.turnover_rate(s).as_per_second()
+        self.effective_loading().as_mol_per_square_cm() * apparent.turnover_rate(s).as_per_second()
     }
 
     /// Areal product flux including the Thiele effectiveness for a film
@@ -152,8 +145,7 @@ impl EnzymeFilm {
         s: Molar,
         d_film: DiffusionCoefficient,
     ) -> f64 {
-        self.product_flux(solution_kinetics, s)
-            * self.effectiveness(solution_kinetics, d_film)
+        self.product_flux(solution_kinetics, s) * self.effectiveness(solution_kinetics, d_film)
     }
 
     /// Typical first-order activity-loss rate of an adsorbed enzyme film
@@ -186,7 +178,10 @@ impl EnzymeFilm {
     /// Panics unless `0 < fraction < 1` and `rate_per_day > 0`.
     #[must_use]
     pub fn lifetime_to_fraction(&self, fraction: f64, rate_per_day: f64) -> f64 {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must lie in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must lie in (0, 1)"
+        );
         assert!(rate_per_day > 0.0, "decay rate must be positive");
         -fraction.ln() / rate_per_day
     }
@@ -378,7 +373,10 @@ mod tests {
     #[test]
     fn zero_days_is_identity() {
         let fresh = film();
-        assert_eq!(fresh.aged(0.0, 0.05).retained_activity(), fresh.retained_activity());
+        assert_eq!(
+            fresh.aged(0.0, 0.05).retained_activity(),
+            fresh.retained_activity()
+        );
     }
 
     #[test]

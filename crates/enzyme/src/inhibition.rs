@@ -5,14 +5,12 @@
 //! isoform; these models quantify how an inhibitor reshapes the apparent
 //! kinetics.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Molar, RateConstant};
 
 use crate::michaelis::MichaelisMenten;
 
 /// Classical reversible inhibition mechanisms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Inhibition {
     /// Inhibitor binds the free enzyme only: apparent `K_M` rises,
     /// `V_max` unchanged.

@@ -1,7 +1,5 @@
 //! Michaelis–Menten and Hill kinetics.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Molar, RateConstant};
 
 /// Michaelis–Menten kinetics of a single-substrate enzyme:
@@ -22,7 +20,7 @@ use bios_units::{Molar, RateConstant};
 /// let v = mm.turnover_rate(Molar::from_milli_molar(100.0));
 /// assert!(v.as_per_second() > 99.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MichaelisMenten {
     kcat: RateConstant,
     km: Molar,
@@ -135,7 +133,7 @@ impl MichaelisMenten {
 ///                   Molar::from_micro_molar(50.0), 1.6);
 /// assert!((h.saturation(Molar::from_micro_molar(50.0)) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hill {
     kcat: RateConstant,
     k_half: Molar,
@@ -212,7 +210,9 @@ mod tests {
     fn rate_is_monotone_in_substrate() {
         let mut prev = -1.0;
         for c in [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0] {
-            let v = mm().turnover_rate(Molar::from_milli_molar(c)).as_per_second();
+            let v = mm()
+                .turnover_rate(Molar::from_milli_molar(c))
+                .as_per_second();
             assert!(v >= prev);
             prev = v;
         }

@@ -5,14 +5,12 @@
 //! hands the electrons to O₂, and the resulting H₂O₂ is oxidized at the
 //! electrode at +650 mV, two electrons per molecule.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Molar, RateConstant};
 
 use crate::ping_pong::{PingPongBiBi, AIR_SATURATED_O2};
 
 /// Which oxidase is immobilized on the electrode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OxidaseKind {
     /// Glucose oxidase from *Aspergillus niger* (GOD, EC 1.1.3.4).
     GlucoseOxidase,
@@ -56,7 +54,7 @@ impl OxidaseKind {
 /// let v = god.peroxide_generation_rate(Molar::from_milli_molar(5.0));
 /// assert!(v.as_per_second() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Oxidase {
     kind: OxidaseKind,
     kinetics: PingPongBiBi,
@@ -173,7 +171,10 @@ mod tests {
     #[test]
     fn peroxide_rate_zero_without_substrate() {
         let god = Oxidase::stock(OxidaseKind::GlucoseOxidase);
-        assert_eq!(god.peroxide_generation_rate(Molar::ZERO).as_per_second(), 0.0);
+        assert_eq!(
+            god.peroxide_generation_rate(Molar::ZERO).as_per_second(),
+            0.0
+        );
     }
 
     #[test]

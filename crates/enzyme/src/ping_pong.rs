@@ -10,8 +10,6 @@
 //! B (oxygen) is saturating, and explains the oxygen-limitation plateau
 //! that shapes real glucose-sensor linear ranges.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Molar, RateConstant};
 
 use crate::michaelis::MichaelisMenten;
@@ -34,7 +32,7 @@ use crate::michaelis::MichaelisMenten;
 /// let v = god.rate(Molar::from_milli_molar(5.0), Molar::from_micro_molar(250.0));
 /// assert!(v.as_per_second() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PingPongBiBi {
     kcat: RateConstant,
     ka: Molar,
@@ -124,7 +122,10 @@ mod tests {
 
     #[test]
     fn zero_either_substrate_stalls() {
-        assert_eq!(god().rate(Molar::ZERO, AIR_SATURATED_O2).as_per_second(), 0.0);
+        assert_eq!(
+            god().rate(Molar::ZERO, AIR_SATURATED_O2).as_per_second(),
+            0.0
+        );
         assert_eq!(
             god()
                 .rate(Molar::from_milli_molar(5.0), Molar::ZERO)

@@ -1,12 +1,12 @@
 //! Property tests for enzyme kinetics: saturation bounds, monotonicity,
-//! inhibition inequalities, and film-model consistency.
-
-use proptest::prelude::*;
+//! inhibition inequalities, and film-model consistency. Sampled
+//! deterministically via `bios_prng::cases`.
 
 use bios_enzyme::film::EnzymeFilm;
 use bios_enzyme::inhibition::Inhibition;
 use bios_enzyme::michaelis::{Hill, MichaelisMenten};
 use bios_enzyme::ping_pong::PingPongBiBi;
+use bios_prng::cases;
 use bios_units::{Centimeters, DiffusionCoefficient, Molar, RateConstant, SurfaceLoading};
 
 fn mm(kcat: f64, km_milli: f64) -> MichaelisMenten {
@@ -16,103 +16,118 @@ fn mm(kcat: f64, km_milli: f64) -> MichaelisMenten {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// 0 ≤ rate < k_cat everywhere; rate(K_M) = k_cat/2 exactly.
-    #[test]
-    fn michaelis_menten_bounds(
-        kcat in 0.1f64..1e4,
-        km in 0.001f64..100.0,
-        s in 0.0f64..1e4,
-    ) {
+/// 0 ≤ rate < k_cat everywhere; rate(K_M) = k_cat/2 exactly.
+#[test]
+fn michaelis_menten_bounds() {
+    cases(0x0201, 64, |rng| {
+        let kcat = rng.log_uniform_in(0.1, 1e4);
+        let km = rng.log_uniform_in(0.001, 100.0);
+        let s = rng.uniform_in(0.0, 1e4);
         let k = mm(kcat, km);
         let v = k.turnover_rate(Molar::from_milli_molar(s)).as_per_second();
-        prop_assert!(v >= 0.0);
-        prop_assert!(v < kcat);
+        assert!(v >= 0.0);
+        assert!(v < kcat);
         let half = k.turnover_rate(Molar::from_milli_molar(km)).as_per_second();
-        prop_assert!((half - kcat / 2.0).abs() / kcat < 1e-12);
-    }
+        assert!((half - kcat / 2.0).abs() / kcat < 1e-12);
+    });
+}
 
-    /// Rate is monotone non-decreasing in substrate.
-    #[test]
-    fn michaelis_menten_monotone(
-        kcat in 0.1f64..1e4,
-        km in 0.001f64..100.0,
-        s in 0.0f64..1e3,
-        ds in 0.0f64..1e3,
-    ) {
+/// Rate is monotone non-decreasing in substrate.
+#[test]
+fn michaelis_menten_monotone() {
+    cases(0x0202, 64, |rng| {
+        let kcat = rng.log_uniform_in(0.1, 1e4);
+        let km = rng.log_uniform_in(0.001, 100.0);
+        let s = rng.uniform_in(0.0, 1e3);
+        let ds = rng.uniform_in(0.0, 1e3);
         let k = mm(kcat, km);
         let v1 = k.turnover_rate(Molar::from_milli_molar(s)).as_per_second();
-        let v2 = k.turnover_rate(Molar::from_milli_molar(s + ds)).as_per_second();
-        prop_assert!(v2 >= v1);
-    }
+        let v2 = k
+            .turnover_rate(Molar::from_milli_molar(s + ds))
+            .as_per_second();
+        assert!(v2 >= v1);
+    });
+}
 
-    /// linear_limit and km_for_linear_limit are exact inverses.
-    #[test]
-    fn linear_limit_inverse(
-        km in 0.001f64..100.0,
-        tol in 0.01f64..0.5,
-    ) {
+/// linear_limit and km_for_linear_limit are exact inverses.
+#[test]
+fn linear_limit_inverse() {
+    cases(0x0203, 64, |rng| {
+        let km = rng.log_uniform_in(0.001, 100.0);
+        let tol = rng.uniform_in(0.01, 0.5);
         let k = mm(100.0, km);
         let limit = k.linear_limit(tol);
         let back = MichaelisMenten::km_for_linear_limit(limit, tol);
-        prop_assert!((back.as_milli_molar() - km).abs() / km < 1e-9);
-    }
+        assert!((back.as_milli_molar() - km).abs() / km < 1e-9);
+    });
+}
 
-    /// The deviation at the linear limit equals the tolerance.
-    #[test]
-    fn deviation_at_limit_equals_tolerance(
-        km in 0.001f64..100.0,
-        tol in 0.01f64..0.5,
-    ) {
+/// The deviation at the linear limit equals the tolerance.
+#[test]
+fn deviation_at_limit_equals_tolerance() {
+    cases(0x0204, 64, |rng| {
+        let km = rng.log_uniform_in(0.001, 100.0);
+        let tol = rng.uniform_in(0.01, 0.5);
         let k = mm(100.0, km);
         let limit = k.linear_limit(tol);
-        prop_assert!((k.linearity_deviation(limit) - tol).abs() < 1e-12);
-    }
+        assert!((k.linearity_deviation(limit) - tol).abs() < 1e-12);
+    });
+}
 
-    /// Hill with n = 1 equals Michaelis–Menten for any substrate.
-    #[test]
-    fn hill_reduces_to_mm(
-        km in 0.001f64..100.0,
-        s in 0.0f64..1e3,
-    ) {
-        let h = Hill::new(RateConstant::from_per_second(50.0), Molar::from_milli_molar(km), 1.0);
+/// Hill with n = 1 equals Michaelis–Menten for any substrate.
+#[test]
+fn hill_reduces_to_mm() {
+    cases(0x0205, 64, |rng| {
+        let km = rng.log_uniform_in(0.001, 100.0);
+        let s = rng.uniform_in(0.0, 1e3);
+        let h = Hill::new(
+            RateConstant::from_per_second(50.0),
+            Molar::from_milli_molar(km),
+            1.0,
+        );
         let k = mm(50.0, km);
         let c = Molar::from_milli_molar(s);
-        prop_assert!((h.saturation(c) - k.saturation(c)).abs() < 1e-12);
-    }
+        assert!((h.saturation(c) - k.saturation(c)).abs() < 1e-12);
+    });
+}
 
-    /// All classical inhibitions reduce the rate (never enhance it).
-    #[test]
-    fn inhibition_never_enhances(
-        ki in 0.01f64..10.0,
-        s in 0.001f64..100.0,
-        i in 0.0f64..10.0,
-    ) {
+/// All classical inhibitions reduce the rate (never enhance it).
+#[test]
+fn inhibition_never_enhances() {
+    cases(0x0206, 64, |rng| {
+        let ki = rng.log_uniform_in(0.01, 10.0);
+        let s = rng.log_uniform_in(0.001, 100.0);
+        let i = rng.uniform_in(0.0, 10.0);
         let base = mm(100.0, 1.0);
         let sub = Molar::from_milli_molar(s);
         let inh_c = Molar::from_milli_molar(i);
         let v0 = base.turnover_rate(sub).as_per_second();
         for inhibition in [
-            Inhibition::Competitive { ki: Molar::from_milli_molar(ki) },
-            Inhibition::Uncompetitive { ki: Molar::from_milli_molar(ki) },
-            Inhibition::NonCompetitive { ki: Molar::from_milli_molar(ki) },
+            Inhibition::Competitive {
+                ki: Molar::from_milli_molar(ki),
+            },
+            Inhibition::Uncompetitive {
+                ki: Molar::from_milli_molar(ki),
+            },
+            Inhibition::NonCompetitive {
+                ki: Molar::from_milli_molar(ki),
+            },
         ] {
             let v = inhibition.rate(&base, sub, inh_c).as_per_second();
-            prop_assert!(v <= v0 * (1.0 + 1e-12), "{inhibition:?}");
+            assert!(v <= v0 * (1.0 + 1e-12), "{inhibition:?}");
         }
-    }
+    });
+}
 
-    /// Ping-pong rate is bounded by min of the two single-substrate
-    /// saturations times k_cat.
-    #[test]
-    fn ping_pong_bounds(
-        ka in 0.01f64..50.0,
-        kb in 0.001f64..1.0,
-        a in 0.0f64..100.0,
-        b in 0.0f64..2.0,
-    ) {
+/// Ping-pong rate is bounded by min of the two single-substrate
+/// saturations times k_cat.
+#[test]
+fn ping_pong_bounds() {
+    cases(0x0207, 64, |rng| {
+        let ka = rng.log_uniform_in(0.01, 50.0);
+        let kb = rng.log_uniform_in(0.001, 1.0);
+        let a = rng.uniform_in(0.0, 100.0);
+        let b = rng.uniform_in(0.0, 2.0);
         let pp = PingPongBiBi::new(
             RateConstant::from_per_second(100.0),
             Molar::from_milli_molar(ka),
@@ -121,23 +136,24 @@ proptest! {
         let v = pp
             .rate(Molar::from_milli_molar(a), Molar::from_milli_molar(b))
             .as_per_second();
-        prop_assert!(v >= 0.0);
-        prop_assert!(v <= 100.0);
+        assert!(v >= 0.0);
+        assert!(v <= 100.0);
         // Never faster than either substrate allows alone.
         let sat_a = a / (ka + a);
         let sat_b = b / (kb + b);
-        prop_assert!(v <= 100.0 * sat_a.min(sat_b) + 1e-9);
-    }
+        assert!(v <= 100.0 * sat_a.min(sat_b) + 1e-9);
+    });
+}
 
-    /// The apparent single-substrate reduction of ping-pong kinetics is
-    /// exact for any fixed co-substrate level.
-    #[test]
-    fn ping_pong_apparent_reduction_exact(
-        ka in 0.01f64..50.0,
-        kb in 0.001f64..1.0,
-        b in 0.001f64..2.0,
-        a in 0.001f64..100.0,
-    ) {
+/// The apparent single-substrate reduction of ping-pong kinetics is
+/// exact for any fixed co-substrate level.
+#[test]
+fn ping_pong_apparent_reduction_exact() {
+    cases(0x0208, 64, |rng| {
+        let ka = rng.log_uniform_in(0.01, 50.0);
+        let kb = rng.log_uniform_in(0.001, 1.0);
+        let b = rng.log_uniform_in(0.001, 2.0);
+        let a = rng.log_uniform_in(0.001, 100.0);
         let pp = PingPongBiBi::new(
             RateConstant::from_per_second(100.0),
             Molar::from_milli_molar(ka),
@@ -148,17 +164,18 @@ proptest! {
         let sub = Molar::from_milli_molar(a);
         let full = pp.rate(sub, fixed_b).as_per_second();
         let reduced = app.turnover_rate(sub).as_per_second();
-        prop_assert!((full - reduced).abs() / full.max(1e-30) < 1e-9);
-    }
+        assert!((full - reduced).abs() / full.max(1e-30) < 1e-9);
+    });
+}
 
-    /// Film product flux scales linearly with effective loading and
-    /// never exceeds Γ_eff · k_cat.
-    #[test]
-    fn film_flux_bounds(
-        loading in 0.1f64..1000.0,
-        activity in 0.05f64..1.0,
-        s in 0.0f64..100.0,
-    ) {
+/// Film product flux scales linearly with effective loading and
+/// never exceeds Γ_eff · k_cat.
+#[test]
+fn film_flux_bounds() {
+    cases(0x0209, 64, |rng| {
+        let loading = rng.log_uniform_in(0.1, 1000.0);
+        let activity = rng.uniform_in(0.05, 1.0);
+        let s = rng.uniform_in(0.0, 100.0);
         let film = EnzymeFilm::builder()
             .loading(SurfaceLoading::from_pico_mol_per_square_cm(loading))
             .retained_activity(activity)
@@ -166,18 +183,19 @@ proptest! {
         let kinetics = mm(100.0, 1.0);
         let flux = film.product_flux(&kinetics, Molar::from_milli_molar(s));
         let cap = film.effective_loading().as_mol_per_square_cm() * 100.0;
-        prop_assert!(flux >= 0.0);
-        prop_assert!(flux <= cap * (1.0 + 1e-12));
-    }
+        assert!(flux >= 0.0);
+        assert!(flux <= cap * (1.0 + 1e-12));
+    });
+}
 
-    /// The effectiveness factor lies in (0, 1] and decreases with film
-    /// thickness.
-    #[test]
-    fn effectiveness_bounds_and_monotonicity(
-        loading in 1.0f64..10_000.0,
-        thin_um in 0.05f64..5.0,
-        factor in 2.0f64..20.0,
-    ) {
+/// The effectiveness factor lies in (0, 1] and decreases with film
+/// thickness.
+#[test]
+fn effectiveness_bounds_and_monotonicity() {
+    cases(0x020A, 64, |rng| {
+        let loading = rng.log_uniform_in(1.0, 10_000.0);
+        let thin_um = rng.log_uniform_in(0.05, 5.0);
+        let factor = rng.uniform_in(2.0, 20.0);
         let kinetics = mm(500.0, 1.0);
         let d = DiffusionCoefficient::from_square_cm_per_second(1e-7);
         let make = |um: f64| {
@@ -188,8 +206,8 @@ proptest! {
         };
         let eta_thin = make(thin_um).effectiveness(&kinetics, d);
         let eta_thick = make(thin_um * factor).effectiveness(&kinetics, d);
-        prop_assert!(eta_thin > 0.0 && eta_thin <= 1.0);
-        prop_assert!(eta_thick > 0.0 && eta_thick <= 1.0);
-        prop_assert!(eta_thick <= eta_thin + 1e-12);
-    }
+        assert!(eta_thin > 0.0 && eta_thin <= 1.0);
+        assert!(eta_thick > 0.0 && eta_thick <= 1.0);
+        assert!(eta_thick <= eta_thin + 1e-12);
+    });
 }

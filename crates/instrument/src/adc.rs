@@ -1,7 +1,5 @@
 //! Analog-to-digital conversion.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::Volts;
 
 /// An ideal mid-tread ADC with `bits` resolution over `±full_scale`.
@@ -22,7 +20,7 @@ use bios_units::Volts;
 /// let v = adc.reconstruct(code);
 /// assert!((v.as_volts() - 1.0).abs() < adc.lsb().as_volts());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Adc {
     bits: u8,
     full_scale_milli: i64,

@@ -1,7 +1,5 @@
 //! Transimpedance amplification of the sensor current.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Amperes, Ohms, Volts};
 
 /// A transimpedance (current-to-voltage) amplifier stage.
@@ -20,7 +18,7 @@ use bios_units::{Amperes, Ohms, Volts};
 /// let v = tia.convert(Amperes::from_micro_amps(1.5));
 /// assert!((v.as_volts() - 1.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransimpedanceAmplifier {
     gain: Ohms,
     rail: Volts,

@@ -1,7 +1,5 @@
 //! The electrochemical cell seen from the electronics.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::{Amperes, Ohms, Volts};
 
 /// Electrical model of a three-electrode cell: the potentiostat drives
@@ -23,7 +21,7 @@ use bios_units::{Amperes, Ohms, Volts};
 /// // 10 µA × 150 Ω = 1.5 mV of iR error, plus the 5 mV reference offset.
 /// assert!((eff.as_milli_volts() - (650.0 - 1.5 + 5.0)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreeElectrodeCell {
     uncompensated: Ohms,
     reference_offset: Volts,

@@ -221,7 +221,10 @@ mod tests {
         let mut filt_chain = ReadoutChain::benchtop(21).with_filter(FilterSpec::MovingAverage(9));
         let spread = |xs: &[Amperes]| {
             let m = xs.iter().map(|x| x.as_amps()).sum::<f64>() / xs.len() as f64;
-            xs.iter().map(|x| (x.as_amps() - m).powi(2)).sum::<f64>().sqrt()
+            xs.iter()
+                .map(|x| (x.as_amps() - m).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         let raw = raw_chain.digitize_trace(&trace);
         let filt = filt_chain.digitize_trace(&trace);

@@ -1,7 +1,5 @@
 //! Digital post-filters for sampled current traces.
 
-use serde::{Deserialize, Serialize};
-
 /// Centered moving-average smoother.
 ///
 /// # Examples
@@ -114,16 +112,12 @@ pub fn subtract_linear_baseline(samples: &[f64], margin: usize) -> (Vec<f64>, Ve
     let x1 = n as f64 - 1.0 - x0;
     let slope = (tail - head) / (x1 - x0);
     let baseline: Vec<f64> = (0..n).map(|i| head + slope * (i as f64 - x0)).collect();
-    let corrected = samples
-        .iter()
-        .zip(&baseline)
-        .map(|(s, b)| s - b)
-        .collect();
+    let corrected = samples.iter().zip(&baseline).map(|(s, b)| s - b).collect();
     (corrected, baseline)
 }
 
 /// Configuration of the post-filter applied by a readout chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FilterSpec {
     /// No filtering.
     None,

@@ -6,9 +6,7 @@
 //! and quantization (handled by [`crate::adc`]). The generator here is
 //! deterministic under a seed so every simulated table is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use bios_prng::Rng;
 use bios_units::Amperes;
 
 /// Deterministic current-noise source: white Gaussian noise plus a
@@ -28,7 +26,7 @@ use bios_units::Amperes;
 /// ```
 #[derive(Debug, Clone)]
 pub struct NoiseGenerator {
-    rng: StdRng,
+    rng: Rng,
     white_rms: f64,
     flicker_rms: f64,
     /// Leak factor for the low-frequency walk, in (0, 1).
@@ -41,7 +39,7 @@ impl NoiseGenerator {
     #[must_use]
     pub fn new(seed: u64, white_rms: Amperes) -> NoiseGenerator {
         NoiseGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             white_rms: white_rms.as_amps().abs(),
             flicker_rms: 0.0,
             leak: 0.98,
@@ -96,9 +94,7 @@ impl NoiseGenerator {
 
     /// Standard normal variate via Box–Muller.
     fn gaussian(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        self.rng.gaussian()
     }
 }
 
@@ -138,7 +134,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = NoiseGenerator::new(1, Amperes::from_nano_amps(1.0));
         let mut b = NoiseGenerator::new(2, Amperes::from_nano_amps(1.0));
-        let same = (0..50).filter(|_| a.sample().as_amps() == b.sample().as_amps()).count();
+        let same = (0..50)
+            .filter(|_| a.sample().as_amps() == b.sample().as_amps())
+            .count();
         assert!(same < 5);
     }
 
@@ -162,15 +160,17 @@ mod tests {
 
     #[test]
     fn flicker_adds_low_frequency_correlation() {
-        let mut white =
-            NoiseGenerator::new(3, Amperes::from_nano_amps(1.0));
+        let mut white = NoiseGenerator::new(3, Amperes::from_nano_amps(1.0));
         let mut pink = NoiseGenerator::new(3, Amperes::from_nano_amps(1.0))
             .with_flicker(Amperes::from_nano_amps(3.0));
         let lag_corr = |g: &mut NoiseGenerator| {
             let xs: Vec<f64> = (0..5000).map(|_| g.sample().as_amps()).collect();
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
-            let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+            let cov: f64 = xs
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>();
             cov / var
         };
         assert!(lag_corr(&mut pink) > lag_corr(&mut white) + 0.2);

@@ -5,10 +5,8 @@
 //! this module extracts peaks robustly from noisy, baseline-tilted
 //! traces.
 
-use serde::{Deserialize, Serialize};
-
 /// A detected peak.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Peak {
     /// Sample index of the apex.
     pub index: usize,
@@ -91,9 +89,7 @@ mod tests {
 
     #[test]
     fn prominence_filters_ripples() {
-        let mut x: Vec<f64> = (0..200)
-            .map(|i| 0.05 * ((i as f64) * 0.7).sin())
-            .collect();
+        let mut x: Vec<f64> = (0..200).map(|i| 0.05 * ((i as f64) * 0.7).sin()).collect();
         for (i, v) in x.iter_mut().enumerate() {
             *v += 4.0 * (-((i as f64 - 100.0) / 8.0).powi(2)).exp();
         }

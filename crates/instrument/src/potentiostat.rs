@@ -190,8 +190,7 @@ mod tests {
     fn measured_current_tracks_device_scale() {
         let mut p = Potentiostat::new(
             ThreeElectrodeCell::ideal(),
-            ReadoutChain::benchtop(9)
-                .auto_ranged_for(Amperes::from_micro_amps(1.0)),
+            ReadoutChain::benchtop(9).auto_ranged_for(Amperes::from_micro_amps(1.0)),
             Seconds::from_millis(20.0),
         );
         let trace = p.run(
@@ -199,8 +198,8 @@ mod tests {
             Seconds::from_seconds(0.4),
             resistor(1e6),
         );
-        let mean: f64 = trace.iter().map(|s| s.current.as_micro_amps()).sum::<f64>()
-            / trace.len() as f64;
+        let mean: f64 =
+            trace.iter().map(|s| s.current.as_micro_amps()).sum::<f64>() / trace.len() as f64;
         assert!((mean - 0.65).abs() < 0.05, "mean {mean}");
     }
 

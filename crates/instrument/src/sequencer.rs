@@ -5,8 +5,6 @@
 //! integration trade-offs). Switching channels disturbs the double layer,
 //! so each visit pays a settling delay before its samples count.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::Seconds;
 
 /// A scan schedule over `channels`, visiting each for `dwell` after a
@@ -23,7 +21,7 @@ use bios_units::Seconds;
 /// assert_eq!(s.frame_time().as_millis(), 5.0 * 250.0);
 /// assert!(s.duty_cycle() < 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScanSchedule {
     channels: usize,
     settling: Seconds,

@@ -10,8 +10,6 @@
 //! with quartz density ρ_q = 2.648 g/cm³ and shear modulus
 //! µ_q = 2.947×10¹¹ g·cm⁻¹·s⁻².
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::SquareCm;
 
 /// Quartz density, g/cm³.
@@ -32,7 +30,7 @@ const MU_QUARTZ: f64 = 2.947e11;
 /// let shift = qcm.frequency_shift_hz(1.0e-6); // 1 µg bound on 1 cm²
 /// assert!((shift + 56.6).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuartzCrystalMicrobalance {
     fundamental_hz: f64,
     active_area: SquareCm,
@@ -49,8 +47,14 @@ impl QuartzCrystalMicrobalance {
     /// Panics if the frequency or area is not positive.
     #[must_use]
     pub fn new(fundamental_hz: f64, active_area: SquareCm) -> QuartzCrystalMicrobalance {
-        assert!(fundamental_hz > 0.0, "fundamental frequency must be positive");
-        assert!(active_area.as_square_cm() > 0.0, "active area must be positive");
+        assert!(
+            fundamental_hz > 0.0,
+            "fundamental frequency must be positive"
+        );
+        assert!(
+            active_area.as_square_cm() > 0.0,
+            "active area must be positive"
+        );
         QuartzCrystalMicrobalance {
             fundamental_hz,
             active_area,
@@ -130,9 +134,7 @@ mod tests {
         let q = qcm();
         assert!((q.frequency_shift_hz(2e-6) / q.frequency_shift_hz(1e-6) - 2.0).abs() < 1e-12);
         let small = QuartzCrystalMicrobalance::new(5e6, SquareCm::from_square_cm(0.5));
-        assert!(
-            (small.frequency_shift_hz(1e-6) / q.frequency_shift_hz(1e-6) - 2.0).abs() < 1e-12
-        );
+        assert!((small.frequency_shift_hz(1e-6) / q.frequency_shift_hz(1e-6) - 2.0).abs() < 1e-12);
     }
 
     #[test]

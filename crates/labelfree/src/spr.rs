@@ -11,8 +11,6 @@
 //! resonance shift in response units (1 RU = 10⁻⁶ refractive-index
 //! units ≈ 1 pg/mm² of protein).
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::Molar;
 
 /// An SPR channel functionalized with a receptor layer.
@@ -29,7 +27,7 @@ use bios_units::Molar;
 /// let max = spr.saturation_response_units();
 /// assert!((half / max - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SprSensor {
     /// Receptor surface density, pg-equivalent capacity per mm² at full
     /// occupancy (R_max in instrument terms, in RU).
@@ -148,8 +146,11 @@ mod tests {
         // 0.3 RU noise on a 1200 RU channel with 10 nM K_D →
         // 3σ ≈ 0.9/1199 · 10 nM ≈ 7.5 pM.
         let lod = SprSensor::biacore_like().detection_limit();
-        assert!(lod.as_nano_molar() > 0.001 && lod.as_nano_molar() < 0.1,
-                "LOD {} nM", lod.as_nano_molar());
+        assert!(
+            lod.as_nano_molar() > 0.001 && lod.as_nano_molar() < 0.1,
+            "LOD {} nM",
+            lod.as_nano_molar()
+        );
     }
 
     #[test]

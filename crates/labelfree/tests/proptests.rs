@@ -1,90 +1,93 @@
 //! Property tests for the label-free transduction models.
-
-use proptest::prelude::*;
+//! Sampled deterministically via `bios_prng::cases`.
 
 use bios_labelfree::{QuartzCrystalMicrobalance, SprSensor};
+use bios_prng::cases;
 use bios_units::{Molar, SquareCm};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SPR response is bounded by R_max and monotone in concentration.
-    #[test]
-    fn spr_response_bounded_and_monotone(
-        r_max in 100.0f64..5000.0,
-        kd_nano in 0.1f64..1000.0,
-        c1 in 0.0f64..1e4,
-        dc in 0.0f64..1e4,
-    ) {
+/// SPR response is bounded by R_max and monotone in concentration.
+#[test]
+fn spr_response_bounded_and_monotone() {
+    cases(0x0601, 64, |rng| {
+        let r_max = rng.uniform_in(100.0, 5000.0);
+        let kd_nano = rng.log_uniform_in(0.1, 1000.0);
+        let c1 = rng.uniform_in(0.0, 1e4);
+        let dc = rng.uniform_in(0.0, 1e4);
         let s = SprSensor::new(r_max, Molar::from_nano_molar(kd_nano), 0.3);
         let lo = s.response_units(Molar::from_nano_molar(c1));
         let hi = s.response_units(Molar::from_nano_molar(c1 + dc));
-        prop_assert!(lo >= 0.0);
-        prop_assert!(hi >= lo);
-        prop_assert!(hi <= r_max);
-    }
+        assert!(lo >= 0.0);
+        assert!(hi >= lo);
+        assert!(hi <= r_max);
+    });
+}
 
-    /// SPR detection limit is monotone in instrument noise and in K_D.
-    #[test]
-    fn spr_lod_monotonicities(
-        kd_nano in 1.0f64..100.0,
-        noise in 0.05f64..2.0,
-        factor in 1.5f64..5.0,
-    ) {
+/// SPR detection limit is monotone in instrument noise and in K_D.
+#[test]
+fn spr_lod_monotonicities() {
+    cases(0x0602, 64, |rng| {
+        let kd_nano = rng.uniform_in(1.0, 100.0);
+        let noise = rng.uniform_in(0.05, 2.0);
+        let factor = rng.uniform_in(1.5, 5.0);
         let base = SprSensor::new(1200.0, Molar::from_nano_molar(kd_nano), noise);
         let noisier = SprSensor::new(1200.0, Molar::from_nano_molar(kd_nano), noise * factor);
-        prop_assert!(noisier.detection_limit() > base.detection_limit());
+        assert!(noisier.detection_limit() > base.detection_limit());
         let weaker = SprSensor::new(1200.0, Molar::from_nano_molar(kd_nano * factor), noise);
-        prop_assert!(weaker.detection_limit() > base.detection_limit());
-    }
+        assert!(weaker.detection_limit() > base.detection_limit());
+    });
+}
 
-    /// The association transient never exceeds its equilibrium value and
-    /// is monotone in time.
-    #[test]
-    fn spr_transient_bounded(
-        c_nano in 0.1f64..1000.0,
-        k_on in 1e3f64..1e7,
-        t1 in 0.0f64..1e3,
-        dt in 0.0f64..1e3,
-    ) {
+/// The association transient never exceeds its equilibrium value and
+/// is monotone in time.
+#[test]
+fn spr_transient_bounded() {
+    cases(0x0603, 64, |rng| {
+        let c_nano = rng.log_uniform_in(0.1, 1000.0);
+        let k_on = rng.log_uniform_in(1e3, 1e7);
+        let t1 = rng.uniform_in(0.0, 1e3);
+        let dt = rng.uniform_in(0.0, 1e3);
         let s = SprSensor::biacore_like();
         let c = Molar::from_nano_molar(c_nano);
         let r1 = s.association_transient(c, k_on, t1);
         let r2 = s.association_transient(c, k_on, t1 + dt);
         let eq = s.response_units(c);
-        prop_assert!(r1 >= 0.0);
-        prop_assert!(r2 + 1e-12 >= r1);
-        prop_assert!(r2 <= eq * (1.0 + 1e-12));
-    }
+        assert!(r1 >= 0.0);
+        assert!(r2 + 1e-12 >= r1);
+        assert!(r2 <= eq * (1.0 + 1e-12));
+    });
+}
 
-    /// Sauerbrey: frequency shift is exactly linear in mass and the
-    /// sensitivity scales as f².
-    #[test]
-    fn qcm_scalings(
-        f_mhz in 1.0f64..30.0,
-        mass_ng in 1.0f64..10_000.0,
-        k in 1.5f64..4.0,
-    ) {
+/// Sauerbrey: frequency shift is exactly linear in mass and the
+/// sensitivity scales as f².
+#[test]
+fn qcm_scalings() {
+    cases(0x0604, 64, |rng| {
+        let f_mhz = rng.uniform_in(1.0, 30.0);
+        let mass_ng = rng.log_uniform_in(1.0, 10_000.0);
+        let k = rng.uniform_in(1.5, 4.0);
         let q = QuartzCrystalMicrobalance::new(f_mhz * 1e6, SquareCm::from_square_cm(1.0));
         let s1 = q.frequency_shift_hz(mass_ng * 1e-9);
         let s2 = q.frequency_shift_hz(mass_ng * 1e-9 * k);
-        prop_assert!(s1 < 0.0);
-        prop_assert!((s2 / s1 - k).abs() < 1e-9);
+        assert!(s1 < 0.0);
+        assert!((s2 / s1 - k).abs() < 1e-9);
         let q2 = QuartzCrystalMicrobalance::new(f_mhz * 1e6 * k, SquareCm::from_square_cm(1.0));
         let ratio = q2.sensitivity_hz_per_gram_per_cm2() / q.sensitivity_hz_per_gram_per_cm2();
-        prop_assert!((ratio - k * k).abs() / (k * k) < 1e-9);
-    }
+        assert!((ratio - k * k).abs() / (k * k) < 1e-9);
+    });
+}
 
-    /// QCM detection limit improves with finer counters and higher
-    /// fundamentals.
-    #[test]
-    fn qcm_lod_monotonicities(f_mhz in 1.0f64..30.0, res in 0.01f64..10.0) {
+/// QCM detection limit improves with finer counters.
+#[test]
+fn qcm_lod_monotonicities() {
+    cases(0x0605, 64, |rng| {
+        let f_mhz = rng.uniform_in(1.0, 30.0);
+        let res = rng.log_uniform_in(0.01, 10.0);
         let q = QuartzCrystalMicrobalance::new(f_mhz * 1e6, SquareCm::from_square_cm(1.0))
             .with_resolution(res);
         let finer = QuartzCrystalMicrobalance::new(f_mhz * 1e6, SquareCm::from_square_cm(1.0))
             .with_resolution(res / 2.0);
-        prop_assert!(
+        assert!(
             finer.mass_detection_limit_grams_per_cm2() < q.mass_detection_limit_grams_per_cm2()
         );
-    }
+    });
 }

@@ -6,10 +6,8 @@
 //! cast film is — and through that the electron-transfer benefit that
 //! actually materializes.
 
-use serde::{Deserialize, Serialize};
-
 /// The solvent/matrix MWCNT are dispersed in before drop-casting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dispersant {
     /// 0.5 % Nafion in ethanol — the paper's oxidase-sensor recipe and
     /// the best dispersion quality [54].

@@ -1,13 +1,11 @@
 //! Electrode geometries and the paper's stock devices.
 
-use serde::{Deserialize, Serialize};
-
 use bios_units::SquareCm;
 
 use crate::material::ElectrodeMaterial;
 
 /// The role an electrode plays in a three-electrode cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElectrodeRole {
     /// Where the sensing chemistry happens and the current is measured.
     Working,
@@ -32,7 +30,7 @@ pub enum ElectrodeRole {
 /// );
 /// assert_eq!(we.area().as_square_mm(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Electrode {
     material: ElectrodeMaterial,
     area: SquareCm,
@@ -76,7 +74,7 @@ impl Electrode {
 
 /// The stock electrode systems used in the paper (§3.1) and the cited
 /// literature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElectrodeStock {
     /// DropSens carbon-paste screen-printed electrode: 13 mm² graphite
     /// working electrode, graphite counter, Ag reference. Used for the
@@ -201,7 +199,9 @@ mod tests {
             ElectrodeMaterial::Gold
         );
         assert_eq!(
-            ElectrodeStock::EpflMicroChip.reference_electrode().material(),
+            ElectrodeStock::EpflMicroChip
+                .reference_electrode()
+                .material(),
             ElectrodeMaterial::Platinum
         );
     }

@@ -1,7 +1,5 @@
 //! Bulk electrode materials.
 
-use serde::{Deserialize, Serialize};
-
 /// The conductor an electrode is made of.
 ///
 /// Each material carries an intrinsic electrocatalytic activity toward
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// double-layer capacitance. The paper notes (§3.2.2) that carbon
 /// electrodes outperform metallic ones for H₂O₂ — encoded here in
 /// [`ElectrodeMaterial::peroxide_activity`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElectrodeMaterial {
     /// Screen-printed graphite (DropSens SPE working/counter electrodes).
     Graphite,

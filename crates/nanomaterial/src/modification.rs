@@ -13,8 +13,6 @@
 //! * **collection efficiency** — the fraction of enzyme-generated product
 //!   that is captured electrochemically before escaping to bulk.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dispersion::Dispersant;
 
 use bios_electrochem::RedoxCouple;
@@ -22,7 +20,7 @@ use bios_units::Centimeters;
 
 /// Nominal MWCNT dimensions used in the paper (§3.1): 10 nm diameter,
 /// 1–2 µm length (DropSens).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CntDimensions {
     /// Tube outer diameter.
     pub diameter: Centimeters,
@@ -53,7 +51,7 @@ impl Default for CntDimensions {
 /// assert!(ours.collection_efficiency() > 0.5);
 /// assert_eq!(ours.name(), "MWCNT/Nafion");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SurfaceModification {
     name: String,
     dispersant: Option<Dispersant>,
@@ -436,7 +434,9 @@ mod tests {
 
     #[test]
     fn cnt_dimensions_match_datasheet() {
-        let dims = SurfaceModification::mwcnt_nafion().cnt_dimensions().unwrap();
+        let dims = SurfaceModification::mwcnt_nafion()
+            .cnt_dimensions()
+            .unwrap();
         assert!((dims.diameter.as_nano_meters() - 10.0).abs() < 1e-9);
         let len_um = dims.length.as_micro_meters();
         assert!((1.0..=2.0).contains(&len_um));

@@ -1,108 +1,120 @@
 //! Property tests for electrode and surface-modification models.
-
-use proptest::prelude::*;
+//! Sampled deterministically via `bios_prng::cases`.
 
 use bios_electrochem::RedoxCouple;
 use bios_nanomaterial::{
     Dispersant, Electrode, ElectrodeMaterial, ElectrodeRole, SurfaceModification,
 };
+use bios_prng::{cases, Rng};
 use bios_units::SquareCm;
 
-fn any_material() -> impl Strategy<Value = ElectrodeMaterial> {
-    prop_oneof![
-        Just(ElectrodeMaterial::Graphite),
-        Just(ElectrodeMaterial::Gold),
-        Just(ElectrodeMaterial::Platinum),
-        Just(ElectrodeMaterial::GlassyCarbon),
-        Just(ElectrodeMaterial::CarbonPaste),
-        Just(ElectrodeMaterial::SilverChloride),
-    ]
+const MATERIALS: [ElectrodeMaterial; 6] = [
+    ElectrodeMaterial::Graphite,
+    ElectrodeMaterial::Gold,
+    ElectrodeMaterial::Platinum,
+    ElectrodeMaterial::GlassyCarbon,
+    ElectrodeMaterial::CarbonPaste,
+    ElectrodeMaterial::SilverChloride,
+];
+
+const DISPERSANTS: [Dispersant; 5] = [
+    Dispersant::Nafion,
+    Dispersant::Chloroform,
+    Dispersant::MineralOil,
+    Dispersant::SolGel,
+    Dispersant::Water,
+];
+
+fn any_material(rng: &mut Rng) -> ElectrodeMaterial {
+    MATERIALS[rng.index(MATERIALS.len())]
 }
 
-fn any_dispersant() -> impl Strategy<Value = Dispersant> {
-    prop_oneof![
-        Just(Dispersant::Nafion),
-        Just(Dispersant::Chloroform),
-        Just(Dispersant::MineralOil),
-        Just(Dispersant::SolGel),
-        Just(Dispersant::Water),
-    ]
+fn any_dispersant(rng: &mut Rng) -> Dispersant {
+    DISPERSANTS[rng.index(DISPERSANTS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Electrodes accept any positive area, and the stored values round
-    /// trip exactly.
-    #[test]
-    fn electrode_round_trips(material in any_material(), area_mm2 in 1e-3f64..100.0) {
+/// Electrodes accept any positive area, and the stored values round
+/// trip exactly.
+#[test]
+fn electrode_round_trips() {
+    cases(0x0301, 64, |rng| {
+        let material = any_material(rng);
+        let area_mm2 = rng.log_uniform_in(1e-3, 100.0);
         let e = Electrode::new(
             material,
             SquareCm::from_square_mm(area_mm2),
             ElectrodeRole::Working,
         );
-        prop_assert_eq!(e.material(), material);
-        prop_assert!((e.area().as_square_mm() - area_mm2).abs() <= area_mm2 * 1e-12);
-    }
+        assert_eq!(e.material(), material);
+        assert!((e.area().as_square_mm() - area_mm2).abs() <= area_mm2 * 1e-12);
+    });
+}
 
-    /// Material property tables stay in their physical bands for every
-    /// variant.
-    #[test]
-    fn material_properties_bounded(material in any_material()) {
+/// Material property tables stay in their physical bands for every
+/// variant.
+#[test]
+fn material_properties_bounded() {
+    for material in MATERIALS {
         let act = material.peroxide_activity();
-        prop_assert!(act > 0.0 && act <= 1.0);
+        assert!(act > 0.0 && act <= 1.0);
         let cap = material.specific_capacitance();
-        prop_assert!((5e-6..=100e-6).contains(&cap));
+        assert!((5e-6..=100e-6).contains(&cap));
     }
+}
 
-    /// Custom modifications accept any valid gain combination and echo
-    /// it back.
-    #[test]
-    fn custom_modification_round_trips(
-        roughness in 1.0f64..500.0,
-        et in 0.1f64..200.0,
-        cap in 0.1f64..200.0,
-        coll in 0.01f64..1.0,
-        dispersant in prop::option::of(any_dispersant()),
-    ) {
+/// Custom modifications accept any valid gain combination and echo
+/// it back.
+#[test]
+fn custom_modification_round_trips() {
+    cases(0x0302, 64, |rng| {
+        let roughness = rng.uniform_in(1.0, 500.0);
+        let et = rng.uniform_in(0.1, 200.0);
+        let cap = rng.uniform_in(0.1, 200.0);
+        let coll = rng.uniform_in(0.01, 1.0);
+        let dispersant = if rng.uniform() < 0.5 {
+            Some(any_dispersant(rng))
+        } else {
+            None
+        };
         let m = SurfaceModification::custom("prop", dispersant, roughness, et, cap, coll);
-        prop_assert_eq!(m.roughness(), roughness);
-        prop_assert_eq!(m.electron_transfer_gain(), et);
-        prop_assert_eq!(m.enzyme_capacity_gain(), cap);
-        prop_assert_eq!(m.collection_efficiency(), coll);
-        prop_assert_eq!(m.dispersant(), dispersant);
-    }
+        assert_eq!(m.roughness(), roughness);
+        assert_eq!(m.electron_transfer_gain(), et);
+        assert_eq!(m.enzyme_capacity_gain(), cap);
+        assert_eq!(m.collection_efficiency(), coll);
+        assert_eq!(m.dispersant(), dispersant);
+    });
+}
 
-    /// Couple modification multiplies k⁰ by at least 1 (never slows a
-    /// couple down) and scales with the ET gain.
-    #[test]
-    fn couple_modification_never_decelerates(
-        et in 1.0f64..200.0,
-        coll in 0.01f64..1.0,
-        dispersant in any_dispersant(),
-    ) {
+/// Couple modification multiplies k⁰ by at least 1 (never slows a
+/// couple down) and scales with the ET gain.
+#[test]
+fn couple_modification_never_decelerates() {
+    cases(0x0303, 64, |rng| {
+        let et = rng.uniform_in(1.0, 200.0);
+        let coll = rng.uniform_in(0.01, 1.0);
+        let dispersant = any_dispersant(rng);
         let m = SurfaceModification::custom("prop", Some(dispersant), 50.0, et, 10.0, coll);
         let base = RedoxCouple::hydrogen_peroxide_oxidation();
         let modified = m.modify_couple(&base);
-        prop_assert!(modified.rate_constant() >= base.rate_constant() * (1.0 - 1e-12));
+        assert!(modified.rate_constant() >= base.rate_constant() * (1.0 - 1e-12));
         // Bounded by the nominal gain.
-        prop_assert!(modified.rate_constant() <= base.rate_constant() * et * (1.0 + 1e-12));
-    }
+        assert!(modified.rate_constant() <= base.rate_constant() * et * (1.0 + 1e-12));
+    });
+}
 
-    /// Dispersant film quality weights the realized ET enhancement:
-    /// better dispersion, faster couple.
-    #[test]
-    fn better_dispersion_faster_couple(et in 2.0f64..100.0) {
+/// Dispersant film quality weights the realized ET enhancement:
+/// better dispersion, faster couple.
+#[test]
+fn better_dispersion_faster_couple() {
+    cases(0x0304, 64, |rng| {
+        let et = rng.uniform_in(2.0, 100.0);
         let base = RedoxCouple::hydrogen_peroxide_oxidation();
-        let nafion = SurfaceModification::custom(
-            "a", Some(Dispersant::Nafion), 50.0, et, 10.0, 0.8,
+        let nafion =
+            SurfaceModification::custom("a", Some(Dispersant::Nafion), 50.0, et, 10.0, 0.8);
+        let oil =
+            SurfaceModification::custom("b", Some(Dispersant::MineralOil), 50.0, et, 10.0, 0.8);
+        assert!(
+            nafion.modify_couple(&base).rate_constant() > oil.modify_couple(&base).rate_constant()
         );
-        let oil = SurfaceModification::custom(
-            "b", Some(Dispersant::MineralOil), 50.0, et, 10.0, 0.8,
-        );
-        prop_assert!(
-            nafion.modify_couple(&base).rate_constant()
-                > oil.modify_couple(&base).rate_constant()
-        );
-    }
+    });
 }

@@ -1,0 +1,145 @@
+//! The memoizing result cache.
+//!
+//! Catalog calibrations are pure functions of `(sensor configuration,
+//! seed)`: the same entry calibrated under the same seed produces the
+//! same [`CalibrationOutcome`] bit for bit. Benches, tables, and
+//! examples re-run the same configurations constantly, so the runtime
+//! memoizes outcomes behind a sharded map keyed by
+//! `(sensor id, protocol fingerprint, seed)`.
+//!
+//! The protocol fingerprint ([`bios_core::catalog::CatalogEntry::protocol_fingerprint`])
+//! covers every field that feeds the calibration — electrode, film
+//! recipe, technique, sweep — so two entries sharing an id but differing
+//! in recipe can never alias each other's results.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use bios_core::catalog::CalibrationOutcome;
+
+/// Number of independent shards; a small power of two keeps lock
+/// contention negligible at any plausible worker count.
+const SHARDS: usize = 16;
+
+/// The cache key: which sensor, which exact protocol, which seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Catalog id of the sensor (e.g. `"glucose/ours"`).
+    pub sensor: String,
+    /// Fingerprint of the full calibration recipe.
+    pub protocol: u64,
+    /// The noise seed of the run.
+    pub seed: u64,
+}
+
+/// A sharded, thread-safe memo table of calibration outcomes.
+///
+/// Outcomes are stored behind `Arc` so a cache hit is a pointer clone,
+/// not a deep copy of the calibration curve.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<CalibrationOutcome>>>>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> ResultCache {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<CalibrationOutcome>>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a memoized outcome.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CalibrationOutcome>> {
+        self.shard(key).lock().ok()?.get(key).cloned()
+    }
+
+    /// Stores an outcome, returning the shared handle.
+    pub fn insert(&self, key: CacheKey, outcome: CalibrationOutcome) -> Arc<CalibrationOutcome> {
+        let outcome = Arc::new(outcome);
+        if let Ok(mut shard) = self.shard(&key).lock() {
+            shard.insert(key, Arc::clone(&outcome));
+        }
+        outcome
+    }
+
+    /// Number of memoized outcomes across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |m| m.len()))
+            .sum()
+    }
+
+    /// Whether the cache holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized outcome.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            if let Ok(mut map) = shard.lock() {
+                map.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bios_core::catalog;
+
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        let entry = catalog::our_glucose_sensor();
+        CacheKey {
+            sensor: entry.id().to_owned(),
+            protocol: entry.protocol_fingerprint(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn round_trips_an_outcome() {
+        let cache = ResultCache::new();
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        assert!(cache.get(&key(7)).is_none());
+        cache.insert(key(7), outcome.clone());
+        let hit = cache.get(&key(7)).expect("hit");
+        assert_eq!(hit.summary, outcome.summary);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinguishes_seeds() {
+        let cache = ResultCache::new();
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        cache.insert(key(7), outcome);
+        assert!(cache.get(&key(8)).is_none());
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache = ResultCache::new();
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        for seed in 0..40 {
+            cache.insert(key(seed), outcome.clone());
+        }
+        assert_eq!(cache.len(), 40);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Fleet descriptions and typed results.
+//!
+//! A [`Fleet`] is the unit of work the runtime executes: a batch of
+//! catalog sensor configurations crossed with noise seeds, one
+//! calibration job per (sensor, seed) pair. Results come back as a
+//! [`FleetReport`] with **per-job** error aggregation — a fleet with one
+//! broken sensor still calibrates every other channel and reports the
+//! failure alongside the successes, unlike the fail-fast sequential
+//! paths it replaces.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bios_core::catalog::{CalibrationOutcome, CatalogEntry};
+use bios_core::CoreError;
+
+use crate::metrics::MetricsSnapshot;
+
+/// One unit of fleet work: calibrate `entry` under `seed`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Position in the fleet (results are returned in this order).
+    pub index: usize,
+    /// The sensor configuration to calibrate.
+    pub entry: CatalogEntry,
+    /// The noise seed of the run.
+    pub seed: u64,
+}
+
+/// A named batch of calibration jobs.
+///
+/// # Examples
+///
+/// ```
+/// use bios_core::catalog;
+/// use bios_runtime::Fleet;
+///
+/// let fleet = Fleet::builder("table2")
+///     .sensors(catalog::all_table2())
+///     .seed(42)
+///     .build();
+/// assert_eq!(fleet.len(), 18);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    name: String,
+    jobs: Vec<Job>,
+}
+
+impl Fleet {
+    /// Starts building a fleet.
+    #[must_use]
+    pub fn builder(name: &str) -> FleetBuilder {
+        FleetBuilder {
+            name: name.to_owned(),
+            sensors: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// The fleet's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The jobs, in index order.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the fleet holds no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Builder assembling the (sensors × seeds) job matrix.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    name: String,
+    sensors: Vec<CatalogEntry>,
+    seeds: Vec<u64>,
+}
+
+impl FleetBuilder {
+    /// Adds one sensor configuration.
+    #[must_use]
+    pub fn sensor(mut self, entry: CatalogEntry) -> FleetBuilder {
+        self.sensors.push(entry);
+        self
+    }
+
+    /// Adds a batch of sensor configurations.
+    #[must_use]
+    pub fn sensors(mut self, entries: impl IntoIterator<Item = CatalogEntry>) -> FleetBuilder {
+        self.sensors.extend(entries);
+        self
+    }
+
+    /// Adds one seed (each sensor is calibrated once per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> FleetBuilder {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Adds a batch of seeds.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> FleetBuilder {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Builds the job matrix, seed-major (all sensors at seed₀, then
+    /// all sensors at seed₁, …). An empty seed list means seed 0.
+    #[must_use]
+    pub fn build(self) -> Fleet {
+        let seeds = if self.seeds.is_empty() {
+            vec![0]
+        } else {
+            self.seeds
+        };
+        let jobs = seeds
+            .iter()
+            .flat_map(|&seed| self.sensors.iter().cloned().map(move |entry| (entry, seed)))
+            .enumerate()
+            .map(|(index, (entry, seed))| Job { index, entry, seed })
+            .collect();
+        Fleet {
+            name: self.name,
+            jobs,
+        }
+    }
+}
+
+/// Why a single job failed (the fleet itself never fails).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The calibration pipeline returned an error.
+    Calibration(CoreError),
+    /// The job panicked on a worker; the payload is the panic message.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Calibration(e) => write!(f, "{e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Calibration(e) => Some(e),
+            JobError::Panicked(_) => None,
+        }
+    }
+}
+
+/// The typed result of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Position in the fleet.
+    pub index: usize,
+    /// Catalog id of the sensor.
+    pub sensor: String,
+    /// The noise seed of the run.
+    pub seed: u64,
+    /// Wall time of the job on its worker (near zero for cache hits).
+    pub wall: Duration,
+    /// Whether the outcome came from the memo cache.
+    pub from_cache: bool,
+    /// The calibration outcome or the per-job error.
+    pub outcome: Result<Arc<CalibrationOutcome>, JobError>,
+}
+
+/// Everything a fleet run produced, in job order.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Name of the fleet that ran.
+    pub fleet: String,
+    /// Worker threads used (1 for the sequential path).
+    pub workers: usize,
+    /// End-to-end wall time of the run.
+    pub elapsed: Duration,
+    /// Per-job results, sorted by job index.
+    pub results: Vec<JobResult>,
+    /// Runtime metrics snapshot taken when the run finished.
+    pub metrics: MetricsSnapshot,
+}
+
+impl FleetReport {
+    /// Successful results, in job order.
+    pub fn successes(&self) -> impl Iterator<Item = (&JobResult, &CalibrationOutcome)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok().map(|o| (r, o.as_ref())))
+    }
+
+    /// Failed results, in job order.
+    pub fn failures(&self) -> impl Iterator<Item = (&JobResult, &JobError)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| (r, e)))
+    }
+
+    /// The outcome for a (sensor id, seed) pair, if that job succeeded.
+    #[must_use]
+    pub fn outcome(&self, sensor: &str, seed: u64) -> Option<&CalibrationOutcome> {
+        self.results
+            .iter()
+            .find(|r| r.sensor == sensor && r.seed == seed)
+            .and_then(|r| r.outcome.as_ref().ok())
+            .map(AsRef::as_ref)
+    }
+
+    /// Number of jobs served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.results.iter().filter(|r| r.from_cache).count()
+    }
+
+    /// Jobs per second of end-to-end wall time.
+    #[must_use]
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / secs
+        }
+    }
+
+    /// A canonical rendering of every job's figures of merit, in job
+    /// order. Two runs of the same fleet are byte-identical here exactly
+    /// when their physics results are bit-identical — the determinism
+    /// oracle used by the worker-count-independence tests. Scheduling
+    /// artifacts (wall times, cache dispositions) are excluded.
+    #[must_use]
+    pub fn summaries_digest(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for r in &self.results {
+            match &r.outcome {
+                // `{:?}` on f64 prints the shortest round-trip form, so
+                // equal digests ⇔ bit-equal summaries.
+                Ok(o) => {
+                    let _ = writeln!(out, "{} seed={} {:?}", r.sensor, r.seed, o.summary);
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{} seed={} ERROR {e}", r.sensor, r.seed);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bios_core::catalog;
+
+    use super::*;
+
+    #[test]
+    fn builder_crosses_sensors_with_seeds() {
+        let fleet = Fleet::builder("x")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 2, 3])
+            .build();
+        assert_eq!(fleet.len(), 12);
+        // Seed-major: first block is all sensors at seed 1.
+        assert!(fleet.jobs()[..4].iter().all(|j| j.seed == 1));
+        assert_eq!(fleet.jobs()[4].seed, 2);
+        // Indexes are dense and ordered.
+        for (k, job) in fleet.jobs().iter().enumerate() {
+            assert_eq!(job.index, k);
+        }
+    }
+
+    #[test]
+    fn empty_seed_list_defaults_to_seed_zero() {
+        let fleet = Fleet::builder("x")
+            .sensor(catalog::our_glucose_sensor())
+            .build();
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.jobs()[0].seed, 0);
+    }
+
+    #[test]
+    fn job_error_displays_both_variants() {
+        let panicked = JobError::Panicked("boom".into());
+        assert!(panicked.to_string().contains("boom"));
+        let calib = JobError::Calibration(CoreError::ChannelEmpty { channel: 1 });
+        assert!(calib.to_string().contains("no sensor"));
+    }
+}

@@ -1,0 +1,414 @@
+//! # bios-runtime
+//!
+//! The concurrent fleet-simulation runtime: turns the one-shot
+//! `CatalogEntry::run_calibration(seed)` path into a scalable engine
+//! that calibrates whole fleets of simulated sensors — the paper's
+//! multi-sensor platform multiplied out to many patients, panels, and
+//! replicate seeds — behind one interface.
+//!
+//! Four pieces, all on `std` only (the build environment is offline):
+//!
+//! * [`pool`] — a channel-fed worker pool on `std::thread` +
+//!   `std::sync::mpsc`;
+//! * [`fleet`] — the `Job`/`Fleet` batch API with **per-job** error
+//!   aggregation instead of fail-fast;
+//! * [`cache`] — a memoizing result cache keyed by
+//!   `(sensor id, protocol fingerprint, seed)`;
+//! * [`metrics`] — atomic counters plus a per-job wall-time histogram,
+//!   dumpable as JSON.
+//!
+//! # Determinism
+//!
+//! Every job depends only on its `(sensor configuration, seed)` pair —
+//! noise streams are derived per job, never shared across threads — and
+//! results are collected by job index. A fleet therefore produces
+//! **identical calibration outcomes for a given seed regardless of the
+//! worker count**; the integration suite pins this with byte-identical
+//! digests at 1, 2, and 8 workers.
+//!
+//! # Examples
+//!
+//! ```
+//! use bios_core::catalog;
+//! use bios_runtime::{Fleet, Runtime, RuntimeConfig};
+//!
+//! let runtime = Runtime::new(RuntimeConfig::default().with_workers(4));
+//! let fleet = Fleet::builder("table2")
+//!     .sensors(catalog::all_table2())
+//!     .seed(42)
+//!     .build();
+//! let report = runtime.run(&fleet);
+//! assert_eq!(report.results.len(), 18);
+//! assert!(report.failures().next().is_none());
+//! // Re-running the same fleet hits the memo cache.
+//! let again = runtime.run(&fleet);
+//! assert_eq!(again.cache_hits(), 18);
+//! assert_eq!(report.summaries_digest(), again.summaries_digest());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fleet;
+pub mod metrics;
+pub mod pool;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bios_core::catalog::{CalibrationOutcome, CatalogEntry};
+
+pub use cache::{CacheKey, ResultCache};
+pub use fleet::{Fleet, FleetBuilder, FleetReport, Job, JobError, JobResult};
+pub use metrics::{MetricsSnapshot, RuntimeMetrics};
+pub use pool::WorkerPool;
+
+/// Runtime construction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads for concurrent fleet runs.
+    pub workers: usize,
+    /// Whether to memoize calibration outcomes.
+    pub cache: bool,
+}
+
+impl Default for RuntimeConfig {
+    /// One worker per available core, cache enabled.
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: WorkerPool::default_workers(),
+            cache: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> RuntimeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the memo cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: bool) -> RuntimeConfig {
+        self.cache = cache;
+        self
+    }
+
+    /// Default config with the worker count taken from the
+    /// `BIOS_WORKERS` environment variable when set and positive.
+    #[must_use]
+    pub fn from_env() -> RuntimeConfig {
+        let mut config = RuntimeConfig::default();
+        if let Some(n) = std::env::var("BIOS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            config.workers = n;
+        }
+        config
+    }
+}
+
+/// The fleet engine: worker pool + memo cache + metrics, shared across
+/// every fleet submitted to it.
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    pool: WorkerPool,
+    cache: Arc<ResultCache>,
+    metrics: Arc<RuntimeMetrics>,
+}
+
+/// What one executed job sends back from its worker.
+struct Completion {
+    index: usize,
+    outcome: Result<Arc<CalibrationOutcome>, JobError>,
+    wall: Duration,
+    from_cache: bool,
+}
+
+impl Runtime {
+    /// Builds a runtime from `config`.
+    #[must_use]
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        Runtime {
+            config,
+            pool: WorkerPool::new(config.workers),
+            cache: Arc::new(ResultCache::new()),
+            metrics: Arc::new(RuntimeMetrics::new()),
+        }
+    }
+
+    /// Shorthand: default config at an explicit worker count.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Runtime {
+        Runtime::new(RuntimeConfig::default().with_workers(workers))
+    }
+
+    /// Worker threads in the pool.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Point-in-time copy of the cumulative runtime counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Outcomes currently memoized.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every memoized outcome (the next run re-simulates).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Runs the fleet across the worker pool and collects results by
+    /// job index. Identical outcomes for identical seeds at any worker
+    /// count; per-job failures land in the report instead of aborting
+    /// the batch.
+    #[must_use]
+    pub fn run(&self, fleet: &Fleet) -> FleetReport {
+        let started = Instant::now();
+        self.metrics.record_submitted(fleet.len() as u64);
+        let (tx, rx) = mpsc::channel::<Completion>();
+        // Dispatch contiguous *chunks* of jobs rather than single jobs:
+        // the job list is shared as one `Arc<[Job]>` and each boxed task
+        // walks its index range, so the per-job dispatch cost (entry
+        // clone, box, enqueue, dequeue handoff) is amortized over the
+        // chunk. Several chunks per worker keep the load balanced when
+        // job costs are uneven.
+        let jobs: Arc<[Job]> = fleet.jobs().into();
+        let chunk = chunk_size(jobs.len(), self.workers());
+        let mut start = 0;
+        while start < jobs.len() {
+            let end = (start + chunk).min(jobs.len());
+            let tx = tx.clone();
+            let cache = self.config.cache.then(|| Arc::clone(&self.cache));
+            let metrics = Arc::clone(&self.metrics);
+            let jobs = Arc::clone(&jobs);
+            self.pool.execute(move || {
+                for job in &jobs[start..end] {
+                    let completion =
+                        execute_job(job.index, &job.entry, job.seed, cache.as_deref(), &metrics);
+                    let _ = tx.send(completion);
+                }
+            });
+            start = end;
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Completion>> = (0..fleet.len()).map(|_| None).collect();
+        for completion in rx {
+            let index = completion.index;
+            slots[index] = Some(completion);
+        }
+        let results = fleet
+            .jobs()
+            .iter()
+            .zip(slots)
+            .map(|(job, slot)| {
+                // A missing slot can only mean the worker died harder
+                // than catch_unwind (e.g. stack overflow aborts).
+                let completion = slot.unwrap_or(Completion {
+                    index: job.index,
+                    outcome: Err(JobError::Panicked("worker lost".into())),
+                    wall: Duration::ZERO,
+                    from_cache: false,
+                });
+                JobResult {
+                    index: job.index,
+                    sensor: job.entry.id().to_owned(),
+                    seed: job.seed,
+                    wall: completion.wall,
+                    from_cache: completion.from_cache,
+                    outcome: completion.outcome,
+                }
+            })
+            .collect();
+        FleetReport {
+            fleet: fleet.name().to_owned(),
+            workers: self.workers(),
+            elapsed: started.elapsed(),
+            results,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    /// Runs the fleet on the calling thread, in job order — the parity
+    /// reference for the concurrent path. Shares the same cache and
+    /// metrics semantics as [`Runtime::run`].
+    #[must_use]
+    pub fn run_sequential(&self, fleet: &Fleet) -> FleetReport {
+        let started = Instant::now();
+        self.metrics.record_submitted(fleet.len() as u64);
+        let cache = self.config.cache.then_some(self.cache.as_ref());
+        let results = fleet
+            .jobs()
+            .iter()
+            .map(|job| {
+                let completion = execute_job(job.index, &job.entry, job.seed, cache, &self.metrics);
+                JobResult {
+                    index: job.index,
+                    sensor: job.entry.id().to_owned(),
+                    seed: job.seed,
+                    wall: completion.wall,
+                    from_cache: completion.from_cache,
+                    outcome: completion.outcome,
+                }
+            })
+            .collect();
+        FleetReport {
+            fleet: fleet.name().to_owned(),
+            workers: 1,
+            elapsed: started.elapsed(),
+            results,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// Jobs per dispatched chunk: aim for four chunks per worker so slow
+/// jobs can't strand the batch behind one thread, but never less than
+/// one job per chunk.
+fn chunk_size(jobs: usize, workers: usize) -> usize {
+    jobs.div_ceil((workers * 4).max(1)).max(1)
+}
+
+/// Runs one job: cache probe, simulate on miss, memoize, meter.
+fn execute_job(
+    index: usize,
+    entry: &CatalogEntry,
+    seed: u64,
+    cache: Option<&ResultCache>,
+    metrics: &RuntimeMetrics,
+) -> Completion {
+    let t0 = Instant::now();
+    let key = cache.map(|_| CacheKey {
+        sensor: entry.id().to_owned(),
+        protocol: entry.protocol_fingerprint(),
+        seed,
+    });
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        if let Some(hit) = cache.get(key) {
+            let wall = t0.elapsed();
+            metrics.record_finished(true, true, wall);
+            return Completion {
+                index,
+                outcome: Ok(hit),
+                wall,
+                from_cache: true,
+            };
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| entry.run_calibration(seed)))
+        .map_err(|payload| JobError::Panicked(panic_message(&payload)))
+        .and_then(|r| r.map_err(JobError::Calibration))
+        .map(|outcome| match (cache, key) {
+            (Some(cache), Some(key)) => cache.insert(key, outcome),
+            _ => Arc::new(outcome),
+        });
+    let wall = t0.elapsed();
+    metrics.record_finished(outcome.is_ok(), false, wall);
+    Completion {
+        index,
+        outcome,
+        wall,
+        from_cache: false,
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use bios_core::catalog;
+
+    use super::*;
+
+    #[test]
+    fn concurrent_matches_sequential() {
+        let fleet = Fleet::builder("parity")
+            .sensors(catalog::cyp_sensors())
+            .seeds([7, 8])
+            .build();
+        let concurrent = Runtime::with_workers(4).run(&fleet);
+        let sequential = Runtime::with_workers(1).run_sequential(&fleet);
+        assert_eq!(concurrent.summaries_digest(), sequential.summaries_digest());
+    }
+
+    #[test]
+    fn cache_serves_repeat_runs() {
+        let runtime = Runtime::with_workers(2);
+        let fleet = Fleet::builder("repeat")
+            .sensors(catalog::glucose_sensors())
+            .seed(42)
+            .build();
+        let first = runtime.run(&fleet);
+        assert_eq!(first.cache_hits(), 0);
+        let second = runtime.run(&fleet);
+        assert_eq!(second.cache_hits(), fleet.len());
+        assert_eq!(first.summaries_digest(), second.summaries_digest());
+        let m = runtime.metrics();
+        assert_eq!(m.cache_hits, fleet.len() as u64);
+        assert_eq!(m.jobs_submitted, 2 * fleet.len() as u64);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let runtime = Runtime::new(RuntimeConfig::default().with_workers(2).with_cache(false));
+        let fleet = Fleet::builder("uncached")
+            .sensor(catalog::our_glucose_sensor())
+            .seed(1)
+            .build();
+        let _ = runtime.run(&fleet);
+        let second = runtime.run(&fleet);
+        assert_eq!(second.cache_hits(), 0);
+        assert_eq!(runtime.cache_len(), 0);
+    }
+
+    #[test]
+    fn different_seeds_do_not_alias_in_cache() {
+        let runtime = Runtime::with_workers(2);
+        let fleet = Fleet::builder("seeds")
+            .sensor(catalog::our_lactate_sensor())
+            .seeds([1, 2])
+            .build();
+        let report = runtime.run(&fleet);
+        let a = report.outcome("lactate/ours", 1).unwrap();
+        let b = report.outcome("lactate/ours", 2).unwrap();
+        assert_ne!(a.summary.sensitivity, b.summary.sensitivity);
+    }
+
+    #[test]
+    fn empty_fleet_reports_empty() {
+        let report = Runtime::with_workers(2).run(&Fleet::builder("empty").build());
+        assert!(report.results.is_empty());
+        assert_eq!(report.throughput_jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn from_env_respects_bios_workers() {
+        // Only assert the parse path; don't mutate the environment of
+        // the whole test process.
+        let config = RuntimeConfig::from_env();
+        assert!(config.workers >= 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Run metrics: atomic counters and a wall-time histogram.
+//!
+//! The runtime keeps its observability surface deliberately light —
+//! lock-free atomic counters on the job path and a fixed-bucket
+//! log₂-spaced histogram of per-job wall times — so metering never
+//! perturbs the throughput it measures. Snapshots serialize to JSON by
+//! hand (the platform carries no serialization dependency).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram buckets: bucket `i` counts jobs with wall time in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Shared, lock-free counters updated by every worker.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_micros: AtomicU64,
+    histogram: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl RuntimeMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> RuntimeMetrics {
+        RuntimeMetrics::default()
+    }
+
+    /// Records a submitted job.
+    pub fn record_submitted(&self, n: u64) {
+        self.jobs_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one finished job: success/failure, cache disposition,
+    /// and its wall time.
+    pub fn record_finished(&self, ok: bool, from_cache: bool, wall: Duration) {
+        if ok {
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if from_cache {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        self.busy_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the runtime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs handed to the pool since runtime creation.
+    pub jobs_submitted: u64,
+    /// Jobs finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs finished with a per-job error.
+    pub jobs_failed: u64,
+    /// Jobs served from the memo cache.
+    pub cache_hits: u64,
+    /// Jobs that had to run the simulation.
+    pub cache_misses: u64,
+    /// Total worker-side busy time, microseconds.
+    pub busy_micros: u64,
+    /// Per-job wall-time histogram (log₂ µs buckets).
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Fraction of finished jobs served from cache, in `[0, 1]`;
+    /// zero when nothing has finished.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Approximate wall-time quantile (e.g. `0.5`, `0.99`) from the
+    /// histogram, reported as the upper edge of the containing bucket
+    /// in microseconds. Zero when the histogram is empty.
+    #[must_use]
+    pub fn wall_quantile_micros(&self, q: f64) -> u64 {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, count) in self.histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << HISTOGRAM_BUCKETS
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled; the platform
+    /// carries no serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(i, count)| format!("{{\"le_micros\":{},\"count\":{count}}}", 1u64 << (i + 1)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
+                "\"busy_micros\":{},\"wall_p50_micros\":{},\"wall_p99_micros\":{},",
+                "\"wall_histogram\":[{}]}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.busy_micros,
+            self.wall_quantile_micros(0.5),
+            self.wall_quantile_micros(0.99),
+            buckets.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = RuntimeMetrics::new();
+        m.record_submitted(3);
+        m.record_finished(true, false, Duration::from_micros(100));
+        m.record_finished(true, true, Duration::from_micros(10));
+        m.record_finished(false, false, Duration::from_micros(1000));
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 3);
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.jobs_failed, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+        assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.busy_micros, 1110);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let m = RuntimeMetrics::new();
+        m.record_finished(true, false, Duration::from_micros(1)); // bucket 0
+        m.record_finished(true, false, Duration::from_micros(3)); // bucket 1
+        m.record_finished(true, false, Duration::from_micros(1500)); // bucket 10
+        let s = m.snapshot();
+        assert_eq!(s.histogram[0], 1);
+        assert_eq!(s.histogram[1], 1);
+        assert_eq!(s.histogram[10], 1);
+    }
+
+    #[test]
+    fn quantiles_track_the_histogram() {
+        let m = RuntimeMetrics::new();
+        for _ in 0..99 {
+            m.record_finished(true, false, Duration::from_micros(100)); // bucket 6
+        }
+        m.record_finished(true, false, Duration::from_micros(100_000)); // bucket 16
+        let s = m.snapshot();
+        assert_eq!(s.wall_quantile_micros(0.5), 1 << 7);
+        assert_eq!(s.wall_quantile_micros(0.999), 1 << 17);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = RuntimeMetrics::new();
+        m.record_submitted(1);
+        m.record_finished(true, false, Duration::from_micros(42));
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs_completed\":1"));
+        assert!(json.contains("\"cache_hit_rate\":0.0000"));
+        assert!(json.contains("\"wall_histogram\":[{\"le_micros\":64,\"count\":1}]"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = RuntimeMetrics::new().snapshot();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.wall_quantile_micros(0.99), 0);
+    }
+}

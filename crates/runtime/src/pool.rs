@@ -1,0 +1,171 @@
+//! A channel-fed worker pool on `std::thread` + `std::sync::mpsc`.
+//!
+//! The build environment is offline, so the pool deliberately uses only
+//! the standard library: one `mpsc` channel feeds boxed tasks to a set
+//! of named worker threads that share the receiving end behind a mutex.
+//! A worker holds the lock only for the dequeue handoff, so CPU-bound
+//! fleet jobs (hundreds of microseconds and up) scale close to linearly
+//! with the worker count.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed tasks in
+/// submission order (FIFO dispatch, arbitrary completion order).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// use bios_runtime::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || {
+///         counter.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins all workers
+/// assert_eq!(counter.load(Ordering::Relaxed), 100);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Task>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers)
+            .map(|k| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("bios-worker-{k}"))
+                    .spawn(move || loop {
+                        // Lock scope ends at the statement: the guard is
+                        // held across `recv` (the book's handoff pattern)
+                        // but released before the task runs.
+                        let task = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a sibling panicked mid-dequeue
+                        };
+                        match task {
+                            Ok(task) => task(),
+                            Err(_) => return, // channel closed: shutdown
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a task; it runs on the first free worker.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // Send fails only when every worker has died, which only
+            // happens on shutdown; tasks submitted after that are
+            // dropped, matching the pool's fail-quiet drain semantics.
+            let _ = sender.send(Box::new(task));
+        }
+    }
+
+    /// A sensible default worker count: the machine's available
+    /// parallelism, leaving the caller's thread to collect results.
+    #[must_use]
+    pub fn default_workers() -> usize {
+        thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Closes the queue and joins every worker, draining outstanding
+    /// tasks first.
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already reported through its job's
+            // result channel; nothing useful to do with the Err here.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn clamps_zero_workers_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn uses_multiple_threads() {
+        // Two tasks rendezvous on a barrier: they can only both reach it
+        // if the pool runs them on two distinct workers concurrently.
+        let pool = WorkerPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            pool.execute(move || {
+                barrier.wait();
+                let _ = tx.send(thread::current().name().map(str::to_owned));
+            });
+        }
+        drop(tx);
+        let names: std::collections::BTreeSet<_> = rx.iter().collect();
+        drop(pool);
+        assert_eq!(names.len(), 2, "tasks shared a worker: {names:?}");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(WorkerPool::default_workers() >= 1);
+    }
+}

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, Result};
 use crate::macros::quantity_ops;
 
@@ -26,7 +24,7 @@ use crate::macros::quantity_ops;
 /// let lod = Molar::from_micro_molar(2.0);
 /// assert!(lod < glucose);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Molar(f64);
 
 quantity_ops!(Molar);
@@ -136,7 +134,7 @@ impl fmt::Display for Molar {
 /// let gamma = SurfaceLoading::from_pico_mol_per_square_cm(20.0);
 /// assert!((gamma.as_mol_per_square_cm() - 2.0e-11).abs() < 1e-24);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SurfaceLoading(f64);
 
 quantity_ops!(SurfaceLoading);

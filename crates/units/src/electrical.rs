@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_finite, Result};
 use crate::geometry::SquareCm;
 use crate::macros::quantity_ops;
@@ -22,7 +20,7 @@ use crate::macros::quantity_ops;
 /// let i = Amperes::from_nano_amps(250.0);
 /// assert!((i.as_micro_amps() - 0.25).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Amperes(f64);
 
 quantity_ops!(Amperes);
@@ -127,7 +125,7 @@ impl std::ops::Div<SquareCm> for Amperes {
 /// let j = Amperes::from_micro_amps(13.0) / SquareCm::from_square_mm(13.0);
 /// assert!((j.as_micro_amps_per_square_cm() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct CurrentDensity(f64);
 
 quantity_ops!(CurrentDensity);
@@ -183,7 +181,7 @@ impl fmt::Display for CurrentDensity {
 /// let bias = Volts::from_milli_volts(650.0);
 /// assert_eq!(bias.as_volts(), 0.65);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Volts(f64);
 
 quantity_ops!(Volts);
@@ -253,7 +251,7 @@ impl fmt::Display for Volts {
 /// let v = feedback.voltage_for(Amperes::from_micro_amps(2.0));
 /// assert!((v.as_volts() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Ohms(f64);
 
 quantity_ops!(Ohms);
@@ -317,7 +315,7 @@ impl fmt::Display for Ohms {
 /// let v = ScanRate::from_milli_volts_per_second(50.0);
 /// assert_eq!(v.as_volts_per_second(), 0.05);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct ScanRate(f64);
 
 quantity_ops!(ScanRate);

@@ -91,7 +91,10 @@ mod tests {
         assert_eq!(e.to_string(), "concentration must be non-negative, got -3");
         let e = QuantityError::NonFinite { quantity: "area" };
         assert_eq!(e.to_string(), "area must be finite");
-        let e = QuantityError::InvertedRange { low: 2.0, high: 1.0 };
+        let e = QuantityError::InvertedRange {
+            low: 2.0,
+            high: 1.0,
+        };
         assert_eq!(e.to_string(), "range lower bound 2 exceeds upper bound 1");
     }
 

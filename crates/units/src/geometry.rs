@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, Result};
 use crate::macros::quantity_ops;
 
@@ -18,7 +16,7 @@ use crate::macros::quantity_ops;
 /// let film = Centimeters::from_micro_meters(5.0);
 /// assert!((film.as_cm() - 5.0e-4).abs() < 1e-16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Centimeters(f64);
 
 quantity_ops!(Centimeters);
@@ -110,7 +108,7 @@ impl fmt::Display for Centimeters {
 /// let micro = SquareCm::from_square_mm(0.25);
 /// assert!((spe / micro - 52.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SquareCm(pub(crate) f64);
 
 quantity_ops!(SquareCm);

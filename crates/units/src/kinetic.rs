@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, Result};
 use crate::macros::quantity_ops;
 
@@ -21,7 +19,7 @@ use crate::macros::quantity_ops;
 /// let d = DiffusionCoefficient::from_square_cm_per_second(6.7e-6);
 /// assert!(d.as_square_cm_per_second() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct DiffusionCoefficient(f64);
 
 quantity_ops!(DiffusionCoefficient);
@@ -71,7 +69,7 @@ impl fmt::Display for DiffusionCoefficient {
 /// let kcat = RateConstant::from_per_second(700.0);
 /// assert_eq!(kcat.as_per_second(), 700.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct RateConstant(f64);
 
 quantity_ops!(RateConstant);
@@ -127,7 +125,10 @@ mod tests {
             DiffusionCoefficient::from_square_cm_per_second(6.7e-6).to_string(),
             "6.700e-6 cm²/s"
         );
-        assert_eq!(RateConstant::from_per_second(700.0).to_string(), "700.000 s⁻¹");
+        assert_eq!(
+            RateConstant::from_per_second(700.0).to_string(),
+            "700.000 s⁻¹"
+        );
     }
 
     #[test]

@@ -50,9 +50,9 @@
 mod concentration;
 mod electrical;
 mod error;
-mod macros;
 mod geometry;
 mod kinetic;
+mod macros;
 mod range;
 mod sensitivity;
 mod temperature;

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{QuantityError, Result};
 use crate::Molar;
 
@@ -27,7 +25,7 @@ use crate::Molar;
 /// assert_eq!(range.width().as_milli_molar(), 1.0);
 /// # Ok::<(), bios_units::QuantityError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConcentrationRange {
     low: Molar,
     high: Molar,

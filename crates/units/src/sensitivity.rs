@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::electrical::{Amperes, CurrentDensity};
 use crate::error::{ensure_non_negative, Result};
 use crate::geometry::SquareCm;
@@ -30,7 +28,7 @@ use crate::Molar;
 ///                            SquareCm::from_square_mm(0.25));
 /// assert!((i.as_micro_amps() - 55.5 * 0.0025).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Sensitivity(f64);
 
 quantity_ops!(Sensitivity);

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, Result};
 
 /// Thermodynamic temperature, stored canonically in kelvin.
@@ -21,7 +19,7 @@ use crate::error::{ensure_non_negative, Result};
 /// assert!((t.as_kelvin() - 298.15).abs() < 1e-9);
 /// assert!(t < Kelvin::PHYSIOLOGICAL);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Kelvin(f64);
 
 impl Kelvin {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, Result};
 use crate::macros::quantity_ops;
 
@@ -17,7 +15,7 @@ use crate::macros::quantity_ops;
 /// let settle = Seconds::from_millis(250.0);
 /// assert_eq!(settle.as_seconds(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Seconds(f64);
 
 quantity_ops!(Seconds);

@@ -1,160 +1,204 @@
 //! Property tests for the quantity newtypes: conversions are exact
 //! inverses, arithmetic is linear, ordering follows magnitude.
+//! Sampled deterministically via `bios_prng::cases` (offline build —
+//! no property-testing framework available).
 
-use proptest::prelude::*;
-
+use bios_prng::cases;
 use bios_units::{
-    Amperes, Centimeters, ConcentrationRange, Kelvin, Molar, Ohms, ScanRate, Seconds,
-    Sensitivity, SquareCm, Volts,
+    Amperes, Centimeters, ConcentrationRange, Kelvin, Molar, Ohms, ScanRate, Seconds, Sensitivity,
+    SquareCm, Volts,
 };
 
-fn finite_positive() -> impl Strategy<Value = f64> {
-    // Values spanning the magnitudes the platform actually uses.
-    (1e-9f64..1e6).prop_filter("finite", |v| v.is_finite())
+/// Values spanning the magnitudes the platform actually uses.
+fn finite_positive(rng: &mut bios_prng::Rng) -> f64 {
+    rng.log_uniform_in(1e-9, 1e6)
 }
 
-proptest! {
-    #[test]
-    fn molar_unit_ladder_round_trips(v in finite_positive()) {
+#[test]
+fn molar_unit_ladder_round_trips() {
+    cases(0x0001, 64, |rng| {
+        let v = finite_positive(rng);
         let c = Molar::from_milli_molar(v);
-        prop_assert!((c.as_micro_molar() / 1e3 - v).abs() <= v * 1e-12);
-        prop_assert!((c.as_nano_molar() / 1e6 - v).abs() <= v * 1e-12);
-        prop_assert!((Molar::from_micro_molar(c.as_micro_molar()).as_milli_molar() - v).abs()
-            <= v * 1e-12);
-    }
+        assert!((c.as_micro_molar() / 1e3 - v).abs() <= v * 1e-12);
+        assert!((c.as_nano_molar() / 1e6 - v).abs() <= v * 1e-12);
+        assert!(
+            (Molar::from_micro_molar(c.as_micro_molar()).as_milli_molar() - v).abs() <= v * 1e-12
+        );
+    });
+}
 
-    #[test]
-    fn amperes_unit_ladder_round_trips(v in finite_positive()) {
+#[test]
+fn amperes_unit_ladder_round_trips() {
+    cases(0x0002, 64, |rng| {
+        let v = finite_positive(rng);
         let i = Amperes::from_nano_amps(v);
-        prop_assert!((i.as_micro_amps() * 1e3 - v).abs() <= v * 1e-9);
-        prop_assert!((Amperes::from_micro_amps(i.as_micro_amps()).as_nano_amps() - v).abs()
-            <= v * 1e-9);
-    }
+        assert!((i.as_micro_amps() * 1e3 - v).abs() <= v * 1e-9);
+        assert!((Amperes::from_micro_amps(i.as_micro_amps()).as_nano_amps() - v).abs() <= v * 1e-9);
+    });
+}
 
-    #[test]
-    fn addition_is_commutative_and_linear(a in finite_positive(), b in finite_positive()) {
+#[test]
+fn addition_is_commutative_and_linear() {
+    cases(0x0003, 64, |rng| {
+        let (a, b) = (finite_positive(rng), finite_positive(rng));
         let x = Molar::from_milli_molar(a);
         let y = Molar::from_milli_molar(b);
-        prop_assert_eq!(x + y, y + x);
-        prop_assert!(((x + y).as_milli_molar() - (a + b)).abs() <= (a + b) * 1e-12);
-    }
+        assert_eq!(x + y, y + x);
+        assert!(((x + y).as_milli_molar() - (a + b)).abs() <= (a + b) * 1e-12);
+    });
+}
 
-    #[test]
-    fn scalar_multiplication_scales(v in finite_positive(), k in 0.1f64..100.0) {
+#[test]
+fn scalar_multiplication_scales() {
+    cases(0x0004, 64, |rng| {
+        let v = finite_positive(rng);
+        let k = rng.uniform_in(0.1, 100.0);
         let i = Amperes::from_micro_amps(v);
         let scaled = i * k;
-        prop_assert!((scaled.as_micro_amps() - v * k).abs() <= (v * k) * 1e-12);
-        prop_assert_eq!(k * i, scaled);
-    }
+        assert!((scaled.as_micro_amps() - v * k).abs() <= (v * k) * 1e-12);
+        assert_eq!(k * i, scaled);
+    });
+}
 
-    #[test]
-    fn ratio_of_like_quantities_is_dimensionless(a in finite_positive(), b in finite_positive()) {
+#[test]
+fn ratio_of_like_quantities_is_dimensionless() {
+    cases(0x0005, 64, |rng| {
+        let (a, b) = (finite_positive(rng), finite_positive(rng));
         let r = SquareCm::from_square_cm(a) / SquareCm::from_square_cm(b);
-        prop_assert!((r - a / b).abs() <= (a / b) * 1e-12);
-    }
+        assert!((r - a / b).abs() <= (a / b) * 1e-12);
+    });
+}
 
-    #[test]
-    fn ordering_follows_magnitude(a in finite_positive(), b in finite_positive()) {
+#[test]
+fn ordering_follows_magnitude() {
+    cases(0x0006, 64, |rng| {
+        let (a, b) = (finite_positive(rng), finite_positive(rng));
         let x = Volts::from_milli_volts(a);
         let y = Volts::from_milli_volts(b);
-        prop_assert_eq!(x < y, a < b);
+        assert_eq!(x < y, a < b);
         // Conversion round trips can cost an ULP, so compare with slack.
         let eps = a.max(b) * 1e-12;
-        prop_assert!((x.max(y).as_milli_volts() - a.max(b)).abs() <= eps);
-        prop_assert!((x.min(y).as_milli_volts() - a.min(b)).abs() <= eps);
-    }
+        assert!((x.max(y).as_milli_volts() - a.max(b)).abs() <= eps);
+        assert!((x.min(y).as_milli_volts() - a.min(b)).abs() <= eps);
+    });
+}
 
-    #[test]
-    fn current_density_round_trips_through_area(
-        i in finite_positive(),
-        area in 1e-4f64..10.0,
-    ) {
+#[test]
+fn current_density_round_trips_through_area() {
+    cases(0x0007, 64, |rng| {
+        let i = finite_positive(rng);
+        let area = rng.log_uniform_in(1e-4, 10.0);
         let current = Amperes::from_micro_amps(i);
         let a = SquareCm::from_square_cm(area);
         let back = (current / a).over_area(a);
-        prop_assert!((back.as_micro_amps() - i).abs() <= i * 1e-12);
-    }
+        assert!((back.as_micro_amps() - i).abs() <= i * 1e-12);
+    });
+}
 
-    #[test]
-    fn sensitivity_prediction_is_linear_in_concentration(
-        s in 0.1f64..2000.0,
-        c in 1e-4f64..10.0,
-    ) {
+#[test]
+fn sensitivity_prediction_is_linear_in_concentration() {
+    cases(0x0008, 64, |rng| {
+        let s = rng.uniform_in(0.1, 2000.0);
+        let c = rng.log_uniform_in(1e-4, 10.0);
         let sens = Sensitivity::new(s);
         let area = SquareCm::from_square_cm(1.0);
         let i1 = sens.expected_current(Molar::from_milli_molar(c), area);
         let i2 = sens.expected_current(Molar::from_milli_molar(2.0 * c), area);
-        prop_assert!((i2.as_amps() / i1.as_amps() - 2.0).abs() < 1e-9);
-    }
+        assert!((i2.as_amps() / i1.as_amps() - 2.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn relative_error_is_zero_iff_equal(s in 0.1f64..2000.0) {
+#[test]
+fn relative_error_is_zero_iff_equal() {
+    cases(0x0009, 64, |rng| {
+        let s = rng.uniform_in(0.1, 2000.0);
         let a = Sensitivity::new(s);
-        prop_assert!(a.relative_error(a) < 1e-15);
+        assert!(a.relative_error(a) < 1e-15);
         let b = Sensitivity::new(s * 1.5);
-        prop_assert!((b.relative_error(a) - 0.5).abs() < 1e-9);
-    }
+        assert!((b.relative_error(a) - 0.5).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn range_linspace_is_sorted_and_bounded(
-        lo in 0.0f64..5.0,
-        width in 0.001f64..10.0,
-        n in 2usize..60,
-    ) {
+#[test]
+fn range_linspace_is_sorted_and_bounded() {
+    cases(0x000A, 64, |rng| {
+        let lo = rng.uniform_in(0.0, 5.0);
+        let width = rng.uniform_in(0.001, 10.0);
+        let n = rng.index_in(2, 60);
         let range = ConcentrationRange::from_milli_molar(lo, lo + width).unwrap();
         let pts = range.linspace(n);
-        prop_assert_eq!(pts.len(), n);
-        prop_assert!(pts.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!((pts[0].as_milli_molar() - lo).abs() < 1e-9);
-        prop_assert!((pts[n - 1].as_milli_molar() - (lo + width)).abs() < 1e-9);
+        assert_eq!(pts.len(), n);
+        assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+        assert!((pts[0].as_milli_molar() - lo).abs() < 1e-9);
+        assert!((pts[n - 1].as_milli_molar() - (lo + width)).abs() < 1e-9);
         for p in &pts {
-            prop_assert!(range.contains(*p) || (p.as_milli_molar() - (lo + width)).abs() < 1e-9);
+            assert!(range.contains(*p) || (p.as_milli_molar() - (lo + width)).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn overlap_score_is_symmetric_and_bounded(
-        a_lo in 0.0f64..2.0, a_w in 0.01f64..3.0,
-        b_lo in 0.0f64..2.0, b_w in 0.01f64..3.0,
-    ) {
+#[test]
+fn overlap_score_is_symmetric_and_bounded() {
+    cases(0x000B, 64, |rng| {
+        let a_lo = rng.uniform_in(0.0, 2.0);
+        let a_w = rng.uniform_in(0.01, 3.0);
+        let b_lo = rng.uniform_in(0.0, 2.0);
+        let b_w = rng.uniform_in(0.01, 3.0);
         let a = ConcentrationRange::from_milli_molar(a_lo, a_lo + a_w).unwrap();
         let b = ConcentrationRange::from_milli_molar(b_lo, b_lo + b_w).unwrap();
         let ab = a.overlap_score(&b);
         let ba = b.overlap_score(&a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&ab));
-    }
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    });
+}
 
-    #[test]
-    fn celsius_kelvin_round_trip(t in -50.0f64..200.0) {
+#[test]
+fn celsius_kelvin_round_trip() {
+    cases(0x000C, 64, |rng| {
+        let t = rng.uniform_in(-50.0, 200.0);
         let k = Kelvin::from_celsius(t);
-        prop_assert!((k.as_celsius() - t).abs() < 1e-9);
-    }
+        assert!((k.as_celsius() - t).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn ohms_law_linearity(r in 1.0f64..1e7, i in 1e-9f64..1e-3) {
+#[test]
+fn ohms_law_linearity() {
+    cases(0x000D, 64, |rng| {
+        let r = rng.log_uniform_in(1.0, 1e7);
+        let i = rng.log_uniform_in(1e-9, 1e-3);
         let v = Ohms::from_ohms(r).voltage_for(Amperes::from_amps(i));
-        prop_assert!((v.as_volts() - r * i).abs() <= (r * i) * 1e-12);
-    }
+        assert!((v.as_volts() - r * i).abs() <= (r * i) * 1e-12);
+    });
+}
 
-    #[test]
-    fn seconds_and_scan_rate_compose(rate in 1.0f64..1000.0, t in 0.001f64..100.0) {
+#[test]
+fn seconds_and_scan_rate_compose() {
+    cases(0x000E, 64, |rng| {
         // A sweep at `rate` mV/s for `t` seconds travels rate·t mV.
+        let rate = rng.uniform_in(1.0, 1000.0);
+        let t = rng.log_uniform_in(0.001, 100.0);
         let sr = ScanRate::from_milli_volts_per_second(rate);
         let dt = Seconds::from_seconds(t);
         let travel = sr.as_milli_volts_per_second() * dt.as_seconds();
-        prop_assert!((travel - rate * t).abs() <= (rate * t) * 1e-12);
-    }
+        assert!((travel - rate * t).abs() <= (rate * t) * 1e-12);
+    });
+}
 
-    #[test]
-    fn length_squared_matches_area(l in 1e-4f64..10.0) {
+#[test]
+fn length_squared_matches_area() {
+    cases(0x000F, 64, |rng| {
+        let l = rng.log_uniform_in(1e-4, 10.0);
         let cm = Centimeters::from_cm(l);
-        prop_assert!((cm.squared().as_square_cm() - l * l).abs() <= l * l * 1e-12);
-    }
+        assert!((cm.squared().as_square_cm() - l * l).abs() <= l * l * 1e-12);
+    });
+}
 
-    #[test]
-    fn negative_concentrations_rejected(v in finite_positive()) {
-        prop_assert!(Molar::try_from_molar(-v).is_err());
-        prop_assert!(Molar::try_from_molar(v).is_ok());
-    }
+#[test]
+fn negative_concentrations_rejected() {
+    cases(0x0010, 64, |rng| {
+        let v = finite_positive(rng);
+        assert!(Molar::try_from_molar(-v).is_err());
+        assert!(Molar::try_from_molar(v).is_ok());
+    });
 }

@@ -16,8 +16,14 @@ fn culture_state(hours: f64) -> Sample {
     let glucose0 = 10.0; // mM
     let consumed = glucose0 * (1.0 - (-hours / 30.0).exp());
     Sample::blank()
-        .with_analyte(Analyte::Glucose, Molar::from_milli_molar(glucose0 - consumed))
-        .with_analyte(Analyte::Lactate, Molar::from_milli_molar(0.9 * consumed * 2.0 / 10.0))
+        .with_analyte(
+            Analyte::Glucose,
+            Molar::from_milli_molar(glucose0 - consumed),
+        )
+        .with_analyte(
+            Analyte::Lactate,
+            Molar::from_milli_molar(0.9 * consumed * 2.0 / 10.0),
+        )
         .with_analyte(
             Analyte::Glutamate,
             Molar::from_micro_molar(20.0 + 6.0 * hours),

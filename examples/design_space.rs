@@ -51,15 +51,13 @@ fn main() -> Result<(), CoreError> {
         "LOD (µM)",
         "max current",
     ]);
-    let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0)
-        .map_err(CoreError::from)?;
+    let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0).map_err(CoreError::from)?;
 
     let mut lod_by_readout: Vec<(String, f64)> = Vec::new();
     for &mm2 in &areas_mm2 {
         let sensor = sensor_with_area(SquareCm::from_square_mm(mm2));
         for (name, make) in &readouts {
-            let mut chain =
-                make(17).auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
+            let mut chain = make(17).auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
             let curve =
                 Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 15);
             let summary = curve.summary(&Default::default())?;
@@ -71,10 +69,7 @@ fn main() -> Result<(), CoreError> {
                 format!("{}", sensor.faradaic_current(sweep.high())),
             ]);
             if (mm2 - 0.25).abs() < 1e-9 {
-                lod_by_readout.push((
-                    (*name).to_owned(),
-                    summary.detection_limit.as_micro_molar(),
-                ));
+                lod_by_readout.push(((*name).to_owned(), summary.detection_limit.as_micro_molar()));
             }
         }
     }

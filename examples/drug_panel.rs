@@ -3,15 +3,17 @@
 //! multi-panel CYP450 platform.
 //!
 //! Mounts all four CYP sensors on screen-printed electrodes, calibrates
-//! each, then quantifies an unknown "patient" cocktail of
-//! cyclophosphamide + ifosfamide by inverting the calibration fits.
+//! the whole panel concurrently through the fleet runtime, then
+//! quantifies an unknown "patient" cocktail of cyclophosphamide +
+//! ifosfamide by inverting the calibration fits.
 //!
 //! Run with: `cargo run --example drug_panel`
 
 use biosim::core::catalog;
 use biosim::prelude::*;
+use biosim::runtime::JobError;
 
-fn main() -> Result<(), CoreError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Multi-panel anticancer drug monitoring ==\n");
 
     // A patient sample after combination chemotherapy (unknown to the
@@ -22,9 +24,29 @@ fn main() -> Result<(), CoreError> {
         .with_analyte(Analyte::Cyclophosphamide, truth_cp)
         .with_analyte(Analyte::Ifosfamide, truth_ifo);
 
+    // Calibrate every channel of the panel in one fleet run: the four
+    // CYP sensors fan out across the runtime's workers and come back
+    // with per-job error reporting.
+    let runtime = Runtime::new(RuntimeConfig::from_env());
+    let fleet = Fleet::builder("cyp-panel")
+        .sensors(catalog::cyp_sensors())
+        .seed(7)
+        .build();
+    let panel: FleetReport = runtime.run(&fleet);
+    println!(
+        "panel calibrated: {} channels on {} workers in {:?}\n",
+        fleet.len(),
+        panel.workers,
+        panel.elapsed
+    );
+    for (result, error) in panel.failures() {
+        eprintln!("channel {} failed: {error}", result.sensor);
+    }
+
     for entry in catalog::cyp_sensors() {
-        // Calibrate the channel first (standard additions).
-        let outcome = entry.run_calibration(7)?;
+        let outcome = panel
+            .outcome(entry.id(), 7)
+            .ok_or_else(|| JobError::Panicked(format!("channel {} missing", entry.id())))?;
         let fit_sensitivity = outcome.summary.sensitivity;
 
         // Measure the patient sample on the calibrated channel.
@@ -43,7 +65,10 @@ fn main() -> Result<(), CoreError> {
         let true_level = patient.concentration(entry.analyte());
         println!("{:<22} ({})", entry.label(), entry.analyte());
         println!("  calibrated sensitivity: {fit_sensitivity}");
-        println!("  LOD:                    {}", outcome.summary.detection_limit);
+        println!(
+            "  LOD:                    {}",
+            outcome.summary.detection_limit
+        );
         println!("  channel current:        {current}");
         if true_level.as_molar() > 0.0 {
             let err = (estimated.as_micro_molar() - true_level.as_micro_molar())
@@ -79,7 +104,9 @@ fn main() -> Result<(), CoreError> {
         .iter()
         .map(|&spike| {
             let total = Molar::from_micro_molar(truth_cp.as_micro_molar() + spike);
-            let spiked = patient.clone().with_analyte(Analyte::Cyclophosphamide, total);
+            let spiked = patient
+                .clone()
+                .with_analyte(Analyte::Cyclophosphamide, total);
             Addition {
                 added: Molar::from_micro_molar(spike),
                 signal: chain.digitize(sensor.respond_to_sample(&spiked)),

@@ -32,7 +32,10 @@ fn main() -> Result<(), CoreError> {
     //    linear-range detection, and the 3σ detection limit.
     let outcome = entry.run_calibration(42)?;
     let s = outcome.summary;
-    println!("\nsimulated calibration ({} standards):", entry.sweep_points());
+    println!(
+        "\nsimulated calibration ({} standards):",
+        entry.sweep_points()
+    );
     println!("  sensitivity:  {}", s.sensitivity);
     println!("  linear range: {}", s.linear_range);
     println!("  LOD:          {}", s.detection_limit);

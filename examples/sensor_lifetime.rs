@@ -36,7 +36,10 @@ fn sensor_with_film(film: EnzymeFilm) -> Biosensor {
 
 fn main() -> Result<(), CoreError> {
     println!("== Six weeks of sensitivity drift (2 %/day activity loss) ==\n");
-    println!("{:>5}  {:>24}  {:>10}", "day", "measured sensitivity", "vs day 0");
+    println!(
+        "{:>5}  {:>24}  {:>10}",
+        "day", "measured sensitivity", "vs day 0"
+    );
 
     let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0)?;
     let mut day0 = None;
@@ -45,8 +48,7 @@ fn main() -> Result<(), CoreError> {
         let sensor = sensor_with_film(film);
         let mut chain = ReadoutChain::integrated_cmos(100 + day)
             .auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.5);
-        let curve =
-            Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 12);
+        let curve = Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 12);
         let s = curve.summary(&Default::default()).map(|s| s.sensitivity);
         let s = match s {
             Ok(s) => s,

@@ -47,7 +47,10 @@ fn main() -> Result<(), CoreError> {
     let r_before = estimate_charge_transfer(&before_binding.spectrum(0.1, 1e6, 300));
     let r_after = estimate_charge_transfer(&after_binding.spectrum(0.1, 1e6, 300));
     println!("   R_ct before binding: {r_before:.0} Ω");
-    println!("   R_ct after binding:  {r_after:.0} Ω  ({:.1}×)\n", r_after / r_before);
+    println!(
+        "   R_ct after binding:  {r_after:.0} Ω  ({:.1}×)\n",
+        r_after / r_before
+    );
 
     println!("== 4. Field-effect: CNT-FET PSA immunosensor [22] ==");
     let fet = BioFet::psa_cnt_fet();

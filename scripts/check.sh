@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: build, tests, formatting, lints.
+# Usage: scripts/check.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

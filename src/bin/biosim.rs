@@ -45,9 +45,9 @@ fn cmd_list() -> ExitCode {
                 paper.sensitivity.as_micro_amps_per_milli_molar_square_cm()
             ),
             paper.linear_range.to_string(),
-            paper
-                .detection_limit
-                .map_or("–".to_owned(), |l| format!("{:.2} µM", l.as_micro_molar())),
+            paper.detection_limit.map_or("–".to_owned(), |l| {
+                format!("{:.2} µM", l.as_micro_molar())
+            }),
         ]);
     }
     print!("{}", t.render());
@@ -82,7 +82,11 @@ fn cmd_show(id: &str) -> ExitCode {
     println!("model S:      {}", sensor.model_sensitivity());
     println!("model range:  up to {}", sensor.model_linear_limit());
     println!("paper S:      {}", e.paper().sensitivity);
-    println!("sweep:        {} over {} standards", e.sweep(), e.sweep_points());
+    println!(
+        "sweep:        {} over {} standards",
+        e.sweep(),
+        e.sweep_points()
+    );
     ExitCode::SUCCESS
 }
 
@@ -102,8 +106,7 @@ fn cmd_calibrate(id: &str, seed: u64) -> ExitCode {
             println!("R²:           {:.5}", s.r_squared);
             println!(
                 "vs paper:     ΔS {:+.1}%",
-                (s.sensitivity
-                    .as_micro_amps_per_milli_molar_square_cm()
+                (s.sensitivity.as_micro_amps_per_milli_molar_square_cm()
                     / e.paper()
                         .sensitivity
                         .as_micro_amps_per_milli_molar_square_cm()

@@ -22,7 +22,10 @@
 //! | [`nanomaterial`] | `bios-nanomaterial` | electrodes and CNT surface modifications |
 //! | [`instrument`] | `bios-instrument` | amplifier, ADC, noise, filters |
 //! | [`analytics`] | `bios-analytics` | regression, linear range, LOD |
+//! | [`labelfree`] | `bios-labelfree` | SPR and QCM label-free transduction |
+//! | [`prng`] | `bios-prng` | deterministic random streams (splitmix64 + xoshiro256\*\*) |
 //! | [`core`] | `bios-core` | the composed platform, protocols, Table 1/2 catalog |
+//! | [`runtime`] | `bios-runtime` | concurrent fleet simulation, result cache, metrics |
 //!
 //! # Quick start
 //!
@@ -48,6 +51,8 @@ pub use bios_enzyme as enzyme;
 pub use bios_instrument as instrument;
 pub use bios_labelfree as labelfree;
 pub use bios_nanomaterial as nanomaterial;
+pub use bios_prng as prng;
+pub use bios_runtime as runtime;
 pub use bios_units as units;
 
 /// Commonly used items for scripting against the platform.
@@ -59,6 +64,7 @@ pub mod prelude {
     pub use bios_core::{Analyte, Biosensor, CoreError, Sample};
     pub use bios_instrument::ReadoutChain;
     pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
+    pub use bios_runtime::{Fleet, FleetReport, Runtime, RuntimeConfig};
     pub use bios_units::{
         Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
     };

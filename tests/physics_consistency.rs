@@ -6,9 +6,7 @@ use biosim::electrochem::diffusion::{DiffusionGrid, SurfaceBoundary};
 use biosim::electrochem::voltammetry::CvSimulator;
 use biosim::electrochem::{cottrell, randles_sevcik, CyclicSweep, RedoxCouple};
 use biosim::nanomaterial::SurfaceModification;
-use biosim::units::{
-    DiffusionCoefficient, Kelvin, Molar, ScanRate, Seconds, SquareCm, Volts,
-};
+use biosim::units::{DiffusionCoefficient, Kelvin, Molar, ScanRate, Seconds, SquareCm, Volts};
 
 #[test]
 fn diffusion_solver_reproduces_cottrell_over_a_decade_of_time() {
@@ -25,13 +23,8 @@ fn diffusion_solver_reproduces_cottrell_over_a_decade_of_time() {
             elapsed += dt.as_seconds();
         }
         let i_grid = grid.flux_mol_per_cm2_s() * 96485.332 * area.as_square_cm();
-        let i_cottrell = cottrell::cottrell_current(
-            1,
-            area,
-            d,
-            bulk,
-            Seconds::from_seconds(checkpoint),
-        );
+        let i_cottrell =
+            cottrell::cottrell_current(1, area, d, bulk, Seconds::from_seconds(checkpoint));
         let rel = (i_grid - i_cottrell.as_amps()).abs() / i_cottrell.as_amps();
         assert!(rel < 0.03, "t = {checkpoint}s: {rel}");
     }
@@ -144,12 +137,8 @@ fn sensor_model_sensitivity_agrees_with_calibrated_slope_noise_free() {
             NoiseGenerator::new(1, Amperes::from_pico_amps(0.001)),
             FilterSpec::None,
         );
-        let curve = Chronoamperometry::default().calibrate_over(
-            &sensor,
-            &mut chain,
-            &entry.sweep(),
-            25,
-        );
+        let curve =
+            Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &entry.sweep(), 25);
         let measured = curve.sensitivity().unwrap();
         // The linear-range fit spans finite concentrations, so a small
         // negative Michaelis–Menten bias vs the C→0 tangent is expected;

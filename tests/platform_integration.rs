@@ -109,7 +109,8 @@ fn chip_reuses_channels_after_dismount() {
     let removed = chip.dismount(0).unwrap().unwrap();
     assert_eq!(removed.analyte(), Analyte::Glucose);
     // Remount a different chemistry on the same channel — modularity.
-    chip.mount(0, catalog::cyp_sensors()[1].build_sensor()).unwrap();
+    chip.mount(0, catalog::cyp_sensors()[1].build_sensor())
+        .unwrap();
     assert_eq!(
         chip.sensor_at(0).unwrap().analyte(),
         Analyte::Cyclophosphamide

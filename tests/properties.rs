@@ -1,8 +1,6 @@
 //! Property-based tests over the end-to-end pipeline: invariants that
 //! must hold for *any* physically sensible configuration, not just the
-//! catalog points.
-
-use proptest::prelude::*;
+//! catalog points. Sampled deterministically via `bios_prng::cases`.
 
 use biosim::core::catalog;
 use biosim::core::protocol::{CalibrationProtocol, Chronoamperometry};
@@ -11,13 +9,10 @@ use biosim::core::Analyte;
 use biosim::enzyme::{EnzymeFilm, Oxidase, OxidaseKind};
 use biosim::nanomaterial::{ElectrodeStock, SurfaceModification};
 use biosim::prelude::*;
+use biosim::prng::cases;
 use biosim::units::SurfaceLoading;
 
-fn arbitrary_sensor(
-    loading_pmol: f64,
-    activity: f64,
-    km_shift: f64,
-) -> Biosensor {
+fn arbitrary_sensor(loading_pmol: f64, activity: f64, km_shift: f64) -> Biosensor {
     let film = EnzymeFilm::builder()
         .loading(SurfaceLoading::from_pico_mol_per_square_cm(loading_pmol))
         .retained_activity(activity)
@@ -31,71 +26,83 @@ fn arbitrary_sensor(
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Faradaic current is non-negative and monotone non-decreasing in
-    /// concentration for any film parameters.
-    #[test]
-    fn current_monotone_in_concentration(
-        loading in 1.0f64..500.0,
-        activity in 0.05f64..1.0,
-        km_shift in 0.1f64..10.0,
-        c_lo in 0.0f64..5.0,
-        delta in 0.0f64..5.0,
-    ) {
+/// Faradaic current is non-negative and monotone non-decreasing in
+/// concentration for any film parameters.
+#[test]
+fn current_monotone_in_concentration() {
+    cases(0x0801, 64, |rng| {
+        let loading = rng.uniform_in(1.0, 500.0);
+        let activity = rng.uniform_in(0.05, 1.0);
+        let km_shift = rng.uniform_in(0.1, 10.0);
+        let c_lo = rng.uniform_in(0.0, 5.0);
+        let delta = rng.uniform_in(0.0, 5.0);
         let sensor = arbitrary_sensor(loading, activity, km_shift);
         let i_lo = sensor.faradaic_current(Molar::from_milli_molar(c_lo));
         let i_hi = sensor.faradaic_current(Molar::from_milli_molar(c_lo + delta));
-        prop_assert!(i_lo.as_amps() >= 0.0);
-        prop_assert!(i_hi.as_amps() >= i_lo.as_amps());
-    }
+        assert!(i_lo.as_amps() >= 0.0);
+        assert!(i_hi.as_amps() >= i_lo.as_amps());
+    });
+}
 
-    /// Sensitivity scales linearly with enzyme loading.
-    #[test]
-    fn sensitivity_linear_in_loading(
-        loading in 1.0f64..200.0,
-        factor in 1.5f64..5.0,
-    ) {
+/// Sensitivity scales linearly with enzyme loading.
+#[test]
+fn sensitivity_linear_in_loading() {
+    cases(0x0802, 64, |rng| {
+        let loading = rng.uniform_in(1.0, 200.0);
+        let factor = rng.uniform_in(1.5, 5.0);
         let s1 = arbitrary_sensor(loading, 0.5, 1.0).model_sensitivity();
         let s2 = arbitrary_sensor(loading * factor, 0.5, 1.0).model_sensitivity();
         let ratio = s2.as_micro_amps_per_milli_molar_square_cm()
             / s1.as_micro_amps_per_milli_molar_square_cm();
-        prop_assert!((ratio - factor).abs() / factor < 1e-9);
-    }
+        assert!((ratio - factor).abs() / factor < 1e-9);
+    });
+}
 
-    /// The detected linear range never exceeds the sweep and the
-    /// measured sensitivity is positive, for any seed.
-    #[test]
-    fn calibration_invariants_under_any_seed(seed in 0u64..10_000) {
+/// The detected linear range never exceeds the sweep and the
+/// measured sensitivity is positive, for any seed.
+#[test]
+fn calibration_invariants_under_any_seed() {
+    cases(0x0803, 64, |rng| {
+        let seed = rng.next_u64() % 10_000;
         let entry = catalog::our_glucose_sensor();
         let outcome = entry.run_calibration(seed).unwrap();
         let sweep = entry.sweep();
-        prop_assert!(outcome.summary.linear_range.high() <= sweep.high());
-        prop_assert!(outcome.summary.linear_range.low() >= sweep.low());
-        prop_assert!(
-            outcome.summary.sensitivity.as_micro_amps_per_milli_molar_square_cm() > 0.0
+        assert!(outcome.summary.linear_range.high() <= sweep.high());
+        assert!(outcome.summary.linear_range.low() >= sweep.low());
+        assert!(
+            outcome
+                .summary
+                .sensitivity
+                .as_micro_amps_per_milli_molar_square_cm()
+                > 0.0
         );
-        prop_assert!(outcome.summary.detection_limit.as_molar() > 0.0);
-        prop_assert!(outcome.summary.r_squared > 0.9);
-    }
+        assert!(outcome.summary.detection_limit.as_molar() > 0.0);
+        assert!(outcome.summary.r_squared > 0.9);
+    });
+}
 
-    /// Blank samples never read more than a few noise sigmas on any
-    /// channel, for any seed.
-    #[test]
-    fn blanks_stay_at_noise_level(seed in 0u64..1_000) {
+/// Blank samples never read more than a few noise sigmas on any
+/// channel, for any seed.
+#[test]
+fn blanks_stay_at_noise_level() {
+    cases(0x0804, 64, |rng| {
+        let seed = rng.next_u64() % 1_000;
         let entry = catalog::our_lactate_sensor();
         let sensor = entry.build_sensor();
         let mut chain = entry.build_readout(seed);
         let blank = chain.digitize(sensor.faradaic_current(Molar::ZERO));
         let sigma = entry.readout_noise();
-        prop_assert!(blank.as_amps().abs() < 6.0 * sigma.as_amps());
-    }
+        assert!(blank.as_amps().abs() < 6.0 * sigma.as_amps());
+    });
+}
 
-    /// Quantification round trip: currents inside the linear range map
-    /// back to concentrations within 15 % for arbitrary target points.
-    #[test]
-    fn quantification_round_trip(frac in 0.2f64..0.9, seed in 0u64..500) {
+/// Quantification round trip: currents inside the linear range map
+/// back to concentrations within 15 % for arbitrary target points.
+#[test]
+fn quantification_round_trip() {
+    cases(0x0805, 64, |rng| {
+        let frac = rng.uniform_in(0.2, 0.9);
+        let seed = rng.next_u64() % 500;
         let entry = catalog::our_glucose_sensor();
         let outcome = entry.run_calibration(seed).unwrap();
         let sensor = entry.build_sensor();
@@ -103,17 +110,23 @@ proptest! {
         let unknown = Molar::from_molar(top.as_molar() * frac);
         let mut chain = entry.build_readout(seed.wrapping_add(1));
         let current = chain.digitize(sensor.faradaic_current(unknown));
-        let slope = outcome.summary.sensitivity.as_micro_amps_per_milli_molar_square_cm()
+        let slope = outcome
+            .summary
+            .sensitivity
+            .as_micro_amps_per_milli_molar_square_cm()
             * sensor.electrode().area().as_square_cm();
         let estimate = current.as_micro_amps() / slope; // mM
         let rel = (estimate - unknown.as_milli_molar()).abs() / unknown.as_milli_molar();
-        prop_assert!(rel < 0.15, "recovered {estimate} mM for {unknown} ({rel})");
-    }
+        assert!(rel < 0.15, "recovered {estimate} mM for {unknown} ({rel})");
+    });
+}
 
-    /// A calibration over shuffled standards yields the same curve as
-    /// over sorted standards (points are sorted internally).
-    #[test]
-    fn standard_order_is_irrelevant(seed in 0u64..200) {
+/// A calibration over shuffled standards yields the same curve as
+/// over sorted standards (points are sorted internally).
+#[test]
+fn standard_order_is_irrelevant() {
+    cases(0x0806, 64, |rng| {
+        let seed = rng.next_u64() % 200;
         let entry = catalog::our_glucose_sensor();
         let sensor = entry.build_sensor();
         let protocol = Chronoamperometry::default();
@@ -127,6 +140,6 @@ proptest! {
         let c2 = protocol.calibrate(&sensor, &mut entry.build_readout(seed), &shuffled);
         let xs1 = c1.concentrations_milli_molar();
         let xs2 = c2.concentrations_milli_molar();
-        prop_assert_eq!(xs1, xs2);
-    }
+        assert_eq!(xs1, xs2);
+    });
 }

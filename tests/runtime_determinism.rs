@@ -1,0 +1,68 @@
+//! Worker-count independence: a fleet over the full catalog must
+//! produce byte-identical calibration summaries at 1, 2, and 8 workers
+//! for a fixed seed — scheduling must never leak into the physics.
+
+use biosim::core::catalog;
+use biosim::runtime::{Fleet, Runtime, RuntimeConfig};
+
+fn full_catalog_fleet(seed: u64) -> Fleet {
+    let mut sensors = catalog::all_table2();
+    sensors.extend(catalog::multi_panel_sensors());
+    Fleet::builder("determinism")
+        .sensors(sensors)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn digests_identical_across_worker_counts() {
+    let fleet = full_catalog_fleet(42);
+    let digests: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            let runtime = Runtime::new(
+                RuntimeConfig::default()
+                    .with_workers(workers)
+                    .with_cache(false),
+            );
+            let report = runtime.run(&fleet);
+            assert_eq!(report.results.len(), fleet.len());
+            assert!(
+                report.failures().next().is_none(),
+                "catalog fleet must calibrate cleanly"
+            );
+            report.summaries_digest()
+        })
+        .collect();
+    assert!(!digests[0].is_empty());
+    assert_eq!(digests[0], digests[1], "1 vs 2 workers diverged");
+    assert_eq!(digests[0], digests[2], "1 vs 8 workers diverged");
+}
+
+#[test]
+fn concurrent_digest_matches_sequential_reference() {
+    let fleet = full_catalog_fleet(7);
+    let sequential = Runtime::new(RuntimeConfig::default().with_workers(1).with_cache(false))
+        .run_sequential(&fleet);
+    let concurrent =
+        Runtime::new(RuntimeConfig::default().with_workers(8).with_cache(false)).run(&fleet);
+    assert_eq!(sequential.summaries_digest(), concurrent.summaries_digest());
+}
+
+#[test]
+fn cached_rerun_preserves_the_digest() {
+    let fleet = full_catalog_fleet(3);
+    let runtime = Runtime::new(RuntimeConfig::default().with_workers(4));
+    let first = runtime.run(&fleet);
+    let second = runtime.run(&fleet);
+    assert_eq!(second.cache_hits(), fleet.len());
+    assert_eq!(first.summaries_digest(), second.summaries_digest());
+}
+
+#[test]
+fn different_seeds_produce_different_digests() {
+    let runtime = Runtime::new(RuntimeConfig::default().with_workers(4).with_cache(false));
+    let a = runtime.run(&full_catalog_fleet(1)).summaries_digest();
+    let b = runtime.run(&full_catalog_fleet(2)).summaries_digest();
+    assert_ne!(a, b, "noise seeds must matter");
+}

@@ -1,0 +1,81 @@
+//! Per-job fault aggregation: one mis-configured sensor in a fleet
+//! must fail alone — every healthy channel still calibrates, and the
+//! report carries the broken channel's error instead of aborting.
+
+use biosim::core::catalog;
+use biosim::runtime::{Fleet, JobError, Runtime, RuntimeConfig};
+
+/// A sensor whose sweep has too few points for linear-range detection
+/// (the analyzer needs at least 3).
+fn broken_entry() -> biosim::core::catalog::CatalogEntry {
+    catalog::our_glucose_sensor()
+        .with_id("glucose/broken")
+        .with_sweep_points(2)
+}
+
+#[test]
+fn one_bad_sensor_fails_alone() {
+    let fleet = Fleet::builder("faulty")
+        .sensors(catalog::glucose_sensors())
+        .sensor(broken_entry())
+        .seed(42)
+        .build();
+    let report = Runtime::new(RuntimeConfig::default().with_workers(4)).run(&fleet);
+
+    assert_eq!(report.results.len(), fleet.len());
+    let failures: Vec<_> = report.failures().collect();
+    assert_eq!(failures.len(), 1, "exactly the broken channel fails");
+    let (result, error) = failures[0];
+    assert_eq!(result.sensor, "glucose/broken");
+    assert!(
+        matches!(error, JobError::Calibration(_)),
+        "calibration error expected, got: {error}"
+    );
+    // Every healthy channel completed with usable figures of merit.
+    assert_eq!(report.successes().count(), fleet.len() - 1);
+    for (result, outcome) in report.successes() {
+        assert_ne!(result.sensor, "glucose/broken");
+        assert!(outcome.summary.r_squared > 0.9);
+    }
+}
+
+#[test]
+fn failures_are_not_cached() {
+    let fleet = Fleet::builder("faulty-rerun")
+        .sensor(broken_entry())
+        .seed(1)
+        .build();
+    let runtime = Runtime::new(RuntimeConfig::default().with_workers(2));
+    let first = runtime.run(&fleet);
+    assert_eq!(first.failures().count(), 1);
+    // The failed job is retried (and fails again) rather than served
+    // from the cache: only successes are memoized.
+    let second = runtime.run(&fleet);
+    assert_eq!(second.cache_hits(), 0);
+    assert_eq!(second.failures().count(), 1);
+}
+
+#[test]
+fn sequential_path_aggregates_identically() {
+    let fleet = Fleet::builder("faulty-seq")
+        .sensors(catalog::lactate_sensors())
+        .sensor(broken_entry())
+        .seed(5)
+        .build();
+    let runtime = Runtime::new(RuntimeConfig::default().with_workers(1).with_cache(false));
+    let report = runtime.run_sequential(&fleet);
+    assert_eq!(report.failures().count(), 1);
+    assert_eq!(report.successes().count(), fleet.len() - 1);
+}
+
+#[test]
+fn fault_digest_records_the_error_line() {
+    let fleet = Fleet::builder("faulty-digest")
+        .sensor(broken_entry())
+        .seed(9)
+        .build();
+    let report =
+        Runtime::new(RuntimeConfig::default().with_workers(2).with_cache(false)).run(&fleet);
+    let digest = report.summaries_digest();
+    assert!(digest.contains("glucose/broken seed=9 ERROR"), "{digest}");
+}

@@ -48,9 +48,9 @@ fn sequenced_platform_measurements_remain_selective() {
     // to frame (within noise).
     let mut per_channel: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for _frame in 0..3 {
-        for ch in 0..schedule.channels() {
+        for (ch, readings) in per_channel.iter_mut().enumerate().take(schedule.channels()) {
             let r = chip.measure(ch, &sample).unwrap();
-            per_channel[ch].push(r.current.as_nano_amps());
+            readings.push(r.current.as_nano_amps());
         }
     }
     for (ch, readings) in per_channel.iter().enumerate() {
