@@ -1,0 +1,260 @@
+//! Drift and fault detection from calibration residuals.
+//!
+//! A deployed sensor re-calibrates periodically; comparing each fresh
+//! calibration curve against a trusted reference curve is the cheapest
+//! way to notice that the device has degraded (film denaturation,
+//! fouling, drifting reference, glitching readout) *before* its reported
+//! concentrations go quietly wrong. [`DriftDetector`] implements the
+//! rolling-residual test the chaos ablation uses to score *detected*
+//! faults against *injected* ones: point-wise residuals between the two
+//! curves are normalized by the replicate noise scale, averaged over a
+//! rolling window (so a consistent shift stands out above uncorrelated
+//! noise), and compared against a z-score threshold.
+
+use crate::calibration::CalibrationCurve;
+use crate::error::{AnalyticsError, Result};
+
+/// Rolling-residual drift detector.
+///
+/// # Examples
+///
+/// ```
+/// use bios_analytics::drift::DriftDetector;
+///
+/// let detector = DriftDetector::default();
+/// assert_eq!(detector.window(), 5);
+/// assert!((detector.threshold() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDetector {
+    window: usize,
+    threshold: f64,
+}
+
+impl DriftDetector {
+    /// Builds a detector with the given rolling-window length (clamped
+    /// to at least 1) and z-score threshold.
+    #[must_use]
+    pub fn new(window: usize, threshold: f64) -> DriftDetector {
+        DriftDetector {
+            window: window.max(1),
+            threshold,
+        }
+    }
+
+    /// Rolling-window length in calibration points.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Detection threshold on the windowed mean z-score.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Compares `observed` against the trusted `reference` curve.
+    ///
+    /// Both curves must cover the same standards. Residuals are scaled
+    /// by the larger of the two blank sigmas (reduced by √replicates,
+    /// since each point is a replicate mean), then averaged over the
+    /// rolling window; the largest |windowed mean| is the drift score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyticsError::LengthMismatch`] when the curves have
+    /// different numbers of points, [`AnalyticsError::TooFewPoints`]
+    /// when they have fewer than 3, and
+    /// [`AnalyticsError::NonFiniteInput`] when the standards disagree or
+    /// the noise scale degenerates.
+    pub fn assess(
+        &self,
+        reference: &CalibrationCurve,
+        observed: &CalibrationCurve,
+    ) -> Result<DriftAssessment> {
+        let ref_x = reference.concentrations_milli_molar();
+        let obs_x = observed.concentrations_milli_molar();
+        if ref_x.len() != obs_x.len() {
+            return Err(AnalyticsError::LengthMismatch {
+                xs: ref_x.len(),
+                ys: obs_x.len(),
+            });
+        }
+        if ref_x.len() < 3 {
+            return Err(AnalyticsError::TooFewPoints {
+                needed: 3,
+                got: ref_x.len(),
+            });
+        }
+        for (a, b) in ref_x.iter().zip(&obs_x) {
+            if (a - b).abs() > 1e-9 * a.abs().max(1.0) {
+                return Err(AnalyticsError::NonFiniteInput);
+            }
+        }
+
+        let replicates = reference
+            .points()
+            .iter()
+            .map(|p| p.replicates().len())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let sigma_amps = reference
+            .blank_sigma()
+            .as_amps()
+            .max(observed.blank_sigma().as_amps());
+        let sigma_point = sigma_amps * 1e6 / (replicates as f64).sqrt();
+        if !(sigma_point.is_finite() && sigma_point > 0.0) {
+            return Err(AnalyticsError::NonFiniteInput);
+        }
+
+        let ref_y = reference.mean_currents_micro_amps();
+        let obs_y = observed.mean_currents_micro_amps();
+        let z: Vec<f64> = ref_y
+            .iter()
+            .zip(&obs_y)
+            .map(|(r, o)| (o - r) / sigma_point)
+            .collect();
+
+        let window = self.window.min(z.len());
+        let mut score: f64 = 0.0;
+        for chunk in z.windows(window) {
+            let mean = chunk.iter().sum::<f64>() / window as f64;
+            score = score.max(mean.abs());
+        }
+        Ok(DriftAssessment {
+            score,
+            drifted: score > self.threshold,
+            window,
+        })
+    }
+}
+
+impl Default for DriftDetector {
+    /// Window of 5 points, threshold 4σ — comfortably above the ~1.6σ
+    /// worst-case windowed mean of two healthy same-protocol curves.
+    fn default() -> Self {
+        DriftDetector::new(5, 4.0)
+    }
+}
+
+/// Outcome of one drift comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAssessment {
+    /// Largest |rolling mean| of the normalized residuals, in σ units.
+    pub score: f64,
+    /// Whether the score exceeded the detector threshold.
+    pub drifted: bool,
+    /// The window length actually used (≤ configured, bounded by the
+    /// number of points).
+    pub window: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::{Amperes, Molar, SquareCm};
+
+    use crate::calibration::CalibrationPoint;
+
+    /// A synthetic curve: y = slope·x µA with per-point offsets, σ_blank
+    /// = 0.01 µA, triplicates.
+    fn curve(slope: f64, offsets: &[f64]) -> CalibrationCurve {
+        let points: Vec<CalibrationPoint> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, off)| {
+                let x = (i + 1) as f64; // mM
+                let y = slope * x + off; // µA
+                CalibrationPoint::new(
+                    Molar::from_milli_molar(x),
+                    vec![Amperes::from_micro_amps(y); 3],
+                )
+            })
+            .collect();
+        CalibrationCurve::new(
+            points,
+            SquareCm::from_square_cm(0.1),
+            Amperes::from_micro_amps(0.01),
+        )
+    }
+
+    #[test]
+    fn identical_curves_do_not_drift() {
+        let reference = curve(2.0, &[0.0; 12]);
+        let observed = curve(2.0, &[0.0; 12]);
+        let assessment = DriftDetector::default()
+            .assess(&reference, &observed)
+            .unwrap();
+        assert!(!assessment.drifted);
+        assert_eq!(assessment.score, 0.0);
+    }
+
+    #[test]
+    fn small_uncorrelated_noise_stays_below_threshold() {
+        let reference = curve(2.0, &[0.0; 12]);
+        // ±1σ_point alternating noise: rolling mean shrinks toward zero.
+        let sigma_point = 0.01 / 3f64.sqrt();
+        let noise: Vec<f64> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    sigma_point
+                } else {
+                    -sigma_point
+                }
+            })
+            .collect();
+        let observed = curve(2.0, &noise);
+        let assessment = DriftDetector::default()
+            .assess(&reference, &observed)
+            .unwrap();
+        assert!(!assessment.drifted, "score {}", assessment.score);
+    }
+
+    #[test]
+    fn sensitivity_loss_is_detected() {
+        let reference = curve(2.0, &[0.0; 12]);
+        let degraded = curve(1.6, &[0.0; 12]); // 20 % slope loss
+        let assessment = DriftDetector::default()
+            .assess(&reference, &degraded)
+            .unwrap();
+        assert!(assessment.drifted, "score {}", assessment.score);
+        assert!(assessment.score > 10.0);
+    }
+
+    #[test]
+    fn consistent_offset_is_detected() {
+        let reference = curve(2.0, &[0.0; 12]);
+        let shifted = curve(2.0, &[0.1; 12]); // +0.1 µA everywhere
+        let assessment = DriftDetector::default()
+            .assess(&reference, &shifted)
+            .unwrap();
+        assert!(assessment.drifted);
+    }
+
+    #[test]
+    fn mismatched_curves_are_rejected() {
+        let reference = curve(2.0, &[0.0; 12]);
+        let short = curve(2.0, &[0.0; 6]);
+        assert!(matches!(
+            DriftDetector::default().assess(&reference, &short),
+            Err(AnalyticsError::LengthMismatch { .. })
+        ));
+        let tiny = curve(2.0, &[0.0; 2]);
+        assert!(matches!(
+            DriftDetector::default().assess(&tiny, &tiny),
+            Err(AnalyticsError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn window_clamps_to_curve_length() {
+        let reference = curve(2.0, &[0.0; 4]);
+        let observed = curve(2.0, &[0.0; 4]);
+        let assessment = DriftDetector::new(50, 4.0)
+            .assess(&reference, &observed)
+            .unwrap();
+        assert_eq!(assessment.window, 4);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`linear_range`] — data-driven detection of where a calibration
 //!   stops being linear.
 //! * [`limits`] — 3σ detection and 10σ quantification limits.
+//! * [`drift`] — rolling-residual drift/fault detection between a
+//!   reference calibration and a fresh one.
 //! * [`report`] — plain-text table rendering for the bench harness.
 //!
 //! # Examples
@@ -32,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod calibration;
+pub mod drift;
 pub mod error;
 pub mod limits;
 pub mod linear_range;
@@ -40,6 +43,7 @@ pub mod report;
 pub mod standard_addition;
 
 pub use calibration::{CalibrationCurve, CalibrationPoint, CalibrationSummary};
+pub use drift::{DriftAssessment, DriftDetector};
 pub use error::{AnalyticsError, Result};
 pub use limits::{detection_limit, quantification_limit};
 pub use linear_range::{detect_linear_range, LinearRangeOptions};

@@ -18,11 +18,12 @@ fn bench_diffusion() {
             Molar::from_milli_molar(1.0),
             100e-4,
             nodes,
-        );
+        )
+        .expect("valid grid");
         grid.set_surface(SurfaceBoundary::Concentration(0.0));
         let dt = grid.max_stable_dt() * 0.9;
         group.bench(&format!("explicit_step_{nodes}"), || {
-            grid.step_explicit(black_box(dt));
+            grid.step_explicit(black_box(dt)).expect("stable step");
             black_box(grid.flux_mol_per_cm2_s())
         });
 
@@ -31,7 +32,8 @@ fn bench_diffusion() {
             Molar::from_milli_molar(1.0),
             100e-4,
             nodes,
-        );
+        )
+        .expect("valid grid");
         grid.set_surface(SurfaceBoundary::Concentration(0.0));
         let dt = Seconds::from_millis(1.0);
         group.bench(&format!("crank_nicolson_step_{nodes}"), || {

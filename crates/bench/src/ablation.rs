@@ -239,6 +239,113 @@ pub fn render_seed_ablation(seed0: u64, replicates: usize) -> String {
     )
 }
 
+/// Ablation 6 — chaos: the glucose family calibrated under
+/// [`bios_faults::FaultPlan::chaos`] plans of increasing intensity.
+/// For each ramp step the table reports how many faults were injected,
+/// how the fleet triaged (completed/degraded/failed), how many of the
+/// surviving faulted channels the rolling-residual drift detector
+/// flags against the healthy reference, and how far sensitivity and
+/// LOD degrade. Intensity 0 is the armed-but-harmless overhead
+/// baseline: it must match the healthy row exactly.
+#[must_use]
+pub fn render_chaos_ablation(seed: u64) -> String {
+    use bios_analytics::DriftDetector;
+    use bios_core::catalog;
+    use bios_faults::FaultPlan;
+    use bios_runtime::{Fleet, Runtime, RuntimeConfig};
+
+    let seeds = seed..seed + 4;
+    let sensors = catalog::glucose_sensors;
+    let runtime = Runtime::new(RuntimeConfig::from_env().with_cache(false));
+    let healthy = runtime.run(
+        &Fleet::builder("chaos-reference")
+            .sensors(sensors())
+            .seeds(seeds.clone())
+            .build(),
+    );
+    let reference_mean = |f: &dyn Fn(&bios_core::catalog::CalibrationOutcome) -> f64| -> f64 {
+        let values: Vec<f64> = healthy.successes().map(|(_, o)| f(o)).collect();
+        values.iter().sum::<f64>() / values.len().max(1) as f64
+    };
+    let sens_of = |o: &bios_core::catalog::CalibrationOutcome| {
+        o.summary
+            .sensitivity
+            .as_micro_amps_per_milli_molar_square_cm()
+    };
+    let lod_of =
+        |o: &bios_core::catalog::CalibrationOutcome| o.summary.detection_limit.as_micro_molar();
+    let healthy_sens = reference_mean(&sens_of);
+    let healthy_lod = reference_mean(&lod_of);
+
+    let detector = DriftDetector::default();
+    let mut t = TextTable::new(vec![
+        "intensity",
+        "injected",
+        "triage (ok/deg/fail)",
+        "drift detected",
+        "S ratio",
+        "LOD ratio",
+    ]);
+    for intensity in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let report = runtime.run(
+            &Fleet::builder("chaos-ramp")
+                .sensors(sensors())
+                .seeds(seeds.clone())
+                .fault_plan(FaultPlan::chaos(seed, intensity))
+                .build(),
+        );
+        let injected: u32 = report.results.iter().map(|r| r.injected.total()).sum();
+        let outcome = report.outcome_summary();
+        // Drift check: each surviving faulted channel against its own
+        // healthy calibration (same sensor, same seed).
+        let mut faulted_survivors = 0usize;
+        let mut detected = 0usize;
+        for (result, observed) in report.successes() {
+            if result.injected.total() == 0 {
+                continue;
+            }
+            faulted_survivors += 1;
+            if let Some(reference) = healthy.outcome(&result.sensor, result.seed) {
+                if let Ok(assessment) = detector.assess(&reference.curve, &observed.curve) {
+                    if assessment.drifted {
+                        detected += 1;
+                    }
+                }
+            }
+        }
+        let ratio =
+            |f: &dyn Fn(&bios_core::catalog::CalibrationOutcome) -> f64, baseline: f64| -> String {
+                let values: Vec<f64> = report.successes().map(|(_, o)| f(o)).collect();
+                if values.is_empty() || baseline == 0.0 {
+                    "–".into()
+                } else {
+                    format!(
+                        "{:.2}",
+                        values.iter().sum::<f64>() / values.len() as f64 / baseline
+                    )
+                }
+            };
+        t.add_row(vec![
+            format!("{intensity:.2}"),
+            format!("{injected}"),
+            format!(
+                "{}/{}/{}",
+                outcome.completed, outcome.degraded, outcome.failed
+            ),
+            format!("{detected}/{faulted_survivors}"),
+            ratio(&sens_of, healthy_sens),
+            ratio(&lod_of, healthy_lod),
+        ]);
+    }
+    format!(
+        "Ablation 6 — chaos ramp (glucose family × 4 seeds, seeded fault plans; \
+         drift detector window {}, threshold {}σ)\n{}",
+        detector.window(),
+        detector.threshold(),
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +392,27 @@ mod tests {
         assert!(s.contains("8 seeds"));
         assert!(s.contains("0 failures"));
         assert!(s.contains("sensitivity"));
+    }
+
+    #[test]
+    fn chaos_ablation_ramps_and_detects() {
+        let s = render_chaos_ablation(42);
+        let fields = |prefix: &str| -> Vec<String> {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} row in:\n{s}"))
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect()
+        };
+        // The zero-intensity row is the harmless baseline: nothing
+        // injected, everything completed, unit ratios.
+        let zero = fields("0.00");
+        assert_eq!(zero[1], "0", "no faults at i=0: {zero:?}");
+        assert_eq!(zero[4], "1.00", "unit S ratio at i=0: {zero:?}");
+        assert_eq!(zero[5], "1.00", "unit LOD ratio at i=0: {zero:?}");
+        // The full-intensity row must inject faults into the fleet.
+        let full = fields("1.00");
+        assert_ne!(full[1], "0", "i=1 must inject faults: {full:?}");
     }
 }

@@ -5,6 +5,7 @@
 //! Usage: `cargo run -p bios-bench --bin ablation [-- --seed N]`
 
 fn main() {
+    bios_bench::silence_injected_panics();
     let seed = std::env::args()
         .skip_while(|a| a != "--seed")
         .nth(1)
@@ -15,4 +16,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_filter_ablation(seed));
     println!("{}", bios_bench::ablation::render_tolerance_ablation(seed));
     println!("{}", bios_bench::ablation::render_seed_ablation(seed, 32));
+    println!("{}", bios_bench::ablation::render_chaos_ablation(seed));
 }

@@ -8,9 +8,11 @@
 use std::io::Write;
 
 use bios_core::catalog;
+use bios_faults::FaultPlan;
 use bios_runtime::{Fleet, Runtime, RuntimeConfig};
 
 fn main() {
+    bios_bench::silence_injected_panics();
     print!("{}", bios_bench::render_survey());
 
     let mut config = RuntimeConfig::from_env();
@@ -48,6 +50,51 @@ fn main() {
     // catalog/bench runs, served from the memo cache.
     let cached = runtime.run(&fleet);
 
+    // Robustness overhead: the same fleet uncached, healthy vs armed
+    // with a zero-intensity chaos plan (the fault path exists but
+    // realizes nothing — its cost must be noise-level) vs a full
+    // chaos run that actually injects, retries, and panics.
+    let mut sensors = catalog::all_table2();
+    sensors.extend(catalog::multi_panel_sensors());
+    let overhead_runtime = Runtime::new(config.with_cache(false));
+    let unarmed_fleet = Fleet::builder("overhead-unarmed")
+        .sensors(sensors.clone())
+        .seeds(100..103)
+        .build();
+    let armed_zero_fleet = Fleet::builder("overhead-armed-zero")
+        .sensors(sensors.clone())
+        .seeds(100..103)
+        .fault_plan(FaultPlan::chaos(7, 0.0))
+        .build();
+    let chaos_fleet = Fleet::builder("chaos")
+        .sensors(sensors)
+        .seeds(100..103)
+        .fault_plan(FaultPlan::chaos(7, 0.75))
+        .build();
+    let unarmed = overhead_runtime.run(&unarmed_fleet);
+    let armed_zero = overhead_runtime.run(&armed_zero_fleet);
+    assert_eq!(
+        unarmed.summaries_digest(),
+        armed_zero.summaries_digest(),
+        "a zero-intensity plan must not perturb the physics"
+    );
+    // Best-of-N wall times: these fleets finish in milliseconds, where a
+    // single scheduler hiccup dwarfs the effect being measured.
+    let mut unarmed_secs = unarmed.elapsed.as_secs_f64();
+    let mut armed_secs = armed_zero.elapsed.as_secs_f64();
+    for _ in 0..4 {
+        unarmed_secs = unarmed_secs.min(overhead_runtime.run(&unarmed_fleet).elapsed.as_secs_f64());
+        armed_secs = armed_secs.min(
+            overhead_runtime
+                .run(&armed_zero_fleet)
+                .elapsed
+                .as_secs_f64(),
+        );
+    }
+    let chaos_runtime = Runtime::new(config.with_cache(false));
+    let chaos = chaos_runtime.run(&chaos_fleet);
+    let armed_overhead = armed_secs / unarmed_secs.max(1e-12) - 1.0;
+
     let speedup = sequential.elapsed.as_secs_f64() / concurrent.elapsed.as_secs_f64();
     let warm_speedup = sequential.elapsed.as_secs_f64() / cached.elapsed.as_secs_f64();
     let metrics = runtime.metrics();
@@ -77,6 +124,16 @@ fn main() {
         cached.cache_hits(),
         fleet.len()
     );
+    let chaos_outcome = chaos.outcome_summary();
+    let chaos_metrics = chaos_runtime.metrics();
+    println!(
+        "  armed-but-harmless plan overhead: {:+.1}% (digest-identical to unarmed)",
+        armed_overhead * 100.0
+    );
+    println!(
+        "  chaos fleet (intensity 0.75): {chaos_outcome}, {} faults injected, {} retries",
+        chaos_metrics.faults_injected, chaos_metrics.retries
+    );
 
     let json = format!(
         "{{\n  \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
@@ -84,6 +141,9 @@ fn main() {
          \"warm_cache_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"warm_cache_speedup\": {:.3},\n  \
          \"throughput_jobs_per_sec\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"armed_harmless_overhead\": {:.4},\n  \
+         \"chaos\": {{\"intensity\": 0.75, \"completed\": {}, \"degraded\": {}, \
+         \"failed\": {}, \"metrics\": {}}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
@@ -95,6 +155,11 @@ fn main() {
         warm_speedup,
         cached.throughput_jobs_per_sec(),
         metrics.cache_hit_rate(),
+        armed_overhead,
+        chaos_outcome.completed,
+        chaos_outcome.degraded,
+        chaos_outcome.failed,
+        chaos_metrics.to_json(),
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

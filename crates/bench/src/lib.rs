@@ -21,6 +21,26 @@
 pub mod ablation;
 pub mod timing;
 
+/// Installs a panic hook that swallows the backtrace spam from
+/// injected `WorkerPanic` faults (they unwind inside `catch_unwind`
+/// and are part of normal chaos-run output) while leaving every other
+/// panic's report intact. Call once at the top of a binary that runs
+/// armed fleets.
+pub fn silence_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| info.payload().downcast_ref::<String>().cloned());
+        if !message.is_some_and(|m| m.contains("injected worker panic")) {
+            default_hook(info);
+        }
+    }));
+}
+
 use bios_analytics::report::{format_percent, TextTable};
 use bios_analytics::CalibrationSummary;
 use bios_core::catalog::{self, CatalogEntry};

@@ -21,13 +21,16 @@
 //! inputs.
 
 use bios_analytics::{CalibrationCurve, CalibrationSummary, LinearRangeOptions};
+use bios_electrochem::degradation::ElectrodeHealth;
 use bios_enzyme::michaelis::MichaelisMenten;
 use bios_enzyme::{CypIsoform, CypSensorChemistry, EnzymeFilm, Oxidase, OxidaseKind};
+use bios_faults::{FaultPlan, Faultable, RealizedFaults};
 use bios_instrument::noise::NoiseGenerator;
 use bios_instrument::{Adc, ReadoutChain, TransimpedanceAmplifier};
 use bios_nanomaterial::{Electrode, ElectrodeRole, ElectrodeStock, SurfaceModification};
 use bios_units::{
-    Amperes, ConcentrationRange, Molar, Sensitivity, SquareCm, SurfaceLoading, Volts, FARADAY,
+    Amperes, ConcentrationRange, Kelvin, Molar, Sensitivity, SquareCm, SurfaceLoading, Volts,
+    FARADAY,
 };
 
 use crate::analyte::Analyte;
@@ -190,6 +193,15 @@ impl CatalogEntry {
     /// in the module docs.
     #[must_use]
     pub fn build_sensor(&self) -> Biosensor {
+        self.assemble_sensor(1.0, 1.0)
+    }
+
+    /// Sensor assembly parametrized by degradation: `activity` scales the
+    /// film's retained activity (denaturation) and `current_scale` scales
+    /// the effective loading (electrode fouling / reference drift act as
+    /// a current multiplier to first order). `(1.0, 1.0)` is the healthy
+    /// device, bit-identical to the original derivation.
+    fn assemble_sensor(&self, activity: f64, current_scale: f64) -> Biosensor {
         let km_target = self.target_km();
         let coll = self.modification.collection_efficiency();
         let s_target = self
@@ -207,8 +219,10 @@ impl CatalogEntry {
                 // S [µA·mM⁻¹·cm⁻²] = 1e3·n·F·coll·Γ·kcat/K_M[M]
                 let gamma = s_target * km_target.as_molar() / (1e3 * n * FARADAY * coll * kcat_app);
                 let film = EnzymeFilm::builder()
-                    .loading(SurfaceLoading::from_mol_per_square_cm(gamma))
-                    .retained_activity(1.0)
+                    .loading(SurfaceLoading::from_mol_per_square_cm(
+                        gamma * current_scale,
+                    ))
+                    .retained_activity(activity)
                     .km_shift(km_shift)
                     .build();
                 Biosensor::builder(&self.label, self.analyte)
@@ -225,8 +239,10 @@ impl CatalogEntry {
                 let n = f64::from(chemistry.electrons_per_turnover());
                 let gamma = s_target * km_target.as_molar() / (1e3 * n * FARADAY * coll * kcat_eff);
                 let film = EnzymeFilm::builder()
-                    .loading(SurfaceLoading::from_mol_per_square_cm(gamma))
-                    .retained_activity(1.0)
+                    .loading(SurfaceLoading::from_mol_per_square_cm(
+                        gamma * current_scale,
+                    ))
+                    .retained_activity(activity)
                     .km_shift(km_shift)
                     .build();
                 Biosensor::builder(&self.label, self.analyte)
@@ -281,6 +297,44 @@ impl CatalogEntry {
         )
     }
 
+    /// The combined current multiplier from injected electrode faults
+    /// (fouling × Tafel-slope drift for this entry's redox chemistry).
+    fn electrode_current_factor(&self, faults: &RealizedFaults) -> f64 {
+        let health = ElectrodeHealth::pristine().with_faults(faults);
+        if health.is_pristine() {
+            return 1.0;
+        }
+        let n = match self.chemistry {
+            ChemistryKind::Oxidase(kind) => Oxidase::stock(kind).electrons_per_turnover(),
+            ChemistryKind::Cyp(isoform) => {
+                CypSensorChemistry::stock(isoform).electrons_per_turnover()
+            }
+        };
+        // α = 0.5 is the standard symmetric transfer coefficient for the
+        // mediator/H₂O₂ couples these sensors poise on.
+        health.current_factor(n, 0.5, Kelvin::ROOM)
+    }
+
+    /// Estimated number of ADC samples one calibration run digitizes —
+    /// the unit of the runtime's per-job work budget. Saturating, so a
+    /// pathological `with_sweep_points` request cannot overflow.
+    #[must_use]
+    pub fn calibration_workload(&self) -> u64 {
+        let points = self.sweep_points as u64;
+        match self.technique {
+            Technique::Chronoamperometry { .. } => {
+                let p = Chronoamperometry::default();
+                (p.blank_readings as u64)
+                    .saturating_add(points.saturating_mul(p.replicates as u64))
+                    .saturating_mul(p.samples_per_reading as u64)
+            }
+            _ => {
+                let p = CyclicVoltammetry::default();
+                (p.blank_readings as u64).saturating_add(points.saturating_mul(p.replicates as u64))
+            }
+        }
+    }
+
     /// Runs the entry's calibration protocol end to end and extracts the
     /// figures of merit.
     ///
@@ -288,8 +342,35 @@ impl CatalogEntry {
     ///
     /// Propagates analytics errors from the figure-of-merit extraction.
     pub fn run_calibration(&self, seed: u64) -> Result<CalibrationOutcome> {
-        let sensor = self.build_sensor();
-        let mut chain = self.build_readout(seed);
+        self.run_calibration_with(seed, None)
+    }
+
+    /// Like [`run_calibration`](Self::run_calibration), but with an
+    /// optional armed fault plan. The plan's faults for this `(entry,
+    /// seed)` pair are realized deterministically and applied at the
+    /// matching layer: film denaturation to the enzyme film, fouling and
+    /// reference drift as an electrode current factor, and readout
+    /// faults to the digitizer chain. With `None` — or a plan that
+    /// realizes nothing — the run is bit-identical to the healthy path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analytics errors from the figure-of-merit extraction;
+    /// severe injected degradation can surface as e.g. a non-positive
+    /// calibration slope.
+    pub fn run_calibration_with(
+        &self,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Result<CalibrationOutcome> {
+        let realized = plan.map(|p| p.realize(&self.id, seed));
+        let (sensor, mut chain) = match &realized {
+            None => (self.build_sensor(), self.build_readout(seed)),
+            Some(faults) => (
+                self.assemble_sensor(faults.film_activity, self.electrode_current_factor(faults)),
+                self.build_readout(seed).with_faults(faults),
+            ),
+        };
         let standards = self.sweep.linspace(self.sweep_points);
         let curve = match self.technique {
             Technique::Chronoamperometry { .. } => {
@@ -911,6 +992,78 @@ mod tests {
         let b = e.run_calibration(77).unwrap();
         assert_eq!(a.summary.sensitivity, b.summary.sensitivity);
         assert_eq!(a.summary.detection_limit, b.summary.detection_limit);
+    }
+
+    #[test]
+    fn harmless_plan_matches_healthy_run_exactly() {
+        let e = our_glucose_sensor();
+        let calm = bios_faults::FaultPlan::chaos(3, 0.0);
+        let healthy = e.run_calibration(5).unwrap();
+        let armed = e.run_calibration_with(5, Some(&calm)).unwrap();
+        assert_eq!(healthy, armed, "zero-intensity plan perturbed the run");
+    }
+
+    #[test]
+    fn faulted_calibration_is_deterministic() {
+        let e = our_glucose_sensor();
+        let plan = bios_faults::FaultPlan::builder("deterministic", 11)
+            .spec(bios_faults::FaultKind::FilmDenaturation, 1.0, 0.7)
+            .spec(bios_faults::FaultKind::ReadoutSpike, 1.0, 0.5)
+            .build();
+        let a = e.run_calibration_with(9, Some(&plan)).unwrap();
+        let b = e.run_calibration_with(9, Some(&plan)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn denaturation_suppresses_sensitivity() {
+        let e = our_glucose_sensor();
+        let plan = bios_faults::FaultPlan::builder("denature", 21)
+            .spec(bios_faults::FaultKind::FilmDenaturation, 1.0, 1.0)
+            .build();
+        let healthy = e.run_calibration(2).unwrap().summary.sensitivity;
+        let faulted = e
+            .run_calibration_with(2, Some(&plan))
+            .unwrap()
+            .summary
+            .sensitivity;
+        assert!(
+            faulted.as_micro_amps_per_milli_molar_square_cm()
+                < 0.7 * healthy.as_micro_amps_per_milli_molar_square_cm(),
+            "faulted {faulted:?} vs healthy {healthy:?}"
+        );
+    }
+
+    #[test]
+    fn fouling_and_drift_suppress_sensitivity() {
+        let e = our_lactate_sensor();
+        let plan = bios_faults::FaultPlan::builder("electrode", 31)
+            .spec(bios_faults::FaultKind::ElectrodeFouling, 1.0, 1.0)
+            .spec(bios_faults::FaultKind::ReferenceDrift, 1.0, 1.0)
+            .build();
+        let healthy = e.run_calibration(4).unwrap().summary.sensitivity;
+        let faulted = e
+            .run_calibration_with(4, Some(&plan))
+            .unwrap()
+            .summary
+            .sensitivity;
+        assert!(
+            faulted.as_micro_amps_per_milli_molar_square_cm()
+                < healthy.as_micro_amps_per_milli_molar_square_cm()
+        );
+    }
+
+    #[test]
+    fn workload_scales_with_sweep_points() {
+        let e = our_glucose_sensor();
+        let base = e.calibration_workload();
+        // Chrono default: (30 blanks + 25 pts × 3 reps) × 8 samples.
+        assert_eq!(base, (30 + 25 * 3) * 8);
+        let wide = e.with_sweep_points(1000);
+        assert!(wide.calibration_workload() > base);
+        // Saturates instead of overflowing.
+        let absurd = our_glucose_sensor().with_sweep_points(usize::MAX);
+        assert_eq!(absurd.calibration_workload(), u64::MAX);
     }
 
     #[test]

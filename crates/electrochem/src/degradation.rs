@@ -1,0 +1,223 @@
+//! Electrode degradation: fouling and reference drift.
+//!
+//! Two failure modes dominate real amperometric sensors operated in
+//! biological matrices (the paper's §2.5 lifetime discussion):
+//!
+//! 1. **Fouling** — proteins and oxidation products passivate a fraction
+//!    `θ` of the working-electrode area. To first order the faradaic
+//!    current scales with the *free* area, `i = i₀·(1 − θ)`.
+//! 2. **Reference drift** — a pseudo-reference (screen-printed Ag/AgCl)
+//!    walks by ΔE, shifting the true overpotential applied to the
+//!    working electrode. On the mass-transport plateau extra
+//!    overpotential gains nothing, but drifting *toward* the foot of the
+//!    wave suppresses the current along the Tafel slope,
+//!    `i/i₀ = exp(α·n·f·ΔE)` capped at 1.
+//!
+//! [`ElectrodeHealth`] composes both into a single current multiplier
+//! that `bios-core` applies when a fault plan is armed; a pristine
+//! health is an exact no-op.
+
+use bios_faults::{Faultable, RealizedFaults};
+use bios_units::{Kelvin, Volts, FARADAY, GAS_CONSTANT};
+
+use crate::error::ElectrochemError;
+
+/// Degradation state of a working/reference electrode pair.
+///
+/// # Examples
+///
+/// ```
+/// use bios_electrochem::degradation::ElectrodeHealth;
+/// use bios_units::{Kelvin, Volts};
+///
+/// let healthy = ElectrodeHealth::pristine();
+/// assert_eq!(healthy.current_factor(1, 0.5, Kelvin::ROOM), 1.0);
+///
+/// let fouled = ElectrodeHealth::new(0.3, Volts::from_milli_volts(-40.0))
+///     .expect("valid health");
+/// let factor = fouled.current_factor(1, 0.5, Kelvin::ROOM);
+/// assert!(factor < 0.7 && factor > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectrodeHealth {
+    /// Fraction of working-electrode area passivated, `[0, 1)`.
+    fouling_coverage: f64,
+    /// Reference-electrode potential error (true − nominal).
+    reference_drift: Volts,
+}
+
+impl ElectrodeHealth {
+    /// A factory-fresh electrode pair: no fouling, no drift.
+    #[must_use]
+    pub fn pristine() -> ElectrodeHealth {
+        ElectrodeHealth {
+            fouling_coverage: 0.0,
+            reference_drift: Volts::ZERO,
+        }
+    }
+
+    /// Builds a health state, validating that coverage lies in `[0, 1)`
+    /// and the drift is finite.
+    pub fn new(
+        fouling_coverage: f64,
+        reference_drift: Volts,
+    ) -> Result<ElectrodeHealth, ElectrochemError> {
+        if !(0.0..1.0).contains(&fouling_coverage) || !fouling_coverage.is_finite() {
+            return Err(ElectrochemError::InvalidParameter {
+                name: "fouling coverage",
+                value: fouling_coverage,
+            });
+        }
+        if !reference_drift.as_volts().is_finite() {
+            return Err(ElectrochemError::InvalidParameter {
+                name: "reference drift",
+                value: reference_drift.as_volts(),
+            });
+        }
+        Ok(ElectrodeHealth {
+            fouling_coverage,
+            reference_drift,
+        })
+    }
+
+    /// Passivated area fraction.
+    #[must_use]
+    pub fn fouling_coverage(&self) -> f64 {
+        self.fouling_coverage
+    }
+
+    /// Reference potential error.
+    #[must_use]
+    pub fn reference_drift(&self) -> Volts {
+        self.reference_drift
+    }
+
+    /// True when the pair is factory-fresh (both factors exactly 1).
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.fouling_coverage == 0.0 && self.reference_drift == Volts::ZERO
+    }
+
+    /// Area factor from fouling: the free fraction `1 − θ`.
+    #[must_use]
+    pub fn fouling_factor(&self) -> f64 {
+        1.0 - self.fouling_coverage
+    }
+
+    /// Current factor from reference drift for an `n`-electron couple
+    /// with transfer coefficient `alpha` at `temperature`:
+    /// `min(1, exp(α·n·F·ΔE/(R·T)))`. Positive drift (more
+    /// overpotential) is capped at 1 — the sensor already sits on the
+    /// mass-transport plateau; negative drift slides down the Tafel
+    /// slope exponentially.
+    #[must_use]
+    pub fn drift_factor(&self, n: u32, alpha: f64, temperature: Kelvin) -> f64 {
+        let de = self.reference_drift.as_volts();
+        if de == 0.0 {
+            return 1.0;
+        }
+        let f = FARADAY / (GAS_CONSTANT * temperature.as_kelvin());
+        (alpha * f64::from(n) * f * de).exp().min(1.0)
+    }
+
+    /// Combined multiplier on the healthy faradaic current.
+    #[must_use]
+    pub fn current_factor(&self, n: u32, alpha: f64, temperature: Kelvin) -> f64 {
+        self.fouling_factor() * self.drift_factor(n, alpha, temperature)
+    }
+}
+
+impl Default for ElectrodeHealth {
+    fn default() -> Self {
+        Self::pristine()
+    }
+}
+
+impl Faultable for ElectrodeHealth {
+    /// Applies injected fouling and reference drift; a healthy
+    /// realization returns the state unchanged.
+    fn with_faults(self, faults: &RealizedFaults) -> Self {
+        if faults.fouling_coverage <= 0.0 && faults.reference_drift_volts == 0.0 {
+            return self;
+        }
+        let coverage = (self.fouling_coverage + faults.fouling_coverage).clamp(0.0, 0.99);
+        let drift =
+            Volts::from_volts(self.reference_drift.as_volts() + faults.reference_drift_volts);
+        ElectrodeHealth {
+            fouling_coverage: coverage,
+            reference_drift: drift,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_is_identity() {
+        let h = ElectrodeHealth::pristine();
+        assert!(h.is_pristine());
+        assert_eq!(h.current_factor(1, 0.5, Kelvin::ROOM), 1.0);
+        assert_eq!(h.current_factor(2, 0.3, Kelvin::from_celsius(37.0)), 1.0);
+    }
+
+    #[test]
+    fn fouling_scales_linearly_with_free_area() {
+        let h = ElectrodeHealth::new(0.4, Volts::ZERO).unwrap();
+        assert!((h.current_factor(1, 0.5, Kelvin::ROOM) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_drift_follows_tafel_slope() {
+        let h = ElectrodeHealth::new(0.0, Volts::from_milli_volts(-59.0)).unwrap();
+        let factor = h.drift_factor(1, 0.5, Kelvin::ROOM);
+        // α·f·ΔE ≈ 0.5 · 38.92 V⁻¹ · −0.059 V ≈ −1.148 → e^−1.148 ≈ 0.317.
+        assert!((factor - (-1.148f64).exp()).abs() < 0.01, "factor {factor}");
+    }
+
+    #[test]
+    fn positive_drift_is_capped_on_the_plateau() {
+        let h = ElectrodeHealth::new(0.0, Volts::from_milli_volts(80.0)).unwrap();
+        assert_eq!(h.drift_factor(1, 0.5, Kelvin::ROOM), 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        assert!(matches!(
+            ElectrodeHealth::new(1.0, Volts::ZERO),
+            Err(ElectrochemError::InvalidParameter {
+                name: "fouling coverage",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ElectrodeHealth::new(-0.1, Volts::ZERO),
+            Err(ElectrochemError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ElectrodeHealth::new(0.0, Volts::from_volts(f64::NAN)),
+            Err(ElectrochemError::InvalidParameter {
+                name: "reference drift",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn healthy_faults_leave_state_untouched() {
+        let h = ElectrodeHealth::pristine();
+        assert_eq!(h.with_faults(&RealizedFaults::healthy()), h);
+    }
+
+    #[test]
+    fn injected_fouling_and_drift_compose() {
+        let mut faults = RealizedFaults::healthy();
+        faults.fouling_coverage = 0.25;
+        faults.reference_drift_volts = -0.02;
+        let h = ElectrodeHealth::pristine().with_faults(&faults);
+        assert!((h.fouling_coverage() - 0.25).abs() < 1e-12);
+        assert!((h.reference_drift().as_volts() + 0.02).abs() < 1e-12);
+        assert!(h.current_factor(1, 0.5, Kelvin::ROOM) < 0.75);
+    }
+}

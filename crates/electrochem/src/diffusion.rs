@@ -14,6 +14,8 @@
 
 use bios_units::{DiffusionCoefficient, Molar, Seconds};
 
+use crate::error::ElectrochemError;
+
 /// Boundary condition applied at the electrode surface (`x = 0`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SurfaceBoundary {
@@ -41,7 +43,8 @@ pub enum SurfaceBoundary {
 ///     Molar::from_milli_molar(1.0),
 ///     50e-4,  // 50 µm domain
 ///     100,    // nodes
-/// );
+/// )
+/// .expect("valid grid");
 /// grid.set_surface(SurfaceBoundary::Concentration(0.0));
 /// grid.advance(Seconds::from_millis(100.0), Seconds::from_millis(1.0));
 /// // Material has been consumed at the electrode:
@@ -68,23 +71,28 @@ impl DiffusionGrid {
     /// Creates a grid of `nodes` points spanning `length_cm`, initially at
     /// uniform `bulk` concentration with a blocking electrode.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `nodes < 3` or `length_cm` is not positive.
-    #[must_use]
+    /// Returns [`ElectrochemError::GridTooSmall`] if `nodes < 3` and
+    /// [`ElectrochemError::InvalidLength`] if `length_cm` is not a
+    /// positive finite number.
     pub fn new(
         d: DiffusionCoefficient,
         bulk: Molar,
         length_cm: f64,
         nodes: usize,
-    ) -> DiffusionGrid {
-        assert!(nodes >= 3, "grid needs at least 3 nodes");
-        assert!(
-            length_cm > 0.0 && length_cm.is_finite(),
-            "domain length must be positive"
-        );
+    ) -> Result<DiffusionGrid, ElectrochemError> {
+        if nodes < 3 {
+            return Err(ElectrochemError::GridTooSmall {
+                requested: nodes,
+                minimum: 3,
+            });
+        }
+        if !(length_cm > 0.0 && length_cm.is_finite()) {
+            return Err(ElectrochemError::InvalidLength { length_cm });
+        }
         let bulk_cgs = bulk.as_molar() * 1e-3;
-        DiffusionGrid {
+        Ok(DiffusionGrid {
             c: vec![bulk_cgs; nodes],
             d: d.as_square_cm_per_second(),
             dx: length_cm / (nodes - 1) as f64,
@@ -92,7 +100,7 @@ impl DiffusionGrid {
             surface: SurfaceBoundary::Flux(0.0),
             scratch_c: vec![0.0; nodes],
             scratch_d: vec![0.0; nodes],
-        }
+        })
     }
 
     /// Number of grid nodes.
@@ -174,16 +182,23 @@ impl DiffusionGrid {
 
     /// Advances one explicit (FTCS) step of length `dt`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dt` exceeds the stability limit [`Self::max_stable_dt`].
-    pub fn step_explicit(&mut self, dt: Seconds) {
-        let dt = dt.as_seconds();
-        let r = self.d * dt / (self.dx * self.dx);
-        assert!(
-            r <= 0.5 + 1e-12,
-            "explicit step unstable: D*dt/dx^2 = {r} > 0.5"
-        );
+    /// Returns [`ElectrochemError::UnstableStep`] if `dt` exceeds the
+    /// stability limit [`Self::max_stable_dt`].
+    pub fn step_explicit(&mut self, dt: Seconds) -> Result<(), ElectrochemError> {
+        let r = self.d * dt.as_seconds() / (self.dx * self.dx);
+        if r > 0.5 + 1e-12 {
+            return Err(ElectrochemError::UnstableStep { ratio: r });
+        }
+        self.step_explicit_unchecked(dt);
+        Ok(())
+    }
+
+    /// FTCS update body; callers must have verified stability.
+    fn step_explicit_unchecked(&mut self, dt: Seconds) {
+        let r = self.d * dt.as_seconds() / (self.dx * self.dx);
+        debug_assert!(r <= 0.5 + 1e-12, "unchecked explicit step with r = {r}");
         let n = self.c.len();
         let old = self.c.clone();
         for i in 1..n - 1 {
@@ -298,7 +313,7 @@ impl DiffusionGrid {
         let explicit_ok = dt <= self.max_stable_dt();
         for _ in 0..steps {
             if explicit_ok {
-                self.step_explicit(dt);
+                self.step_explicit_unchecked(dt);
             } else {
                 self.step_crank_nicolson(dt);
             }
@@ -317,6 +332,7 @@ mod tests {
             100e-4,
             101,
         )
+        .expect("valid grid")
     }
 
     #[test]
@@ -325,7 +341,7 @@ mod tests {
         let before = g.inventory_mol_per_cm2();
         let dt = g.max_stable_dt() * 0.9;
         for _ in 0..200 {
-            g.step_explicit(dt);
+            g.step_explicit(dt).expect("stable step");
         }
         let after = g.inventory_mol_per_cm2();
         assert!((after - before).abs() / before < 1e-9);
@@ -359,7 +375,7 @@ mod tests {
         // Fine grid, long domain so the depletion layer stays inside.
         let d = DiffusionCoefficient::from_square_cm_per_second(1e-5);
         let bulk = Molar::from_milli_molar(1.0);
-        let mut g = DiffusionGrid::new(d, bulk, 400e-4, 801);
+        let mut g = DiffusionGrid::new(d, bulk, 400e-4, 801).expect("valid grid");
         g.set_surface(SurfaceBoundary::Concentration(0.0));
         let dt = Seconds::from_millis(1.0);
         let t_total = 1.0; // s
@@ -385,7 +401,7 @@ mod tests {
         gc.set_surface(SurfaceBoundary::Concentration(0.0));
         let dt = ge.max_stable_dt() * 0.5;
         for _ in 0..500 {
-            ge.step_explicit(dt);
+            ge.step_explicit(dt).expect("stable step");
             gc.step_crank_nicolson(dt);
         }
         for i in 0..ge.nodes() {
@@ -404,7 +420,7 @@ mod tests {
         let dt = g.max_stable_dt() * 0.9;
         let mut elapsed = 0.0;
         for _ in 0..400 {
-            g.step_explicit(dt);
+            g.step_explicit(dt).expect("stable step");
             elapsed += dt.as_seconds();
         }
         let after = g.inventory_mol_per_cm2();
@@ -416,11 +432,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unstable")]
     fn explicit_step_guards_stability() {
         let mut g = grid();
         let dt = g.max_stable_dt() * 4.0;
-        g.step_explicit(dt);
+        let before = g.profile();
+        match g.step_explicit(dt) {
+            Err(ElectrochemError::UnstableStep { ratio }) => assert!(ratio > 0.5),
+            other => panic!("expected UnstableStep, got {other:?}"),
+        }
+        // The rejected step must not have touched the field.
+        assert_eq!(g.profile(), before);
     }
 
     #[test]
@@ -434,13 +455,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 3 nodes")]
     fn tiny_grid_rejected() {
-        let _ = DiffusionGrid::new(
+        let result = DiffusionGrid::new(
             DiffusionCoefficient::from_square_cm_per_second(1e-5),
             Molar::from_milli_molar(1.0),
             1e-3,
             2,
         );
+        assert!(matches!(
+            result,
+            Err(ElectrochemError::GridTooSmall {
+                requested: 2,
+                minimum: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_domain_length_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let result = DiffusionGrid::new(
+                DiffusionCoefficient::from_square_cm_per_second(1e-5),
+                Molar::from_milli_molar(1.0),
+                bad,
+                11,
+            );
+            assert!(
+                matches!(result, Err(ElectrochemError::InvalidLength { .. })),
+                "length {bad} accepted"
+            );
+        }
     }
 }

@@ -1,0 +1,86 @@
+//! Typed errors for invalid electrochemical configurations.
+//!
+//! Construction-time validation used to `assert!`, which aborts the
+//! calling thread — fatal for a fleet runtime where one bad config
+//! should fail one job, not the process. Input validation now returns
+//! [`ElectrochemError`]; internal invariants that cannot be violated by
+//! caller input stay as `debug_assert!`s.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons an electrochemical model rejects its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElectrochemError {
+    /// A spatial grid was requested with too few nodes to discretize.
+    GridTooSmall {
+        /// Nodes requested.
+        requested: usize,
+        /// Minimum nodes the solver needs.
+        minimum: usize,
+    },
+    /// A spatial domain length was zero, negative, or non-finite.
+    InvalidLength {
+        /// The offending length in cm.
+        length_cm: f64,
+    },
+    /// An explicit time step exceeded the FTCS stability limit.
+    UnstableStep {
+        /// The stability ratio `D·Δt/Δx²` that was requested.
+        ratio: f64,
+    },
+    /// A named scalar parameter was out of its physical range.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ElectrochemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElectrochemError::GridTooSmall { requested, minimum } => {
+                write!(f, "grid needs at least {minimum} nodes, got {requested}")
+            }
+            ElectrochemError::InvalidLength { length_cm } => {
+                write!(
+                    f,
+                    "domain length must be positive and finite, got {length_cm} cm"
+                )
+            }
+            ElectrochemError::UnstableStep { ratio } => {
+                write!(f, "explicit step unstable: D*dt/dx^2 = {ratio} > 0.5")
+            }
+            ElectrochemError::InvalidParameter { name, value } => {
+                write!(f, "{name} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for ElectrochemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ElectrochemError::GridTooSmall {
+            requested: 2,
+            minimum: 3,
+        };
+        assert!(e.to_string().contains("at least 3 nodes"));
+        let e = ElectrochemError::UnstableStep { ratio: 1.25 };
+        assert!(e.to_string().contains("unstable"));
+        let e = ElectrochemError::InvalidParameter {
+            name: "catalytic rate",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("catalytic rate"));
+        let e = ElectrochemError::InvalidLength { length_cm: -0.5 };
+        assert!(e.to_string().contains("positive"));
+    }
+}

@@ -50,8 +50,10 @@
 
 pub mod butler_volmer;
 pub mod cottrell;
+pub mod degradation;
 pub mod diffusion;
 pub mod double_layer;
+pub mod error;
 pub mod field_effect;
 pub mod impedance;
 pub mod microelectrode;
@@ -63,5 +65,7 @@ pub mod voltammetry;
 pub mod waveform;
 
 pub use bios_units::{FARADAY, GAS_CONSTANT};
+pub use degradation::ElectrodeHealth;
+pub use error::ElectrochemError;
 pub use species::RedoxCouple;
 pub use waveform::{CyclicSweep, DifferentialPulse, LinearSweep, PotentialStep, Waveform};

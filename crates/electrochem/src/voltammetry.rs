@@ -10,6 +10,7 @@
 
 use bios_units::{Amperes, Kelvin, Molar, Seconds, SquareCm, Volts, FARADAY, GAS_CONSTANT};
 
+use crate::error::ElectrochemError;
 use crate::species::RedoxCouple;
 use crate::waveform::{CyclicSweep, Waveform};
 
@@ -153,17 +154,19 @@ impl CvSimulator {
     /// substrate-dependent catalytic current instead of peaking — the
     /// textbook signature of mediated enzyme catalysis.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the rate is negative or non-finite.
-    #[must_use]
-    pub fn with_catalytic_rate(mut self, k_per_s: f64) -> CvSimulator {
-        assert!(
-            k_per_s >= 0.0 && k_per_s.is_finite(),
-            "catalytic rate must be non-negative and finite"
-        );
+    /// Returns [`ElectrochemError::InvalidParameter`] if the rate is
+    /// negative or non-finite.
+    pub fn with_catalytic_rate(mut self, k_per_s: f64) -> Result<CvSimulator, ElectrochemError> {
+        if !(k_per_s >= 0.0 && k_per_s.is_finite()) {
+            return Err(ElectrochemError::InvalidParameter {
+                name: "catalytic rate",
+                value: k_per_s,
+            });
+        }
         self.catalytic_rate_per_s = k_per_s;
-        self
+        Ok(self)
     }
 
     /// Sets the bulk concentration of the oxidized form.
@@ -189,14 +192,19 @@ impl CvSimulator {
 
     /// Overrides the spatial resolution (default 240 nodes).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than 16 nodes are requested.
-    #[must_use]
-    pub fn with_nodes(mut self, nodes: usize) -> CvSimulator {
-        assert!(nodes >= 16, "simulation needs at least 16 nodes");
+    /// Returns [`ElectrochemError::GridTooSmall`] if fewer than 16
+    /// nodes are requested.
+    pub fn with_nodes(mut self, nodes: usize) -> Result<CvSimulator, ElectrochemError> {
+        if nodes < 16 {
+            return Err(ElectrochemError::GridTooSmall {
+                requested: nodes,
+                minimum: 16,
+            });
+        }
         self.nodes = nodes;
-        self
+        Ok(self)
     }
 
     /// Runs the sweep and returns the voltammogram.
@@ -312,6 +320,7 @@ mod tests {
         let vg = CvSimulator::new(fast_couple(), area)
             .with_reduced_bulk(c)
             .with_nodes(300)
+            .expect("enough nodes")
             .run(&sweep());
         let sim_peak = vg.anodic_peak().unwrap().current;
         let analytic = reversible_peak_current(
@@ -331,6 +340,7 @@ mod tests {
         let vg = CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1))
             .with_reduced_bulk(Molar::from_milli_molar(1.0))
             .with_nodes(300)
+            .expect("enough nodes")
             .run(&sweep());
         let peak_e = vg.anodic_peak().unwrap().potential.as_milli_volts();
         // E_p = E0 + 28.5/n mV for an anodic reversible sweep.
@@ -427,6 +437,7 @@ mod tests {
             CvSimulator::new(couple.clone(), area)
                 .with_oxidized_bulk(c)
                 .with_catalytic_rate(k)
+                .expect("valid rate")
                 .run(&sweep)
         };
         let diffusive = run(0.0);
@@ -463,6 +474,7 @@ mod tests {
             CvSimulator::new(couple.clone(), area)
                 .with_oxidized_bulk(c)
                 .with_catalytic_rate(k)
+                .expect("valid rate")
                 .run(&sweep)
                 .cathodic_peak()
                 .unwrap()
@@ -501,6 +513,7 @@ mod tests {
         let vg = CvSimulator::new(couple, SquareCm::from_square_cm(0.1))
             .with_oxidized_bulk(Molar::from_milli_molar(0.5))
             .with_catalytic_rate(25.0)
+            .expect("valid rate")
             .run(&sweep);
         // Compare currents at −500 mV on each branch.
         let at_branch = |forward: bool| {
@@ -524,6 +537,26 @@ mod tests {
             (fwd - ret).abs() / fwd.abs() < 0.15,
             "branches diverge: {fwd} vs {ret}"
         );
+    }
+
+    #[test]
+    fn invalid_builder_inputs_are_typed_errors() {
+        let sim = || CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1));
+        assert!(matches!(
+            sim().with_nodes(8),
+            Err(ElectrochemError::GridTooSmall {
+                requested: 8,
+                minimum: 16
+            })
+        ));
+        assert!(matches!(
+            sim().with_catalytic_rate(-1.0),
+            Err(ElectrochemError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            sim().with_catalytic_rate(f64::NAN),
+            Err(ElectrochemError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -133,11 +133,12 @@ fn diffusion_conserves_mass() {
             Molar::from_milli_molar(bulk),
             50e-4,
             nodes,
-        );
+        )
+        .expect("valid grid");
         let before = g.inventory_mol_per_cm2();
         let dt = g.max_stable_dt() * frac;
         for _ in 0..steps {
-            g.step_explicit(dt);
+            g.step_explicit(dt).expect("stable step");
         }
         let after = g.inventory_mol_per_cm2();
         assert!((after - before).abs() / before < 1e-9);
@@ -157,11 +158,12 @@ fn diffusion_respects_physical_bounds() {
             Molar::from_milli_molar(bulk),
             50e-4,
             101,
-        );
+        )
+        .expect("valid grid");
         g.set_surface(SurfaceBoundary::Concentration(0.0));
         let dt = g.max_stable_dt() * frac;
         for _ in 0..steps {
-            g.step_explicit(dt);
+            g.step_explicit(dt).expect("stable step");
         }
         for i in 0..g.nodes() {
             let c = g.concentration_at(i).as_milli_molar();
@@ -183,7 +185,8 @@ fn integrators_agree() {
                 Molar::from_milli_molar(1.0),
                 50e-4,
                 101,
-            );
+            )
+            .expect("valid grid");
             g.set_surface(SurfaceBoundary::Concentration(0.0));
             g
         };
@@ -191,7 +194,7 @@ fn integrators_agree() {
         let mut gc = make();
         let dt = ge.max_stable_dt() * 0.5;
         for _ in 0..steps {
-            ge.step_explicit(dt);
+            ge.step_explicit(dt).expect("stable step");
             gc.step_crank_nicolson(dt);
         }
         for i in 0..ge.nodes() {

@@ -13,6 +13,7 @@
 //! The film's output is an areal product flux (mol · cm⁻² · s⁻¹), which
 //! the sensor model converts to current via `i = n·F·A·η_coll·flux`.
 
+use bios_faults::{Faultable, RealizedFaults};
 use bios_units::{Centimeters, DiffusionCoefficient, Molar, SurfaceLoading};
 
 use crate::michaelis::MichaelisMenten;
@@ -170,6 +171,26 @@ impl EnzymeFilm {
         out
     }
 
+    /// The same film with its active fraction scaled by `factor` —
+    /// abrupt denaturation (thermal shock, oxidative damage) as opposed
+    /// to the gradual [`aged`](Self::aged) decay. The result is floored
+    /// at `f64::MIN_POSITIVE` so a fully-denatured film still produces a
+    /// (vanishingly small) signal rather than NaNs downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    #[must_use]
+    pub fn denatured(&self, factor: f64) -> EnzymeFilm {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "denaturation factor must lie in (0, 1]"
+        );
+        let mut out = *self;
+        out.retained_activity = (self.retained_activity * factor).max(f64::MIN_POSITIVE);
+        out
+    }
+
     /// Days of operation until the film's activity falls to `fraction`
     /// of its current value at the given decay rate.
     ///
@@ -184,6 +205,18 @@ impl EnzymeFilm {
         );
         assert!(rate_per_day > 0.0, "decay rate must be positive");
         -fraction.ln() / rate_per_day
+    }
+}
+
+impl Faultable for EnzymeFilm {
+    /// Applies injected film denaturation; a healthy realization
+    /// (`film_activity == 1.0`) returns the film bit-identical.
+    fn with_faults(self, faults: &RealizedFaults) -> Self {
+        if faults.film_activity >= 1.0 {
+            self
+        } else {
+            self.denatured(faults.film_activity.max(f64::MIN_POSITIVE))
+        }
     }
 }
 
@@ -387,6 +420,35 @@ mod tests {
         assert!((aged.retained_activity() / f.retained_activity() - 0.5).abs() < 1e-9);
         // Half-life at 2 %/day ≈ 34.7 days.
         assert!((days - 34.657).abs() < 0.01);
+    }
+
+    #[test]
+    fn denatured_scales_activity_and_nothing_else() {
+        let fresh = film();
+        let hit = fresh.denatured(0.25);
+        assert!((hit.retained_activity() - fresh.retained_activity() * 0.25).abs() < 1e-12);
+        assert_eq!(hit.loading(), fresh.loading());
+        assert_eq!(hit.thickness(), fresh.thickness());
+    }
+
+    #[test]
+    #[should_panic(expected = "denaturation factor")]
+    fn denatured_rejects_zero_factor() {
+        let _ = film().denatured(0.0);
+    }
+
+    #[test]
+    fn healthy_faults_leave_film_untouched() {
+        let fresh = film();
+        assert_eq!(fresh.with_faults(&RealizedFaults::healthy()), fresh);
+    }
+
+    #[test]
+    fn injected_denaturation_applies() {
+        let mut faults = RealizedFaults::healthy();
+        faults.film_activity = 0.5;
+        let hit = film().with_faults(&faults);
+        assert!((hit.retained_activity() - film().retained_activity() * 0.5).abs() < 1e-12);
     }
 
     #[test]

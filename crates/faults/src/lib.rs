@@ -1,0 +1,568 @@
+//! Deterministic fault injection for the biosensor platform.
+//!
+//! The paper's figures of merit (sensitivity, linear range, LOD) only
+//! hold while the device stays healthy. In practice enzyme films
+//! denature, CNT electrodes foul, reference electrodes drift, and
+//! readout electronics glitch. This crate models those failure modes as
+//! a seeded, *deterministic* [`FaultPlan`]: given the same plan, sensor
+//! id, and job seed, exactly the same faults are realized — independent
+//! of worker count, retry schedule, or wall-clock time — so a chaos run
+//! is as reproducible as a healthy one.
+//!
+//! The crate is a leaf: it only knows `bios-prng` and `bios-units`.
+//! Physics crates (`bios-enzyme`, `bios-electrochem`,
+//! `bios-instrument`) depend on it and implement [`Faultable`] for
+//! their own types, translating the realized fault fields into domain
+//! effects. When no plan is armed the healthy code path is untouched.
+//!
+//! ```
+//! use bios_faults::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::builder("bench burn-in", 42)
+//!     .spec(FaultKind::FilmDenaturation, 0.5, 0.6)
+//!     .spec(FaultKind::ReadoutSpike, 0.3, 0.4)
+//!     .build();
+//! let faults = plan.realize("glucose/gox-swcnt", 7);
+//! // Same inputs, same faults — always.
+//! assert_eq!(faults, plan.realize("glucose/gox-swcnt", 7));
+//! ```
+
+use bios_prng::{Rng, SplitMix64};
+
+/// FNV-1a over a byte stream; the same idiom `bios-core` uses for
+/// protocol fingerprints, so plan fingerprints can join the memo-cache
+/// key without a new hashing scheme.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The taxonomy of injectable physical failures.
+///
+/// Each variant maps to a concrete degradation mechanism in one layer
+/// of the simulator (see DESIGN.md §9 for the full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Enzyme film loses catalytic activity (thermal/oxidative
+    /// denaturation of the P450 or oxidase layer). Layer: `bios-enzyme`.
+    FilmDenaturation,
+    /// Passivating film grows on the working electrode, blocking a
+    /// fraction of the active area. Layer: `bios-electrochem`.
+    ElectrodeFouling,
+    /// Pseudo-reference potential walks away from its nominal value,
+    /// moving the operating point down the Tafel slope.
+    /// Layer: `bios-electrochem`.
+    ReferenceDrift,
+    /// ADC front-end saturates early: its usable full scale shrinks.
+    /// Layer: `bios-instrument`.
+    AdcSaturation,
+    /// One or more low-order ADC code bits stick at zero.
+    /// Layer: `bios-instrument`.
+    AdcStuckCode,
+    /// Sporadic large-amplitude current spikes (ESD, switching
+    /// transients) on the readout. Layer: `bios-instrument`.
+    ReadoutSpike,
+    /// Samples sporadically dropped; the chain holds the last good
+    /// reading. Layer: `bios-instrument`.
+    ReadoutDropout,
+    /// The job fails transiently (comms timeout, bus contention) and
+    /// succeeds when retried. Layer: `bios-runtime`.
+    TransientGlitch,
+    /// The job panics outright — a poisoned input or firmware abort.
+    /// Layer: `bios-runtime`.
+    WorkerPanic,
+}
+
+impl FaultKind {
+    /// Every kind, in taxonomy order.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::FilmDenaturation,
+        FaultKind::ElectrodeFouling,
+        FaultKind::ReferenceDrift,
+        FaultKind::AdcSaturation,
+        FaultKind::AdcStuckCode,
+        FaultKind::ReadoutSpike,
+        FaultKind::ReadoutDropout,
+        FaultKind::TransientGlitch,
+        FaultKind::WorkerPanic,
+    ];
+
+    /// Stable tag used to derive an independent PRNG stream per kind.
+    fn stream_tag(self) -> u64 {
+        match self {
+            FaultKind::FilmDenaturation => 0x01,
+            FaultKind::ElectrodeFouling => 0x02,
+            FaultKind::ReferenceDrift => 0x03,
+            FaultKind::AdcSaturation => 0x04,
+            FaultKind::AdcStuckCode => 0x05,
+            FaultKind::ReadoutSpike => 0x06,
+            FaultKind::ReadoutDropout => 0x07,
+            FaultKind::TransientGlitch => 0x08,
+            FaultKind::WorkerPanic => 0x09,
+        }
+    }
+
+    /// Short human label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::FilmDenaturation => "film denaturation",
+            FaultKind::ElectrodeFouling => "electrode fouling",
+            FaultKind::ReferenceDrift => "reference drift",
+            FaultKind::AdcSaturation => "adc saturation",
+            FaultKind::AdcStuckCode => "adc stuck code",
+            FaultKind::ReadoutSpike => "readout spike",
+            FaultKind::ReadoutDropout => "readout dropout",
+            FaultKind::TransientGlitch => "transient glitch",
+            FaultKind::WorkerPanic => "worker panic",
+        }
+    }
+}
+
+/// One injectable fault: what, how often, how hard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Which failure mode to inject.
+    pub kind: FaultKind,
+    /// Per-job occurrence probability in `[0, 1]`.
+    pub probability: f64,
+    /// Severity knob in `[0, 1]`; each kind scales it into its own
+    /// physical range (see [`FaultPlan::realize`]).
+    pub intensity: f64,
+}
+
+impl FaultSpec {
+    /// Build a spec, clamping probability and intensity into `[0, 1]`
+    /// (non-finite values clamp to zero).
+    pub fn new(kind: FaultKind, probability: f64, intensity: f64) -> Self {
+        let clamp01 = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        Self {
+            kind,
+            probability: clamp01(probability),
+            intensity: clamp01(intensity),
+        }
+    }
+}
+
+/// A named, seeded set of fault specs — the unit the runtime arms.
+///
+/// Plans are pure data: realizing one never mutates it, and the same
+/// `(plan, sensor_id, job_seed)` triple always yields the same
+/// [`RealizedFaults`]. The [`fingerprint`](FaultPlan::fingerprint)
+/// joins the memo-cache key so cached healthy results can never be
+/// served to a faulted run (or vice versa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    name: String,
+    seed: u64,
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Start building a plan.
+    pub fn builder(name: impl Into<String>, seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            name: name.into(),
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// A ready-made "everything degrades at once" plan used by the
+    /// chaos ablation: every physical fault armed with occurrence
+    /// probability and severity both scaled by `intensity` in `[0, 1]`.
+    /// At `intensity == 0` the plan is armed but realizes nothing, which
+    /// is exactly the overhead-measurement baseline.
+    pub fn chaos(seed: u64, intensity: f64) -> Self {
+        let intensity = if intensity.is_finite() {
+            intensity.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mut builder = Self::builder(format!("chaos(i={intensity:.2})"), seed);
+        for kind in [
+            FaultKind::FilmDenaturation,
+            FaultKind::ElectrodeFouling,
+            FaultKind::ReferenceDrift,
+            FaultKind::AdcSaturation,
+            FaultKind::AdcStuckCode,
+            FaultKind::ReadoutSpike,
+            FaultKind::ReadoutDropout,
+        ] {
+            builder = builder.spec(kind, 0.6 * intensity, intensity);
+        }
+        builder
+            .spec(FaultKind::TransientGlitch, 0.4 * intensity, intensity)
+            .spec(FaultKind::WorkerPanic, 0.1 * intensity, intensity)
+            .build()
+    }
+
+    /// The plan's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The plan seed all realization streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Stable content hash (FNV-1a over the `Debug` rendering), the
+    /// same idiom as `CatalogEntry::protocol_fingerprint`. Two plans
+    /// that would inject different faults have different fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("{self:?}").bytes())
+    }
+
+    /// Realize the faults this plan injects into one job.
+    ///
+    /// Pure function of `(self, sensor_id, job_seed)`: each spec draws
+    /// from its own `SplitMix64`-derived stream so adding or removing
+    /// one spec never perturbs the others, and nothing depends on
+    /// scheduling, retries, or worker count.
+    pub fn realize(&self, sensor_id: &str, job_seed: u64) -> RealizedFaults {
+        let id_hash = fnv1a(sensor_id.bytes());
+        let base = SplitMix64::new(self.seed).derive(id_hash);
+        let base = SplitMix64::new(base).derive(job_seed);
+        let mut out = RealizedFaults::healthy();
+        out.noise_seed = SplitMix64::new(base).derive(0xFA01_7BAD);
+        for spec in &self.specs {
+            let stream = SplitMix64::new(base).derive(spec.kind.stream_tag());
+            let mut rng = Rng::seed_from_u64(stream);
+            if rng.uniform() >= spec.probability {
+                continue;
+            }
+            // Severity draw: between half and full intensity, so a ramp
+            // of `intensity` produces a ramp of realized magnitudes.
+            let magnitude = spec.intensity * (0.5 + 0.5 * rng.uniform());
+            match spec.kind {
+                FaultKind::FilmDenaturation => {
+                    out.film_activity = (1.0 - 0.9 * magnitude).clamp(0.05, 1.0);
+                }
+                FaultKind::ElectrodeFouling => {
+                    out.fouling_coverage = (0.8 * magnitude).min(0.95);
+                }
+                FaultKind::ReferenceDrift => {
+                    // Drift away from the plateau: up to -80 mV.
+                    out.reference_drift_volts = -0.08 * magnitude;
+                }
+                FaultKind::AdcSaturation => {
+                    out.adc_saturation = (0.6 * magnitude).min(0.9);
+                }
+                FaultKind::AdcStuckCode => {
+                    let stuck_bits = 1 + (magnitude * 4.0).floor() as u32;
+                    out.adc_stuck_mask = (1u16 << stuck_bits.min(5)) - 1;
+                }
+                FaultKind::ReadoutSpike => {
+                    out.spike_probability = 0.02 + 0.08 * magnitude;
+                    out.spike_magnitude = 0.2 + 0.6 * magnitude;
+                }
+                FaultKind::ReadoutDropout => {
+                    out.dropout_probability = 0.02 + 0.10 * magnitude;
+                }
+                FaultKind::TransientGlitch => {
+                    out.transient_failures = 1 + (magnitude * 2.0).round() as u32;
+                }
+                FaultKind::WorkerPanic => {
+                    out.panic_job = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    name: String,
+    seed: u64,
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlanBuilder {
+    /// Arm one fault kind with the given probability and intensity
+    /// (both clamped into `[0, 1]`).
+    pub fn spec(mut self, kind: FaultKind, probability: f64, intensity: f64) -> Self {
+        self.specs
+            .push(FaultSpec::new(kind, probability, intensity));
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            name: self.name,
+            seed: self.seed,
+            specs: self.specs,
+        }
+    }
+}
+
+/// The concrete faults realized for one `(plan, sensor, seed)` job.
+///
+/// Every field's default is the healthy value, so physics code can
+/// apply a `RealizedFaults` unconditionally and a healthy realization
+/// is an exact no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealizedFaults {
+    /// Multiplier on enzyme film activity, `(0, 1]`; 1.0 = healthy.
+    pub film_activity: f64,
+    /// Fraction of electrode area blocked by fouling, `[0, 1)`.
+    pub fouling_coverage: f64,
+    /// Reference-electrode drift in volts (negative = toward the foot
+    /// of the wave); 0.0 = healthy.
+    pub reference_drift_volts: f64,
+    /// Fraction of ADC full scale lost to early saturation, `[0, 1)`.
+    pub adc_saturation: f64,
+    /// ADC code bits stuck at zero (mask over the low-order bits).
+    pub adc_stuck_mask: u16,
+    /// Per-sample probability of a readout spike.
+    pub spike_probability: f64,
+    /// Spike amplitude as a fraction of TIA full-scale current.
+    pub spike_magnitude: f64,
+    /// Per-sample probability of a dropped sample (hold-last-value).
+    pub dropout_probability: f64,
+    /// Number of leading attempts that fail transiently before the job
+    /// can succeed; 0 = healthy.
+    pub transient_failures: u32,
+    /// Whether the job panics outright (permanent failure).
+    pub panic_job: bool,
+    /// Seed for the instrument-layer fault stream (spike/dropout
+    /// timing), independent of the measurement noise stream.
+    pub noise_seed: u64,
+}
+
+impl RealizedFaults {
+    /// The all-healthy realization: applying it changes nothing.
+    pub fn healthy() -> Self {
+        Self {
+            film_activity: 1.0,
+            fouling_coverage: 0.0,
+            reference_drift_volts: 0.0,
+            adc_saturation: 0.0,
+            adc_stuck_mask: 0,
+            spike_probability: 0.0,
+            spike_magnitude: 0.0,
+            dropout_probability: 0.0,
+            transient_failures: 0,
+            panic_job: false,
+            noise_seed: 0,
+        }
+    }
+
+    /// True when every field is at its healthy value.
+    pub fn is_healthy(&self) -> bool {
+        self.tally().total() == 0
+    }
+
+    /// Count the injected fault kinds by layer.
+    pub fn tally(&self) -> FaultTally {
+        let mut tally = FaultTally::default();
+        if self.film_activity < 1.0 {
+            tally.enzyme += 1;
+        }
+        if self.fouling_coverage > 0.0 {
+            tally.electrode += 1;
+        }
+        if self.reference_drift_volts != 0.0 {
+            tally.electrode += 1;
+        }
+        if self.adc_saturation > 0.0 {
+            tally.instrument += 1;
+        }
+        if self.adc_stuck_mask != 0 {
+            tally.instrument += 1;
+        }
+        if self.spike_probability > 0.0 {
+            tally.instrument += 1;
+        }
+        if self.dropout_probability > 0.0 {
+            tally.instrument += 1;
+        }
+        if self.transient_failures > 0 {
+            tally.runtime += 1;
+        }
+        if self.panic_job {
+            tally.runtime += 1;
+        }
+        tally
+    }
+}
+
+impl Default for RealizedFaults {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+/// Injected-fault counts bucketed by simulator layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Faults landing in `bios-enzyme` (film denaturation).
+    pub enzyme: u32,
+    /// Faults landing in `bios-electrochem` (fouling, drift).
+    pub electrode: u32,
+    /// Faults landing in `bios-instrument` (ADC + readout transients).
+    pub instrument: u32,
+    /// Faults landing in `bios-runtime` (transients, panics).
+    pub runtime: u32,
+}
+
+impl FaultTally {
+    /// Total injected fault count across layers.
+    pub fn total(&self) -> u32 {
+        self.enzyme + self.electrode + self.instrument + self.runtime
+    }
+
+    /// Element-wise sum, for aggregating a fleet's tallies.
+    pub fn merge(&self, other: &FaultTally) -> FaultTally {
+        FaultTally {
+            enzyme: self.enzyme + other.enzyme,
+            electrode: self.electrode + other.electrode,
+            instrument: self.instrument + other.instrument,
+            runtime: self.runtime + other.runtime,
+        }
+    }
+}
+
+/// Hook implemented by physics-layer types that can absorb faults.
+///
+/// Implementations must be exact no-ops for healthy fields so that an
+/// unarmed or zero-intensity plan leaves results bit-identical to the
+/// healthy path.
+pub trait Faultable: Sized {
+    /// Return `self` with the realized faults applied.
+    fn with_faults(self, faults: &RealizedFaults) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plan() -> FaultPlan {
+        FaultPlan::builder("demo", 99)
+            .spec(FaultKind::FilmDenaturation, 1.0, 0.8)
+            .spec(FaultKind::ReadoutSpike, 1.0, 0.5)
+            .spec(FaultKind::TransientGlitch, 1.0, 1.0)
+            .build()
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let plan = demo_plan();
+        let a = plan.realize("glucose/gox", 7);
+        let b = plan.realize("glucose/gox", 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn realization_depends_on_sensor_and_seed() {
+        let plan = demo_plan();
+        let base = plan.realize("glucose/gox", 7);
+        assert_ne!(base, plan.realize("lactate/lox", 7));
+        assert_ne!(base, plan.realize("glucose/gox", 8));
+    }
+
+    #[test]
+    fn zero_probability_realizes_healthy() {
+        let plan = FaultPlan::builder("calm", 1)
+            .spec(FaultKind::ElectrodeFouling, 0.0, 1.0)
+            .build();
+        for seed in 0..32 {
+            let realized = plan.realize("any", seed);
+            assert!(realized.is_healthy(), "seed {seed} realized a fault");
+        }
+    }
+
+    #[test]
+    fn chaos_at_zero_intensity_is_harmless() {
+        let plan = FaultPlan::chaos(5, 0.0);
+        for seed in 0..16 {
+            assert!(plan.realize("glucose/gox", seed).is_healthy());
+        }
+    }
+
+    #[test]
+    fn chaos_at_full_intensity_injects() {
+        let plan = FaultPlan::chaos(5, 1.0);
+        let injected: u32 = (0..16)
+            .map(|seed| plan.realize("glucose/gox", seed).tally().total())
+            .sum();
+        assert!(injected > 0, "full-intensity chaos injected nothing");
+    }
+
+    #[test]
+    fn specs_draw_independent_streams() {
+        // Removing one spec must not change what the others realize.
+        let both = FaultPlan::builder("p", 3)
+            .spec(FaultKind::FilmDenaturation, 1.0, 0.5)
+            .spec(FaultKind::ElectrodeFouling, 1.0, 0.5)
+            .build();
+        let film_only = FaultPlan::builder("p", 3)
+            .spec(FaultKind::FilmDenaturation, 1.0, 0.5)
+            .build();
+        assert_eq!(
+            both.realize("s", 1).film_activity,
+            film_only.realize("s", 1).film_activity
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_plans() {
+        let a = demo_plan();
+        let b = FaultPlan::builder("demo", 100)
+            .spec(FaultKind::FilmDenaturation, 1.0, 0.8)
+            .spec(FaultKind::ReadoutSpike, 1.0, 0.5)
+            .spec(FaultKind::TransientGlitch, 1.0, 1.0)
+            .build();
+        assert_ne!(a.fingerprint(), b.fingerprint(), "seed must fingerprint");
+        assert_eq!(a.fingerprint(), demo_plan().fingerprint());
+    }
+
+    #[test]
+    fn tally_buckets_by_layer() {
+        let mut realized = RealizedFaults::healthy();
+        realized.film_activity = 0.5;
+        realized.fouling_coverage = 0.2;
+        realized.spike_probability = 0.1;
+        realized.panic_job = true;
+        let tally = realized.tally();
+        assert_eq!(tally.enzyme, 1);
+        assert_eq!(tally.electrode, 1);
+        assert_eq!(tally.instrument, 1);
+        assert_eq!(tally.runtime, 1);
+        assert_eq!(tally.total(), 4);
+        assert_eq!(tally.merge(&tally).total(), 8);
+    }
+
+    #[test]
+    fn spec_clamps_out_of_range_inputs() {
+        let spec = FaultSpec::new(FaultKind::ReadoutSpike, 2.0, -1.0);
+        assert_eq!(spec.probability, 1.0);
+        assert_eq!(spec.intensity, 0.0);
+        let nan = FaultSpec::new(FaultKind::ReadoutSpike, f64::NAN, f64::INFINITY);
+        assert_eq!(nan.probability, 0.0);
+        assert_eq!(nan.intensity, 0.0);
+    }
+
+    #[test]
+    fn healthy_realization_reports_no_faults() {
+        assert!(RealizedFaults::healthy().is_healthy());
+        assert_eq!(RealizedFaults::default(), RealizedFaults::healthy());
+    }
+}

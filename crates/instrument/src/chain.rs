@@ -1,9 +1,11 @@
 //! The assembled readout chain: noise → amplifier → ADC → filter.
 
+use bios_faults::{Faultable, RealizedFaults};
 use bios_units::{Amperes, Ohms, Volts};
 
 use crate::adc::Adc;
 use crate::amplifier::TransimpedanceAmplifier;
+use crate::fault::{FaultState, ReadoutFaults, SampleFate};
 use crate::filter::FilterSpec;
 use crate::noise::NoiseGenerator;
 
@@ -32,6 +34,8 @@ pub struct ReadoutChain {
     adc: Adc,
     noise: NoiseGenerator,
     filter: FilterSpec,
+    /// Injected-fault stage; `None` keeps the healthy path untouched.
+    faults: Option<FaultState>,
 }
 
 impl ReadoutChain {
@@ -48,6 +52,7 @@ impl ReadoutChain {
             adc,
             noise,
             filter,
+            faults: None,
         }
     }
 
@@ -61,6 +66,7 @@ impl ReadoutChain {
             noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(50.0))
                 .with_flicker(Amperes::from_pico_amps(30.0)),
             filter: FilterSpec::MovingAverage(5),
+            faults: None,
         }
     }
 
@@ -74,6 +80,7 @@ impl ReadoutChain {
             noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(20.0))
                 .with_flicker(Amperes::from_pico_amps(10.0)),
             filter: FilterSpec::MovingAverage(5),
+            faults: None,
         }
     }
 
@@ -86,6 +93,7 @@ impl ReadoutChain {
             noise: NoiseGenerator::new(seed, Amperes::from_pico_amps(2000.0))
                 .with_flicker(Amperes::from_pico_amps(1500.0)),
             filter: FilterSpec::MovingAverage(3),
+            faults: None,
         }
     }
 
@@ -111,6 +119,24 @@ impl ReadoutChain {
         self
     }
 
+    /// Installs an injected-fault stage. A passive configuration is
+    /// ignored so the healthy sampling path stays bit-identical.
+    #[must_use]
+    pub fn with_readout_faults(mut self, config: ReadoutFaults) -> ReadoutChain {
+        self.faults = if config.is_passive() {
+            None
+        } else {
+            Some(FaultState::new(config))
+        };
+        self
+    }
+
+    /// The installed fault configuration, if any.
+    #[must_use]
+    pub fn fault_config(&self) -> Option<ReadoutFaults> {
+        self.faults.as_ref().map(|state| *state.config())
+    }
+
     /// The amplifier stage.
     #[must_use]
     pub fn amplifier(&self) -> &TransimpedanceAmplifier {
@@ -132,12 +158,37 @@ impl ReadoutChain {
 
     /// Measures one current sample through the full chain: adds input
     /// noise, amplifies (with clipping), quantizes, and refers the result
-    /// back to a current.
+    /// back to a current. With a fault stage installed the sample may
+    /// additionally be spiked, dropped, saturated early, or lose stuck
+    /// ADC code bits.
     pub fn digitize(&mut self, true_current: Amperes) -> Amperes {
         let noisy = Amperes::from_amps(true_current.as_amps() + self.noise.sample().as_amps());
-        let v = self.tia.convert(noisy);
-        let vq = self.adc.digitize(v);
-        self.tia.invert(vq)
+        let Some(state) = &mut self.faults else {
+            let v = self.tia.convert(noisy);
+            let vq = self.adc.digitize(v);
+            return self.tia.invert(vq);
+        };
+        let full_scale = self.tia.full_scale_current().as_amps();
+        match state.next_sample(full_scale) {
+            SampleFate::Dropped { held_amps } => Amperes::from_amps(held_amps),
+            SampleFate::Convert { spike_amps } => {
+                let disturbed = Amperes::from_amps(noisy.as_amps() + spike_amps);
+                let mut v = self.tia.convert(disturbed);
+                let saturation = state.config().saturation;
+                if saturation > 0.0 {
+                    let limit = self.tia.rail().as_volts() * (1.0 - saturation);
+                    v = Volts::from_volts(v.as_volts().clamp(-limit, limit));
+                }
+                let mut code = self.adc.quantize(v);
+                let mask = i64::from(state.config().stuck_mask);
+                if mask != 0 {
+                    code &= !mask;
+                }
+                let reading = self.tia.invert(self.adc.reconstruct(code));
+                state.record(reading.as_amps());
+                reading
+            }
+        }
     }
 
     /// Measures a whole trace and applies the configured post-filter.
@@ -161,6 +212,23 @@ impl ReadoutChain {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         Amperes::from_amps(var.sqrt())
+    }
+}
+
+impl Faultable for ReadoutChain {
+    /// Maps the instrument-layer fields of a realized fault set onto a
+    /// fault stage. A realization with no instrument faults returns the
+    /// chain unchanged (no stage installed).
+    fn with_faults(self, faults: &RealizedFaults) -> Self {
+        let config = ReadoutFaults {
+            saturation: faults.adc_saturation,
+            stuck_mask: faults.adc_stuck_mask,
+            spike_probability: faults.spike_probability,
+            spike_magnitude: faults.spike_magnitude,
+            dropout_probability: faults.dropout_probability,
+            seed: faults.noise_seed,
+        };
+        self.with_readout_faults(config)
     }
 }
 
@@ -212,6 +280,86 @@ mod tests {
         let mut chain = ReadoutChain::benchtop(1).auto_ranged_for(expected);
         let reading = chain.digitize(expected);
         assert!((reading.as_micro_amps() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn healthy_realization_installs_no_stage() {
+        let chain = ReadoutChain::benchtop(3).with_faults(&RealizedFaults::healthy());
+        assert!(chain.fault_config().is_none());
+    }
+
+    #[test]
+    fn stuck_code_biases_readings_toward_zero_codes() {
+        let i = Amperes::from_nano_amps(400.0);
+        let mut healthy = ReadoutChain::benchtop(11).with_filter(FilterSpec::None);
+        let mut faults = RealizedFaults::healthy();
+        faults.adc_stuck_mask = 0b1_1111;
+        let mut stuck = ReadoutChain::benchtop(11)
+            .with_filter(FilterSpec::None)
+            .with_faults(&faults);
+        let mean = |chain: &mut ReadoutChain| {
+            (0..500).map(|_| chain.digitize(i).as_amps()).sum::<f64>() / 500.0
+        };
+        // Forcing low bits to zero truncates codes toward zero: the
+        // faulted mean must sit below the healthy mean.
+        assert!(mean(&mut stuck) < mean(&mut healthy));
+    }
+
+    #[test]
+    fn saturation_caps_readings_below_full_scale() {
+        let mut faults = RealizedFaults::healthy();
+        faults.adc_saturation = 0.5;
+        let mut chain = ReadoutChain::benchtop(1).with_faults(&faults);
+        let reading = chain.digitize(Amperes::from_micro_amps(100.0));
+        let fs = chain.amplifier().full_scale_current();
+        assert!(reading.as_amps() <= fs.as_amps() * 0.5 * 1.001);
+    }
+
+    #[test]
+    fn spikes_inflate_blank_sigma() {
+        let mut faults = RealizedFaults::healthy();
+        faults.spike_probability = 0.2;
+        faults.spike_magnitude = 0.3;
+        faults.noise_seed = 77;
+        let sigma = |chain: &mut ReadoutChain| chain.blank_sigma(2000).as_amps();
+        let mut healthy = ReadoutChain::benchtop(5).with_filter(FilterSpec::None);
+        let mut spiky = ReadoutChain::benchtop(5)
+            .with_filter(FilterSpec::None)
+            .with_faults(&faults);
+        assert!(sigma(&mut spiky) > 10.0 * sigma(&mut healthy));
+    }
+
+    #[test]
+    fn dropout_repeats_held_readings() {
+        let mut faults = RealizedFaults::healthy();
+        faults.dropout_probability = 0.5;
+        faults.noise_seed = 9;
+        let mut chain = ReadoutChain::benchtop(5)
+            .with_filter(FilterSpec::None)
+            .with_faults(&faults);
+        let readings: Vec<f64> = (0..200)
+            .map(|_| chain.digitize(Amperes::from_nano_amps(300.0)).as_amps())
+            .collect();
+        let repeats = readings.windows(2).filter(|w| w[0] == w[1]).count();
+        // Consecutive identical analog readings are (measure-)zero
+        // probability without dropout holds.
+        assert!(repeats > 20, "only {repeats} held samples");
+    }
+
+    #[test]
+    fn faulted_chain_is_deterministic() {
+        let mut faults = RealizedFaults::healthy();
+        faults.spike_probability = 0.1;
+        faults.spike_magnitude = 0.5;
+        faults.dropout_probability = 0.1;
+        faults.noise_seed = 1234;
+        let run = || {
+            let mut chain = ReadoutChain::benchtop(8).with_faults(&faults);
+            (0..256)
+                .map(|_| chain.digitize(Amperes::from_nano_amps(100.0)).as_amps())
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Injected readout faults: spikes, dropouts, saturation, stuck codes.
+//!
+//! Real front ends glitch — ESD spikes couple into the input, samples
+//! get dropped on a contended bus, an over-stressed input stage
+//! saturates early, and ADC bits stick. [`ReadoutFaults`] describes the
+//! fault mix for one chain; the chain owns a private fault state that
+//! applies it per sample from its own seeded stream, independent of the
+//! measurement-noise stream, so fault timing is reproducible without
+//! perturbing the healthy noise sequence.
+
+use bios_prng::Rng;
+
+/// Configured fault mix for a readout chain.
+///
+/// All-zero fields are a passive (healthy) configuration; the chain
+/// skips the fault stage entirely when no configuration is installed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutFaults {
+    /// Fraction of amplifier full scale lost to early saturation, `[0, 1)`.
+    pub saturation: f64,
+    /// ADC code bits forced to zero (low-order mask).
+    pub stuck_mask: u16,
+    /// Per-sample probability of an additive spike.
+    pub spike_probability: f64,
+    /// Spike amplitude as a fraction of amplifier full-scale current.
+    pub spike_magnitude: f64,
+    /// Per-sample probability the sample is dropped (hold last value).
+    pub dropout_probability: f64,
+    /// Seed for the fault-timing stream.
+    pub seed: u64,
+}
+
+impl ReadoutFaults {
+    /// A configuration that injects nothing.
+    #[must_use]
+    pub fn passive() -> ReadoutFaults {
+        ReadoutFaults {
+            saturation: 0.0,
+            stuck_mask: 0,
+            spike_probability: 0.0,
+            spike_magnitude: 0.0,
+            dropout_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// True when this configuration cannot change any sample.
+    #[must_use]
+    pub fn is_passive(&self) -> bool {
+        self.saturation <= 0.0
+            && self.stuck_mask == 0
+            && self.spike_probability <= 0.0
+            && self.dropout_probability <= 0.0
+    }
+}
+
+impl Default for ReadoutFaults {
+    fn default() -> Self {
+        Self::passive()
+    }
+}
+
+/// Per-chain fault state: the configuration plus the seeded timing
+/// stream and the held value used by dropout.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    config: ReadoutFaults,
+    rng: Rng,
+    /// Last successfully converted reading, in amps (dropout hold).
+    held_amps: Option<f64>,
+}
+
+/// What the fault stage decided for one sample.
+pub(crate) enum SampleFate {
+    /// Sample proceeds through the chain, with this additive current
+    /// disturbance (amps; zero when no spike fired).
+    Convert { spike_amps: f64 },
+    /// Sample was dropped: report this held current instead.
+    Dropped { held_amps: f64 },
+}
+
+impl FaultState {
+    pub(crate) fn new(config: ReadoutFaults) -> FaultState {
+        FaultState {
+            config,
+            rng: Rng::seed_from_u64(config.seed),
+            held_amps: None,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ReadoutFaults {
+        &self.config
+    }
+
+    /// Decide this sample's fate. Draws exactly two uniforms per call so
+    /// the timing stream stays aligned regardless of which faults fire.
+    pub(crate) fn next_sample(&mut self, full_scale_amps: f64) -> SampleFate {
+        let drop_draw = self.rng.uniform();
+        let spike_draw = self.rng.uniform();
+        if drop_draw < self.config.dropout_probability {
+            return SampleFate::Dropped {
+                held_amps: self.held_amps.unwrap_or(0.0),
+            };
+        }
+        let spike_amps = if spike_draw < self.config.spike_probability {
+            let sign = if self.rng.uniform() < 0.5 { -1.0 } else { 1.0 };
+            sign * self.config.spike_magnitude * full_scale_amps
+        } else {
+            0.0
+        };
+        SampleFate::Convert { spike_amps }
+    }
+
+    /// Record the reading that made it through the chain (the value a
+    /// later dropout will hold).
+    pub(crate) fn record(&mut self, reading_amps: f64) {
+        self.held_amps = Some(reading_amps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_config_is_passive() {
+        assert!(ReadoutFaults::passive().is_passive());
+        assert!(ReadoutFaults::default().is_passive());
+        let mut active = ReadoutFaults::passive();
+        active.stuck_mask = 0b11;
+        assert!(!active.is_passive());
+    }
+
+    #[test]
+    fn fault_timing_is_seed_deterministic() {
+        let config = ReadoutFaults {
+            spike_probability: 0.5,
+            spike_magnitude: 0.3,
+            dropout_probability: 0.2,
+            seed: 99,
+            ..ReadoutFaults::passive()
+        };
+        let fates = |mut state: FaultState| -> Vec<f64> {
+            (0..64)
+                .map(|_| match state.next_sample(1.0) {
+                    SampleFate::Convert { spike_amps } => spike_amps,
+                    SampleFate::Dropped { .. } => f64::NAN,
+                })
+                .collect()
+        };
+        let a = fates(FaultState::new(config));
+        let b = fates(FaultState::new(config));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn dropout_holds_last_recorded_value() {
+        let config = ReadoutFaults {
+            dropout_probability: 1.0,
+            seed: 7,
+            ..ReadoutFaults::passive()
+        };
+        let mut state = FaultState::new(config);
+        // No sample recorded yet: holds zero.
+        match state.next_sample(1.0) {
+            SampleFate::Dropped { held_amps } => assert_eq!(held_amps, 0.0),
+            SampleFate::Convert { .. } => panic!("p=1 dropout must drop"),
+        }
+        state.record(4.2e-6);
+        match state.next_sample(1.0) {
+            SampleFate::Dropped { held_amps } => assert_eq!(held_amps, 4.2e-6),
+            SampleFate::Convert { .. } => panic!("p=1 dropout must drop"),
+        }
+    }
+}

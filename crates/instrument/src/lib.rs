@@ -30,6 +30,7 @@ pub mod adc;
 pub mod amplifier;
 pub mod cell;
 pub mod chain;
+pub mod fault;
 pub mod filter;
 pub mod noise;
 pub mod peak;
@@ -40,5 +41,6 @@ pub use adc::Adc;
 pub use amplifier::TransimpedanceAmplifier;
 pub use cell::ThreeElectrodeCell;
 pub use chain::ReadoutChain;
+pub use fault::ReadoutFaults;
 pub use noise::NoiseGenerator;
 pub use potentiostat::Potentiostat;

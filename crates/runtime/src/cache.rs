@@ -1,18 +1,29 @@
 //! The memoizing result cache.
 //!
 //! Catalog calibrations are pure functions of `(sensor configuration,
-//! seed)`: the same entry calibrated under the same seed produces the
-//! same [`CalibrationOutcome`] bit for bit. Benches, tables, and
-//! examples re-run the same configurations constantly, so the runtime
-//! memoizes outcomes behind a sharded map keyed by
-//! `(sensor id, protocol fingerprint, seed)`.
+//! seed, armed fault plan)`: the same entry calibrated under the same
+//! seed and plan produces the same [`CalibrationOutcome`] bit for bit.
+//! Benches, tables, and examples re-run the same configurations
+//! constantly, so the runtime memoizes outcomes behind a sharded map
+//! keyed by `(sensor id, protocol fingerprint, plan fingerprint, seed)`.
 //!
 //! The protocol fingerprint ([`bios_core::catalog::CatalogEntry::protocol_fingerprint`])
 //! covers every field that feeds the calibration — electrode, film
 //! recipe, technique, sweep — so two entries sharing an id but differing
-//! in recipe can never alias each other's results.
+//! in recipe can never alias each other's results. The plan fingerprint
+//! ([`bios_faults::FaultPlan::fingerprint`]) does the same for injected
+//! faults: a faulted outcome can never masquerade as a healthy one
+//! (jobs whose realization is healthy store under plan fingerprint 0,
+//! because their outcome *is* the healthy outcome).
+//!
+//! The cache is **bounded**: each shard evicts its least-recently-used
+//! entry once it exceeds its share of the configured capacity, so a
+//! long-lived runtime sweeping thousands of seeds cannot grow without
+//! limit. Evictions are counted and surfaced through the runtime
+//! metrics.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bios_core::catalog::CalibrationOutcome;
@@ -21,53 +32,118 @@ use bios_core::catalog::CalibrationOutcome;
 /// contention negligible at any plausible worker count.
 const SHARDS: usize = 16;
 
-/// The cache key: which sensor, which exact protocol, which seed.
+/// Default total capacity (entries across all shards) when the caller
+/// does not configure one.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The cache key: which sensor, which exact protocol, which fault
+/// plan, which seed.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Catalog id of the sensor (e.g. `"glucose/ours"`).
     pub sensor: String,
     /// Fingerprint of the full calibration recipe.
     pub protocol: u64,
+    /// Fingerprint of the armed fault plan, or 0 when the job ran
+    /// healthy (no plan, or a plan that realized nothing for this job).
+    pub plan: u64,
     /// The noise seed of the run.
     pub seed: u64,
 }
 
-/// A sharded, thread-safe memo table of calibration outcomes.
+/// One shard: the map plus a monotonic touch counter. An entry's stamp
+/// is the shard tick at its last get/insert, so the minimum stamp is
+/// the least-recently-used entry.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, (Arc<CalibrationOutcome>, u64)>,
+    tick: u64,
+}
+
+/// A sharded, thread-safe, bounded memo table of calibration outcomes.
 ///
 /// Outcomes are stored behind `Arc` so a cache hit is a pointer clone,
 /// not a deep copy of the calibration curve.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResultCache {
-    shards: Vec<Mutex<HashMap<CacheKey, Arc<CalibrationOutcome>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry bound; `usize::MAX` when unbounded.
+    shard_capacity: usize,
+    evictions: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> ResultCache {
+        ResultCache::new()
+    }
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_CAPACITY`] entries.
     #[must_use]
     pub fn new() -> ResultCache {
+        ResultCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded at `capacity` total entries
+    /// (0 means unbounded). The bound is enforced per shard, so the
+    /// effective total can exceed `capacity` by at most `SHARDS − 1`
+    /// rounding entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> ResultCache {
+        let shard_capacity = if capacity == 0 {
+            usize::MAX
+        } else {
+            capacity.div_ceil(SHARDS).max(1)
+        };
         ResultCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<CalibrationOutcome>>> {
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         use std::hash::{Hash, Hasher};
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
-    /// Looks up a memoized outcome.
+    /// Looks up a memoized outcome, refreshing its recency stamp.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CalibrationOutcome>> {
-        self.shard(key).lock().ok()?.get(key).cloned()
+        let mut shard = self.shard(key).lock().ok()?;
+        shard.tick += 1;
+        let tick = shard.tick;
+        let (outcome, stamp) = shard.map.get_mut(key)?;
+        *stamp = tick;
+        Some(Arc::clone(outcome))
     }
 
-    /// Stores an outcome, returning the shared handle.
+    /// Stores an outcome, returning the shared handle. Evicts the
+    /// shard's least-recently-used entry when the shard is over
+    /// capacity.
     pub fn insert(&self, key: CacheKey, outcome: CalibrationOutcome) -> Arc<CalibrationOutcome> {
         let outcome = Arc::new(outcome);
         if let Ok(mut shard) = self.shard(&key).lock() {
-            shard.insert(key, Arc::clone(&outcome));
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.map.insert(key, (Arc::clone(&outcome), tick));
+            while shard.map.len() > self.shard_capacity {
+                let oldest = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| k.clone());
+                match oldest {
+                    Some(k) => {
+                        shard.map.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
         }
         outcome
     }
@@ -77,7 +153,7 @@ impl ResultCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().map_or(0, |m| m.len()))
+            .map(|s| s.lock().map_or(0, |shard| shard.map.len()))
             .sum()
     }
 
@@ -87,11 +163,17 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// Drops every memoized outcome.
+    /// Entries evicted by the capacity bound since creation.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every memoized outcome (does not count as evictions).
     pub fn clear(&self) {
         for shard in &self.shards {
-            if let Ok(mut map) = shard.lock() {
-                map.clear();
+            if let Ok(mut shard) = shard.lock() {
+                shard.map.clear();
             }
         }
     }
@@ -108,6 +190,7 @@ mod tests {
         CacheKey {
             sensor: entry.id().to_owned(),
             protocol: entry.protocol_fingerprint(),
+            plan: 0,
             seed,
         }
     }
@@ -132,6 +215,19 @@ mod tests {
     }
 
     #[test]
+    fn distinguishes_fault_plans() {
+        let cache = ResultCache::new();
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        cache.insert(key(7), outcome);
+        let mut faulted = key(7);
+        faulted.plan = 0xDEAD_BEEF;
+        assert!(
+            cache.get(&faulted).is_none(),
+            "a faulted job must never be served the healthy outcome"
+        );
+    }
+
+    #[test]
     fn clear_empties_all_shards() {
         let cache = ResultCache::new();
         let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
@@ -141,5 +237,45 @@ mod tests {
         assert_eq!(cache.len(), 40);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0, "clear is not eviction");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        // Capacity 16 → one entry per shard; every shard over-fills
+        // quickly with 200 distinct seeds.
+        let cache = ResultCache::with_capacity(16);
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        for seed in 0..200 {
+            cache.insert(key(seed), outcome.clone());
+        }
+        assert!(cache.len() <= 16, "len {} exceeds capacity", cache.len());
+        assert!(cache.evictions() >= 184, "evictions {}", cache.evictions());
+    }
+
+    #[test]
+    fn recently_touched_entries_survive_eviction() {
+        // 64 entries → 4 per shard: room for the hot entry plus churn.
+        let cache = ResultCache::with_capacity(64);
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        cache.insert(key(0), outcome.clone());
+        // Keep touching seed 0 while flooding; it must stay resident
+        // even as its shard cycles through colliding keys.
+        for seed in 1..400 {
+            let _ = cache.get(&key(0));
+            cache.insert(key(seed), outcome.clone());
+        }
+        assert!(cache.get(&key(0)).is_some(), "hot entry was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let cache = ResultCache::with_capacity(0);
+        let outcome = catalog::our_glucose_sensor().run_calibration(7).unwrap();
+        for seed in 0..300 {
+            cache.insert(key(seed), outcome.clone());
+        }
+        assert_eq!(cache.len(), 300);
+        assert_eq!(cache.evictions(), 0);
     }
 }

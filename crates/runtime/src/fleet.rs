@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use bios_core::catalog::{CalibrationOutcome, CatalogEntry};
 use bios_core::CoreError;
+use bios_faults::{FaultPlan, FaultTally};
 
 use crate::metrics::MetricsSnapshot;
 
@@ -46,6 +47,7 @@ pub struct Job {
 pub struct Fleet {
     name: String,
     jobs: Vec<Job>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Fleet {
@@ -56,7 +58,21 @@ impl Fleet {
             name: name.to_owned(),
             sensors: Vec::new(),
             seeds: Vec::new(),
+            fault_plan: None,
         }
+    }
+
+    /// The fault plan armed for this fleet, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
+    }
+
+    /// The shared handle to the armed fault plan, for handing to
+    /// workers.
+    #[must_use]
+    pub(crate) fn fault_plan_arc(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone()
     }
 
     /// The fleet's display name.
@@ -90,6 +106,7 @@ pub struct FleetBuilder {
     name: String,
     sensors: Vec<CatalogEntry>,
     seeds: Vec<u64>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl FleetBuilder {
@@ -121,6 +138,15 @@ impl FleetBuilder {
         self
     }
 
+    /// Arms a fault plan: every job realizes its faults deterministically
+    /// from `(plan, sensor id, job seed)` before running. Fleets without
+    /// a plan pay zero fault-path overhead.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> FleetBuilder {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
     /// Builds the job matrix, seed-major (all sensors at seed₀, then
     /// all sensors at seed₁, …). An empty seed list means seed 0.
     #[must_use]
@@ -139,6 +165,7 @@ impl FleetBuilder {
         Fleet {
             name: self.name,
             jobs,
+            fault_plan: self.fault_plan,
         }
     }
 }
@@ -150,6 +177,31 @@ pub enum JobError {
     Calibration(CoreError),
     /// The job panicked on a worker; the payload is the panic message.
     Panicked(String),
+    /// A transient failure that exhausted the retry budget.
+    Transient {
+        /// What the last attempt reported.
+        message: String,
+        /// Attempts made before giving up (≥ 1).
+        attempts: u32,
+    },
+    /// The job's estimated workload exceeds the per-job budget; it was
+    /// rejected before simulating anything.
+    Budget {
+        /// Estimated samples the calibration would draw.
+        required: u64,
+        /// The configured per-job sample budget.
+        budget: u64,
+    },
+}
+
+impl JobError {
+    /// Whether retrying the same job could plausibly succeed.
+    /// Calibration errors, panics, and budget rejections are
+    /// deterministic; only [`JobError::Transient`] is worth a retry.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Transient { .. })
+    }
 }
 
 impl fmt::Display for JobError {
@@ -157,6 +209,15 @@ impl fmt::Display for JobError {
         match self {
             JobError::Calibration(e) => write!(f, "{e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Transient { message, attempts } => {
+                write!(f, "transient failure after {attempts} attempts: {message}")
+            }
+            JobError::Budget { required, budget } => {
+                write!(
+                    f,
+                    "job rejected: needs {required} samples, budget is {budget}"
+                )
+            }
         }
     }
 }
@@ -165,7 +226,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Calibration(e) => Some(e),
-            JobError::Panicked(_) => None,
+            JobError::Panicked(_) | JobError::Transient { .. } | JobError::Budget { .. } => None,
         }
     }
 }
@@ -183,8 +244,23 @@ pub struct JobResult {
     pub wall: Duration,
     /// Whether the outcome came from the memo cache.
     pub from_cache: bool,
+    /// Execution attempts made (0 for cache hits, 1 for a clean first
+    /// run, more when transient failures were retried).
+    pub attempts: u32,
+    /// Faults injected into this job by the fleet's armed plan, by
+    /// layer. All-zero when no plan is armed or nothing realized.
+    pub injected: FaultTally,
     /// The calibration outcome or the per-job error.
     pub outcome: Result<Arc<CalibrationOutcome>, JobError>,
+}
+
+impl JobResult {
+    /// Whether the job succeeded but not cleanly: faults were injected
+    /// or transient failures forced retries.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.outcome.is_ok() && (self.attempts > 1 || self.injected.total() > 0)
+    }
 }
 
 /// Everything a fleet run produced, in job order.
@@ -233,6 +309,24 @@ impl FleetReport {
         self.results.iter().filter(|r| r.from_cache).count()
     }
 
+    /// Partitions the results into the quorum-style triage the fleet
+    /// operator acts on: cleanly completed, degraded (succeeded despite
+    /// injected faults or retries), and failed.
+    #[must_use]
+    pub fn outcome_summary(&self) -> FleetOutcome {
+        let mut outcome = FleetOutcome::default();
+        for r in &self.results {
+            if r.outcome.is_err() {
+                outcome.failed += 1;
+            } else if r.is_degraded() {
+                outcome.degraded += 1;
+            } else {
+                outcome.completed += 1;
+            }
+        }
+        outcome
+    }
+
     /// Jobs per second of end-to-end wall time.
     #[must_use]
     pub fn throughput_jobs_per_sec(&self) -> f64 {
@@ -269,6 +363,59 @@ impl FleetReport {
     }
 }
 
+/// Quorum-style triage of a fleet run: how many channels can be
+/// trusted outright, how many delivered data under degraded
+/// conditions, and how many are lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Jobs that succeeded cleanly on the first attempt, fault-free.
+    pub completed: usize,
+    /// Jobs that succeeded despite injected faults or retries; their
+    /// figures of merit may be biased and deserve a drift check.
+    pub degraded: usize,
+    /// Jobs that returned an error (calibration failure, panic,
+    /// exhausted retries, or budget rejection).
+    pub failed: usize,
+}
+
+impl FleetOutcome {
+    /// Total jobs triaged.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.completed + self.degraded + self.failed
+    }
+
+    /// Fraction of jobs that produced a usable outcome (completed or
+    /// degraded); 0 for an empty fleet.
+    #[must_use]
+    pub fn usable_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.completed + self.degraded) as f64 / total as f64
+        }
+    }
+
+    /// Whether at least `min_fraction` of the fleet produced usable
+    /// outcomes — the quorum test a multi-sensor panel applies before
+    /// trusting a batch of calibrations.
+    #[must_use]
+    pub fn has_quorum(&self, min_fraction: f64) -> bool {
+        self.total() > 0 && self.usable_fraction() >= min_fraction
+    }
+}
+
+impl fmt::Display for FleetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} completed / {} degraded / {} failed",
+            self.completed, self.degraded, self.failed
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use bios_core::catalog;
@@ -301,10 +448,68 @@ mod tests {
     }
 
     #[test]
-    fn job_error_displays_both_variants() {
+    fn job_error_displays_every_variant() {
         let panicked = JobError::Panicked("boom".into());
         assert!(panicked.to_string().contains("boom"));
         let calib = JobError::Calibration(CoreError::ChannelEmpty { channel: 1 });
         assert!(calib.to_string().contains("no sensor"));
+        let transient = JobError::Transient {
+            message: "glitch".into(),
+            attempts: 3,
+        };
+        assert!(transient.to_string().contains("after 3 attempts"));
+        let budget = JobError::Budget {
+            required: 10,
+            budget: 5,
+        };
+        assert!(budget.to_string().contains("budget is 5"));
+    }
+
+    #[test]
+    fn only_transient_errors_are_transient() {
+        assert!(JobError::Transient {
+            message: String::new(),
+            attempts: 1
+        }
+        .is_transient());
+        assert!(!JobError::Panicked(String::new()).is_transient());
+        assert!(!JobError::Budget {
+            required: 1,
+            budget: 0
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn fleet_outcome_quorum_math() {
+        let outcome = FleetOutcome {
+            completed: 6,
+            degraded: 2,
+            failed: 2,
+        };
+        assert_eq!(outcome.total(), 10);
+        assert!((outcome.usable_fraction() - 0.8).abs() < 1e-12);
+        assert!(outcome.has_quorum(0.75));
+        assert!(!outcome.has_quorum(0.9));
+        assert!(
+            !FleetOutcome::default().has_quorum(0.0),
+            "empty has no quorum"
+        );
+        assert_eq!(outcome.to_string(), "6 completed / 2 degraded / 2 failed");
+    }
+
+    #[test]
+    fn builder_arms_a_fault_plan() {
+        let plan = bios_faults::FaultPlan::chaos(1, 0.5);
+        let fleet = Fleet::builder("armed")
+            .sensor(catalog::our_glucose_sensor())
+            .fault_plan(plan.clone())
+            .build();
+        assert_eq!(
+            fleet.fault_plan().map(|p| p.fingerprint()),
+            Some(plan.fingerprint())
+        );
+        let unarmed = Fleet::builder("unarmed").build();
+        assert!(unarmed.fault_plan().is_none());
     }
 }

@@ -47,6 +47,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod fleet;
@@ -59,9 +60,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bios_core::catalog::{CalibrationOutcome, CatalogEntry};
+use bios_faults::{FaultPlan, FaultTally};
 
-pub use cache::{CacheKey, ResultCache};
-pub use fleet::{Fleet, FleetBuilder, FleetReport, Job, JobError, JobResult};
+pub use cache::{CacheKey, ResultCache, DEFAULT_CAPACITY};
+pub use fleet::{Fleet, FleetBuilder, FleetOutcome, FleetReport, Job, JobError, JobResult};
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use pool::WorkerPool;
 
@@ -72,14 +74,31 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Whether to memoize calibration outcomes.
     pub cache: bool,
+    /// Memo-cache capacity in entries; 0 means unbounded.
+    pub cache_capacity: usize,
+    /// Execution attempts per job (≥ 1); attempts beyond the first are
+    /// taken only for transient failures.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub retry_backoff: Duration,
+    /// Per-job sample budget; jobs whose estimated workload exceeds it
+    /// are rejected with [`JobError::Budget`] before simulating. 0
+    /// disables the gate.
+    pub job_budget: u64,
 }
 
 impl Default for RuntimeConfig {
-    /// One worker per available core, cache enabled.
+    /// One worker per available core, cache enabled and bounded at
+    /// [`DEFAULT_CAPACITY`], three attempts with 200 µs initial
+    /// backoff, no job budget.
     fn default() -> RuntimeConfig {
         RuntimeConfig {
             workers: WorkerPool::default_workers(),
             cache: true,
+            cache_capacity: DEFAULT_CAPACITY,
+            max_attempts: 3,
+            retry_backoff: Duration::from_micros(200),
+            job_budget: 0,
         }
     }
 }
@@ -99,8 +118,37 @@ impl RuntimeConfig {
         self
     }
 
-    /// Default config with the worker count taken from the
-    /// `BIOS_WORKERS` environment variable when set and positive.
+    /// Overrides the memo-cache capacity (entries; 0 = unbounded).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> RuntimeConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-job attempt limit (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> RuntimeConfig {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Overrides the initial retry backoff.
+    #[must_use]
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> RuntimeConfig {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the per-job sample budget (0 disables the gate).
+    #[must_use]
+    pub fn with_job_budget(mut self, budget: u64) -> RuntimeConfig {
+        self.job_budget = budget;
+        self
+    }
+
+    /// Default config with the worker count taken from `BIOS_WORKERS`
+    /// and the cache capacity from `BIOS_CACHE_CAP`, when set and
+    /// parseable.
     #[must_use]
     pub fn from_env() -> RuntimeConfig {
         let mut config = RuntimeConfig::default();
@@ -111,7 +159,42 @@ impl RuntimeConfig {
         {
             config.workers = n;
         }
+        if let Some(cap) = std::env::var("BIOS_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config.cache_capacity = cap;
+        }
         config
+    }
+}
+
+/// The per-job robustness knobs, copied out of [`RuntimeConfig`] so the
+/// worker closures capture a small `Copy` value instead of the runtime.
+#[derive(Debug, Clone, Copy)]
+struct ExecPolicy {
+    max_attempts: u32,
+    retry_backoff: Duration,
+    job_budget: u64,
+}
+
+impl ExecPolicy {
+    fn from_config(config: &RuntimeConfig) -> ExecPolicy {
+        ExecPolicy {
+            max_attempts: config.max_attempts.max(1),
+            retry_backoff: config.retry_backoff,
+            job_budget: config.job_budget,
+        }
+    }
+
+    /// Deterministic exponential backoff for the retry after `attempt`
+    /// (1-based), capped so injected glitch storms cannot stall a
+    /// worker for long.
+    fn backoff_after(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(8);
+        self.retry_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(Duration::from_millis(50))
     }
 }
 
@@ -131,6 +214,8 @@ struct Completion {
     outcome: Result<Arc<CalibrationOutcome>, JobError>,
     wall: Duration,
     from_cache: bool,
+    attempts: u32,
+    injected: FaultTally,
 }
 
 impl Runtime {
@@ -140,7 +225,7 @@ impl Runtime {
         Runtime {
             config,
             pool: WorkerPool::new(config.workers),
-            cache: Arc::new(ResultCache::new()),
+            cache: Arc::new(ResultCache::with_capacity(config.cache_capacity)),
             metrics: Arc::new(RuntimeMetrics::new()),
         }
     }
@@ -157,10 +242,13 @@ impl Runtime {
         self.pool.workers()
     }
 
-    /// Point-in-time copy of the cumulative runtime counters.
+    /// Point-in-time copy of the cumulative runtime counters, with the
+    /// cache's eviction count merged in.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.cache_evictions = self.cache.evictions();
+        snapshot
     }
 
     /// Outcomes currently memoized.
@@ -181,6 +269,10 @@ impl Runtime {
     #[must_use]
     pub fn run(&self, fleet: &Fleet) -> FleetReport {
         let started = Instant::now();
+        // Self-healing pass: replace any worker that retired after
+        // catching a panicking task in an earlier run.
+        let respawned = self.pool.heal();
+        self.metrics.record_worker_respawns(respawned as u64);
         self.metrics.record_submitted(fleet.len() as u64);
         let (tx, rx) = mpsc::channel::<Completion>();
         // Dispatch contiguous *chunks* of jobs rather than single jobs:
@@ -190,6 +282,7 @@ impl Runtime {
         // chunk. Several chunks per worker keep the load balanced when
         // job costs are uneven.
         let jobs: Arc<[Job]> = fleet.jobs().into();
+        let policy = ExecPolicy::from_config(&self.config);
         let chunk = chunk_size(jobs.len(), self.workers());
         let mut start = 0;
         while start < jobs.len() {
@@ -198,10 +291,18 @@ impl Runtime {
             let cache = self.config.cache.then(|| Arc::clone(&self.cache));
             let metrics = Arc::clone(&self.metrics);
             let jobs = Arc::clone(&jobs);
+            let plan = fleet.fault_plan_arc();
             self.pool.execute(move || {
                 for job in &jobs[start..end] {
-                    let completion =
-                        execute_job(job.index, &job.entry, job.seed, cache.as_deref(), &metrics);
+                    let completion = execute_job(
+                        job.index,
+                        &job.entry,
+                        job.seed,
+                        plan.as_deref(),
+                        cache.as_deref(),
+                        &metrics,
+                        policy,
+                    );
                     let _ = tx.send(completion);
                 }
             });
@@ -225,6 +326,8 @@ impl Runtime {
                     outcome: Err(JobError::Panicked("worker lost".into())),
                     wall: Duration::ZERO,
                     from_cache: false,
+                    attempts: 0,
+                    injected: FaultTally::default(),
                 });
                 JobResult {
                     index: job.index,
@@ -232,6 +335,8 @@ impl Runtime {
                     seed: job.seed,
                     wall: completion.wall,
                     from_cache: completion.from_cache,
+                    attempts: completion.attempts,
+                    injected: completion.injected,
                     outcome: completion.outcome,
                 }
             })
@@ -241,7 +346,7 @@ impl Runtime {
             workers: self.workers(),
             elapsed: started.elapsed(),
             results,
-            metrics: self.metrics.snapshot(),
+            metrics: self.metrics(),
         }
     }
 
@@ -253,17 +358,28 @@ impl Runtime {
         let started = Instant::now();
         self.metrics.record_submitted(fleet.len() as u64);
         let cache = self.config.cache.then_some(self.cache.as_ref());
+        let policy = ExecPolicy::from_config(&self.config);
         let results = fleet
             .jobs()
             .iter()
             .map(|job| {
-                let completion = execute_job(job.index, &job.entry, job.seed, cache, &self.metrics);
+                let completion = execute_job(
+                    job.index,
+                    &job.entry,
+                    job.seed,
+                    fleet.fault_plan(),
+                    cache,
+                    &self.metrics,
+                    policy,
+                );
                 JobResult {
                     index: job.index,
                     sensor: job.entry.id().to_owned(),
                     seed: job.seed,
                     wall: completion.wall,
                     from_cache: completion.from_cache,
+                    attempts: completion.attempts,
+                    injected: completion.injected,
                     outcome: completion.outcome,
                 }
             })
@@ -273,7 +389,7 @@ impl Runtime {
             workers: 1,
             elapsed: started.elapsed(),
             results,
-            metrics: self.metrics.snapshot(),
+            metrics: self.metrics(),
         }
     }
 }
@@ -285,18 +401,66 @@ fn chunk_size(jobs: usize, workers: usize) -> usize {
     jobs.div_ceil((workers * 4).max(1)).max(1)
 }
 
-/// Runs one job: cache probe, simulate on miss, memoize, meter.
+/// Runs one job: realize faults, budget gate, cache probe, then the
+/// attempt loop — simulate behind `catch_unwind`, retry transient
+/// failures with deterministic backoff, memoize successes, meter
+/// everything.
+///
+/// Every branch here is a pure function of `(entry, seed, plan,
+/// policy)` — never of the worker, the attempt wall-clock, or cache
+/// state (the budget gate runs *before* the cache probe so a rejection
+/// cannot depend on what happens to be memoized) — which is what keeps
+/// fleet outcomes identical across worker counts even mid-chaos.
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     index: usize,
     entry: &CatalogEntry,
     seed: u64,
+    plan: Option<&FaultPlan>,
     cache: Option<&ResultCache>,
     metrics: &RuntimeMetrics,
+    policy: ExecPolicy,
 ) -> Completion {
     let t0 = Instant::now();
+    // Realize this job's faults once, up front: realization depends
+    // only on (plan, sensor id, job seed), so retries and reruns see
+    // the exact same fault set. A plan that realizes nothing for this
+    // job leaves the healthy path (and its cache slot) untouched.
+    let faults = plan
+        .map(|p| p.realize(entry.id(), seed))
+        .filter(|f| !f.is_healthy());
+    let injected = faults
+        .as_ref()
+        .map_or_else(FaultTally::default, |f| f.tally());
+    metrics.record_faults_injected(injected.total() as u64);
+    let physics_plan = faults.as_ref().and(plan);
+
+    // Budget gate, before the cache probe so the verdict is a pure
+    // function of the job.
+    if policy.job_budget > 0 {
+        let required = entry.calibration_workload();
+        if required > policy.job_budget {
+            metrics.record_budget_rejection();
+            let wall = t0.elapsed();
+            metrics.record_finished(false, false, wall);
+            return Completion {
+                index,
+                outcome: Err(JobError::Budget {
+                    required,
+                    budget: policy.job_budget,
+                }),
+                wall,
+                from_cache: false,
+                attempts: 0,
+                injected,
+            };
+        }
+    }
+
     let key = cache.map(|_| CacheKey {
         sensor: entry.id().to_owned(),
         protocol: entry.protocol_fingerprint(),
+        plan: physics_plan.map_or(0, FaultPlan::fingerprint),
         seed,
     });
     if let (Some(cache), Some(key)) = (cache, &key) {
@@ -308,16 +472,50 @@ fn execute_job(
                 outcome: Ok(hit),
                 wall,
                 from_cache: true,
+                attempts: 0,
+                injected,
             };
         }
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| entry.run_calibration(seed)))
-        .map_err(|payload| JobError::Panicked(panic_message(&payload)))
-        .and_then(|r| r.map_err(JobError::Calibration))
-        .map(|outcome| match (cache, key) {
-            (Some(cache), Some(key)) => cache.insert(key, outcome),
-            _ => Arc::new(outcome),
-        });
+
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt: u32 = 1;
+    let outcome = loop {
+        let transient_quota = faults.as_ref().map_or(0, |f| f.transient_failures);
+        let attempt_result: Result<_, JobError> = if attempt <= transient_quota {
+            // Injected transient glitch: fail before touching the
+            // physics, deterministically for the first N attempts.
+            Err(JobError::Transient {
+                message: format!("injected transient glitch ({attempt}/{transient_quota})"),
+                attempts: attempt,
+            })
+        } else {
+            catch_unwind(AssertUnwindSafe(|| {
+                if faults.as_ref().is_some_and(|f| f.panic_job) {
+                    panic!("injected worker panic (fault plan)");
+                }
+                entry.run_calibration_with(seed, physics_plan)
+            }))
+            .map_err(|payload| JobError::Panicked(panic_message(&payload)))
+            .and_then(|r| r.map_err(JobError::Calibration))
+        };
+        match attempt_result {
+            Ok(outcome) => break Ok(outcome),
+            Err(error) if error.is_transient() && attempt < max_attempts => {
+                metrics.record_retry();
+                let backoff = policy.backoff_after(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+            }
+            Err(error) => break Err(error),
+        }
+    };
+    let outcome = outcome.map(|outcome| match (cache, key) {
+        (Some(cache), Some(key)) => cache.insert(key, outcome),
+        _ => Arc::new(outcome),
+    });
     let wall = t0.elapsed();
     metrics.record_finished(outcome.is_ok(), false, wall);
     Completion {
@@ -325,6 +523,8 @@ fn execute_job(
         outcome,
         wall,
         from_cache: false,
+        attempts: attempt,
+        injected,
     }
 }
 

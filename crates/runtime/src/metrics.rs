@@ -22,6 +22,10 @@ pub struct RuntimeMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     busy_micros: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    budget_rejections: AtomicU64,
+    worker_respawns: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -56,7 +60,33 @@ impl RuntimeMetrics {
         self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one retry of a transiently-failed job.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` faults injected into a job by an armed plan.
+    pub fn record_faults_injected(&self, n: u64) {
+        if n > 0 {
+            self.faults_injected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one job rejected by the per-job sample budget.
+    pub fn record_budget_rejection(&self) {
+        self.budget_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` dead workers replaced by the pool's healing pass.
+    pub fn record_worker_respawns(&self, n: u64) {
+        if n > 0 {
+            self.worker_respawns.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
+    /// `cache_evictions` lives in the cache, not here; the runtime
+    /// merges it in when it assembles a snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -66,6 +96,11 @@ impl RuntimeMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            budget_rejections: self.budget_rejections.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            cache_evictions: 0,
             histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
         }
     }
@@ -86,6 +121,18 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Total worker-side busy time, microseconds.
     pub busy_micros: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Individual faults injected by armed plans, across all jobs.
+    pub faults_injected: u64,
+    /// Jobs rejected by the per-job sample budget.
+    pub budget_rejections: u64,
+    /// Dead workers replaced by the pool's healing pass.
+    pub worker_respawns: u64,
+    /// Memo-cache entries evicted by the capacity bound (merged in
+    /// from the cache by the runtime; 0 in raw [`RuntimeMetrics`]
+    /// snapshots).
+    pub cache_evictions: u64,
     /// Per-job wall-time histogram (log₂ µs buckets).
     pub histogram: [u64; HISTOGRAM_BUCKETS],
 }
@@ -139,6 +186,8 @@ impl MetricsSnapshot {
                 "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},",
                 "\"busy_micros\":{},\"wall_p50_micros\":{},\"wall_p99_micros\":{},",
+                "\"retries\":{},\"faults_injected\":{},\"budget_rejections\":{},",
+                "\"worker_respawns\":{},\"cache_evictions\":{},",
                 "\"wall_histogram\":[{}]}}"
             ),
             self.jobs_submitted,
@@ -150,6 +199,11 @@ impl MetricsSnapshot {
             self.busy_micros,
             self.wall_quantile_micros(0.5),
             self.wall_quantile_micros(0.99),
+            self.retries,
+            self.faults_injected,
+            self.budget_rejections,
+            self.worker_respawns,
+            self.cache_evictions,
             buckets.join(",")
         )
     }
@@ -217,5 +271,33 @@ mod tests {
         let s = RuntimeMetrics::new().snapshot();
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.wall_quantile_micros(0.99), 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.faults_injected, 0);
+        assert_eq!(s.budget_rejections, 0);
+        assert_eq!(s.worker_respawns, 0);
+        assert_eq!(s.cache_evictions, 0);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate_and_serialize() {
+        let m = RuntimeMetrics::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_faults_injected(3);
+        m.record_faults_injected(0); // no-op
+        m.record_budget_rejection();
+        m.record_worker_respawns(2);
+        let mut s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.faults_injected, 3);
+        assert_eq!(s.budget_rejections, 1);
+        assert_eq!(s.worker_respawns, 2);
+        s.cache_evictions = 5;
+        let json = s.to_json();
+        assert!(json.contains("\"retries\":2"));
+        assert!(json.contains("\"faults_injected\":3"));
+        assert!(json.contains("\"budget_rejections\":1"));
+        assert!(json.contains("\"worker_respawns\":2"));
+        assert!(json.contains("\"cache_evictions\":5"));
     }
 }

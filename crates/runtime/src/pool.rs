@@ -1,4 +1,5 @@
-//! A channel-fed worker pool on `std::thread` + `std::sync::mpsc`.
+//! A channel-fed, self-healing worker pool on `std::thread` +
+//! `std::sync::mpsc`.
 //!
 //! The build environment is offline, so the pool deliberately uses only
 //! the standard library: one `mpsc` channel feeds boxed tasks to a set
@@ -6,14 +7,40 @@
 //! A worker holds the lock only for the dequeue handoff, so CPU-bound
 //! fleet jobs (hundreds of microseconds and up) scale close to linearly
 //! with the worker count.
+//!
+//! # Hardening
+//!
+//! Three failure modes are survivable instead of fatal:
+//!
+//! * **Spawn failure** — [`WorkerPool::try_new`] reports the OS error;
+//!   [`WorkerPool::new`] keeps whatever threads it managed to spawn. A
+//!   pool with zero live workers still makes progress by running tasks
+//!   inline on the submitting thread.
+//! * **Panicking task** — the worker catches the unwind, records the
+//!   casualty, and *retires itself* (its post-panic state is suspect).
+//!   The remaining workers keep draining the queue.
+//! * **Dead workers** — [`WorkerPool::heal`] joins retired workers and
+//!   spawns replacements, restoring the pool to its target size. The
+//!   runtime calls it before every fleet run.
 
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed-size pool of worker threads executing boxed tasks in
+/// Everything one worker thread needs; cloned per spawn so `heal` can
+/// mint replacements.
+#[derive(Debug, Clone)]
+struct WorkerContext {
+    receiver: Arc<Mutex<mpsc::Receiver<Task>>>,
+    panics: Arc<AtomicU64>,
+}
+
+/// A fixed-target pool of worker threads executing boxed tasks in
 /// submission order (FIFO dispatch, arbitrary completion order).
 ///
 /// # Examples
@@ -38,55 +65,166 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 #[derive(Debug)]
 pub struct WorkerPool {
     sender: Option<mpsc::Sender<Task>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    context: WorkerContext,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    target: usize,
+    /// Monotonic counter so respawned workers get fresh names.
+    spawned: AtomicUsize,
+    respawns: AtomicU64,
+}
+
+/// The body of one worker thread: dequeue, run behind `catch_unwind`,
+/// retire on the first caught panic.
+fn worker_loop(context: &WorkerContext) {
+    loop {
+        // Lock scope ends at the statement: the guard is held across
+        // `recv` (the handoff pattern) but released before the task
+        // runs, so a panicking task cannot poison the queue.
+        let task = match context.receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling died mid-dequeue
+        };
+        match task {
+            Ok(task) => {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    // Record the casualty and retire: the thread exits
+                    // cleanly and `heal` replaces it with a fresh one.
+                    context.panics.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (clamped to at least one).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the OS refuses to spawn a thread.
+    /// Spawns up to `workers` threads (target clamped to at least one),
+    /// degrading gracefully: if the OS refuses a thread, the pool keeps
+    /// the ones it has — down to zero, where [`WorkerPool::execute`]
+    /// falls back to running tasks inline.
     #[must_use]
     pub fn new(workers: usize) -> WorkerPool {
-        let workers = workers.max(1);
+        let target = workers.max(1);
         let (sender, receiver) = mpsc::channel::<Task>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..workers)
-            .map(|k| {
-                let receiver = Arc::clone(&receiver);
-                thread::Builder::new()
-                    .name(format!("bios-worker-{k}"))
-                    .spawn(move || loop {
-                        // Lock scope ends at the statement: the guard is
-                        // held across `recv` (the book's handoff pattern)
-                        // but released before the task runs.
-                        let task = match receiver.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => return, // a sibling panicked mid-dequeue
-                        };
-                        match task {
-                            Ok(task) => task(),
-                            Err(_) => return, // channel closed: shutdown
-                        }
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
+        let context = WorkerContext {
+            receiver: Arc::new(Mutex::new(receiver)),
+            panics: Arc::new(AtomicU64::new(0)),
+        };
+        let pool = WorkerPool {
             sender: Some(sender),
-            workers,
+            context,
+            workers: Mutex::new(Vec::with_capacity(target)),
+            target,
+            spawned: AtomicUsize::new(0),
+            respawns: AtomicU64::new(0),
+        };
+        if let Ok(mut handles) = pool.workers.lock() {
+            for _ in 0..target {
+                match pool.spawn_worker() {
+                    Ok(handle) => handles.push(handle),
+                    Err(_) => break, // keep what we have
+                }
+            }
         }
+        pool
     }
 
-    /// Number of worker threads.
+    /// Like [`WorkerPool::new`] but strict: fails with the OS error if
+    /// any of the `workers` threads cannot be spawned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `io::Error` from `thread::Builder::spawn` when the
+    /// OS refuses a thread.
+    pub fn try_new(workers: usize) -> io::Result<WorkerPool> {
+        let target = workers.max(1);
+        let pool = WorkerPool::new(target);
+        if pool.live_workers() < target {
+            return Err(io::Error::other(format!(
+                "spawned only {}/{} worker threads",
+                pool.live_workers(),
+                target
+            )));
+        }
+        Ok(pool)
+    }
+
+    /// Spawns one worker thread with a unique name.
+    fn spawn_worker(&self) -> io::Result<thread::JoinHandle<()>> {
+        let k = self.spawned.fetch_add(1, Ordering::Relaxed);
+        let context = self.context.clone();
+        thread::Builder::new()
+            .name(format!("bios-worker-{k}"))
+            .spawn(move || worker_loop(&context))
+    }
+
+    /// The worker count the pool aims to keep alive.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.target
     }
 
-    /// Enqueues a task; it runs on the first free worker.
+    /// Worker threads currently running (excludes retired ones that
+    /// [`WorkerPool::heal`] has not yet replaced).
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.workers.lock().map_or(0, |handles| {
+            handles.iter().filter(|h| !h.is_finished()).count()
+        })
+    }
+
+    /// Panics caught from executed tasks since pool creation.
+    #[must_use]
+    pub fn panics_caught(&self) -> u64 {
+        self.context.panics.load(Ordering::Relaxed)
+    }
+
+    /// Workers respawned by [`WorkerPool::heal`] since pool creation.
+    #[must_use]
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Joins every retired (finished) worker and spawns replacements up
+    /// to the target size. Returns the number of workers respawned.
+    pub fn heal(&self) -> usize {
+        let Ok(mut handles) = self.workers.lock() else {
+            return 0;
+        };
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let handle = handles.swap_remove(i);
+                let _ = handle.join();
+            } else {
+                i += 1;
+            }
+        }
+        let mut respawned = 0;
+        while handles.len() < self.target {
+            match self.spawn_worker() {
+                Ok(handle) => {
+                    handles.push(handle);
+                    respawned += 1;
+                }
+                Err(_) => break, // OS still refusing threads; stay degraded
+            }
+        }
+        self.respawns.fetch_add(respawned as u64, Ordering::Relaxed);
+        respawned
+    }
+
+    /// Enqueues a task; it runs on the first free worker. If every
+    /// worker has retired (or none could be spawned), the task runs
+    /// inline on the calling thread so the pool never deadlocks.
     pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        if self.live_workers() == 0 {
+            // Inline fallback: still catch panics so the caller's
+            // result-collection path sees the same semantics.
+            let _ = catch_unwind(AssertUnwindSafe(task));
+            return;
+        }
         if let Some(sender) = &self.sender {
             // Send fails only when every worker has died, which only
             // happens on shutdown; tasks submitted after that are
@@ -108,10 +246,12 @@ impl Drop for WorkerPool {
     /// tasks first.
     fn drop(&mut self) {
         drop(self.sender.take());
-        for worker in self.workers.drain(..) {
-            // A worker that panicked already reported through its job's
-            // result channel; nothing useful to do with the Err here.
-            let _ = worker.join();
+        if let Ok(mut handles) = self.workers.lock() {
+            for worker in handles.drain(..) {
+                // A worker that caught a panicking task already recorded
+                // it; nothing useful to do with a join error here.
+                let _ = worker.join();
+            }
         }
     }
 }
@@ -120,6 +260,7 @@ impl Drop for WorkerPool {
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     use super::*;
 
@@ -144,6 +285,12 @@ mod tests {
     }
 
     #[test]
+    fn try_new_succeeds_at_sane_sizes() {
+        let pool = WorkerPool::try_new(2).expect("2 threads should spawn");
+        assert_eq!(pool.live_workers(), 2);
+    }
+
+    #[test]
     fn uses_multiple_threads() {
         // Two tasks rendezvous on a barrier: they can only both reach it
         // if the pool runs them on two distinct workers concurrently.
@@ -162,6 +309,53 @@ mod tests {
         let names: std::collections::BTreeSet<_> = rx.iter().collect();
         drop(pool);
         assert_eq!(names.len(), 2, "tasks shared a worker: {names:?}");
+    }
+
+    #[test]
+    fn survives_panicking_tasks_and_heals() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..2 {
+            pool.execute(|| panic!("injected task panic"));
+        }
+        // Wait for both panics to be recorded (workers retire async).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.panics_caught() < 2 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.panics_caught(), 2);
+        let respawned = pool.heal();
+        assert_eq!(respawned, 2, "both retired workers replaced");
+        assert_eq!(pool.respawns(), 2);
+        assert_eq!(pool.live_workers(), 2);
+        // The healed pool still executes tasks on worker threads.
+        pool.execute(move || {
+            let _ = tx.send(thread::current().name().map(str::to_owned));
+        });
+        let name = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("healed pool runs tasks");
+        assert!(name.unwrap_or_default().starts_with("bios-worker-"));
+    }
+
+    #[test]
+    fn fully_dead_pool_falls_back_to_inline_execution() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("kill the only worker"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.live_workers() > 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.live_workers(), 0);
+        // Without healing, execute degrades to inline — it must still
+        // run (and still swallow panics) rather than deadlock.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        pool.execute(|| panic!("inline panic is swallowed too"));
     }
 
     #[test]

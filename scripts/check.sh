@@ -12,6 +12,9 @@ run() {
 
 run cargo build --release --workspace
 run cargo test -q --workspace
+# Chaos gate: the hardened runtime must stay deterministic under an
+# armed fault plan (retries, panics, budgets, bounded cache).
+run cargo test -q -p bios-runtime --test runtime_chaos
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -25,7 +25,8 @@
 //! | [`labelfree`] | `bios-labelfree` | SPR and QCM label-free transduction |
 //! | [`prng`] | `bios-prng` | deterministic random streams (splitmix64 + xoshiro256\*\*) |
 //! | [`core`] | `bios-core` | the composed platform, protocols, Table 1/2 catalog |
-//! | [`runtime`] | `bios-runtime` | concurrent fleet simulation, result cache, metrics |
+//! | [`faults`] | `bios-faults` | deterministic fault plans injected across the physical layers |
+//! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
 //!
 //! # Quick start
 //!
@@ -48,6 +49,7 @@ pub use bios_analytics as analytics;
 pub use bios_core as core;
 pub use bios_electrochem as electrochem;
 pub use bios_enzyme as enzyme;
+pub use bios_faults as faults;
 pub use bios_instrument as instrument;
 pub use bios_labelfree as labelfree;
 pub use bios_nanomaterial as nanomaterial;
@@ -57,14 +59,15 @@ pub use bios_units as units;
 
 /// Commonly used items for scripting against the platform.
 pub mod prelude {
-    pub use bios_analytics::{CalibrationCurve, CalibrationSummary, LinearFit};
+    pub use bios_analytics::{CalibrationCurve, CalibrationSummary, DriftDetector, LinearFit};
     pub use bios_core::catalog;
     pub use bios_core::platform::SensingPlatform;
     pub use bios_core::protocol::{CalibrationProtocol, Chronoamperometry, CyclicVoltammetry};
     pub use bios_core::{Analyte, Biosensor, CoreError, Sample};
+    pub use bios_faults::{FaultKind, FaultPlan};
     pub use bios_instrument::ReadoutChain;
     pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
-    pub use bios_runtime::{Fleet, FleetReport, Runtime, RuntimeConfig};
+    pub use bios_runtime::{Fleet, FleetOutcome, FleetReport, Runtime, RuntimeConfig};
     pub use bios_units::{
         Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
     };

@@ -13,7 +13,7 @@ fn diffusion_solver_reproduces_cottrell_over_a_decade_of_time() {
     let d = DiffusionCoefficient::from_square_cm_per_second(1e-5);
     let bulk = Molar::from_milli_molar(1.0);
     let area = SquareCm::from_square_cm(1.0);
-    let mut grid = DiffusionGrid::new(d, bulk, 600e-4, 1201);
+    let mut grid = DiffusionGrid::new(d, bulk, 600e-4, 1201).expect("valid grid");
     grid.set_surface(SurfaceBoundary::Concentration(0.0));
     let dt = Seconds::from_millis(1.0);
     let mut elapsed = 0.0;
@@ -49,6 +49,7 @@ fn cv_simulation_tracks_randles_sevcik_scaling_in_scan_rate() {
         CvSimulator::new(couple.clone(), area)
             .with_reduced_bulk(c)
             .with_nodes(300)
+            .expect("enough nodes")
             .run(&sweep)
             .anodic_peak()
             .unwrap()
@@ -84,6 +85,7 @@ fn cnt_modification_pulls_sluggish_couple_toward_reversible_peak() {
         CvSimulator::new(couple, area)
             .with_reduced_bulk(c)
             .with_nodes(300)
+            .expect("enough nodes")
             .run(&sweep)
     };
     let bare = run(slow.clone());

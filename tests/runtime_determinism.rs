@@ -3,6 +3,7 @@
 //! for a fixed seed — scheduling must never leak into the physics.
 
 use biosim::core::catalog;
+use biosim::faults::{FaultKind, FaultPlan};
 use biosim::runtime::{Fleet, Runtime, RuntimeConfig};
 
 fn full_catalog_fleet(seed: u64) -> Fleet {
@@ -57,6 +58,51 @@ fn cached_rerun_preserves_the_digest() {
     let second = runtime.run(&fleet);
     assert_eq!(second.cache_hits(), fleet.len());
     assert_eq!(first.summaries_digest(), second.summaries_digest());
+}
+
+#[test]
+fn armed_fault_plan_digests_identical_across_worker_counts() {
+    // Chaos must be as deterministic as health: an armed plan that
+    // panics some jobs, glitches others into retries, and degrades the
+    // physics still yields byte-identical digests and the same
+    // completed/degraded/failed triage at 1, 2, and 8 workers.
+    let plan = FaultPlan::builder("determinism-chaos", 0xBAD5EED)
+        .spec(FaultKind::TransientGlitch, 0.8, 0.4)
+        .spec(FaultKind::WorkerPanic, 0.15, 1.0)
+        .spec(FaultKind::FilmDenaturation, 0.5, 0.7)
+        .spec(FaultKind::ElectrodeFouling, 0.5, 0.6)
+        .spec(FaultKind::ReadoutSpike, 0.4, 0.5)
+        .build();
+    let mut sensors = catalog::all_table2();
+    sensors.extend(catalog::multi_panel_sensors());
+    let fleet = Fleet::builder("chaos-determinism")
+        .sensors(sensors)
+        .seed(42)
+        .fault_plan(plan)
+        .build();
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            Runtime::new(
+                RuntimeConfig::default()
+                    .with_workers(workers)
+                    .with_cache(false)
+                    .with_retry_backoff(std::time::Duration::from_micros(10)),
+            )
+            .run(&fleet)
+        })
+        .collect();
+    let outcome = reports[0].outcome_summary();
+    assert!(outcome.failed >= 1, "plan must panic ≥1 job: {outcome}");
+    assert!(outcome.degraded >= 1, "plan must degrade ≥1 job: {outcome}");
+    assert!(
+        outcome.completed >= 1,
+        "some channels must stay clean: {outcome}"
+    );
+    for report in &reports[1..] {
+        assert_eq!(report.summaries_digest(), reports[0].summaries_digest());
+        assert_eq!(report.outcome_summary(), outcome);
+    }
 }
 
 #[test]
