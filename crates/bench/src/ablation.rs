@@ -346,6 +346,73 @@ pub fn render_chaos_ablation(seed: u64) -> String {
     )
 }
 
+/// Ablation 7: ramp `FaultKind::WorkerStall` probability and show the
+/// watchdog converting silent livelocks into the deterministic
+/// `JobError::Deadline` while the fleet completes. The armed runtime
+/// (real stalls, cancelled cooperatively) must render the byte-identical
+/// digest of the unarmed one (stalls short-circuited synchronously).
+pub fn render_stall_ablation(seed: u64) -> String {
+    use std::time::Duration;
+
+    use bios_core::catalog;
+    use bios_faults::{FaultKind, FaultPlan};
+    use bios_runtime::{Fleet, JobError, Runtime, RuntimeConfig};
+
+    let base = RuntimeConfig::from_env()
+        .with_cache(false)
+        .with_retry_backoff(Duration::from_micros(10));
+    let mut t = TextTable::new(vec![
+        "p(stall)",
+        "deadline kills",
+        "workers retired",
+        "triage (ok/deg/fail)",
+        "armed == unarmed",
+    ]);
+    for probability in [0.0, 0.25, 0.5, 1.0] {
+        let plan = FaultPlan::builder("stall-ramp", seed)
+            .spec(FaultKind::WorkerStall, probability, 1.0)
+            .build();
+        let fleet = Fleet::builder("stall-ramp")
+            .sensors(catalog::glucose_sensors())
+            .seeds(seed..seed + 2)
+            .fault_plan(plan)
+            .build();
+        let unarmed = Runtime::new(base);
+        let reference = unarmed.run_sequential(&fleet);
+        let armed = Runtime::new(base.with_job_deadline(Duration::from_millis(20)));
+        let report = armed.run(&fleet);
+        let outcome = report.outcome_summary();
+        let kills = armed.metrics().deadline_kills;
+        let retired = armed.metrics().stalled_workers;
+        debug_assert_eq!(
+            report
+                .failures()
+                .filter(|(_, e)| matches!(e, JobError::Deadline))
+                .count() as u64,
+            kills
+        );
+        t.add_row(vec![
+            format!("{probability:.2}"),
+            format!("{kills}"),
+            format!("{retired}"),
+            format!(
+                "{}/{}/{}",
+                outcome.completed, outcome.degraded, outcome.failed
+            ),
+            if report.summaries_digest() == reference.summaries_digest() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    format!(
+        "Ablation 7 — worker-stall ramp (glucose family × 2 seeds, 20 ms soft \
+         deadline; armed watchdog cancels livelocked solvers cooperatively)\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +459,27 @@ mod tests {
         assert!(s.contains("8 seeds"));
         assert!(s.contains("0 failures"));
         assert!(s.contains("sensitivity"));
+    }
+
+    #[test]
+    fn stall_ablation_kills_deadlines_and_stays_deterministic() {
+        let s = render_stall_ablation(11);
+        let row = |prefix: &str| -> Vec<String> {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} row in:\n{s}"))
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect()
+        };
+        let zero = row("0.00");
+        assert_eq!(zero[1], "0", "no kills without stalls: {zero:?}");
+        let full = row("1.00");
+        assert_ne!(full[1], "0", "p=1 must kill deadlines: {full:?}");
+        assert!(
+            !s.contains("NO"),
+            "armed and unarmed digests must agree:\n{s}"
+        );
     }
 
     #[test]

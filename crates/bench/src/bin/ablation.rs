@@ -17,4 +17,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_tolerance_ablation(seed));
     println!("{}", bios_bench::ablation::render_seed_ablation(seed, 32));
     println!("{}", bios_bench::ablation::render_chaos_ablation(seed));
+    println!("{}", bios_bench::ablation::render_stall_ablation(seed));
 }

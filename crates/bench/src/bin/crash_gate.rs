@@ -1,0 +1,114 @@
+//! Crash-resume gate for CI: runs a fixed journaled fleet, optionally
+//! dying mid-run exactly as `kill -9` would, and resumes a journal left
+//! behind by an earlier (crashed) invocation. `scripts/check.sh` uses
+//! the three modes to prove that a killed fleet resumes to the
+//! byte-identical digest of an uninterrupted run:
+//!
+//! ```text
+//! crash_gate --journal ref.journal                      # reference run
+//! crash_gate --journal crash.journal --crash-after 5    # aborts (non-zero exit)
+//! crash_gate --journal crash.journal --resume           # finishes the rest
+//! ```
+//!
+//! Every mode prints a `digest_fnv=0x…` line; the gate compares them.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bios_core::catalog;
+use bios_faults::{FaultKind, FaultPlan};
+use bios_recover::fnv1a;
+use bios_runtime::{Fleet, JournalOptions, Runtime, RuntimeConfig};
+
+/// The gate fleet is fixed: the digest must be reproducible across
+/// invocations, worker counts, and a crash/resume boundary.
+fn gate_fleet() -> Fleet {
+    let plan = FaultPlan::builder("crash-gate", 0x9A7E)
+        .spec(FaultKind::TransientGlitch, 0.6, 0.4)
+        .spec(FaultKind::WorkerPanic, 0.2, 1.0)
+        .spec(FaultKind::FilmDenaturation, 0.5, 0.6)
+        .build();
+    Fleet::builder("crash-gate")
+        .sensors(catalog::all_table2())
+        .seeds(0..3)
+        .fault_plan(plan)
+        .build()
+}
+
+fn main() -> ExitCode {
+    bios_bench::silence_injected_panics();
+    let mut journal: Option<String> = None;
+    let mut crash_after: Option<u64> = None;
+    let mut resume = false;
+    let mut workers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--journal" => journal = args.next(),
+            "--crash-after" => crash_after = args.next().and_then(|s| s.parse().ok()),
+            "--resume" => resume = true,
+            "--workers" => {
+                if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                    workers = n;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = journal else {
+        eprintln!("usage: crash_gate --journal PATH [--crash-after N | --resume] [--workers N]");
+        return ExitCode::FAILURE;
+    };
+
+    let fleet = gate_fleet();
+    let runtime = Runtime::new(
+        RuntimeConfig::default()
+            .with_workers(workers)
+            .with_cache(false)
+            .with_retry_backoff(Duration::from_micros(10)),
+    );
+
+    if resume {
+        match runtime.resume(&fleet, &path) {
+            Ok(report) => {
+                println!(
+                    "resumed {} of {} jobs, executed {} fresh ({})",
+                    report.resumed_jobs, report.total_jobs, report.executed_jobs, report.outcome
+                );
+                println!("digest_fnv=0x{:016x}", report.digest_fnv());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let options = JournalOptions {
+            crash_after_jobs: crash_after,
+        };
+        // With crash_after set this call aborts the process mid-fleet
+        // and never returns; the journal keeps the completed prefix.
+        match runtime.run_journaled_with(&fleet, &path, options) {
+            Ok(report) => {
+                println!(
+                    "ran {} jobs uninterrupted ({})",
+                    fleet.len(),
+                    report.outcome_summary()
+                );
+                println!(
+                    "digest_fnv=0x{:016x}",
+                    fnv1a(report.summaries_digest().as_bytes())
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("journaled run failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -135,8 +135,13 @@ fn main() {
         chaos_metrics.faults_injected, chaos_metrics.retries
     );
 
+    // The JSON is emitted with a fixed, documented key order (schema
+    // first, then sizing, timing, derived ratios, nested blocks) so
+    // diffs between runs are line-stable; bump `schema_version` whenever
+    // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
+        "{{\n  \"schema_version\": 2,\n  \
+         \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
          \"warm_cache_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"warm_cache_speedup\": {:.3},\n  \

@@ -1,0 +1,65 @@
+//! Cooperative cancellation for long-running solver loops.
+//!
+//! The diffusion and voltammetry integrators can run for millions of
+//! inner steps. When a fleet watchdog decides a job has blown its
+//! deadline, the only clean way to reclaim the worker is for the solver
+//! to *agree to stop*: preemption would leave shared state poisoned.
+//! [`CheckPoint`] is that agreement — solvers poll it every few dozen
+//! steps and bail out with `ElectrochemError::Cancelled` when it trips.
+//!
+//! Polling is deliberately coarse (every [`POLL_INTERVAL`] steps) so
+//! the healthy fast path pays one relaxed atomic load per interval,
+//! which is unmeasurable against the stencil arithmetic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many inner solver steps run between cancellation polls.
+pub const POLL_INTERVAL: usize = 64;
+
+/// A cancellation point a solver polls from inside its inner loop.
+///
+/// Implementations must be cheap (a relaxed atomic load) and must be
+/// monotonic: once `cancelled` returns `true` it keeps returning
+/// `true` for the lifetime of the computation.
+pub trait CheckPoint: Sync {
+    /// True when the computation should stop at the next opportunity.
+    fn cancelled(&self) -> bool;
+}
+
+/// The trivial checkpoint: never cancels. Lets unchecked entry points
+/// share the checked solver bodies at zero behavioral cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverCancel;
+
+impl CheckPoint for NeverCancel {
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// A shared flag is the natural checkpoint: the watchdog stores `true`,
+/// the solver observes it at its next poll.
+impl CheckPoint for AtomicBool {
+    fn cancelled(&self) -> bool {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn never_cancel_never_cancels() {
+        assert!(!NeverCancel.cancelled());
+    }
+
+    #[test]
+    fn atomic_bool_tracks_store() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(!flag.cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(flag.cancelled());
+    }
+}

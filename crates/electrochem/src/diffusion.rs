@@ -14,6 +14,7 @@
 
 use bios_units::{DiffusionCoefficient, Molar, Seconds};
 
+use crate::checkpoint::{CheckPoint, NeverCancel, POLL_INTERVAL};
 use crate::error::ElectrochemError;
 
 /// Boundary condition applied at the electrode surface (`x = 0`).
@@ -309,15 +310,55 @@ impl DiffusionGrid {
     /// Runs the simulation for `duration` using steps of `dt`, choosing
     /// the explicit integrator when stable and Crank–Nicolson otherwise.
     pub fn advance(&mut self, duration: Seconds, dt: Seconds) {
+        // NeverCancel never trips, and an already-finite field that goes
+        // non-finite would have produced the same garbage before the
+        // guard existed — stopping early changes nothing observable.
+        let _ = self.advance_checked(duration, dt, &NeverCancel);
+    }
+
+    /// [`Self::advance`] with cooperative cancellation and a numerical
+    /// guardrail: every [`POLL_INTERVAL`] steps the solver polls `cp`
+    /// and scans the field for NaN/±Inf.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElectrochemError::Cancelled`] — `cp` tripped; the field holds
+    ///   the state at the last completed step.
+    /// * [`ElectrochemError::NonFinite`] — the solution diverged; the
+    ///   field must not be trusted (or cached) by the caller.
+    pub fn advance_checked(
+        &mut self,
+        duration: Seconds,
+        dt: Seconds,
+        cp: &dyn CheckPoint,
+    ) -> Result<(), ElectrochemError> {
         let steps = (duration.as_seconds() / dt.as_seconds()).round() as usize;
         let explicit_ok = dt <= self.max_stable_dt();
-        for _ in 0..steps {
+        for step in 0..steps {
+            if step % POLL_INTERVAL == 0 {
+                if cp.cancelled() {
+                    return Err(ElectrochemError::Cancelled);
+                }
+                if !self.is_finite() {
+                    return Err(ElectrochemError::NonFinite { step });
+                }
+            }
             if explicit_ok {
                 self.step_explicit_unchecked(dt);
             } else {
                 self.step_crank_nicolson(dt);
             }
         }
+        if !self.is_finite() {
+            return Err(ElectrochemError::NonFinite { step: steps });
+        }
+        Ok(())
+    }
+
+    /// True when every node of the field is a finite number.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.c.iter().all(|v| v.is_finite())
     }
 }
 
@@ -469,6 +510,65 @@ mod tests {
                 minimum: 3
             })
         ));
+    }
+
+    #[test]
+    fn advance_checked_matches_unchecked_advance() {
+        let mut a = grid();
+        let mut b = grid();
+        a.set_surface(SurfaceBoundary::Concentration(0.0));
+        b.set_surface(SurfaceBoundary::Concentration(0.0));
+        a.advance(Seconds::from_millis(50.0), Seconds::from_millis(0.2));
+        b.advance_checked(
+            Seconds::from_millis(50.0),
+            Seconds::from_millis(0.2),
+            &crate::checkpoint::NeverCancel,
+        )
+        .expect("healthy field stays finite");
+        assert_eq!(
+            a.profile(),
+            b.profile(),
+            "checked path must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_immediately() {
+        use std::sync::atomic::AtomicBool;
+        let mut g = grid();
+        let token = AtomicBool::new(true);
+        let before = g.profile();
+        let result = g.advance_checked(
+            Seconds::from_seconds(10.0),
+            Seconds::from_millis(1.0),
+            &token,
+        );
+        assert!(matches!(result, Err(ElectrochemError::Cancelled)));
+        // Cancellation at step 0 must not have advanced the field.
+        assert_eq!(g.profile(), before);
+    }
+
+    #[test]
+    fn nonfinite_field_is_caught_not_propagated() {
+        // Regression for the NaN/Inf guardrail: an infinite outward flux
+        // poisons the surface node on the first step; the checked
+        // advance must detect it instead of marching NaNs for the full
+        // duration.
+        let mut g = grid();
+        g.set_surface(SurfaceBoundary::Flux(f64::INFINITY));
+        let result = g.advance_checked(
+            Seconds::from_seconds(1.0),
+            g.max_stable_dt() * 0.9,
+            &crate::checkpoint::NeverCancel,
+        );
+        match result {
+            Err(ElectrochemError::NonFinite { step }) => {
+                // Caught within one poll interval of the poisoning.
+                assert!(step <= crate::checkpoint::POLL_INTERVAL + 1, "step {step}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(!g.is_finite());
     }
 
     #[test]

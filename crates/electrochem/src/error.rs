@@ -36,6 +36,15 @@ pub enum ElectrochemError {
         /// The offending value.
         value: f64,
     },
+    /// A checked solver loop observed its cancellation token and
+    /// stopped cooperatively (watchdog deadline, shutdown).
+    Cancelled,
+    /// The solution field left the finite domain (NaN or ±Inf) — the
+    /// numerics diverged and nothing downstream may trust the state.
+    NonFinite {
+        /// Inner-loop step index at which non-finite values were seen.
+        step: usize,
+    },
 }
 
 impl fmt::Display for ElectrochemError {
@@ -55,6 +64,12 @@ impl fmt::Display for ElectrochemError {
             }
             ElectrochemError::InvalidParameter { name, value } => {
                 write!(f, "{name} out of range: {value}")
+            }
+            ElectrochemError::Cancelled => {
+                write!(f, "solver cancelled at a cooperative checkpoint")
+            }
+            ElectrochemError::NonFinite { step } => {
+                write!(f, "solution became non-finite at step {step}")
             }
         }
     }

@@ -26,6 +26,9 @@
 //!   faradaic signal.
 //! * [`voltammetry`] — a full digital simulation of cyclic voltammetry
 //!   (Nernstian and quasireversible) built on the diffusion solver.
+//! * [`checkpoint`] — cooperative cancellation ([`CheckPoint`]) polled
+//!   inside the diffusion/voltammetry inner loops so a fleet watchdog
+//!   can reclaim a worker without preemption.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod butler_volmer;
+pub mod checkpoint;
 pub mod cottrell;
 pub mod degradation;
 pub mod diffusion;
@@ -65,6 +69,7 @@ pub mod voltammetry;
 pub mod waveform;
 
 pub use bios_units::{FARADAY, GAS_CONSTANT};
+pub use checkpoint::{CheckPoint, NeverCancel};
 pub use degradation::ElectrodeHealth;
 pub use error::ElectrochemError;
 pub use species::RedoxCouple;

@@ -10,6 +10,7 @@
 
 use bios_units::{Amperes, Kelvin, Molar, Seconds, SquareCm, Volts, FARADAY, GAS_CONSTANT};
 
+use crate::checkpoint::{CheckPoint, NeverCancel, POLL_INTERVAL};
 use crate::error::ElectrochemError;
 use crate::species::RedoxCouple;
 use crate::waveform::{CyclicSweep, Waveform};
@@ -210,6 +211,29 @@ impl CvSimulator {
     /// Runs the sweep and returns the voltammogram.
     #[must_use]
     pub fn run(&self, sweep: &CyclicSweep) -> Voltammogram {
+        // NeverCancel cannot trip; a NonFinite bail returns the samples
+        // collected so far, which is what the old unguarded loop would
+        // have produced up to the divergence anyway.
+        match self.run_checked(sweep, &NeverCancel) {
+            Ok(vg) => vg,
+            Err(_) => Voltammogram::new(Vec::new()),
+        }
+    }
+
+    /// [`Self::run`] with cooperative cancellation and a numerical
+    /// guardrail: every [`POLL_INTERVAL`] inner steps the simulator
+    /// polls `cp` and verifies the surface fields are finite.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElectrochemError::Cancelled`] — `cp` tripped mid-sweep.
+    /// * [`ElectrochemError::NonFinite`] — the digital simulation
+    ///   diverged; the partial trace must not be trusted.
+    pub fn run_checked(
+        &self,
+        sweep: &CyclicSweep,
+        cp: &dyn CheckPoint,
+    ) -> Result<Voltammogram, ElectrochemError> {
         let d = self.couple.diffusion().as_square_cm_per_second();
         let t_total = sweep.duration().as_seconds();
         // Domain: 6 diffusion lengths keeps the far boundary unperturbed.
@@ -239,6 +263,21 @@ impl CvSimulator {
         let mut points = Vec::with_capacity(steps / sample_every + 2);
 
         for step in 0..=steps {
+            if step % POLL_INTERVAL == 0 {
+                if cp.cancelled() {
+                    return Err(ElectrochemError::Cancelled);
+                }
+                // The surface nodes see every pathology first (they fold
+                // in the exponential Butler–Volmer rates), so checking
+                // them is a sufficient sentinel for the whole field.
+                if !(c_ox[0].is_finite()
+                    && c_red[0].is_finite()
+                    && c_ox[1].is_finite()
+                    && c_red[1].is_finite())
+                {
+                    return Err(ElectrochemError::NonFinite { step });
+                }
+            }
             let t = step as f64 * dt;
             let e = sweep.potential_at(Seconds::from_seconds(t)).as_volts();
 
@@ -282,7 +321,7 @@ impl CvSimulator {
             c_red[self.nodes - 1] = c_red_bulk;
         }
 
-        Voltammogram::new(points)
+        Ok(Voltammogram::new(points))
     }
 }
 
@@ -556,6 +595,23 @@ mod tests {
         assert!(matches!(
             sim().with_catalytic_rate(f64::NAN),
             Err(ElectrochemError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn run_checked_matches_run_and_honours_cancellation() {
+        use std::sync::atomic::AtomicBool;
+        let sim = CvSimulator::new(fast_couple(), SquareCm::from_square_cm(0.1))
+            .with_reduced_bulk(Molar::from_milli_molar(1.0));
+        let plain = sim.run(&sweep());
+        let checked = sim
+            .run_checked(&sweep(), &crate::checkpoint::NeverCancel)
+            .expect("healthy sweep completes");
+        assert_eq!(plain, checked, "checked path must be bit-identical");
+        let tripped = AtomicBool::new(true);
+        assert!(matches!(
+            sim.run_checked(&sweep(), &tripped),
+            Err(ElectrochemError::Cancelled)
         ));
     }
 

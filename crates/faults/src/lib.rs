@@ -27,6 +27,8 @@
 //! assert_eq!(faults, plan.realize("glucose/gox-swcnt", 7));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bios_prng::{Rng, SplitMix64};
 
 /// FNV-1a over a byte stream; the same idiom `bios-core` uses for
@@ -75,11 +77,20 @@ pub enum FaultKind {
     /// The job panics outright — a poisoned input or firmware abort.
     /// Layer: `bios-runtime`.
     WorkerPanic,
+    /// The job hangs in a busy loop (livelocked solver, wedged bus) and
+    /// never returns on its own — only the runtime's watchdog/deadline
+    /// layer can reclaim the worker. Distinct from [`WorkerPanic`]:
+    /// a panic is *loud* and caught by the unwind boundary, a stall is
+    /// *silent* and needs cooperative cancellation.
+    /// Layer: `bios-runtime`.
+    ///
+    /// [`WorkerPanic`]: FaultKind::WorkerPanic
+    WorkerStall,
 }
 
 impl FaultKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::FilmDenaturation,
         FaultKind::ElectrodeFouling,
         FaultKind::ReferenceDrift,
@@ -89,6 +100,7 @@ impl FaultKind {
         FaultKind::ReadoutDropout,
         FaultKind::TransientGlitch,
         FaultKind::WorkerPanic,
+        FaultKind::WorkerStall,
     ];
 
     /// Stable tag used to derive an independent PRNG stream per kind.
@@ -103,6 +115,7 @@ impl FaultKind {
             FaultKind::ReadoutDropout => 0x07,
             FaultKind::TransientGlitch => 0x08,
             FaultKind::WorkerPanic => 0x09,
+            FaultKind::WorkerStall => 0x0A,
         }
     }
 
@@ -118,6 +131,7 @@ impl FaultKind {
             FaultKind::ReadoutDropout => "readout dropout",
             FaultKind::TransientGlitch => "transient glitch",
             FaultKind::WorkerPanic => "worker panic",
+            FaultKind::WorkerStall => "worker stall",
         }
     }
 }
@@ -203,6 +217,7 @@ impl FaultPlan {
         builder
             .spec(FaultKind::TransientGlitch, 0.4 * intensity, intensity)
             .spec(FaultKind::WorkerPanic, 0.1 * intensity, intensity)
+            .spec(FaultKind::WorkerStall, 0.08 * intensity, intensity)
             .build()
     }
 
@@ -280,6 +295,9 @@ impl FaultPlan {
                 FaultKind::WorkerPanic => {
                     out.panic_job = true;
                 }
+                FaultKind::WorkerStall => {
+                    out.stall_job = true;
+                }
             }
         }
         out
@@ -342,6 +360,9 @@ pub struct RealizedFaults {
     pub transient_failures: u32,
     /// Whether the job panics outright (permanent failure).
     pub panic_job: bool,
+    /// Whether the job busy-hangs and must be reclaimed by the
+    /// runtime's watchdog (surfaces as a deadline loss).
+    pub stall_job: bool,
     /// Seed for the instrument-layer fault stream (spike/dropout
     /// timing), independent of the measurement noise stream.
     pub noise_seed: u64,
@@ -361,6 +382,7 @@ impl RealizedFaults {
             dropout_probability: 0.0,
             transient_failures: 0,
             panic_job: false,
+            stall_job: false,
             noise_seed: 0,
         }
     }
@@ -398,6 +420,9 @@ impl RealizedFaults {
             tally.runtime += 1;
         }
         if self.panic_job {
+            tally.runtime += 1;
+        }
+        if self.stall_job {
             tally.runtime += 1;
         }
         tally

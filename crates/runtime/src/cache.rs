@@ -21,12 +21,31 @@
 //! long-lived runtime sweeping thousands of seeds cannot grow without
 //! limit. Evictions are counted and surfaced through the runtime
 //! metrics.
+//!
+//! The cache is also **persistable**: [`ResultCache::save`] writes every
+//! entry to a checksummed snapshot file (same frame discipline as the
+//! run journal) and [`ResultCache::load`] reads one back, *dropping and
+//! counting* — never serving — any entry that fails its checksum or
+//! decodes to non-finite physics.
 
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use bios_analytics::{CalibrationCurve, CalibrationPoint, CalibrationSummary};
 use bios_core::catalog::CalibrationOutcome;
+use bios_recover::codec::{read_frame, write_frame, FrameRead};
+use bios_recover::{ByteReader, ByteWriter, CodecError};
+use bios_units::{Amperes, ConcentrationRange, Molar, Sensitivity, SquareCm};
+
+/// First bytes of a cache snapshot file.
+const CACHE_MAGIC: &[u8; 8] = b"BIOSCSH1";
+
+/// Snapshot format version carried in the header frame.
+const CACHE_VERSION: u32 = 1;
 
 /// Number of independent shards; a small power of two keeps lock
 /// contention negligible at any plausible worker count.
@@ -70,6 +89,17 @@ pub struct ResultCache {
     /// Per-shard entry bound; `usize::MAX` when unbounded.
     shard_capacity: usize,
     evictions: AtomicU64,
+    corrupt_dropped: AtomicU64,
+}
+
+/// What [`ResultCache::load`] did with a snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries that passed checksum + validation and were inserted.
+    pub loaded: u64,
+    /// Entries dropped for failing their checksum, decoding badly, or
+    /// carrying non-finite/inconsistent physics. Never served.
+    pub corrupt_dropped: u64,
 }
 
 impl Default for ResultCache {
@@ -100,6 +130,7 @@ impl ResultCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             evictions: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +200,13 @@ impl ResultCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Snapshot entries dropped by [`ResultCache::load`] for corruption
+    /// or failed validation since creation.
+    #[must_use]
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.corrupt_dropped.load(Ordering::Relaxed)
+    }
+
     /// Drops every memoized outcome (does not count as evictions).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -176,6 +214,200 @@ impl ResultCache {
                 shard.map.clear();
             }
         }
+    }
+
+    /// Writes every entry to `path` as a checksummed snapshot and
+    /// returns the entry count. Entries are written in recency order
+    /// (least-recently-used first, per shard), so reloading them in file
+    /// order reproduces each shard's eviction order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the cache itself cannot fail.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<u64> {
+        let mut entries: Vec<(CacheKey, Arc<CalibrationOutcome>)> = Vec::new();
+        for shard in &self.shards {
+            let Ok(shard) = shard.lock() else { continue };
+            let mut in_shard: Vec<_> = shard
+                .map
+                .iter()
+                .map(|(k, (outcome, stamp))| (*stamp, k.clone(), Arc::clone(outcome)))
+                .collect();
+            in_shard.sort_by_key(|(stamp, _, _)| *stamp);
+            entries.extend(in_shard.into_iter().map(|(_, k, o)| (k, o)));
+        }
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(CACHE_MAGIC)?;
+        let mut header = ByteWriter::new();
+        header.put_u32(CACHE_VERSION);
+        header.put_u64(entries.len() as u64);
+        write_frame(&mut w, header.bytes())?;
+        for (key, outcome) in &entries {
+            write_frame(&mut w, &encode_entry(key, outcome))?;
+        }
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(entries.len() as u64)
+    }
+
+    /// Loads a snapshot written by [`ResultCache::save`] into this
+    /// cache, inserting entries in file order. Any entry that fails its
+    /// checksum, decodes badly, or carries non-finite physics is
+    /// dropped and counted — it can never be served. Framing after the
+    /// first torn or corrupt frame is untrusted, so loading stops there
+    /// and the undelivered remainder counts as dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns filesystem errors as-is; a file that is not a cache
+    /// snapshot at all (bad magic, unreadable header, or unknown
+    /// version) is [`io::ErrorKind::InvalidData`].
+    pub fn load(&self, path: impl AsRef<Path>) -> io::Result<CacheLoadReport> {
+        let file = File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| invalid_snapshot("file too short for a cache snapshot"))?;
+        if &magic != CACHE_MAGIC {
+            return Err(invalid_snapshot("not a cache snapshot (bad magic)"));
+        }
+        let header = match read_frame(&mut r)? {
+            FrameRead::Payload(p) => p,
+            _ => return Err(invalid_snapshot("cache snapshot header unreadable")),
+        };
+        let mut hr = ByteReader::new(&header);
+        let (version, declared) = match (hr.get_u32(), hr.get_u64()) {
+            (Ok(v), Ok(n)) => (v, n),
+            _ => return Err(invalid_snapshot("cache snapshot header truncated")),
+        };
+        if version != CACHE_VERSION {
+            return Err(invalid_snapshot("unknown cache snapshot version"));
+        }
+        let mut loaded = 0u64;
+        let mut dropped = 0u64;
+        for _ in 0..declared {
+            match read_frame(&mut r)? {
+                FrameRead::Payload(payload) => match decode_entry(&payload) {
+                    Ok((key, outcome)) => {
+                        self.insert(key, outcome);
+                        loaded += 1;
+                    }
+                    Err(_) => dropped += 1,
+                },
+                // Torn or corrupt framing: nothing after it can be
+                // trusted, so the rest of the declared entries are lost.
+                FrameRead::Eof | FrameRead::TornTail | FrameRead::Corrupt(_) => {
+                    dropped += declared - loaded - dropped;
+                    break;
+                }
+            }
+        }
+        self.corrupt_dropped.fetch_add(dropped, Ordering::Relaxed);
+        Ok(CacheLoadReport {
+            loaded,
+            corrupt_dropped: dropped,
+        })
+    }
+}
+
+fn invalid_snapshot(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Serializes one cache entry. Every float travels as its IEEE-754 bit
+/// pattern, so a load is bit-exact and a reloaded cache serves the same
+/// bytes the original computed.
+fn encode_entry(key: &CacheKey, outcome: &CalibrationOutcome) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(&key.sensor);
+    w.put_u64(key.protocol);
+    w.put_u64(key.plan);
+    w.put_u64(key.seed);
+    let s = &outcome.summary;
+    w.put_f64(s.sensitivity.as_micro_amps_per_milli_molar_square_cm());
+    w.put_f64(s.linear_range.low().as_molar());
+    w.put_f64(s.linear_range.high().as_molar());
+    w.put_f64(s.detection_limit.as_molar());
+    w.put_f64(s.r_squared);
+    let curve = &outcome.curve;
+    w.put_f64(curve.electrode_area().as_square_cm());
+    w.put_f64(curve.blank_sigma().as_amps());
+    w.put_u32(curve.points().len() as u32);
+    for point in curve.points() {
+        w.put_f64(point.concentration().as_molar());
+        w.put_u32(point.replicates().len() as u32);
+        for i in point.replicates() {
+            w.put_f64(i.as_amps());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Deserializes and *validates* one cache entry. Checksummed framing
+/// already rules out random damage; this guards the semantic layer —
+/// non-finite floats, inverted ranges, or empty replicate sets — so a
+/// snapshot written by a buggy or hostile writer still cannot poison
+/// the cache.
+fn decode_entry(payload: &[u8]) -> Result<(CacheKey, CalibrationOutcome), CodecError> {
+    let mut r = ByteReader::new(payload);
+    let key = CacheKey {
+        sensor: r.get_str()?,
+        protocol: r.get_u64()?,
+        plan: r.get_u64()?,
+        seed: r.get_u64()?,
+    };
+    let sensitivity = finite(r.get_f64()?)?;
+    let low = finite(r.get_f64()?)?;
+    let high = finite(r.get_f64()?)?;
+    let detection_limit = finite(r.get_f64()?)?;
+    let r_squared = finite(r.get_f64()?)?;
+    let linear_range = ConcentrationRange::new(Molar::from_molar(low), Molar::from_molar(high))
+        .map_err(|_| CodecError::Truncated)?;
+    let summary = CalibrationSummary {
+        sensitivity: Sensitivity::new(sensitivity),
+        linear_range,
+        detection_limit: Molar::from_molar(detection_limit),
+        r_squared,
+    };
+    let area = finite(r.get_f64()?)?;
+    let blank_sigma = finite(r.get_f64()?)?;
+    let n_points = r.get_u32()? as usize;
+    let mut points = Vec::with_capacity(n_points.min(1024));
+    for _ in 0..n_points {
+        let concentration = finite(r.get_f64()?)?;
+        let n_reps = r.get_u32()? as usize;
+        if n_reps == 0 {
+            // `CalibrationPoint::new` panics on empty replicates; a
+            // snapshot can never be allowed to trigger that.
+            return Err(CodecError::Truncated);
+        }
+        let mut replicates = Vec::with_capacity(n_reps.min(1024));
+        for _ in 0..n_reps {
+            replicates.push(Amperes::from_amps(finite(r.get_f64()?)?));
+        }
+        points.push(CalibrationPoint::new(
+            Molar::from_molar(concentration),
+            replicates,
+        ));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Truncated);
+    }
+    let curve = CalibrationCurve::new(
+        points,
+        SquareCm::from_square_cm(area),
+        Amperes::from_amps(blank_sigma),
+    );
+    Ok((key, CalibrationOutcome { summary, curve }))
+}
+
+/// Rejects NaN/±Inf at the decode boundary.
+fn finite(v: f64) -> Result<f64, CodecError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(CodecError::Truncated)
     }
 }
 
@@ -266,6 +498,131 @@ mod tests {
             cache.insert(key(seed), outcome.clone());
         }
         assert!(cache.get(&key(0)).is_some(), "hot entry was evicted");
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bios-cache-{tag}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let cache = ResultCache::new();
+        let entry = catalog::our_glucose_sensor();
+        for seed in 0..5 {
+            cache.insert(key(seed), entry.run_calibration(seed).unwrap());
+        }
+        let path = temp_path("roundtrip");
+        assert_eq!(cache.save(&path).unwrap(), 5);
+        let restored = ResultCache::new();
+        let report = restored.load(&path).unwrap();
+        assert_eq!(report.loaded, 5);
+        assert_eq!(report.corrupt_dropped, 0);
+        assert_eq!(restored.len(), 5);
+        for seed in 0..5 {
+            let orig = cache.get(&key(seed)).unwrap();
+            let loaded = restored.get(&key(seed)).unwrap();
+            // Bit-exact: the digest contract depends on it.
+            assert_eq!(
+                format!("{:?}", orig.summary),
+                format!("{:?}", loaded.summary)
+            );
+            assert_eq!(orig.curve, loaded.curve);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupted_snapshot_entries_are_dropped_and_counted_never_served() {
+        let cache = ResultCache::new();
+        let entry = catalog::our_glucose_sensor();
+        for seed in 0..4 {
+            cache.insert(key(seed), entry.run_calibration(seed).unwrap());
+        }
+        let path = temp_path("corrupt");
+        cache.save(&path).unwrap();
+        // Flip one byte well past the header: at least one entry frame
+        // fails its checksum, and everything after it is untrusted.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let k = bytes.len() / 2;
+        bytes[k] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = ResultCache::new();
+        let report = restored.load(&path).unwrap();
+        assert!(report.corrupt_dropped >= 1, "damage must be counted");
+        assert_eq!(report.loaded + report.corrupt_dropped, 4);
+        assert_eq!(restored.len() as u64, report.loaded);
+        assert_eq!(restored.corrupt_dropped(), report.corrupt_dropped);
+        // Every entry that *was* served must be intact.
+        for seed in 0..4 {
+            if let Some(loaded) = restored.get(&key(seed)) {
+                let orig = cache.get(&key(seed)).unwrap();
+                assert_eq!(orig.curve, loaded.curve);
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_snapshot_loads_surviving_prefix() {
+        let cache = ResultCache::new();
+        let entry = catalog::our_glucose_sensor();
+        for seed in 0..4 {
+            cache.insert(key(seed), entry.run_calibration(seed).unwrap());
+        }
+        let path = temp_path("torn");
+        cache.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let restored = ResultCache::new();
+        let report = restored.load(&path).unwrap();
+        assert_eq!(report.loaded, 3, "torn last frame drops exactly one");
+        assert_eq!(report.corrupt_dropped, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn non_snapshot_file_is_invalid_data_not_a_panic() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let cache = ResultCache::new();
+        let err = cache.load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn nonfinite_snapshot_floats_are_quarantined() {
+        let cache = ResultCache::new();
+        let entry = catalog::our_glucose_sensor();
+        cache.insert(key(1), entry.run_calibration(1).unwrap());
+        let path = temp_path("nonfinite");
+        cache.save(&path).unwrap();
+        // Rewrite the single entry frame with its r_squared replaced by
+        // NaN and a *recomputed* checksum: framing-valid, semantically
+        // poisonous. Layout after the key: 4 f64s then r_squared.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut cursor = std::io::Cursor::new(&bytes[8..]);
+        let FrameRead::Payload(header) = read_frame(&mut cursor).unwrap() else {
+            panic!("header frame");
+        };
+        let FrameRead::Payload(mut payload) = read_frame(&mut cursor).unwrap() else {
+            panic!("entry frame");
+        };
+        let sensor_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        let r2_at = 4 + sensor_len + 3 * 8 + 4 * 8;
+        payload[r2_at..r2_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut rewritten = Vec::new();
+        rewritten.extend_from_slice(CACHE_MAGIC);
+        write_frame(&mut rewritten, &header).unwrap();
+        write_frame(&mut rewritten, &payload).unwrap();
+        std::fs::write(&path, &rewritten).unwrap();
+        let restored = ResultCache::new();
+        let report = restored.load(&path).unwrap();
+        assert_eq!(report.loaded, 0, "NaN entry must never be served");
+        assert_eq!(report.corrupt_dropped, 1);
+        assert!(restored.is_empty());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -98,6 +98,45 @@ impl Fleet {
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
     }
+
+    /// A stable fingerprint of everything that determines the fleet's
+    /// physics results: each job's sensor identity, protocol
+    /// fingerprint, and seed, plus the armed fault plan. The fleet's
+    /// display name is deliberately excluded — renaming a run must not
+    /// invalidate its journal. Used to verify on resume that a journal
+    /// belongs to the fleet being resumed.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use fmt::Write;
+        let mut desc = String::new();
+        for job in &self.jobs {
+            let _ = writeln!(
+                desc,
+                "{} {:016x} {:016x}",
+                job.entry.id(),
+                job.entry.protocol_fingerprint(),
+                job.seed
+            );
+        }
+        let _ = writeln!(
+            desc,
+            "plan {:016x}",
+            self.fault_plan.as_ref().map_or(0, |p| p.fingerprint())
+        );
+        bios_recover::fnv1a(desc.as_bytes())
+    }
+
+    /// Builds a fleet directly from pre-indexed jobs, reusing this
+    /// fleet's name and fault plan. Used by the resume path to run the
+    /// not-yet-journaled remainder of a fleet.
+    #[must_use]
+    pub(crate) fn with_jobs(&self, jobs: Vec<Job>) -> Fleet {
+        Fleet {
+            name: self.name.clone(),
+            jobs,
+            fault_plan: self.fault_plan.clone(),
+        }
+    }
 }
 
 /// Builder assembling the (sensors × seeds) job matrix.
@@ -192,6 +231,13 @@ pub enum JobError {
         /// The configured per-job sample budget.
         budget: u64,
     },
+    /// The job stalled past its soft deadline and was cancelled by the
+    /// watchdog. The rendering carries no wall-clock detail so the
+    /// loss is byte-identical at any worker count.
+    Deadline,
+    /// The job's result contained NaN or ±Inf and was quarantined
+    /// before it could reach the cache or journal.
+    NonFinite,
 }
 
 impl JobError {
@@ -218,6 +264,10 @@ impl fmt::Display for JobError {
                     "job rejected: needs {required} samples, budget is {budget}"
                 )
             }
+            JobError::Deadline => write!(f, "job stalled past its deadline and was cancelled"),
+            JobError::NonFinite => {
+                write!(f, "job produced a non-finite result and was quarantined")
+            }
         }
     }
 }
@@ -226,7 +276,11 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Calibration(e) => Some(e),
-            JobError::Panicked(_) | JobError::Transient { .. } | JobError::Budget { .. } => None,
+            JobError::Panicked(_)
+            | JobError::Transient { .. }
+            | JobError::Budget { .. }
+            | JobError::Deadline
+            | JobError::NonFinite => None,
         }
     }
 }
@@ -260,6 +314,20 @@ impl JobResult {
     #[must_use]
     pub fn is_degraded(&self) -> bool {
         self.outcome.is_ok() && (self.attempts > 1 || self.injected.total() > 0)
+    }
+
+    /// The job's line in the canonical fleet digest (no trailing
+    /// newline). Shared verbatim by [`FleetReport::summaries_digest`]
+    /// and the run journal, so a resumed run reconstructs the
+    /// byte-identical digest from journaled lines.
+    #[must_use]
+    pub fn digest_line(&self) -> String {
+        match &self.outcome {
+            // `{:?}` on f64 prints the shortest round-trip form, so
+            // equal digests ⇔ bit-equal summaries.
+            Ok(o) => format!("{} seed={} {:?}", self.sensor, self.seed, o.summary),
+            Err(e) => format!("{} seed={} ERROR {e}", self.sensor, self.seed),
+        }
     }
 }
 
@@ -348,16 +416,7 @@ impl FleetReport {
         use fmt::Write;
         let mut out = String::new();
         for r in &self.results {
-            match &r.outcome {
-                // `{:?}` on f64 prints the shortest round-trip form, so
-                // equal digests ⇔ bit-equal summaries.
-                Ok(o) => {
-                    let _ = writeln!(out, "{} seed={} {:?}", r.sensor, r.seed, o.summary);
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "{} seed={} ERROR {e}", r.sensor, r.seed);
-                }
-            }
+            let _ = writeln!(out, "{}", r.digest_line());
         }
         out
     }
@@ -463,6 +522,42 @@ mod tests {
             budget: 5,
         };
         assert!(budget.to_string().contains("budget is 5"));
+        // Deadline and NonFinite renderings are part of the digest
+        // contract: they must stay deterministic (no wall-clock or
+        // attempt detail) so losses digest identically at any worker
+        // count.
+        assert_eq!(
+            JobError::Deadline.to_string(),
+            "job stalled past its deadline and was cancelled"
+        );
+        assert_eq!(
+            JobError::NonFinite.to_string(),
+            "job produced a non-finite result and was quarantined"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_physics_not_name() {
+        let a = Fleet::builder("a")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 2])
+            .build();
+        let renamed = Fleet::builder("b")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 2])
+            .build();
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+        let reseeded = Fleet::builder("a")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 3])
+            .build();
+        assert_ne!(a.fingerprint(), reseeded.fingerprint());
+        let armed = Fleet::builder("a")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 2])
+            .fault_plan(bios_faults::FaultPlan::chaos(7, 0.5))
+            .build();
+        assert_ne!(a.fingerprint(), armed.fingerprint());
     }
 
     #[test]

@@ -6,16 +6,26 @@
 //! multi-sensor platform multiplied out to many patients, panels, and
 //! replicate seeds — behind one interface.
 //!
-//! Four pieces, all on `std` only (the build environment is offline):
+//! Five pieces, all on `std` only (the build environment is offline):
 //!
 //! * [`pool`] — a channel-fed worker pool on `std::thread` +
 //!   `std::sync::mpsc`;
 //! * [`fleet`] — the `Job`/`Fleet` batch API with **per-job** error
 //!   aggregation instead of fail-fast;
 //! * [`cache`] — a memoizing result cache keyed by
-//!   `(sensor id, protocol fingerprint, seed)`;
+//!   `(sensor id, protocol fingerprint, seed)`, persistable to a
+//!   checksummed snapshot file;
 //! * [`metrics`] — atomic counters plus a per-job wall-time histogram,
-//!   dumpable as JSON.
+//!   dumpable as JSON;
+//! * [`journal`] — a write-ahead run journal giving fleets crash
+//!   resume ([`Runtime::run_journaled`] / [`Runtime::resume`]).
+//!
+//! A hang watchdog (enabled via
+//! [`RuntimeConfig::with_job_deadline`]) supervises in-flight jobs: a
+//! job silent past the soft deadline is cancelled cooperatively through
+//! the solver checkpoints in `bios-electrochem`, its loss is reported
+//! as the deterministic [`JobError::Deadline`], and the worker that
+//! hosted it retires and is respawned by the healing pass.
 //!
 //! # Determinism
 //!
@@ -51,21 +61,31 @@
 
 pub mod cache;
 pub mod fleet;
+pub mod journal;
 pub mod metrics;
 pub mod pool;
+mod watchdog;
 
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bios_core::catalog::{CalibrationOutcome, CatalogEntry};
+use bios_electrochem::diffusion::DiffusionGrid;
 use bios_faults::{FaultPlan, FaultTally};
+use bios_units::{DiffusionCoefficient, Molar, Seconds};
 
-pub use cache::{CacheKey, ResultCache, DEFAULT_CAPACITY};
+use crate::watchdog::{WatchRegistry, Watchdog};
+
+pub use cache::{CacheKey, CacheLoadReport, ResultCache, DEFAULT_CAPACITY};
 pub use fleet::{Fleet, FleetBuilder, FleetOutcome, FleetReport, Job, JobError, JobResult};
+pub use journal::{JournalOptions, ResumeReport};
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
-pub use pool::WorkerPool;
+pub use pool::{TaskVerdict, WorkerPool};
 
 /// Runtime construction options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +105,13 @@ pub struct RuntimeConfig {
     /// are rejected with [`JobError::Budget`] before simulating. 0
     /// disables the gate.
     pub job_budget: u64,
+    /// Soft per-job deadline. When non-zero, a watchdog thread
+    /// supervises in-flight jobs and cooperatively cancels any job
+    /// silent past the deadline; the loss surfaces as the deterministic
+    /// [`JobError::Deadline`]. [`Duration::ZERO`] (the default)
+    /// disables supervision — a job that would stall is then rejected
+    /// synchronously instead of hanging.
+    pub job_deadline: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -99,6 +126,7 @@ impl Default for RuntimeConfig {
             max_attempts: 3,
             retry_backoff: Duration::from_micros(200),
             job_budget: 0,
+            job_deadline: Duration::ZERO,
         }
     }
 }
@@ -146,6 +174,14 @@ impl RuntimeConfig {
         self
     }
 
+    /// Arms the hang watchdog with a soft per-job deadline
+    /// ([`Duration::ZERO`] disables it).
+    #[must_use]
+    pub fn with_job_deadline(mut self, deadline: Duration) -> RuntimeConfig {
+        self.job_deadline = deadline;
+        self
+    }
+
     /// Default config with the worker count taken from `BIOS_WORKERS`
     /// and the cache capacity from `BIOS_CACHE_CAP`, when set and
     /// parseable.
@@ -165,6 +201,12 @@ impl RuntimeConfig {
         {
             config.cache_capacity = cap;
         }
+        if let Some(ms) = std::env::var("BIOS_JOB_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            config.job_deadline = Duration::from_millis(ms);
+        }
         config
     }
 }
@@ -176,6 +218,7 @@ struct ExecPolicy {
     max_attempts: u32,
     retry_backoff: Duration,
     job_budget: u64,
+    job_deadline: Duration,
 }
 
 impl ExecPolicy {
@@ -184,6 +227,7 @@ impl ExecPolicy {
             max_attempts: config.max_attempts.max(1),
             retry_backoff: config.retry_backoff,
             job_budget: config.job_budget,
+            job_deadline: config.job_deadline,
         }
     }
 
@@ -243,11 +287,12 @@ impl Runtime {
     }
 
     /// Point-in-time copy of the cumulative runtime counters, with the
-    /// cache's eviction count merged in.
+    /// cache's eviction and corruption counts merged in.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.snapshot();
         snapshot.cache_evictions = self.cache.evictions();
+        snapshot.cache_corrupt_dropped = self.cache.corrupt_dropped();
         snapshot
     }
 
@@ -262,18 +307,60 @@ impl Runtime {
         self.cache.clear();
     }
 
+    /// Persists the memo cache to a checksummed snapshot file; returns
+    /// the entry count written. See [`ResultCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_cache(&self, path: impl AsRef<Path>) -> io::Result<u64> {
+        self.cache.save(path)
+    }
+
+    /// Loads a cache snapshot written by [`Runtime::save_cache`].
+    /// Corrupt or non-finite entries are dropped and counted (surfacing
+    /// as `cache_corrupt_dropped` in [`Runtime::metrics`]), never
+    /// served. See [`ResultCache::load`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a file that is not a cache
+    /// snapshot at all is [`io::ErrorKind::InvalidData`].
+    pub fn load_cache(&self, path: impl AsRef<Path>) -> io::Result<CacheLoadReport> {
+        self.cache.load(path)
+    }
+
     /// Runs the fleet across the worker pool and collects results by
     /// job index. Identical outcomes for identical seeds at any worker
     /// count; per-job failures land in the report instead of aborting
     /// the batch.
     #[must_use]
     pub fn run(&self, fleet: &Fleet) -> FleetReport {
+        self.run_with_observer(fleet, |_| {})
+    }
+
+    /// [`Runtime::run`] with a completion observer: `on_result` fires
+    /// for every job *as it completes* (arbitrary order), before the
+    /// result is surfaced in the report. The journal layer uses this as
+    /// its write-ahead point — a result is durably journaled before the
+    /// caller can see it.
+    pub(crate) fn run_with_observer(
+        &self,
+        fleet: &Fleet,
+        mut on_result: impl FnMut(&JobResult),
+    ) -> FleetReport {
         let started = Instant::now();
         // Self-healing pass: replace any worker that retired after
-        // catching a panicking task in an earlier run.
+        // catching a panicking task (or absorbing a watchdog
+        // cancellation) in an earlier run.
         let respawned = self.pool.heal();
         self.metrics.record_worker_respawns(respawned as u64);
         self.metrics.record_submitted(fleet.len() as u64);
+        // Arm the hang watchdog for the duration of the run; dropping
+        // the handle at the end of this function stops the supervisor.
+        let watchdog = (self.config.job_deadline > Duration::ZERO)
+            .then(|| Watchdog::spawn(self.config.job_deadline));
+        let registry = watchdog.as_ref().map(Watchdog::registry);
         let (tx, rx) = mpsc::channel::<Completion>();
         // Dispatch contiguous *chunks* of jobs rather than single jobs:
         // the job list is shared as one `Arc<[Job]>` and each boxed task
@@ -292,7 +379,9 @@ impl Runtime {
             let metrics = Arc::clone(&self.metrics);
             let jobs = Arc::clone(&jobs);
             let plan = fleet.fault_plan_arc();
-            self.pool.execute(move || {
+            let registry = registry.clone();
+            self.pool.execute_judged(move || {
+                let mut absorbed_stall = false;
                 for job in &jobs[start..end] {
                     let completion = execute_job(
                         job.index,
@@ -300,19 +389,62 @@ impl Runtime {
                         job.seed,
                         plan.as_deref(),
                         cache.as_deref(),
+                        registry.as_deref(),
                         &metrics,
                         policy,
                     );
+                    absorbed_stall |=
+                        registry.is_some() && matches!(completion.outcome, Err(JobError::Deadline));
                     let _ = tx.send(completion);
+                }
+                if absorbed_stall {
+                    // The thread sat in a livelock until the watchdog
+                    // cancelled it; finish the chunk (determinism), then
+                    // retire so `heal` replaces it with a fresh thread.
+                    metrics.record_stalled_worker();
+                    TaskVerdict::Retire
+                } else {
+                    TaskVerdict::Continue
                 }
             });
             start = end;
         }
         drop(tx);
-        let mut slots: Vec<Option<Completion>> = (0..fleet.len()).map(|_| None).collect();
-        for completion in rx {
-            let index = completion.index;
-            slots[index] = Some(completion);
+        let mut slots: Vec<Option<JobResult>> = (0..fleet.len()).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < fleet.len() {
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(completion) => {
+                    let job = &fleet.jobs()[completion.index];
+                    let result = JobResult {
+                        index: job.index,
+                        sensor: job.entry.id().to_owned(),
+                        seed: job.seed,
+                        wall: completion.wall,
+                        from_cache: completion.from_cache,
+                        attempts: completion.attempts,
+                        injected: completion.injected,
+                        outcome: completion.outcome,
+                    };
+                    on_result(&result);
+                    slots[completion.index] = Some(result);
+                    received += 1;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Workers retire mid-run on watchdog cancellations;
+                    // if the whole pool has drained, heal it *now* so
+                    // the queued chunks keep flowing instead of
+                    // deadlocking the collection loop.
+                    if self.pool.live_workers() == 0 {
+                        let respawned = self.pool.heal();
+                        self.metrics.record_worker_respawns(respawned as u64);
+                        if respawned == 0 {
+                            break; // OS refuses threads: report what we have
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
         }
         let results = fleet
             .jobs()
@@ -321,24 +453,16 @@ impl Runtime {
             .map(|(job, slot)| {
                 // A missing slot can only mean the worker died harder
                 // than catch_unwind (e.g. stack overflow aborts).
-                let completion = slot.unwrap_or(Completion {
+                slot.unwrap_or_else(|| JobResult {
                     index: job.index,
-                    outcome: Err(JobError::Panicked("worker lost".into())),
+                    sensor: job.entry.id().to_owned(),
+                    seed: job.seed,
                     wall: Duration::ZERO,
                     from_cache: false,
                     attempts: 0,
                     injected: FaultTally::default(),
-                });
-                JobResult {
-                    index: job.index,
-                    sensor: job.entry.id().to_owned(),
-                    seed: job.seed,
-                    wall: completion.wall,
-                    from_cache: completion.from_cache,
-                    attempts: completion.attempts,
-                    injected: completion.injected,
-                    outcome: completion.outcome,
-                }
+                    outcome: Err(JobError::Panicked("worker lost".into())),
+                })
             })
             .collect();
         FleetReport {
@@ -369,6 +493,7 @@ impl Runtime {
                     job.seed,
                     fleet.fault_plan(),
                     cache,
+                    None,
                     &self.metrics,
                     policy,
                 );
@@ -418,6 +543,7 @@ fn execute_job(
     seed: u64,
     plan: Option<&FaultPlan>,
     cache: Option<&ResultCache>,
+    watch: Option<&WatchRegistry>,
     metrics: &RuntimeMetrics,
     policy: ExecPolicy,
 ) -> Completion {
@@ -455,6 +581,32 @@ fn execute_job(
                 injected,
             };
         }
+    }
+
+    // Injected busy-hang, gated like the budget check — before the
+    // cache probe, so the verdict is a pure function of the job. With a
+    // watchdog armed the job *really* livelocks in solver code until the
+    // supervisor cancels it; without one it is rejected synchronously.
+    // Either way the rendered loss is the identical `Deadline` error, so
+    // digests match across worker counts, watchdog settings, and the
+    // sequential path.
+    if faults.as_ref().is_some_and(|f| f.stall_job) {
+        if let Some(registry) = watch {
+            let token = registry.begin(index);
+            simulate_stall(policy.job_deadline, token.as_ref());
+            registry.end(index);
+        }
+        metrics.record_deadline_kill();
+        let wall = t0.elapsed();
+        metrics.record_finished(false, false, wall);
+        return Completion {
+            index,
+            outcome: Err(JobError::Deadline),
+            wall,
+            from_cache: false,
+            attempts: 1,
+            injected,
+        };
     }
 
     let key = cache.map(|_| CacheKey {
@@ -512,6 +664,18 @@ fn execute_job(
             Err(error) => break Err(error),
         }
     };
+    // NaN/±Inf guardrail: a non-finite outcome is quarantined *before*
+    // it can reach the cache or a run journal — a poisoned figure of
+    // merit served from the cache would silently corrupt every later
+    // run that hits it.
+    let outcome = outcome.and_then(|outcome| {
+        if outcome_is_finite(&outcome) {
+            Ok(outcome)
+        } else {
+            metrics.record_nonfinite_quarantined();
+            Err(JobError::NonFinite)
+        }
+    });
     let outcome = outcome.map(|outcome| match (cache, key) {
         (Some(cache), Some(key)) => cache.insert(key, outcome),
         _ => Arc::new(outcome),
@@ -526,6 +690,59 @@ fn execute_job(
         attempts: attempt,
         injected,
     }
+}
+
+/// A real livelock for the `WorkerStall` fault: spin a small diffusion
+/// solver until the watchdog trips the cancellation token through its
+/// cooperative checkpoints. A hard cap bounds the hang even if the
+/// supervisor dies, so a stalled fleet can never wedge forever.
+fn simulate_stall(deadline: Duration, token: &AtomicBool) {
+    let hard_cap = deadline.saturating_mul(20).max(Duration::from_secs(2));
+    let t0 = Instant::now();
+    let Ok(mut grid) = DiffusionGrid::new(
+        DiffusionCoefficient::from_square_cm_per_second(6.7e-6),
+        Molar::from_milli_molar(1.0),
+        0.05,
+        64,
+    ) else {
+        return; // cannot build the spin loop: degrade to an instant loss
+    };
+    while t0.elapsed() < hard_cap {
+        // ~6400 explicit steps per call, polling the token every 64.
+        if grid
+            .advance_checked(
+                Seconds::from_millis(64.0),
+                Seconds::from_millis(0.01),
+                token,
+            )
+            .is_err()
+        {
+            return; // cancelled by the watchdog
+        }
+    }
+}
+
+/// Whether every figure of merit and every raw curve value in an
+/// outcome is finite — the gate between solver output and the
+/// cache/journal layer.
+fn outcome_is_finite(outcome: &CalibrationOutcome) -> bool {
+    let s = &outcome.summary;
+    let summary_finite = s
+        .sensitivity
+        .as_micro_amps_per_milli_molar_square_cm()
+        .is_finite()
+        && s.linear_range.low().as_molar().is_finite()
+        && s.linear_range.high().as_molar().is_finite()
+        && s.detection_limit.as_molar().is_finite()
+        && s.r_squared.is_finite();
+    let curve = &outcome.curve;
+    summary_finite
+        && curve.electrode_area().as_square_cm().is_finite()
+        && curve.blank_sigma().as_amps().is_finite()
+        && curve.points().iter().all(|p| {
+            p.concentration().as_molar().is_finite()
+                && p.replicates().iter().all(|i| i.as_amps().is_finite())
+        })
 }
 
 /// Extracts a human-readable message from a panic payload.

@@ -26,6 +26,11 @@ pub struct RuntimeMetrics {
     faults_injected: AtomicU64,
     budget_rejections: AtomicU64,
     worker_respawns: AtomicU64,
+    journal_records: AtomicU64,
+    resumed_jobs: AtomicU64,
+    stalled_workers: AtomicU64,
+    deadline_kills: AtomicU64,
+    nonfinite_quarantined: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -84,6 +89,38 @@ impl RuntimeMetrics {
         }
     }
 
+    /// Records `n` records durably appended to a run journal.
+    pub fn record_journal_records(&self, n: u64) {
+        if n > 0 {
+            self.journal_records.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` jobs skipped on resume because the journal already
+    /// held their completed results.
+    pub fn record_resumed_jobs(&self, n: u64) {
+        if n > 0 {
+            self.resumed_jobs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one worker that went silent past its deadline and was
+    /// retired by the watchdog.
+    pub fn record_stalled_worker(&self) {
+        self.stalled_workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one job cancelled at its soft deadline.
+    pub fn record_deadline_kill(&self) {
+        self.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one job whose result contained NaN/±Inf and was
+    /// quarantined before reaching the cache or journal.
+    pub fn record_nonfinite_quarantined(&self) {
+        self.nonfinite_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     /// `cache_evictions` lives in the cache, not here; the runtime
     /// merges it in when it assembles a snapshot.
@@ -101,6 +138,12 @@ impl RuntimeMetrics {
             budget_rejections: self.budget_rejections.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             cache_evictions: 0,
+            journal_records: self.journal_records.load(Ordering::Relaxed),
+            resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
+            stalled_workers: self.stalled_workers.load(Ordering::Relaxed),
+            deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
+            cache_corrupt_dropped: 0,
+            nonfinite_quarantined: self.nonfinite_quarantined.load(Ordering::Relaxed),
             histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
         }
     }
@@ -133,6 +176,23 @@ pub struct MetricsSnapshot {
     /// from the cache by the runtime; 0 in raw [`RuntimeMetrics`]
     /// snapshots).
     pub cache_evictions: u64,
+    /// Records durably appended to run journals (headers, job
+    /// completions, and seals).
+    pub journal_records: u64,
+    /// Jobs skipped on resume because the journal already held their
+    /// completed results.
+    pub resumed_jobs: u64,
+    /// Workers retired by the watchdog after going silent past the
+    /// job deadline.
+    pub stalled_workers: u64,
+    /// Jobs cancelled at their soft deadline.
+    pub deadline_kills: u64,
+    /// Persisted-cache entries dropped at load time for failing
+    /// checksum or validation (merged in from the cache by the
+    /// runtime; 0 in raw [`RuntimeMetrics`] snapshots).
+    pub cache_corrupt_dropped: u64,
+    /// Jobs quarantined for producing NaN/±Inf results.
+    pub nonfinite_quarantined: u64,
     /// Per-job wall-time histogram (log₂ µs buckets).
     pub histogram: [u64; HISTOGRAM_BUCKETS],
 }
@@ -188,6 +248,9 @@ impl MetricsSnapshot {
                 "\"busy_micros\":{},\"wall_p50_micros\":{},\"wall_p99_micros\":{},",
                 "\"retries\":{},\"faults_injected\":{},\"budget_rejections\":{},",
                 "\"worker_respawns\":{},\"cache_evictions\":{},",
+                "\"journal_records\":{},\"resumed_jobs\":{},",
+                "\"stalled_workers\":{},\"deadline_kills\":{},",
+                "\"cache_corrupt_dropped\":{},\"nonfinite_quarantined\":{},",
                 "\"wall_histogram\":[{}]}}"
             ),
             self.jobs_submitted,
@@ -204,6 +267,12 @@ impl MetricsSnapshot {
             self.budget_rejections,
             self.worker_respawns,
             self.cache_evictions,
+            self.journal_records,
+            self.resumed_jobs,
+            self.stalled_workers,
+            self.deadline_kills,
+            self.cache_corrupt_dropped,
+            self.nonfinite_quarantined,
             buckets.join(",")
         )
     }

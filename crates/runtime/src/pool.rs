@@ -30,7 +30,21 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+type Task = Box<dyn FnOnce() -> TaskVerdict + Send + 'static>;
+
+/// What a finished task tells its worker to do next.
+///
+/// Tasks that hit a cancelled/stalled state return
+/// [`TaskVerdict::Retire`] so the worker that hosted the stall exits and
+/// is replaced on the next [`WorkerPool::heal`] — its thread may still
+/// carry lock or allocator state perturbed by the forced cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskVerdict {
+    /// The task finished normally; the worker keeps dequeuing.
+    Continue,
+    /// The worker should retire after this task; `heal` replaces it.
+    Retire,
+}
 
 /// Everything one worker thread needs; cloned per spawn so `heal` can
 /// mint replacements.
@@ -85,14 +99,16 @@ fn worker_loop(context: &WorkerContext) {
             Err(_) => return, // a sibling died mid-dequeue
         };
         match task {
-            Ok(task) => {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            Ok(task) => match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(TaskVerdict::Continue) => {}
+                Ok(TaskVerdict::Retire) => return, // caller asked for a fresh thread
+                Err(_) => {
                     // Record the casualty and retire: the thread exits
                     // cleanly and `heal` replaces it with a fresh one.
                     context.panics.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-            }
+            },
             Err(_) => return, // channel closed: shutdown
         }
     }
@@ -219,9 +235,22 @@ impl WorkerPool {
     /// worker has retired (or none could be spawned), the task runs
     /// inline on the calling thread so the pool never deadlocks.
     pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        self.execute_judged(move || {
+            task();
+            TaskVerdict::Continue
+        });
+    }
+
+    /// Like [`WorkerPool::execute`], but the task's return value decides
+    /// whether its worker keeps running or retires. The runtime routes
+    /// fleet chunks through this so a chunk that absorbed a watchdog
+    /// cancellation can demand a fresh thread.
+    pub fn execute_judged(&self, task: impl FnOnce() -> TaskVerdict + Send + 'static) {
         if self.live_workers() == 0 {
             // Inline fallback: still catch panics so the caller's
-            // result-collection path sees the same semantics.
+            // result-collection path sees the same semantics. A Retire
+            // verdict is meaningless inline — there is no thread to
+            // retire — so it is dropped.
             let _ = catch_unwind(AssertUnwindSafe(task));
             return;
         }
@@ -356,6 +385,19 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1);
         pool.execute(|| panic!("inline panic is swallowed too"));
+    }
+
+    #[test]
+    fn retire_verdict_ends_the_worker_without_counting_a_panic() {
+        let pool = WorkerPool::new(1);
+        pool.execute_judged(|| TaskVerdict::Retire);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.live_workers() > 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.live_workers(), 0, "worker retired on verdict");
+        assert_eq!(pool.panics_caught(), 0, "a verdict is not a panic");
+        assert_eq!(pool.heal(), 1, "heal replaces the retired worker");
     }
 
     #[test]

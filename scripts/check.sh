@@ -15,6 +15,30 @@ run cargo test -q --workspace
 # Chaos gate: the hardened runtime must stay deterministic under an
 # armed fault plan (retries, panics, budgets, bounded cache).
 run cargo test -q -p bios-runtime --test runtime_chaos
+# Recovery gate: journal corruption, crash resume, and watchdog tests.
+run cargo test -q -p bios-runtime --test runtime_recover
+run cargo test -q -p bios-recover
+
+# Crash-resume gate: run the fixed gate fleet journaled, kill it
+# mid-fleet (the binary aborts itself after the 5th durable record,
+# exactly as `kill -9` would), resume the journal, and require the
+# resumed digest to be byte-identical to an uninterrupted reference.
+echo "==> crash-resume gate"
+gate_dir="$(mktemp -d)"
+trap 'rm -rf "$gate_dir"' EXIT
+crash_gate() { cargo run --release -q -p bios-bench --bin crash_gate -- "$@"; }
+ref_fnv="$(crash_gate --journal "$gate_dir/ref.journal" | grep digest_fnv)"
+if crash_gate --journal "$gate_dir/crash.journal" --crash-after 5 >/dev/null 2>&1; then
+    echo "crash-resume gate: the crashing run was supposed to die" >&2
+    exit 1
+fi
+resumed_fnv="$(crash_gate --journal "$gate_dir/crash.journal" --resume --workers 8 | grep digest_fnv)"
+if [ "$ref_fnv" != "$resumed_fnv" ]; then
+    echo "crash-resume gate: digest mismatch ($ref_fnv vs $resumed_fnv)" >&2
+    exit 1
+fi
+echo "    resumed digest matches reference ($ref_fnv)"
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

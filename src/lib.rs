@@ -26,6 +26,7 @@
 //! | [`prng`] | `bios-prng` | deterministic random streams (splitmix64 + xoshiro256\*\*) |
 //! | [`core`] | `bios-core` | the composed platform, protocols, Table 1/2 catalog |
 //! | [`faults`] | `bios-faults` | deterministic fault plans injected across the physical layers |
+//! | [`recover`] | `bios-recover` | checksummed journal + snapshot primitives for crash resume |
 //! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
 //!
 //! # Quick start
@@ -54,6 +55,7 @@ pub use bios_instrument as instrument;
 pub use bios_labelfree as labelfree;
 pub use bios_nanomaterial as nanomaterial;
 pub use bios_prng as prng;
+pub use bios_recover as recover;
 pub use bios_runtime as runtime;
 pub use bios_units as units;
 
@@ -67,7 +69,9 @@ pub mod prelude {
     pub use bios_faults::{FaultKind, FaultPlan};
     pub use bios_instrument::ReadoutChain;
     pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
-    pub use bios_runtime::{Fleet, FleetOutcome, FleetReport, Runtime, RuntimeConfig};
+    pub use bios_runtime::{
+        Fleet, FleetOutcome, FleetReport, JournalOptions, ResumeReport, Runtime, RuntimeConfig,
+    };
     pub use bios_units::{
         Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
     };
