@@ -110,11 +110,13 @@ pub fn detect_linear_range(
         }
     }
 
+    // Points are sorted ascending, so the range cannot invert; map the
+    // impossible error instead of panicking on it.
     let range = ConcentrationRange::new(
         curve.points()[0].concentration(),
         curve.points()[best].concentration(),
     )
-    .expect("points are sorted ascending");
+    .map_err(|_| AnalyticsError::DegenerateAbscissa)?;
     Ok((range, best_fit))
 }
 

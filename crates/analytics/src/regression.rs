@@ -1,6 +1,7 @@
 //! Least-squares line fitting with diagnostics.
 
 use crate::error::{AnalyticsError, Result};
+use bios_units::nearly_zero;
 
 /// An ordinary-least-squares line `y = slope·x + intercept` with the
 /// diagnostics a calibration report needs.
@@ -83,7 +84,7 @@ impl LinearFit {
         let mean_y: f64 = (0..n).map(|i| w_of(i) * ys[i]).sum::<f64>() / sw;
 
         let sxx: f64 = (0..n).map(|i| w_of(i) * (xs[i] - mean_x).powi(2)).sum();
-        if sxx == 0.0 {
+        if nearly_zero(sxx) {
             return Err(AnalyticsError::DegenerateAbscissa);
         }
         let sxy: f64 = (0..n)
@@ -96,7 +97,7 @@ impl LinearFit {
             .map(|i| w_of(i) * (ys[i] - slope * xs[i] - intercept).powi(2))
             .sum();
         let ss_tot: f64 = (0..n).map(|i| w_of(i) * (ys[i] - mean_y).powi(2)).sum();
-        let r_squared = if ss_tot == 0.0 {
+        let r_squared = if nearly_zero(ss_tot) {
             1.0
         } else {
             1.0 - ss_res / ss_tot
@@ -179,8 +180,8 @@ impl LinearFit {
     #[must_use]
     pub fn relative_deviation(&self, x: f64, y: f64) -> f64 {
         let pred = self.predict(x);
-        if pred == 0.0 {
-            if y == 0.0 {
+        if nearly_zero(pred) {
+            if nearly_zero(y) {
                 0.0
             } else {
                 f64::INFINITY

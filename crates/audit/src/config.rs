@@ -1,0 +1,325 @@
+//! The rule set and its path-scoping table.
+//!
+//! Each rule belongs to one of four families keyed to this repo's
+//! invariants (DESIGN.md §11):
+//!
+//! * **D — determinism**: digest/fingerprint/cache/journal/codec
+//!   modules must not observe iteration order, wall clocks, or thread
+//!   identity.
+//! * **P — panic-freedom**: non-test code must not contain
+//!   `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`dbg!`;
+//!   durability modules additionally must not index slices without
+//!   `get`.
+//! * **F — float hygiene**: solver and analytics code must not compare
+//!   floats with `==`/`!=` or truncate `f64` to `f32` with `as`.
+//! * **U — unsafe & API hygiene**: no `unsafe` anywhere; public `fn`s
+//!   in the physics crates must carry a doc comment naming physical
+//!   units.
+//!
+//! Scoping is by substring match on the repo-relative path, so the
+//! table reads like the prose above. A rule with an empty scope list
+//! applies everywhere.
+
+/// Identifier of a single audit rule. The waiver grammar accepts
+/// either this exact id or the one-letter family prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// D: `HashMap`/`HashSet` in a digest-path module (iteration order
+    /// is nondeterministic; use `BTreeMap`/`BTreeSet`).
+    DHash,
+    /// D: `Instant::now`/`SystemTime::now` in a digest-path module.
+    DTime,
+    /// D: `thread::current()` (thread identity) in a digest-path module.
+    DThread,
+    /// P: `.unwrap()` in non-test code.
+    PUnwrap,
+    /// P: `.expect(…)` in non-test code.
+    PExpect,
+    /// P: `panic!`/`todo!`/`unimplemented!`/`dbg!` in non-test code.
+    PPanic,
+    /// P: slice/array indexing without `get` in a durability module.
+    PIndex,
+    /// F: `==`/`!=` against a float expression in solver/analytics code.
+    FEq,
+    /// F: `as f32` truncation in solver/analytics code.
+    FNarrow,
+    /// U: any `unsafe` block or fn.
+    UUnsafe,
+    /// U: public `fn` without a unit-naming doc comment in a physics
+    /// crate.
+    UDoc,
+    /// W: a waiver comment that is malformed (missing reason) or did
+    /// not suppress any finding.
+    WWaiver,
+}
+
+impl Rule {
+    /// The stable id printed in findings and accepted in waivers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DHash => "D-hash",
+            Rule::DTime => "D-time",
+            Rule::DThread => "D-thread",
+            Rule::PUnwrap => "P-unwrap",
+            Rule::PExpect => "P-expect",
+            Rule::PPanic => "P-panic",
+            Rule::PIndex => "P-index",
+            Rule::FEq => "F-eq",
+            Rule::FNarrow => "F-narrow",
+            Rule::UUnsafe => "U-unsafe",
+            Rule::UDoc => "U-doc",
+            Rule::WWaiver => "W-waiver",
+        }
+    }
+
+    /// One-letter family prefix (`D`, `P`, `F`, `U`, `W`).
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::DHash | Rule::DTime | Rule::DThread => "D",
+            Rule::PUnwrap | Rule::PExpect | Rule::PPanic | Rule::PIndex => "P",
+            Rule::FEq | Rule::FNarrow => "F",
+            Rule::UUnsafe | Rule::UDoc => "U",
+            Rule::WWaiver => "W",
+        }
+    }
+
+    /// Every enforceable rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::DHash,
+        Rule::DTime,
+        Rule::DThread,
+        Rule::PUnwrap,
+        Rule::PExpect,
+        Rule::PPanic,
+        Rule::PIndex,
+        Rule::FEq,
+        Rule::FNarrow,
+        Rule::UUnsafe,
+        Rule::UDoc,
+    ];
+}
+
+/// Path scoping: a file is in scope for a rule family when its
+/// normalized (forward-slash) path contains one of the listed
+/// substrings. Empty list = every file.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Scope of the D family: modules whose bytes feed digests,
+    /// fingerprints, cached outcomes, or durable journal frames.
+    pub digest_paths: Vec<String>,
+    /// Scope of `P-index`: durability modules where an indexing panic
+    /// would tear a journal or snapshot mid-write.
+    pub index_paths: Vec<String>,
+    /// Scope of the F family: solver and analytics code.
+    pub float_paths: Vec<String>,
+    /// Scope of `U-doc`: crates whose public API quantifies physics.
+    pub doc_paths: Vec<String>,
+    /// Substrings of words that satisfy the "doc names physical units"
+    /// requirement, matched case-sensitively against the doc text.
+    pub unit_vocabulary: Vec<String>,
+    /// Lowercased fragments that mark an identifier in a `fn`
+    /// signature as unit-bearing (`k0_cm_per_s`, `Molar`, `as_volts`).
+    /// A signature that names its units this way satisfies `U-doc`
+    /// without repeating them in prose — in this workspace the newtype
+    /// *is* the unit.
+    pub signature_unit_fragments: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            digest_paths: vec![
+                "src/cache".into(),
+                "src/journal".into(),
+                "src/codec".into(),
+                "digest".into(),
+                "fingerprint".into(),
+            ],
+            index_paths: vec![
+                "recover/src/codec".into(),
+                "recover/src/journal".into(),
+                "runtime/src/cache".into(),
+                "runtime/src/journal".into(),
+            ],
+            float_paths: vec![
+                "analytics/src/".into(),
+                "electrochem/src/".into(),
+                "enzyme/src/".into(),
+                "labelfree/src/".into(),
+                "nanomaterial/src/".into(),
+            ],
+            doc_paths: vec![
+                "electrochem/src/".into(),
+                "enzyme/src/".into(),
+                "units/src/".into(),
+            ],
+            unit_vocabulary: unit_vocabulary(),
+            signature_unit_fragments: signature_unit_fragments(),
+        }
+    }
+}
+
+impl Config {
+    /// Is `path` (normalized, forward slashes) in scope for `rule`?
+    pub fn in_scope(&self, rule: Rule, path: &str) -> bool {
+        let scopes: &[String] = match rule {
+            Rule::DHash | Rule::DTime | Rule::DThread => &self.digest_paths,
+            Rule::PIndex => &self.index_paths,
+            Rule::FEq | Rule::FNarrow => &self.float_paths,
+            Rule::UDoc => &self.doc_paths,
+            Rule::PUnwrap | Rule::PExpect | Rule::PPanic | Rule::UUnsafe | Rule::WWaiver => {
+                return true
+            }
+        };
+        scopes.iter().any(|s| path.contains(s.as_str()))
+    }
+}
+
+/// Words whose presence in a doc comment counts as "naming physical
+/// units". The typed-quantity names count too: in this workspace a doc
+/// that says "the applied [`Volts`]" *has* named the unit, because the
+/// newtype is the unit.
+fn unit_vocabulary() -> Vec<String> {
+    [
+        // SI spellings and common abbreviations used in the docs.
+        "µA",
+        "µM",
+        "µm",
+        "mM",
+        "nA",
+        "nM",
+        "mV",
+        "cm",
+        "nm",
+        "mol",
+        "Hz",
+        "kHz",
+        "ohm",
+        "Ω",
+        "kelvin",
+        "Kelvin",
+        "volt",
+        "Volt",
+        "amp",
+        "Amp",
+        "second",
+        "Second",
+        "molar",
+        "Molar",
+        "M⁻¹",
+        "s⁻¹",
+        "cm²",
+        "cm⁻²",
+        "A·",
+        "V·",
+        "V/s",
+        "A/cm",
+        // Typed quantities from bios-units: naming the type names the unit.
+        "Amperes",
+        "Volts",
+        "SquareCm",
+        "Centimeters",
+        "Seconds",
+        "Kelvin",
+        "Sensitivity",
+        "CurrentDensity",
+        "SurfaceLoading",
+        "DiffusionCoefficient",
+        "RateConstant",
+        "ScanRate",
+        "ConcentrationRange",
+        // Spelled-out unit names.
+        "Celsius",
+        "celsius",
+        "radian",
+        "farad",
+        "Farad",
+        "siemens",
+        "decade",
+        "minute",
+        "hour",
+        // Dimensionless quantities must say so (either capitalization).
+        "unitless",
+        "dimensionless",
+        "unit",
+        "fraction",
+        "ratio",
+        "factor",
+        "multiplier",
+        "count",
+        "index",
+        "percent",
+        "%",
+        "boolean",
+        "flag",
+        "identifier",
+        "name",
+        "label",
+        "Unitless",
+        "Dimensionless",
+        "Unit",
+        "Fraction",
+        "Ratio",
+        "Factor",
+        "Multiplier",
+        "Count",
+        "Index",
+        "Percent",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}
+
+/// Lowercased substrings that mark a signature identifier as
+/// unit-bearing: typed quantities from bios-units and conventional
+/// unit-suffixed parameter names.
+fn signature_unit_fragments() -> Vec<String> {
+    [
+        // bios-units typed quantities (lowercased type names).
+        "molar",
+        "amperes",
+        "volts",
+        "squarecm",
+        "centimeters",
+        "seconds",
+        "kelvin",
+        "sensitivity",
+        "currentdensity",
+        "surfaceloading",
+        "diffusioncoefficient",
+        "rateconstant",
+        "scanrate",
+        "concentrationrange",
+        // Unit-suffixed identifier fragments (`k0_cm_per_s`, `f_per_cm2`,
+        // `lod_micro_molar`, `as_volts`, `drift_volts`).
+        "_per_",
+        "per_s",
+        "_cm",
+        "cm2",
+        "cm_",
+        "_volt",
+        "volt_",
+        "_amp",
+        "amp_",
+        "_sec",
+        "_micros",
+        "_millis",
+        "_nanos",
+        "micro_",
+        "milli_",
+        "nano_",
+        "_hz",
+        "hz_",
+        "_kelvin",
+        "_celsius",
+        "farads",
+        "_ohm",
+        "ohm_",
+        "radians",
+        "_molar",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}

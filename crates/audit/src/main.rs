@@ -1,0 +1,100 @@
+//! The `bios-audit` command-line gate.
+//!
+//! ```text
+//! cargo run -q -p bios-audit                # audit the workspace
+//! cargo run -q -p bios-audit -- --json out.json --root /path/to/repo
+//! cargo run -q -p bios-audit -- file.rs …   # audit specific files
+//! ```
+//!
+//! Exit status: 0 when the tree is clean (waivers are fine), 1 when
+//! any finding survives, 2 on usage or I/O errors.
+
+// CLI output is the product of this binary.
+#![allow(clippy::print_stdout)]
+
+use bios_audit::{audit_source, config::Config, report, walk};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bios-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut explicit_files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let v = args.next().ok_or("--json needs a path")?;
+                json_path = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                root_arg = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bios-audit — workspace static-analysis gate\n\
+                     usage: bios-audit [--root DIR] [--json FILE] [FILES…]"
+                );
+                return Ok(0);
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
+            _ => explicit_files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match root_arg {
+        Some(r) => r,
+        None => walk::find_root(&cwd).ok_or("cannot locate workspace root (no Cargo.toml)")?,
+    };
+
+    let files = if explicit_files.is_empty() {
+        walk::collect_sources(&root).map_err(|e| e.to_string())?
+    } else {
+        explicit_files
+    };
+
+    let config = Config::default();
+    let mut findings = Vec::new();
+    let mut waivers = Vec::new();
+    for file in &files {
+        let source =
+            fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let label = walk::display_path(&root, file);
+        let outcome = audit_source(&label, &source, &config);
+        findings.extend(outcome.findings);
+        waivers.extend(outcome.waivers);
+    }
+
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    let used = waivers.iter().filter(|w| w.used).count();
+    println!(
+        "bios-audit: {} file(s), {} finding(s), {} waiver(s) ({} used)",
+        files.len(),
+        findings.len(),
+        waivers.len(),
+        used
+    );
+
+    let json = report::render_json(files.len(), &findings, &waivers);
+    let json_out = json_path.unwrap_or_else(|| root.join("AUDIT_report.json"));
+    fs::write(&json_out, json).map_err(|e| format!("write {}: {e}", json_out.display()))?;
+
+    Ok(findings.len())
+}

@@ -1,0 +1,125 @@
+//! The machine-readable summary: `AUDIT_report.json`.
+//!
+//! Hand-rolled JSON in the same discipline as `BENCH_runtime.json`
+//! (no serde in the offline workspace): line-stable output, a
+//! `schema_version` field so future PRs can track finding/waiver
+//! counts over time, and **no timestamps** — the report must be a pure
+//! function of the tree so two runs over the same bytes diff empty.
+
+use crate::config::Rule;
+use crate::rules::{Finding, WaiverRecord};
+use std::collections::BTreeMap;
+
+/// Bump when the report shape changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Render the full report as a JSON string.
+pub fn render_json(files_scanned: usize, findings: &[Finding], waivers: &[WaiverRecord]) -> String {
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in Rule::ALL {
+        by_rule.insert(rule.id(), 0);
+    }
+    for f in findings {
+        *by_rule.entry(f.rule.id()).or_insert(0) += 1;
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str("  \"tool\": \"bios-audit\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str(&format!("  \"waiver_count\": {},\n", waivers.len()));
+
+    out.push_str("  \"findings_by_rule\": {");
+    let mut first = true;
+    for (rule, count) in &by_rule {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{rule}\": {count}"));
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}{}\n",
+            escape(&f.path),
+            f.line,
+            f.col,
+            f.rule.id(),
+            escape(&f.message),
+            comma
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"waivers\": [\n");
+    for (i, w) in waivers.iter().enumerate() {
+        let comma = if i + 1 < waivers.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"used\": {}, \
+             \"reason\": \"{}\"}}{}\n",
+            escape(&w.path),
+            w.line,
+            escape(&w.rule),
+            w.used,
+            escape(&w.reason),
+            comma
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal JSON string escaping: backslash, quote, and control chars.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_valid_shape_and_stable() {
+        let findings = vec![Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            rule: Rule::PUnwrap,
+            message: "`.unwrap()` with \"quotes\"".into(),
+        }];
+        let waivers = vec![WaiverRecord {
+            path: "crates/x/src/lib.rs".into(),
+            line: 9,
+            rule: "D-hash".into(),
+            reason: "membership only".into(),
+            used: true,
+        }];
+        let a = render_json(5, &findings, &waivers);
+        let b = render_json(5, &findings, &waivers);
+        assert_eq!(a, b, "report must be a pure function of its inputs");
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\\\"quotes\\\""));
+        assert!(a.contains("\"P-unwrap\": 1"));
+        assert!(a.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,15 @@
+//! D-family firing fixture: audited under a digest-scoped path
+//! (`crates/runtime/src/cache.rs`), every line below is a violation.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn fingerprint_inputs() -> u64 {
+    let map: HashMap<String, u64> = HashMap::new();
+    let set: HashSet<u64> = HashSet::new();
+    let started = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let worker = std::thread::current();
+    let _ = (map.len(), set.len(), started, wall, worker);
+    0
+}

@@ -1,0 +1,24 @@
+//! D-family near-miss fixture: every line is legal even in a
+//! digest-scoped module.
+
+use std::collections::BTreeMap;
+
+// A comment may mention HashMap and Instant::now freely.
+fn digest(lines: &BTreeMap<u64, String>) -> String {
+    // Strings hide their contents from the lexer.
+    let label = "HashMap/Instant::now in a string is not a use";
+    format!("{label}: {}", lines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_wall_clocks_and_hash_maps() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = std::time::Instant::now();
+        assert!(m.is_empty());
+        let _ = t;
+    }
+}

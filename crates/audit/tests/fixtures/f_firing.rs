@@ -1,0 +1,12 @@
+//! F-family firing fixture: audited under a float-scoped path
+//! (`crates/analytics/src/fixture.rs`).
+
+fn float_sins(slope: f64, intercept: f64) -> f32 {
+    if slope == 0.0 {
+        return 0.0 as f32;
+    }
+    if intercept != 1.5 {
+        return 1.0 as f32;
+    }
+    slope as f32
+}

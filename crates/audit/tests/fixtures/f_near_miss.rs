@@ -1,0 +1,25 @@
+//! F-family near-miss fixture: legal float handling in a float-scoped
+//! path.
+
+fn float_virtue(slope: f64, count: usize) -> f64 {
+    // Ordering comparisons on floats are fine; equality is the trap.
+    if slope < 0.0 || slope > 1.0 {
+        return 0.0;
+    }
+    // Integer equality is fine.
+    if count == 0 {
+        return slope;
+    }
+    // Widening to f64 is fine; only `as f32` narrows.
+    slope * count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::float_virtue;
+
+    #[test]
+    fn tests_may_compare_floats_exactly() {
+        assert!(float_virtue(0.5, 0) == 0.5);
+    }
+}

@@ -1,0 +1,14 @@
+//! P-family firing fixture: audited under
+//! `crates/runtime/src/cache.rs`, so the index rule is in scope too.
+
+fn panicky(xs: &[u64], flag: Option<u64>) -> u64 {
+    let a = flag.unwrap();
+    let b = flag.expect("flag must be set");
+    if xs.is_empty() {
+        panic!("no data");
+    }
+    if a > b {
+        todo!();
+    }
+    xs[0]
+}

@@ -1,0 +1,22 @@
+//! U-family near-miss fixture: documented public API in a doc-scoped
+//! path, with units named in docs or signatures.
+
+/// Faradaic current in µA at the given overpotential in mV.
+pub fn documented_with_units(overpotential_mv: f64) -> f64 {
+    overpotential_mv * 0.1
+}
+
+/// Scales a signal by a dimensionless gain factor.
+pub fn documented_dimensionless(gain: f64) -> f64 {
+    gain * 2.0
+}
+
+/// Unit-suffixed parameter names count as naming the unit.
+pub fn unit_named_in_signature(rate_cm_per_s: f64) -> f64 {
+    rate_cm_per_s * 60.0
+}
+
+// `pub(crate)` is not public API; no doc comment required.
+pub(crate) fn internal_helper(x: f64) -> f64 {
+    x + 1.0
+}

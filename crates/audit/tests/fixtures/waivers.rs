@@ -1,0 +1,16 @@
+//! Waiver fixture: two identical violations, one waived. The waiver
+//! must suppress exactly the finding on the next line, leave the
+//! second finding standing, and an unused or reasonless waiver must
+//! itself be reported.
+
+fn waived(flag: Option<u64>) -> u64 {
+    // bios-audit: allow(P-expect) — fixture: this one is justified
+    let a = flag.expect("waived occurrence");
+    let b = flag.expect("unwaived occurrence");
+    a + b
+}
+
+// bios-audit: allow(D-hash) — names a rule that never fires here
+fn unused_waiver_target() -> u64 {
+    7
+}

@@ -1,6 +1,9 @@
 //! Wall-clock benchmarks of the physics kernels: diffusion stepping,
 //! voltammetry digital simulation, and enzyme-kinetics evaluation.
 
+// A benchmark aborts on setup failure like a test does.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::hint::black_box;
 
 use bios_bench::timing::BenchGroup;

@@ -2,6 +2,9 @@
 //! reproducing the paper's entire evaluation, sequentially and through
 //! the fleet runtime.
 
+// A benchmark aborts on setup failure like a test does.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::hint::black_box;
 
 use bios_bench::timing::BenchGroup;

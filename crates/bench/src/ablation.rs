@@ -73,10 +73,13 @@ pub fn render_modification_ablation() -> String {
 
 /// Ablation 2 — readout electronics: same sensor, three readout chains.
 /// Quantifies the §2.5 integration argument as a detection-limit ratio.
-#[must_use]
-pub fn render_readout_ablation(seed: u64) -> String {
+///
+/// # Errors
+///
+/// Propagates sweep-construction and calibration-analysis failures.
+pub fn render_readout_ablation(seed: u64) -> Result<String, bios_core::CoreError> {
     let sensor = sensor_with(SurfaceModification::mwcnt_nafion());
-    let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0).expect("valid sweep");
+    let sweep = ConcentrationRange::from_milli_molar(0.0, 1.0)?;
     let chains: [(&str, ReadoutChain); 3] = [
         ("benchtop", ReadoutChain::benchtop(seed)),
         ("integrated CMOS", ReadoutChain::integrated_cmos(seed)),
@@ -87,9 +90,7 @@ pub fn render_readout_ablation(seed: u64) -> String {
         let mut chain = chain.auto_ranged_for(sensor.faradaic_current(sweep.high()) * 1.3);
         let noise = chain.noise_rms();
         let curve = Chronoamperometry::default().calibrate_over(&sensor, &mut chain, &sweep, 15);
-        let summary = curve
-            .summary(&LinearRangeOptions::default())
-            .expect("calibration analyzable");
+        let summary = curve.summary(&LinearRangeOptions::default())?;
         t.add_row(vec![
             name.to_owned(),
             noise.to_string(),
@@ -97,10 +98,10 @@ pub fn render_readout_ablation(seed: u64) -> String {
             format!("{:.5}", summary.r_squared),
         ]);
     }
-    format!(
+    Ok(format!(
         "Ablation 2 — readout electronics (fixed MWCNT/Nafion sensor)\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Ablation 3 — digital post-filter: blank noise after each filter,
@@ -434,7 +435,7 @@ mod tests {
 
     #[test]
     fn readout_ablation_shows_integration_benefit() {
-        let s = render_readout_ablation(3);
+        let s = render_readout_ablation(3).expect("readout ablation renders");
         assert!(s.contains("integrated CMOS"));
         assert!(s.contains("low-cost"));
     }

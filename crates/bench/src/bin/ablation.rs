@@ -4,6 +4,9 @@
 //!
 //! Usage: `cargo run -p bios-bench --bin ablation [-- --seed N]`
 
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 fn main() {
     bios_bench::silence_injected_panics();
     let seed = std::env::args()
@@ -12,7 +15,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
     println!("{}", bios_bench::ablation::render_modification_ablation());
-    println!("{}", bios_bench::ablation::render_readout_ablation(seed));
+    match bios_bench::ablation::render_readout_ablation(seed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("readout ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
     println!("{}", bios_bench::ablation::render_filter_ablation(seed));
     println!("{}", bios_bench::ablation::render_tolerance_ablation(seed));
     println!("{}", bios_bench::ablation::render_seed_ablation(seed, 32));

@@ -5,6 +5,9 @@
 //!
 //! Usage: `cargo run -p bios-bench --release --bin survey [-- --workers N]`
 
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::io::Write;
 
 use bios_core::catalog;
@@ -19,11 +22,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--workers" {
-            config = config.with_workers(
-                args.next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--workers needs a positive integer"),
-            );
+            config = config.with_workers(bios_bench::parse_flag_or_exit(
+                args.next(),
+                "--workers",
+                "a positive integer",
+            ));
         }
     }
 

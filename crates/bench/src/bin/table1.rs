@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run -p bios-bench --bin table1`
 
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 fn main() {
     print!("{}", bios_bench::render_table1());
 }

@@ -12,6 +12,9 @@
 //!   cargo run -p bios-bench --bin table2 -- --workers 8  # pool size
 //!   cargo run -p bios-bench --bin table2 -- --sequential # parity path
 
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use bios_bench::{table2_blocks, BlockReport};
 use bios_core::catalog;
 use bios_runtime::{Runtime, RuntimeConfig};
@@ -26,17 +29,14 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs an integer");
+                seed = bios_bench::parse_flag_or_exit(iter.next().cloned(), "--seed", "an integer");
             }
             "--workers" => {
-                config = config.with_workers(
-                    iter.next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--workers needs a positive integer"),
-                );
+                config = config.with_workers(bios_bench::parse_flag_or_exit(
+                    iter.next().cloned(),
+                    "--workers",
+                    "a positive integer",
+                ));
             }
             "--sequential" => sequential = true,
             name => block = Some(name.to_lowercase()),

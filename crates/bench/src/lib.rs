@@ -41,6 +41,24 @@ pub fn silence_injected_panics() {
     }));
 }
 
+/// Parses the value of a required CLI flag, printing a usage message to
+/// stderr and exiting with status 2 when it is missing or malformed.
+/// Binaries use this instead of `.expect()` so bad arguments produce a
+/// one-line diagnostic rather than a panic backtrace.
+pub fn parse_flag_or_exit<T: std::str::FromStr>(
+    value: Option<String>,
+    flag: &str,
+    what: &str,
+) -> T {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} needs {what}");
+            std::process::exit(2);
+        }
+    }
+}
+
 use bios_analytics::report::{format_percent, TextTable};
 use bios_analytics::CalibrationSummary;
 use bios_core::catalog::{self, CatalogEntry};

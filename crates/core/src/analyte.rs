@@ -20,13 +20,13 @@ pub enum Analyte {
     Ifosfamide,
     /// Ftorafur® (tegafur) — chemotherapeutic prodrug.
     Ftorafur,
-    /// Benzphetamine — anti-obesity agent (multi-panel of [9]).
+    /// Benzphetamine — anti-obesity agent (multi-panel of \[9\]).
     Benzphetamine,
-    /// Dextromethorphan — cough suppressant (multi-panel of [9]).
+    /// Dextromethorphan — cough suppressant (multi-panel of \[9\]).
     Dextromethorphan,
-    /// Naproxen — anti-inflammatory (multi-panel of [9]).
+    /// Naproxen — anti-inflammatory (multi-panel of \[9\]).
     Naproxen,
-    /// Flurbiprofen — anti-inflammatory (multi-panel of [9]).
+    /// Flurbiprofen — anti-inflammatory (multi-panel of \[9\]).
     Flurbiprofen,
     /// Ascorbic acid (vitamin C) — classic anodic interferent.
     AscorbicAcid,

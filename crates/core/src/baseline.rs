@@ -1,4 +1,4 @@
-//! The DNA-based cyclophosphamide baseline of Palaska et al. [32].
+//! The DNA-based cyclophosphamide baseline of Palaska et al. \[32\].
 //!
 //! §3.2.4 notes that before the paper's CYP2B6 sensor, the only
 //! electrochemical CP detectors were DNA-modified electrodes read out by
@@ -49,7 +49,7 @@ pub struct DnaCpSensor {
 }
 
 impl DnaCpSensor {
-    /// The carbon-paste configuration of [32]: ~2 µA guanine peak,
+    /// The carbon-paste configuration of \[32\]: ~2 µA guanine peak,
     /// 60 % maximum suppression, K_d ≈ 400 µM, 5 min incubation.
     #[must_use]
     pub fn palaska2007() -> DnaCpSensor {

@@ -49,7 +49,7 @@ pub struct PaperFigures {
     pub sensitivity: Sensitivity,
     /// Reported linear range.
     pub linear_range: ConcentrationRange,
-    /// Reported limit of detection (the CNT-mat sensor [42] reports
+    /// Reported limit of detection (the CNT-mat sensor \[42\] reports
     /// none).
     pub detection_limit: Option<Molar>,
 }
@@ -404,7 +404,11 @@ fn carbon_paste_disc() -> Electrode {
     )
 }
 
-#[allow(clippy::too_many_arguments)]
+// The range literals below are transcribed paper constants; the
+// catalog round-trip tests execute every entry, so a malformed literal
+// cannot survive CI. Panicking here beats threading a Result through
+// every consumer of the static table.
+#[allow(clippy::too_many_arguments, clippy::expect_used)]
 fn entry(
     id: &str,
     label: &str,
@@ -430,6 +434,7 @@ fn entry(
                 range_milli_molar.0,
                 range_milli_molar.1,
             )
+            // bios-audit: allow(P-expect) — static paper constant, exercised by every catalog test
             .expect("paper range is well-formed"),
             detection_limit: lod_micro_molar.map(Molar::from_micro_molar),
         },
@@ -438,6 +443,7 @@ fn entry(
         chemistry,
         technique,
         sweep: ConcentrationRange::from_milli_molar(0.0, sweep_top_milli_molar)
+            // bios-audit: allow(P-expect) — static paper constant, exercised by every catalog test
             .expect("sweep is well-formed"),
         sweep_points: 25,
         is_ours: citation.is_none(),
@@ -745,11 +751,11 @@ pub fn cyp_sensors() -> Vec<CatalogEntry> {
     ]
 }
 
-/// The extended multi-panel drug set of the authors' earlier work [9]:
+/// The extended multi-panel drug set of the authors' earlier work \[9\]:
 /// benzphetamine, cyclophosphamide, dextromethorphan, naproxen, and
 /// flurbiprofen in human serum, one P450 isoform per channel. These are
 /// *extension* entries (not Table 2 rows); their figures are set to the
-/// serum-panel operating points of [9]-era devices.
+/// serum-panel operating points of \[9\]-era devices.
 #[must_use]
 pub fn multi_panel_sensors() -> Vec<CatalogEntry> {
     let spe = ElectrodeStock::DropSensSpe.working_electrode();

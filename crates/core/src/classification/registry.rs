@@ -9,7 +9,7 @@ use super::taxonomy::{
 pub struct SensorClassEntry {
     /// Short description ("glucose SPE strip", "CNT-FET PSA sensor", …).
     pub name: String,
-    /// Reference key in the paper's bibliography ("[30]", "[22]", …).
+    /// Reference key in the paper's bibliography ("\[30\]", "\[22\]", …).
     pub citation: String,
     /// What it detects.
     pub target: Target,

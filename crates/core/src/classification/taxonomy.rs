@@ -93,7 +93,7 @@ pub enum ElectrodeTechnology {
     /// Microfabricated electrodes integrated with CMOS readout.
     Integrated,
     /// Vertically stacked 3-D integration with through-silicon vias
-    /// (Guiducci et al. [17]).
+    /// (Guiducci et al. \[17\]).
     ThreeDimensionalStack,
     /// Conventional bulk electrodes (lab glassware).
     Conventional,

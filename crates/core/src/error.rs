@@ -28,6 +28,11 @@ pub enum CoreError {
         /// The empty channel.
         channel: usize,
     },
+    /// A builder was finalized before a required part was supplied.
+    BuilderIncomplete {
+        /// The missing part, with its article (e.g. `"an electrode"`).
+        missing: &'static str,
+    },
     /// The sensor cannot detect the requested analyte.
     AnalyteMismatch {
         /// What the sensor detects.
@@ -47,6 +52,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ChannelEmpty { channel } => {
                 write!(f, "channel {channel} has no sensor mounted")
+            }
+            CoreError::BuilderIncomplete { missing } => {
+                write!(f, "biosensor builder needs {missing}")
             }
             CoreError::AnalyteMismatch {
                 expected,

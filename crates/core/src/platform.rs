@@ -5,7 +5,7 @@
 //! (electrode functionalization) separate from the electrical component
 //! (readout chain) — "easing design and manufacturing". The
 //! [`SensingPlatform`] models exactly that composition; [`stack`] models
-//! the 3-D integration option of Guiducci et al. [17] discussed in §2.5.
+//! the 3-D integration option of Guiducci et al. \[17\] discussed in §2.5.
 
 use bios_instrument::ReadoutChain;
 use bios_units::Amperes;
@@ -216,7 +216,7 @@ impl SensingPlatform {
     }
 }
 
-/// The 3-D stacked integration model of Guiducci et al. [17]: vertically
+/// The 3-D stacked integration model of Guiducci et al. \[17\]: vertically
 /// stacked heterogeneous layers connected by through-silicon vias, with
 /// a disposable biolayer on top and permanent readout/processing/power
 /// layers below.
@@ -266,7 +266,7 @@ pub mod stack {
     }
 
     impl IntegratedStack {
-        /// The [17] reference stack: disposable biolayer + permanent
+        /// The \[17\] reference stack: disposable biolayer + permanent
         /// readout, processing, power, and radio layers.
         #[must_use]
         pub fn guiducci() -> IntegratedStack {

@@ -68,7 +68,7 @@ impl Sample {
         s
     }
 
-    /// Neural cell-culture medium as in the authors' earlier work [4][5]:
+    /// Neural cell-culture medium as in the authors' earlier work \[4\]\[5\]:
     /// glucose-rich, accumulating lactate and glutamate.
     #[must_use]
     pub fn cell_culture_medium() -> Sample {

@@ -40,7 +40,7 @@ pub enum Technique {
         /// Sweep rate.
         rate: ScanRate,
     },
-    /// Staircase + pulse readout (the DNA-based CP baseline of [32]).
+    /// Staircase + pulse readout (the DNA-based CP baseline of \[32\]).
     DifferentialPulseVoltammetry {
         /// Start potential.
         low: Volts,
@@ -484,20 +484,46 @@ impl BiosensorBuilder {
         self
     }
 
+    /// Finalizes the sensor, reporting what is missing instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::CoreError::BuilderIncomplete`] when no electrode or
+    /// no chemistry was supplied.
+    pub fn try_build(self) -> crate::error::Result<Biosensor> {
+        let electrode = self
+            .electrode
+            .ok_or(crate::error::CoreError::BuilderIncomplete {
+                missing: "an electrode",
+            })?;
+        let chemistry = self
+            .chemistry
+            .ok_or(crate::error::CoreError::BuilderIncomplete {
+                missing: "a sensing chemistry",
+            })?;
+        Ok(Biosensor {
+            name: self.name,
+            analyte: self.analyte,
+            electrode,
+            modification: self.modification,
+            chemistry,
+            technique: self.technique,
+        })
+    }
+
     /// Finalizes the sensor.
     ///
     /// # Panics
     ///
-    /// Panics if no electrode or chemistry was supplied.
+    /// Panics if no electrode or chemistry was supplied; use
+    /// [`BiosensorBuilder::try_build`] for the checked path.
     #[must_use]
     pub fn build(self) -> Biosensor {
-        Biosensor {
-            name: self.name,
-            analyte: self.analyte,
-            electrode: self.electrode.expect("biosensor needs an electrode"),
-            modification: self.modification,
-            chemistry: self.chemistry.expect("biosensor needs a chemistry"),
-            technique: self.technique,
+        match self.try_build() {
+            Ok(sensor) => sensor,
+            // bios-audit: allow(P-panic) — documented builder contract; try_build is the checked path
+            Err(e) => panic!("{e}"),
         }
     }
 }

@@ -18,7 +18,7 @@
 //! health is an exact no-op.
 
 use bios_faults::{Faultable, RealizedFaults};
-use bios_units::{Kelvin, Volts, FARADAY, GAS_CONSTANT};
+use bios_units::{nearly_zero, Kelvin, Volts, FARADAY, GAS_CONSTANT};
 
 use crate::error::ElectrochemError;
 
@@ -95,7 +95,7 @@ impl ElectrodeHealth {
     /// True when the pair is factory-fresh (both factors exactly 1).
     #[must_use]
     pub fn is_pristine(&self) -> bool {
-        self.fouling_coverage == 0.0 && self.reference_drift == Volts::ZERO
+        nearly_zero(self.fouling_coverage) && self.reference_drift == Volts::ZERO
     }
 
     /// Area factor from fouling: the free fraction `1 − θ`.
@@ -113,7 +113,7 @@ impl ElectrodeHealth {
     #[must_use]
     pub fn drift_factor(&self, n: u32, alpha: f64, temperature: Kelvin) -> f64 {
         let de = self.reference_drift.as_volts();
-        if de == 0.0 {
+        if nearly_zero(de) {
             return 1.0;
         }
         let f = FARADAY / (GAS_CONSTANT * temperature.as_kelvin());
@@ -137,7 +137,7 @@ impl Faultable for ElectrodeHealth {
     /// Applies injected fouling and reference drift; a healthy
     /// realization returns the state unchanged.
     fn with_faults(self, faults: &RealizedFaults) -> Self {
-        if faults.fouling_coverage <= 0.0 && faults.reference_drift_volts == 0.0 {
+        if faults.fouling_coverage <= 0.0 && nearly_zero(faults.reference_drift_volts) {
             return self;
         }
         let coverage = (self.fouling_coverage + faults.fouling_coverage).clamp(0.0, 0.99);

@@ -7,7 +7,7 @@
 //! so binding modulates channel conductivity. This module models both: a
 //! charge-to-threshold-shift gate model and a square-law MOSFET readout.
 
-use bios_units::{Amperes, Molar, Volts};
+use bios_units::{nearly_zero, Amperes, Molar, Volts};
 
 /// A biologically functionalized FET.
 ///
@@ -47,7 +47,7 @@ pub struct BioFet {
 }
 
 impl BioFet {
-    /// A CNT-channel PSA immunosensor in the spirit of [22]:
+    /// A CNT-channel PSA immunosensor in the spirit of \[22\]:
     /// antibody probes, nM-scale affinity, negative analyte charge.
     #[must_use]
     pub fn psa_cnt_fet() -> BioFet {
@@ -63,7 +63,7 @@ impl BioFet {
     }
 
     /// An ISFET pH/charge sensor with a covalently functionalized gate
-    /// ([24]): denser small probes, µM affinity.
+    /// (\[24\]): denser small probes, µM affinity.
     #[must_use]
     pub fn isfet() -> BioFet {
         BioFet {
@@ -111,7 +111,7 @@ impl BioFet {
     pub fn relative_response(&self, c: Molar) -> f64 {
         let i0 = self.drain_current(Molar::ZERO).as_amps();
         let i = self.drain_current(c).as_amps();
-        if i0 == 0.0 {
+        if nearly_zero(i0) {
             return 0.0;
         }
         (i - i0).abs() / i0

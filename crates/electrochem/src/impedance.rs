@@ -1,6 +1,6 @@
 //! Electrochemical impedance spectroscopy (EIS) on a Randles cell.
 //!
-//! Faradic impedimetric biosensors (§2.3 of the paper, [37]) read the
+//! Faradic impedimetric biosensors (§2.3 of the paper, \[37\]) read the
 //! charge-transfer resistance `R_ct` of a redox probe: antibody–antigen
 //! binding blocks the surface and `R_ct` rises. This module computes the
 //! complex impedance of the standard Randles equivalent circuit
@@ -21,13 +21,14 @@ pub struct Complex {
 }
 
 impl Complex {
-    /// Creates a complex number.
+    /// Creates a complex number from its real and imaginary parts
+    /// (unit-agnostic; throughout this module both parts are in Ω).
     #[must_use]
     pub fn new(re: f64, im: f64) -> Complex {
         Complex { re, im }
     }
 
-    /// Magnitude |z|.
+    /// Magnitude |z|, in the same unit as the parts (Ω for impedances).
     #[must_use]
     pub fn magnitude(self) -> f64 {
         self.re.hypot(self.im)
@@ -94,7 +95,8 @@ pub struct RandlesCell {
 }
 
 impl RandlesCell {
-    /// Creates a Randles cell.
+    /// Creates a Randles cell from `r_s` and `r_ct` in Ω, `c_dl` in
+    /// farads, and the Warburg coefficient `sigma` in Ω·s^-1/2.
     ///
     /// # Panics
     ///
@@ -114,7 +116,7 @@ impl RandlesCell {
         }
     }
 
-    /// Complex impedance at frequency `hz`.
+    /// Complex impedance, in Ω, at frequency `hz` in Hz.
     ///
     /// # Panics
     ///
@@ -152,8 +154,8 @@ impl RandlesCell {
             .collect()
     }
 
-    /// The characteristic frequency of the charge-transfer semicircle
-    /// apex, `f* = 1/(2π·R_ct·C_dl)`.
+    /// The characteristic frequency, in Hz, of the charge-transfer
+    /// semicircle apex, `f* = 1/(2π·R_ct·C_dl)`.
     #[must_use]
     pub fn apex_frequency(&self) -> f64 {
         1.0 / (2.0
@@ -163,9 +165,9 @@ impl RandlesCell {
     }
 }
 
-/// Estimates `R_ct` from a measured spectrum as the width of the Nyquist
-/// semicircle: the difference between the low-frequency real-axis
-/// intercept (σ = 0) and the high-frequency intercept.
+/// Estimates `R_ct`, in Ω, from a measured spectrum as the width of the
+/// Nyquist semicircle: the difference between the low-frequency
+/// real-axis intercept (σ = 0) and the high-frequency intercept.
 ///
 /// For spectra with Warburg tails, the estimate uses the real part at
 /// the apex (−Z″ maximum): `R_ct ≈ 2·(Re(Z_apex) − R_s)`.
@@ -182,11 +184,13 @@ pub fn estimate_charge_transfer(spectrum: &[(f64, Complex)]) -> f64 {
         .map(|(_, z)| z.re)
         .fold(f64::INFINITY, f64::min);
     // Apex: maximum −Z″ (most capacitive point of the semicircle).
-    let apex = spectrum
+    // The assert above guarantees a maximum exists; fall back to the
+    // intercept (R_ct = 0) rather than carrying a panic path.
+    let apex_re = spectrum
         .iter()
         .max_by(|a, b| (-a.1.im).total_cmp(&(-b.1.im)))
-        .expect("non-empty");
-    2.0 * (apex.1.re - r_s)
+        .map_or(r_s, |(_, z)| z.re);
+    2.0 * (apex_re - r_s)
 }
 
 #[cfg(test)]

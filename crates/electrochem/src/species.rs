@@ -92,7 +92,7 @@ impl RedoxCouple {
         self.electrons
     }
 
-    /// Transfer coefficient α.
+    /// Transfer coefficient α (dimensionless, in `(0, 1)`).
     #[must_use]
     pub fn alpha(&self) -> f64 {
         self.alpha
@@ -197,7 +197,7 @@ impl RedoxCoupleBuilder {
         self
     }
 
-    /// Sets the transfer coefficient α.
+    /// Sets the transfer coefficient α (dimensionless).
     ///
     /// # Panics
     ///

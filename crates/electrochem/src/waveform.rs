@@ -3,7 +3,7 @@
 //! Each technique in the paper corresponds to a waveform: the oxidase
 //! sensors use a potential step held at +650 mV (chronoamperometry), the
 //! CYP450 sensors a forward/backward linear ramp (cyclic voltammetry),
-//! and the DNA-based cyclophosphamide baseline of [32] uses differential
+//! and the DNA-based cyclophosphamide baseline of \[32\] uses differential
 //! pulse voltammetry.
 
 use bios_units::{ScanRate, Seconds, Volts};

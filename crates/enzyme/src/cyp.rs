@@ -26,9 +26,9 @@ pub enum CypIsoform {
     Cyp2B6,
     /// CYP3A4 — activates ifosfamide; the most promiscuous human isoform.
     Cyp3A4,
-    /// CYP2D6 — metabolizes dextromethorphan (multi-panel work [9]).
+    /// CYP2D6 — metabolizes dextromethorphan (multi-panel work \[9\]).
     Cyp2D6,
-    /// CYP2C9 — metabolizes naproxen and flurbiprofen (multi-panel [9]).
+    /// CYP2C9 — metabolizes naproxen and flurbiprofen (multi-panel \[9\]).
     Cyp2C9,
 }
 
@@ -121,7 +121,9 @@ impl CypSensorChemistry {
         }
     }
 
-    /// Builds a chemistry with explicit binding kinetics (catalog use).
+    /// Builds a chemistry with explicit binding kinetics (catalog use);
+    /// `coupling` is the dimensionless electron-transfer coupling
+    /// fraction in `[0, 1]`.
     #[must_use]
     pub fn with_binding(
         isoform: CypIsoform,

@@ -14,7 +14,7 @@
 //! the sensor model converts to current via `i = n·F·A·η_coll·flux`.
 
 use bios_faults::{Faultable, RealizedFaults};
-use bios_units::{Centimeters, DiffusionCoefficient, Molar, SurfaceLoading};
+use bios_units::{nearly_zero, Centimeters, DiffusionCoefficient, Molar, SurfaceLoading};
 
 use crate::michaelis::MichaelisMenten;
 
@@ -105,7 +105,7 @@ impl EnzymeFilm {
     pub fn thiele_modulus(&self, kinetics: &MichaelisMenten, d_film: DiffusionCoefficient) -> f64 {
         let gamma = self.effective_loading().as_mol_per_square_cm();
         let thickness = self.thickness.as_cm();
-        if thickness == 0.0 || gamma == 0.0 {
+        if nearly_zero(thickness) || nearly_zero(gamma) {
             return 0.0;
         }
         let apparent = self.apparent_kinetics(kinetics);
@@ -151,7 +151,7 @@ impl EnzymeFilm {
 
     /// Typical first-order activity-loss rate of an adsorbed enzyme film
     /// stored wet at room temperature, per day. CNT adsorption is a good
-    /// immobilizer ([4]) but enzymes still denature over weeks.
+    /// immobilizer (\[4\]) but enzymes still denature over weeks.
     pub const TYPICAL_DECAY_PER_DAY: f64 = 0.02;
 
     /// The same film after `days` of operation/storage, with the active

@@ -169,7 +169,7 @@ impl Hill {
         self.k_half
     }
 
-    /// Hill coefficient `n`.
+    /// Hill coefficient `n` (dimensionless cooperativity exponent).
     #[must_use]
     pub fn coefficient(&self) -> f64 {
         self.coefficient

@@ -10,7 +10,7 @@
 //! B (oxygen) is saturating, and explains the oxygen-limitation plateau
 //! that shapes real glucose-sensor linear ranges.
 
-use bios_units::{Molar, RateConstant};
+use bios_units::{nearly_zero, Molar, RateConstant};
 
 use crate::michaelis::MichaelisMenten;
 
@@ -21,7 +21,7 @@ use crate::michaelis::MichaelisMenten;
 ///
 /// ```
 /// use bios_enzyme::ping_pong::PingPongBiBi;
-/// use bios_units::{Molar, RateConstant};
+/// use bios_units::{nearly_zero, Molar, RateConstant};
 ///
 /// let god = PingPongBiBi::new(
 ///     RateConstant::from_per_second(700.0),
@@ -80,7 +80,7 @@ impl PingPongBiBi {
     pub fn rate(&self, a: Molar, b: Molar) -> RateConstant {
         let a = a.as_molar().max(0.0);
         let b = b.as_molar().max(0.0);
-        if a == 0.0 || b == 0.0 {
+        if nearly_zero(a) || nearly_zero(b) {
             return RateConstant::from_per_second(0.0);
         }
         let denom = 1.0 + self.ka.as_molar() / a + self.kb.as_molar() / b;

@@ -27,8 +27,6 @@
 //! assert_eq!(faults, plan.realize("glucose/gox-swcnt", 7));
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use bios_prng::{Rng, SplitMix64};
 
 /// FNV-1a over a byte stream; the same idiom `bios-core` uses for

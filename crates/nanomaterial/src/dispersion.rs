@@ -10,14 +10,14 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dispersant {
     /// 0.5 % Nafion in ethanol — the paper's oxidase-sensor recipe and
-    /// the best dispersion quality [54].
+    /// the best dispersion quality \[54\].
     Nafion,
     /// Chloroform — the paper's CYP450-sensor recipe; evaporates fast,
     /// decent dispersion.
     Chloroform,
-    /// Mineral oil (carbon-paste composites, [41]); poor electronic pathways.
+    /// Mineral oil (carbon-paste composites, \[41\]); poor electronic pathways.
     MineralOil,
-    /// Silica sol-gel matrix ([19]); entraps enzyme, moderate quality.
+    /// Silica sol-gel matrix (\[19\]); entraps enzyme, moderate quality.
     SolGel,
     /// Plain aqueous suspension (sonicated only); bundles re-aggregate.
     Water,

@@ -17,7 +17,7 @@ pub enum ElectrodeMaterial {
     Platinum,
     /// Glassy carbon (the workhorse of the cited literature sensors).
     GlassyCarbon,
-    /// Carbon paste (CNT/mineral-oil composite electrodes, [41]).
+    /// Carbon paste (CNT/mineral-oil composite electrodes, \[41\]).
     CarbonPaste,
     /// Silver / silver-chloride (reference electrode of the SPE).
     SilverChloride,

@@ -107,7 +107,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Wang et al. [55]: Au film evaporated onto grown MWCNT, GOD drop
+    /// Wang et al. \[55\]: Au film evaporated onto grown MWCNT, GOD drop
     /// cast on top.
     #[must_use]
     pub fn mwcnt_au_film() -> SurfaceModification {
@@ -122,7 +122,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Tsai et al. [49]: CNT + GOD co-cast in Nafion on glassy carbon.
+    /// Tsai et al. \[49\]: CNT + GOD co-cast in Nafion on glassy carbon.
     #[must_use]
     pub fn mwcnt_nafion_codeposit() -> SurfaceModification {
         SurfaceModification {
@@ -136,7 +136,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Ryu et al. [42]: free-standing CNT mat with covalently bound GOD.
+    /// Ryu et al. \[42\]: free-standing CNT mat with covalently bound GOD.
     #[must_use]
     pub fn cnt_mat() -> SurfaceModification {
         SurfaceModification {
@@ -150,7 +150,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Hua et al. [18]: butyric-acid functionalized MWCNT.
+    /// Hua et al. \[18\]: butyric-acid functionalized MWCNT.
     #[must_use]
     pub fn mwcnt_butyric_acid() -> SurfaceModification {
         SurfaceModification {
@@ -164,7 +164,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Goran et al. [16]: nitrogen-doped CNT with Nafion overlayer —
+    /// Goran et al. \[16\]: nitrogen-doped CNT with Nafion overlayer —
     /// N-doping makes carbon exceptionally active for H₂O₂.
     #[must_use]
     pub fn n_doped_cnt_nafion() -> SurfaceModification {
@@ -179,7 +179,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Rubianes & Rivas [41]: CNT kneaded into mineral-oil paste.
+    /// Rubianes & Rivas \[41\]: CNT kneaded into mineral-oil paste.
     #[must_use]
     pub fn cnt_paste() -> SurfaceModification {
         SurfaceModification {
@@ -193,7 +193,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Yang et al. [57]: titanate (not carbon) nanotubes — shows the
+    /// Yang et al. \[57\]: titanate (not carbon) nanotubes — shows the
     /// material itself matters, not just the nanoscale shape (§3.2.2).
     #[must_use]
     pub fn titanate_nanotube() -> SurfaceModification {
@@ -208,7 +208,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Huang et al. [19]: MWCNT embedded in a silica sol-gel film.
+    /// Huang et al. \[19\]: MWCNT embedded in a silica sol-gel film.
     #[must_use]
     pub fn mwcnt_sol_gel() -> SurfaceModification {
         SurfaceModification {
@@ -222,7 +222,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Pan & Arnold [33]: plain Nafion film on Pt (no nanomaterial).
+    /// Pan & Arnold \[33\]: plain Nafion film on Pt (no nanomaterial).
     #[must_use]
     pub fn nafion_film() -> SurfaceModification {
         SurfaceModification {
@@ -236,7 +236,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Zhang et al. [59]: chitosan entrapment film.
+    /// Zhang et al. \[59\]: chitosan entrapment film.
     #[must_use]
     pub fn chitosan_film() -> SurfaceModification {
         SurfaceModification {
@@ -250,7 +250,7 @@ impl SurfaceModification {
         }
     }
 
-    /// Ammam & Fransaer [1]: polyurethane/MWCNT with GlOD in
+    /// Ammam & Fransaer \[1\]: polyurethane/MWCNT with GlOD in
     /// polypyrrole on Pt — the record-sensitivity glutamate electrode.
     #[must_use]
     pub fn pu_mwcnt_polypyrrole() -> SurfaceModification {

@@ -153,31 +153,36 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated);
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+            .ok_or(CodecError::Truncated)?;
         self.pos += n;
         Ok(slice)
     }
 
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(CodecError::Truncated)
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads an `f64` from its IEEE-754 bit pattern.
@@ -278,6 +283,7 @@ enum Fill {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<Fill> {
     let mut filled = 0;
     while filled < buf.len() {
+        // bios-audit: allow(P-index) — `filled < buf.len()` is the loop guard
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 {

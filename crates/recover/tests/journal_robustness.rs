@@ -5,6 +5,10 @@
 //! typed [`JournalError`] — never a panic and never a silently wrong
 //! answer (jobs that survived the damage must decode verbatim).
 
+// Test setup helpers abort on I/O failure like the tests themselves;
+// clippy only auto-exempts `#[test]` functions.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 
 use bios_recover::journal::{

@@ -28,7 +28,7 @@
 //! counting* — never serving — any entry that fails its checksum or
 //! decodes to non-finite physics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -57,7 +57,7 @@ pub const DEFAULT_CAPACITY: usize = 4096;
 
 /// The cache key: which sensor, which exact protocol, which fault
 /// plan, which seed.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     /// Catalog id of the sensor (e.g. `"glucose/ours"`).
     pub sensor: String,
@@ -75,7 +75,7 @@ pub struct CacheKey {
 /// the least-recently-used entry.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CacheKey, (Arc<CalibrationOutcome>, u64)>,
+    map: BTreeMap<CacheKey, (Arc<CalibrationOutcome>, u64)>,
     tick: u64,
 }
 
@@ -138,6 +138,7 @@ impl ResultCache {
         use std::hash::{Hash, Hasher};
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
+        // bios-audit: allow(P-index) — `% SHARDS` keeps the index in bounds
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 

@@ -31,7 +31,7 @@
 //! # Ok::<(), bios_runtime::journal::JournalError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use bios_recover::fnv1a;
@@ -213,7 +213,7 @@ impl Runtime {
         // Last record wins on (impossible in practice) duplicate
         // indexes; indexes beyond the fleet are ignored rather than
         // trusted.
-        let mut done = HashMap::new();
+        let mut done = BTreeMap::new();
         for job in &loaded.jobs {
             if (job.index as usize) < fleet.len() {
                 done.insert(job.index, job.clone());
@@ -252,6 +252,7 @@ impl Runtime {
                     return;
                 }
                 let record = Record::job_done(
+                    // bios-audit: allow(P-index) — result.index < sub_fleet.len() (= orig_of.len()) by worker-pool contract
                     orig_of[result.index] as u64,
                     disposition_of(result),
                     u64::from(result.attempts),
@@ -270,10 +271,11 @@ impl Runtime {
         // Merge journaled and fresh results into index order.
         let mut outcome = FleetOutcome::default();
         let mut digest = String::new();
-        let mut fresh_lines: HashMap<usize, (Disposition, String)> = HashMap::new();
+        let mut fresh_lines: BTreeMap<usize, (Disposition, String)> = BTreeMap::new();
         if let Some((_, report)) = &fresh {
             for result in &report.results {
                 fresh_lines.insert(
+                    // bios-audit: allow(P-index) — result.index < sub_fleet.len() (= orig_of.len()) by worker-pool contract
                     orig_of[result.index],
                     (disposition_of(result), result.digest_line()),
                 );

@@ -141,7 +141,7 @@ impl SquareCm {
         self.0
     }
 
-    /// Returns the area in mm².
+    /// Returns the area in square millimetres (1 cm² = 100 mm²).
     #[must_use]
     pub fn as_square_mm(self) -> f64 {
         self.0 * 100.0

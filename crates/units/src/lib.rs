@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod approx;
 mod concentration;
 mod electrical;
 mod error;
@@ -58,6 +59,7 @@ mod sensitivity;
 mod temperature;
 mod time;
 
+pub use approx::{approx_eq, nearly_zero};
 pub use concentration::{Molar, SurfaceLoading};
 pub use electrical::{Amperes, CurrentDensity, Ohms, ScanRate, Volts};
 pub use error::{QuantityError, Result};

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --example cell_culture_monitor`
 
+// An example reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use biosim::core::catalog;
 use biosim::core::platform::SensingPlatform;
 use biosim::prelude::*;

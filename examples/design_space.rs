@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --example design_space`
 
+// An example reports on stdout by design, and aborting with a clear
+// message is its right failure mode.
+#![allow(clippy::print_stdout, clippy::expect_used)]
+
 use biosim::analytics::report::TextTable;
 use biosim::core::protocol::{CalibrationProtocol, Chronoamperometry};
 use biosim::core::sensor::{Biosensor, Technique};

@@ -4,6 +4,10 @@
 //!
 //! Run with: `cargo run --example hysteresis`
 
+// An example reports on stdout by design, and aborting with a clear
+// message is its right failure mode.
+#![allow(clippy::print_stdout, clippy::expect_used)]
+
 use biosim::core::catalog;
 use biosim::electrochem::voltammetry::Voltammogram;
 use biosim::prelude::*;

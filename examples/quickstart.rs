@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// An example reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use biosim::prelude::*;
 
 fn main() -> Result<(), CoreError> {

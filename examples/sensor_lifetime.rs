@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --example sensor_lifetime`
 
+// An example reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use biosim::core::platform::stack::IntegratedStack;
 use biosim::core::protocol::{CalibrationProtocol, Chronoamperometry};
 use biosim::core::sensor::{Biosensor, Technique};

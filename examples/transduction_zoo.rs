@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --example transduction_zoo`
 
+// An example reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use biosim::core::catalog;
 use biosim::electrochem::field_effect::BioFet;
 use biosim::electrochem::impedance::{estimate_charge_transfer, RandlesCell};

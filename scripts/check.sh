@@ -42,4 +42,14 @@ echo "    resumed digest matches reference ($ref_fnv)"
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Static-analysis gate: the source-level determinism / panic-freedom /
+# float-hygiene / API-hygiene audit (DESIGN.md §11). Any finding fails
+# the gate; the waiver count is part of the printed summary.
+run cargo run --release -q -p bios-audit
+
+# Doc gate: rustdoc must build clean — broken intra-doc links and
+# missing docs are errors, not warnings.
+echo "==> cargo doc --no-deps (warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> all checks passed"

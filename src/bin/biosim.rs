@@ -8,6 +8,9 @@
 //! biosim measure cyp/cyclophosphamide 40   # simulate measuring 40 µM
 //! ```
 
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use biosim::analytics::report::TextTable;
