@@ -134,6 +134,11 @@ impl Default for Config {
                 "src/codec".into(),
                 "digest".into(),
                 "fingerprint".into(),
+                // The gateway's decision machines: every shed/trip/
+                // brownout verdict feeds the overload digest, so wall
+                // clocks and unordered maps are banned here too.
+                "gateway/src/bucket".into(),
+                "gateway/src/breaker".into(),
             ],
             index_paths: vec![
                 "recover/src/codec".into(),

@@ -414,6 +414,65 @@ pub fn render_stall_ablation(seed: u64) -> String {
     )
 }
 
+/// Ablation 8: ramp `FaultKind::TrafficBurst` intensity and show the
+/// gateway's overload posture shifting from "everything executes at
+/// full quality" through rate limiting and brownouts to explicit queue
+/// rejections. Every row is a pure function of (seed, intensity) —
+/// logical ticks, no wall clock — so the table is byte-stable across
+/// machines and worker counts.
+#[must_use]
+pub fn render_overload_ablation(seed: u64) -> String {
+    use bios_core::catalog;
+    use bios_faults::{FaultKind, FaultPlan};
+    use bios_gateway::{Gateway, GatewayConfig, TokenBucket};
+    use bios_runtime::{Runtime, RuntimeConfig};
+
+    let config = GatewayConfig {
+        queue_capacity: 8,
+        service_slots: 2,
+        bucket_capacity_milli: 5 * TokenBucket::WHOLE_TOKEN,
+        bucket_refill_milli_per_tick: TokenBucket::WHOLE_TOKEN,
+        ..GatewayConfig::default()
+    };
+    let mut t = TextTable::new(vec![
+        "burst intensity",
+        "span (ticks)",
+        "executed",
+        "degraded",
+        "rate limited",
+        "queue full",
+        "shed",
+    ]);
+    for intensity in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let runtime = Runtime::new(RuntimeConfig::from_env().with_cache(false));
+        let gateway = Gateway::new(config.clone(), runtime);
+        let plan = FaultPlan::builder("overload-ramp", seed)
+            .spec(FaultKind::TrafficBurst, 0.3 * intensity, intensity)
+            .build();
+        let pairs: Vec<(bios_core::catalog::CatalogEntry, u64)> = (0..32)
+            .map(|i| (catalog::our_glucose_sensor(), seed + i))
+            .collect();
+        let trace = gateway.trace_from_plan(&plan, &pairs, "ramp", 3);
+        let span = trace.iter().map(|r| r.arrival_tick).max().unwrap_or(0);
+        let report = gateway.run(&trace);
+        let c = report.counters;
+        t.add_row(vec![
+            format!("{intensity:.2}"),
+            format!("{span}"),
+            format!("{}", report.executed_ids().len()),
+            format!("{}", c.browned_out),
+            format!("{}", c.rate_limited),
+            format!("{}", c.admission_rejected),
+            format!("{}", c.deadline_shed),
+        ]);
+    }
+    format!(
+        "Ablation 8 — traffic-burst ramp (glucose × 32 requests through the \
+         gateway; bounded queue of 8, 2 service slots, 1 token/tick buckets)\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,5 +562,41 @@ mod tests {
         // The full-intensity row must inject faults into the fleet.
         let full = fields("1.00");
         assert_ne!(full[1], "0", "i=1 must inject faults: {full:?}");
+    }
+
+    #[test]
+    fn overload_ablation_ramps_from_calm_to_shedding() {
+        let s = render_overload_ablation(7);
+        let fields = |prefix: &str| -> Vec<String> {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} row in:\n{s}"))
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect()
+        };
+        // Zero intensity is a smooth trickle: everything executes,
+        // nothing is limited, degraded, or dropped.
+        let zero = fields("0.00");
+        assert_eq!(zero[2], "32", "calm traffic all executes: {zero:?}");
+        assert_eq!(zero[3], "0", "no brownouts when calm: {zero:?}");
+        assert_eq!(zero[4], "0", "no rate limiting when calm: {zero:?}");
+        assert_eq!(zero[5], "0", "no queue overflow when calm: {zero:?}");
+        // Full intensity compresses the trace; the span shrinks and at
+        // least one shedding mechanism must engage.
+        let full = fields("1.00");
+        let span_zero: u64 = zero[1].parse().unwrap_or(0);
+        let span_full: u64 = full[1].parse().unwrap_or(u64::MAX);
+        assert!(
+            span_full < span_zero,
+            "bursts must compress the trace: {span_full} vs {span_zero}"
+        );
+        let pressure: u64 = full[3..7]
+            .iter()
+            .filter_map(|f| f.parse::<u64>().ok())
+            .sum();
+        assert_ne!(pressure, 0, "full bursts must trigger overload: {full:?}");
+        // Determinism: the table is a pure function of the seed.
+        assert_eq!(s, render_overload_ablation(7));
     }
 }

@@ -27,4 +27,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_seed_ablation(seed, 32));
     println!("{}", bios_bench::ablation::render_chaos_ablation(seed));
     println!("{}", bios_bench::ablation::render_stall_ablation(seed));
+    println!("{}", bios_bench::ablation::render_overload_ablation(seed));
 }

@@ -1,0 +1,141 @@
+//! Overload gate for CI: drives a fixed bursty trace through the
+//! gateway and proves the robustness layer behaves — some work is
+//! shed or browned out (the trace genuinely overloads the gateway),
+//! the damage is bounded (most requests still execute), every request
+//! reaches a terminal outcome, and the whole decision trace is
+//! byte-identical at any worker count. `scripts/check.sh` runs it at
+//! two worker counts and compares the `digest_fnv=0x…` lines.
+//!
+//! ```text
+//! overload_gate --workers 1
+//! overload_gate --workers 8
+//! ```
+
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use bios_core::catalog;
+use bios_core::catalog::CatalogEntry;
+use bios_faults::{FaultKind, FaultPlan};
+use bios_gateway::{BreakerConfig, Gateway, GatewayConfig, TokenBucket};
+use bios_recover::fnv1a;
+use bios_runtime::{Runtime, RuntimeConfig};
+
+/// The gate trace is fixed: two tenants, a healthy glucose family, a
+/// poisoned lactate family (two sweep points are below the analytics
+/// three-standard minimum ⇒ deterministic calibration failure),
+/// arrivals compressed by a TrafficBurst spec.
+fn gate_trace(gateway: &Gateway) -> Vec<bios_gateway::Request> {
+    let plan = FaultPlan::builder("overload-gate", 0x6A7E)
+        .spec(FaultKind::TrafficBurst, 0.12, 0.9)
+        .build();
+    let poisoned = catalog::our_lactate_sensor().with_sweep_points(2);
+    let pairs: Vec<(CatalogEntry, u64)> = (0..48)
+        .map(|i| {
+            if i % 4 == 3 {
+                (poisoned.clone(), i)
+            } else {
+                (catalog::our_glucose_sensor(), i)
+            }
+        })
+        .collect();
+    let mut trace = gateway.trace_from_plan(&plan, &pairs, "ward-a", 3);
+    for (i, req) in trace.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            req.tenant = "ward-b".to_string();
+        }
+    }
+    trace
+}
+
+fn gate_config() -> GatewayConfig {
+    GatewayConfig {
+        queue_capacity: 6,
+        service_slots: 3,
+        default_deadline_ticks: 48,
+        bucket_capacity_milli: 5 * TokenBucket::WHOLE_TOKEN,
+        bucket_refill_milli_per_tick: TokenBucket::WHOLE_TOKEN,
+        breaker: BreakerConfig {
+            trip_after: 2,
+            cooldown_ticks: 6,
+            probe_quota: 1,
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    bios_bench::silence_injected_panics();
+    let mut workers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers =
+                    bios_bench::parse_flag_or_exit(args.next(), "--workers", "a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let runtime = Runtime::new(RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    });
+    let gateway = Gateway::new(gate_config(), runtime);
+    let trace = gate_trace(&gateway);
+    let total = trace.len() as u64;
+    let report = gateway.run(&trace);
+    let c = report.counters;
+    let executed = report.executed_ids().len() as u64;
+
+    println!(
+        "overload gate: {total} requests, {executed} executed, drained at tick {}",
+        report.drained_tick
+    );
+    println!("  {c}");
+    println!("digest_fnv=0x{:016x}", fnv1a(report.digest().as_bytes()));
+
+    // The gate must actually overload: every shedding mechanism fires.
+    let mut ok = true;
+    if c.rate_limited == 0 {
+        eprintln!("FAIL: rate limiter never fired on the bursty trace");
+        ok = false;
+    }
+    if c.admission_rejected == 0 {
+        eprintln!("FAIL: the bounded queue never overflowed");
+        ok = false;
+    }
+    if c.browned_out == 0 {
+        eprintln!("FAIL: brownout never engaged under queue pressure");
+        ok = false;
+    }
+    if c.breaker_trips == 0 {
+        eprintln!("FAIL: the poisoned family never tripped its breaker");
+        ok = false;
+    }
+    // …but the damage stays bounded: overload must not starve the
+    // healthy majority.
+    if executed * 2 < total {
+        eprintln!("FAIL: fewer than half the requests executed ({executed}/{total})");
+        ok = false;
+    }
+    if c.total_rejected() >= total {
+        eprintln!("FAIL: everything was rejected — admission control collapsed");
+        ok = false;
+    }
+    if !report.clean_drain() {
+        eprintln!("FAIL: some requests never reached a terminal outcome");
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -360,6 +360,43 @@ impl DiffusionGrid {
     pub fn is_finite(&self) -> bool {
         self.c.iter().all(|v| v.is_finite())
     }
+
+    /// The brownout resolution-downgrade hook: a fresh grid spanning
+    /// the same domain (same length in cm, same bulk [`Molar`]
+    /// concentration, same boundary condition) with roughly
+    /// `1/factor` of the nodes, floored at the 3-node minimum. Under
+    /// sustained overload the gateway trades spatial resolution for
+    /// service time instead of dropping work — a coarser grid takes
+    /// proportionally fewer explicit steps to cover the same physical
+    /// duration (the stable step grows as Δx²).
+    ///
+    /// The returned grid starts from a uniform bulk field: coarsening
+    /// is a *job-level* downgrade applied before simulating, not a
+    /// mid-run resampling, so a degraded run is still a pure function
+    /// of its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] when `factor`
+    /// is zero.
+    pub fn coarsened(&self, factor: usize) -> Result<DiffusionGrid, ElectrochemError> {
+        if factor == 0 {
+            return Err(ElectrochemError::InvalidParameter {
+                name: "coarsening factor",
+                value: 0.0,
+            });
+        }
+        let nodes = (self.c.len().div_ceil(factor)).max(3);
+        let length_cm = self.dx * (self.c.len() - 1) as f64;
+        let mut grid = DiffusionGrid::new(
+            DiffusionCoefficient::from_square_cm_per_second(self.d),
+            Molar::from_molar(self.bulk * 1e3),
+            length_cm,
+            nodes,
+        )?;
+        grid.set_surface(self.surface);
+        Ok(grid)
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +606,59 @@ mod tests {
             other => panic!("expected NonFinite, got {other:?}"),
         }
         assert!(!g.is_finite());
+    }
+
+    #[test]
+    fn coarsened_grid_preserves_domain_and_speeds_up() {
+        let g = grid(); // 101 nodes over 100 µm
+        let coarse = g.coarsened(4).expect("valid factor");
+        assert_eq!(coarse.nodes(), 26);
+        // Same physical domain: (nodes-1)·dx is unchanged.
+        let span = |g: &DiffusionGrid| g.dx_cm() * (g.nodes() - 1) as f64;
+        assert!((span(&coarse) - span(&g)).abs() < 1e-12);
+        // Coarser grid ⇒ larger stable explicit step ⇒ fewer steps for
+        // the same physical duration.
+        assert!(coarse.max_stable_dt() > g.max_stable_dt() * 4.0);
+        // Degraded physics stays physics: the Cottrell-like depletion
+        // still develops on the coarse grid.
+        let mut coarse = coarse;
+        coarse.set_surface(SurfaceBoundary::Concentration(0.0));
+        coarse.advance(Seconds::from_millis(100.0), Seconds::from_millis(0.2));
+        assert!(coarse.concentration_at(0).as_milli_molar() < 1e-9);
+        assert!(coarse.flux_mol_per_cm2_s() > 0.0);
+    }
+
+    #[test]
+    fn coarsened_rejects_zero_and_floors_at_minimum() {
+        let g = grid();
+        assert!(matches!(
+            g.coarsened(0),
+            Err(ElectrochemError::InvalidParameter {
+                name: "coarsening factor",
+                ..
+            })
+        ));
+        let floor = g.coarsened(usize::MAX).expect("huge factor still valid");
+        assert_eq!(floor.nodes(), 3);
+    }
+
+    #[test]
+    fn coarsened_flux_approximates_fine_grid_flux() {
+        // The brownout accuracy argument in miniature: a 4× coarser
+        // grid reproduces the fine-grid Cottrell flux to a few percent.
+        let d = DiffusionCoefficient::from_square_cm_per_second(1e-5);
+        let bulk = Molar::from_milli_molar(1.0);
+        let mut fine = DiffusionGrid::new(d, bulk, 400e-4, 801).expect("valid grid");
+        fine.set_surface(SurfaceBoundary::Concentration(0.0));
+        let mut coarse = fine.coarsened(4).expect("valid factor");
+        let dt = Seconds::from_millis(1.0);
+        for _ in 0..1000 {
+            fine.step_crank_nicolson(dt);
+            coarse.step_crank_nicolson(dt);
+        }
+        let f = fine.flux_mol_per_cm2_s();
+        let c = coarse.flux_mol_per_cm2_s();
+        assert!((f - c).abs() / f < 0.05, "fine {f} vs coarse {c}");
     }
 
     #[test]

@@ -84,11 +84,20 @@ pub enum FaultKind {
     ///
     /// [`WorkerPanic`]: FaultKind::WorkerPanic
     WorkerStall,
+    /// Demand — not the device — misbehaves: requests arrive in
+    /// compressed bursts instead of a smooth trickle, the overload
+    /// pattern a point-of-care fleet sees when a clinic batch-uploads
+    /// a ward's worth of panels at once. Unlike every other kind this
+    /// fault is realized at the *arrival* level
+    /// ([`FaultPlan::arrival_ticks`]), never per job: a burst changes
+    /// when work shows up, not what any single job computes.
+    /// Layer: `bios-gateway`.
+    TrafficBurst,
 }
 
 impl FaultKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::FilmDenaturation,
         FaultKind::ElectrodeFouling,
         FaultKind::ReferenceDrift,
@@ -99,6 +108,7 @@ impl FaultKind {
         FaultKind::TransientGlitch,
         FaultKind::WorkerPanic,
         FaultKind::WorkerStall,
+        FaultKind::TrafficBurst,
     ];
 
     /// Stable tag used to derive an independent PRNG stream per kind.
@@ -114,6 +124,7 @@ impl FaultKind {
             FaultKind::TransientGlitch => 0x08,
             FaultKind::WorkerPanic => 0x09,
             FaultKind::WorkerStall => 0x0A,
+            FaultKind::TrafficBurst => 0x0B,
         }
     }
 
@@ -130,6 +141,7 @@ impl FaultKind {
             FaultKind::TransientGlitch => "transient glitch",
             FaultKind::WorkerPanic => "worker panic",
             FaultKind::WorkerStall => "worker stall",
+            FaultKind::TrafficBurst => "traffic burst",
         }
     }
 }
@@ -296,7 +308,59 @@ impl FaultPlan {
                 FaultKind::WorkerStall => {
                     out.stall_job = true;
                 }
+                FaultKind::TrafficBurst => {
+                    // Arrival-level fault: shapes *when* jobs arrive
+                    // (see `arrival_ticks`), never what one computes.
+                }
             }
+        }
+        out
+    }
+
+    /// Generates the arrival tick of each of `n` requests under this
+    /// plan's [`FaultKind::TrafficBurst`] spec — the overload-test
+    /// input to `bios-gateway`.
+    ///
+    /// Pure function of `(plan, n, base_interval_ticks)`: the burst
+    /// stream derives from the plan seed and the `TrafficBurst` stream
+    /// tag, so the same plan always shapes the same trace. Without a
+    /// `TrafficBurst` spec (or with zero probability) the trace is a
+    /// smooth trickle, one request every `base_interval_ticks` logical
+    /// ticks. With one, each inter-arrival gap collapses to zero with
+    /// the spec's probability, and a triggered burst drags the next
+    /// `2 + ⌊14·intensity·u⌋` requests onto the same tick — higher
+    /// intensity, longer bursts. Ticks are non-decreasing; the first
+    /// request always arrives at tick 0.
+    #[must_use]
+    pub fn arrival_ticks(&self, n: usize, base_interval_ticks: u64) -> Vec<u64> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::TrafficBurst)
+            .copied()
+            .filter(|s| s.probability > 0.0);
+        let mut out = Vec::with_capacity(n);
+        let Some(spec) = spec else {
+            for i in 0..n as u64 {
+                out.push(i * base_interval_ticks);
+            }
+            return out;
+        };
+        let stream = SplitMix64::new(self.seed).derive(spec.kind.stream_tag());
+        let mut rng = Rng::seed_from_u64(stream);
+        let mut tick = 0u64;
+        let mut burst_left = 0u64;
+        for i in 0..n {
+            if i > 0 {
+                if burst_left > 0 {
+                    burst_left -= 1; // same tick: the burst continues
+                } else if rng.uniform() < spec.probability {
+                    burst_left = 2 + (14.0 * spec.intensity * rng.uniform()).floor() as u64;
+                } else {
+                    tick = tick.saturating_add(base_interval_ticks.max(1));
+                }
+            }
+            out.push(tick);
         }
         out
     }
@@ -587,5 +651,64 @@ mod tests {
     fn healthy_realization_reports_no_faults() {
         assert!(RealizedFaults::healthy().is_healthy());
         assert_eq!(RealizedFaults::default(), RealizedFaults::healthy());
+    }
+
+    #[test]
+    fn traffic_burst_never_touches_job_physics() {
+        let plan = FaultPlan::builder("burst-only", 11)
+            .spec(FaultKind::TrafficBurst, 1.0, 1.0)
+            .build();
+        for seed in 0..16 {
+            assert!(plan.realize("glucose/gox", seed).is_healthy());
+        }
+    }
+
+    #[test]
+    fn arrival_ticks_without_burst_spec_are_a_smooth_trickle() {
+        let plan = demo_plan();
+        assert_eq!(plan.arrival_ticks(5, 3), vec![0, 3, 6, 9, 12]);
+        assert_eq!(
+            FaultPlan::builder("empty", 0)
+                .build()
+                .arrival_ticks(0, 3)
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn arrival_ticks_are_deterministic_and_monotone() {
+        let plan = FaultPlan::builder("bursty", 0xB00)
+            .spec(FaultKind::TrafficBurst, 0.5, 0.8)
+            .build();
+        let a = plan.arrival_ticks(64, 2);
+        let b = plan.arrival_ticks(64, 2);
+        assert_eq!(a, b, "same plan must shape the same trace");
+        assert_eq!(a[0], 0, "the first request arrives at tick 0");
+        for w in a.windows(2) {
+            assert!(w[1] >= w[0], "ticks must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn burst_spec_compresses_the_trace() {
+        let calm = FaultPlan::builder("calm", 7).build().arrival_ticks(64, 2);
+        let bursty = FaultPlan::builder("bursty", 7)
+            .spec(FaultKind::TrafficBurst, 0.7, 1.0)
+            .build()
+            .arrival_ticks(64, 2);
+        let calm_span = calm.last().copied().unwrap_or(0);
+        let bursty_span = bursty.last().copied().unwrap_or(0);
+        assert!(
+            bursty_span < calm_span,
+            "bursts must compress the span ({bursty_span} vs {calm_span})"
+        );
+        // At least one genuine burst: several requests on one tick.
+        let max_same_tick = bursty
+            .iter()
+            .map(|t| bursty.iter().filter(|u| *u == t).count())
+            .max()
+            .unwrap_or(0);
+        assert!(max_same_tick >= 3, "no burst realized");
     }
 }

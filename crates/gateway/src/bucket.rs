@@ -1,0 +1,118 @@
+//! Deterministic token-bucket rate limiting.
+//!
+//! The bucket is clocked by the gateway's logical tick, never by wall
+//! time, and holds its level in integer **millitokens** so refill
+//! arithmetic is exact — no float drift, no platform-dependent
+//! rounding. One admitted request costs [`TokenBucket::WHOLE_TOKEN`]
+//! millitokens; fractional refill rates (e.g. one request every three
+//! ticks) are expressed as `WHOLE_TOKEN / 3` millitokens per tick.
+
+/// A token bucket clocked in logical ticks and denominated in
+/// millitokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity_milli: u64,
+    refill_milli_per_tick: u64,
+    level_milli: u64,
+    last_refill_tick: u64,
+}
+
+impl TokenBucket {
+    /// Millitokens in one whole token (the cost of one request).
+    pub const WHOLE_TOKEN: u64 = 1000;
+
+    /// A bucket that starts full at tick 0.
+    #[must_use]
+    pub fn new(capacity_milli: u64, refill_milli_per_tick: u64) -> TokenBucket {
+        TokenBucket {
+            capacity_milli,
+            refill_milli_per_tick,
+            level_milli: capacity_milli,
+            last_refill_tick: 0,
+        }
+    }
+
+    /// Credits refill for every tick elapsed since the last refill,
+    /// saturating at capacity. Ticks never run backwards; a stale
+    /// `tick` is a no-op rather than a drain.
+    pub fn advance_to(&mut self, tick: u64) {
+        if tick <= self.last_refill_tick {
+            return;
+        }
+        let elapsed = tick - self.last_refill_tick;
+        let credit = elapsed.saturating_mul(self.refill_milli_per_tick);
+        self.level_milli = self
+            .level_milli
+            .saturating_add(credit)
+            .min(self.capacity_milli);
+        self.last_refill_tick = tick;
+    }
+
+    /// Takes `cost_milli` millitokens if available. Returns whether
+    /// the request is within rate.
+    pub fn try_take(&mut self, cost_milli: u64) -> bool {
+        if self.level_milli >= cost_milli {
+            self.level_milli -= cost_milli;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current level in millitokens (after the last `advance_to`).
+    #[must_use]
+    pub fn level_milli(&self) -> u64 {
+        self.level_milli
+    }
+
+    /// Configured capacity in millitokens.
+    #[must_use]
+    pub fn capacity_milli(&self) -> u64 {
+        self.capacity_milli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_spends_down() {
+        let mut b = TokenBucket::new(2 * TokenBucket::WHOLE_TOKEN, 100);
+        assert!(b.try_take(TokenBucket::WHOLE_TOKEN));
+        assert!(b.try_take(TokenBucket::WHOLE_TOKEN));
+        assert!(!b.try_take(TokenBucket::WHOLE_TOKEN));
+        assert_eq!(b.level_milli(), 0);
+    }
+
+    #[test]
+    fn refill_is_linear_and_saturates_at_capacity() {
+        let mut b = TokenBucket::new(1000, 250);
+        assert!(b.try_take(1000));
+        b.advance_to(2);
+        assert_eq!(b.level_milli(), 500);
+        b.advance_to(10);
+        assert_eq!(b.level_milli(), 1000, "refill must clamp at capacity");
+    }
+
+    #[test]
+    fn stale_ticks_are_no_ops() {
+        let mut b = TokenBucket::new(1000, 100);
+        b.advance_to(5);
+        assert!(b.try_take(400));
+        let level = b.level_milli();
+        b.advance_to(3);
+        assert_eq!(b.level_milli(), level, "time must never run backwards");
+        b.advance_to(5);
+        assert_eq!(b.level_milli(), level, "same tick must not re-credit");
+    }
+
+    #[test]
+    fn huge_gaps_never_overflow() {
+        let mut b = TokenBucket::new(u64::MAX, u64::MAX / 2);
+        b.advance_to(u64::MAX);
+        assert_eq!(b.level_milli(), u64::MAX);
+        assert!(b.try_take(u64::MAX));
+        assert!(!b.try_take(1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Brownout degradation policy.
+//!
+//! Under pressure the gateway prefers to *downgrade* work rather than
+//! drop it: a calibration run at fewer sweep points still yields a
+//! usable sensitivity estimate, while a shed request yields nothing.
+//! The policy decides (a) when the queue is deep enough to brown out
+//! and (b) how far to cut an entry's sweep resolution. Both are pure
+//! integer arithmetic so brownout decisions are identical on every
+//! machine and worker count.
+
+use bios_core::catalog::CatalogEntry;
+
+/// Whether a result was computed at full or reduced resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Full configured sweep resolution.
+    Full,
+    /// Reduced sweep resolution under brownout.
+    Degraded,
+}
+
+impl Quality {
+    /// Stable lowercase label for digests and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Quality::Full => "full",
+            Quality::Degraded => "degraded",
+        }
+    }
+}
+
+/// When and how hard to brown out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Brownout trips when `queue_depth / queue_capacity` reaches
+    /// `pressure_num / pressure_den`.
+    pub pressure_num: usize,
+    /// Denominator of the pressure watermark fraction.
+    pub pressure_den: usize,
+    /// Degraded sweep points = `full * sweep_num / sweep_den`…
+    pub sweep_num: usize,
+    /// Denominator of the sweep reduction fraction.
+    pub sweep_den: usize,
+    /// …but never fewer than this many points (a calibration line
+    /// needs enough standards to fit).
+    pub min_sweep_points: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> DegradationPolicy {
+        DegradationPolicy {
+            pressure_num: 3,
+            pressure_den: 4,
+            sweep_num: 1,
+            sweep_den: 2,
+            min_sweep_points: 7,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Whether `queue_depth` of `queue_capacity` is past the brownout
+    /// watermark.
+    #[must_use]
+    pub fn triggered(&self, queue_depth: usize, queue_capacity: usize) -> bool {
+        if queue_capacity == 0 || self.pressure_den == 0 {
+            return false;
+        }
+        queue_depth.saturating_mul(self.pressure_den)
+            >= queue_capacity.saturating_mul(self.pressure_num)
+    }
+
+    /// Sweep points after degradation, floored at `min_sweep_points`
+    /// and never *raised* above the full resolution.
+    #[must_use]
+    pub fn degraded_points(&self, full: usize) -> usize {
+        if self.sweep_den == 0 {
+            return full;
+        }
+        (full.saturating_mul(self.sweep_num) / self.sweep_den)
+            .max(self.min_sweep_points)
+            .min(full)
+    }
+
+    /// The degraded twin of `entry`: same chemistry and id, fewer
+    /// sweep points. The changed sweep changes the entry's protocol
+    /// fingerprint, so degraded and full runs never alias in the
+    /// runtime's memo cache.
+    #[must_use]
+    pub fn degrade(&self, entry: &CatalogEntry) -> CatalogEntry {
+        let points = self.degraded_points(entry.sweep_points());
+        entry.clone().with_sweep_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_core::catalog::our_glucose_sensor;
+
+    #[test]
+    fn watermark_uses_integer_arithmetic() {
+        let p = DegradationPolicy::default();
+        assert!(!p.triggered(0, 8));
+        assert!(!p.triggered(5, 8), "5/8 < 3/4");
+        assert!(p.triggered(6, 8), "6/8 = 3/4 trips");
+        assert!(p.triggered(8, 8));
+        assert!(!p.triggered(100, 0), "zero capacity never browns out");
+    }
+
+    #[test]
+    fn degraded_points_floor_and_never_exceed_full() {
+        let p = DegradationPolicy::default();
+        assert_eq!(p.degraded_points(25), 12);
+        assert_eq!(p.degraded_points(8), 7, "floored at min_sweep_points");
+        assert_eq!(p.degraded_points(5), 5, "never raised above full");
+    }
+
+    #[test]
+    fn degraded_entry_changes_fingerprint_and_shrinks_workload() {
+        let p = DegradationPolicy::default();
+        let full = our_glucose_sensor();
+        let thin = p.degrade(&full);
+        assert_eq!(thin.id(), full.id());
+        assert_ne!(
+            thin.protocol_fingerprint(),
+            full.protocol_fingerprint(),
+            "degraded runs must not alias full runs in the memo cache"
+        );
+        assert!(thin.calibration_workload() < full.calibration_workload());
+    }
+}

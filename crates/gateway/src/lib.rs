@@ -1,0 +1,970 @@
+//! # bios-gateway — the fleet runtime's overload-robust front door
+//!
+//! [`bios_runtime::Runtime`] executes whatever fleet it is handed; when
+//! arrivals outrun capacity its queue grows without bound and every job
+//! gets slower together. This crate puts an admission layer in front of
+//! it, built from four cooperating mechanisms:
+//!
+//! * **Admission control** — a bounded intake queue plus per-tenant
+//!   token-bucket rate limiting. Overflow is rejected *explicitly*
+//!   ([`Rejected::QueueFull`], [`Rejected::RateLimited`]) instead of
+//!   silently growing the queue.
+//! * **Deadline propagation** — each [`Request`] carries a deadline
+//!   budget in logical ticks. Time spent queueing is charged against
+//!   it, and a request whose remaining budget cannot cover even a
+//!   degraded run is shed *before* it burns a worker slot
+//!   ([`Rejected::DeadlineShed`]).
+//! * **Circuit breakers** — a per-sensor-family breaker watches job
+//!   outcomes and cuts a persistently failing chemistry off
+//!   ([`Rejected::BreakerOpen`]), probing deterministically for
+//!   recovery after a cooldown.
+//! * **Brownout degradation** — under queue pressure the gateway
+//!   downgrades work instead of dropping it: entries are re-run at
+//!   reduced sweep resolution and the result is tagged
+//!   [`Quality::Degraded`].
+//!
+//! ## Determinism
+//!
+//! The gateway is clocked by a **logical tick**, never wall time. A
+//! request's service time is derived from its
+//! [`CatalogEntry::calibration_workload`] estimate, arrivals carry
+//! explicit ticks, and every shed/trip/brownout decision is a pure
+//! function of (config, arrival trace, tick). Jobs dispatched in the
+//! same tick execute concurrently on the runtime's worker pool — job
+//! *outcomes* are pure functions of (entry, seed, plan), so physical
+//! parallelism never leaks into the decisions. The full
+//! [`GatewayReport::digest`] is byte-identical at any worker count.
+//!
+//! ```
+//! use bios_core::catalog;
+//! use bios_gateway::{Gateway, GatewayConfig, Request};
+//! use bios_runtime::{Runtime, RuntimeConfig};
+//!
+//! let runtime = Runtime::new(RuntimeConfig { workers: 2, ..RuntimeConfig::default() });
+//! let gateway = Gateway::new(GatewayConfig::default(), runtime);
+//! let requests: Vec<Request> = (0..8)
+//!     .map(|i| Request::new(i, "ward-3", catalog::our_glucose_sensor(), i, i, 64))
+//!     .collect();
+//! let report = gateway.run(&requests);
+//! assert!(report.clean_drain());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+use bios_core::catalog::CatalogEntry;
+use bios_runtime::{Fleet, JobResult, Runtime};
+
+pub mod breaker;
+pub mod bucket;
+pub mod degrade;
+
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use bucket::TokenBucket;
+pub use degrade::{DegradationPolicy, Quality};
+
+/// One calibration request presented at the gateway's front door.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the outcome and digest.
+    pub id: u64,
+    /// Tenant whose token bucket this request draws from.
+    pub tenant: String,
+    /// The catalog entry to calibrate.
+    pub entry: CatalogEntry,
+    /// Noise seed for the run.
+    pub seed: u64,
+    /// Logical tick the request arrives at the gateway.
+    pub arrival_tick: u64,
+    /// Deadline budget in logical ticks, counted from arrival.
+    pub deadline_ticks: u64,
+}
+
+impl Request {
+    /// A request with every field explicit.
+    #[must_use]
+    pub fn new(
+        id: u64,
+        tenant: &str,
+        entry: CatalogEntry,
+        seed: u64,
+        arrival_tick: u64,
+        deadline_ticks: u64,
+    ) -> Request {
+        Request {
+            id,
+            tenant: tenant.to_string(),
+            entry,
+            seed,
+            arrival_tick,
+            deadline_ticks,
+        }
+    }
+
+    /// The sensor family the request's breaker is keyed on: the
+    /// catalog-id prefix before `/` (`"glucose/ours"` → `"glucose"`).
+    #[must_use]
+    pub fn family(&self) -> &str {
+        family_of(&self.entry)
+    }
+}
+
+fn family_of(entry: &CatalogEntry) -> &str {
+    let id = entry.id();
+    id.split('/').next().unwrap_or(id)
+}
+
+/// How a job outcome counts toward its family's breaker. `Some(true)`
+/// is a success, `Some(false)` a breaker-relevant failure, `None`
+/// neutral. Calibration errors, panics, deadline kills, and
+/// non-finite quarantines indicate a sick family; exhausted-retry
+/// transients and budget rejections say nothing about its chemistry,
+/// so they move no breaker state.
+fn breaker_verdict(result: &JobResult) -> Option<bool> {
+    use bios_runtime::JobError;
+    match &result.outcome {
+        Ok(_) => Some(true),
+        Err(JobError::Transient { .. } | JobError::Budget { .. }) => None,
+        Err(
+            JobError::Calibration(_)
+            | JobError::Panicked(_)
+            | JobError::Deadline
+            | JobError::NonFinite,
+        ) => Some(false),
+    }
+}
+
+/// Why the gateway refused a request. Every rejection is explicit and
+/// counted; nothing is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded intake queue was full at arrival.
+    QueueFull,
+    /// The tenant's token bucket was empty at arrival.
+    RateLimited,
+    /// The sensor family's circuit breaker was open (or its half-open
+    /// probe quota was in use).
+    BreakerOpen,
+    /// The remaining deadline budget at dispatch could not cover even
+    /// a degraded run.
+    DeadlineShed,
+}
+
+impl Rejected {
+    /// Stable lowercase label for digests and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejected::QueueFull => "queue-full",
+            Rejected::RateLimited => "rate-limited",
+            Rejected::BreakerOpen => "breaker-open",
+            Rejected::DeadlineShed => "deadline-shed",
+        }
+    }
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What the gateway ultimately did with one request.
+#[derive(Debug, Clone)]
+pub enum Disposition {
+    /// The request ran on the runtime.
+    Executed {
+        /// Full or browned-out resolution.
+        quality: Quality,
+        /// Tick the job left the queue for a worker.
+        dispatched_tick: u64,
+        /// Tick the job's logical service time elapsed.
+        done_tick: u64,
+        /// The runtime's result for the job.
+        result: JobResult,
+    },
+    /// The request was refused; the payload says where.
+    Rejected(Rejected),
+}
+
+/// One request's journey through the gateway.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The caller-chosen request id.
+    pub id: u64,
+    /// The tenant the request billed against.
+    pub tenant: String,
+    /// Catalog id of the requested sensor.
+    pub sensor: String,
+    /// Noise seed of the requested run.
+    pub seed: u64,
+    /// Tick the request arrived.
+    pub arrival_tick: u64,
+    /// What happened to it.
+    pub disposition: Disposition,
+}
+
+impl RequestOutcome {
+    /// Whether the request executed (at any quality).
+    #[must_use]
+    pub fn executed(&self) -> bool {
+        matches!(self.disposition, Disposition::Executed { .. })
+    }
+
+    /// The outcome's line in the canonical gateway digest (no trailing
+    /// newline). Wall-clock fields never appear, so the digest is
+    /// byte-identical at any worker count.
+    #[must_use]
+    pub fn digest_line(&self) -> String {
+        match &self.disposition {
+            Disposition::Executed {
+                quality,
+                dispatched_tick,
+                done_tick,
+                result,
+            } => format!(
+                "req {:04} {} t{}->{}->{} {} {}",
+                self.id,
+                self.tenant,
+                self.arrival_tick,
+                dispatched_tick,
+                done_tick,
+                quality.label(),
+                result.digest_line()
+            ),
+            Disposition::Rejected(r) => format!(
+                "req {:04} {} t{} rejected {} {} seed={}",
+                self.id, self.tenant, self.arrival_tick, r, self.sensor, self.seed
+            ),
+        }
+    }
+}
+
+/// The six overload counters, mirrored into the runtime's
+/// [`bios_runtime::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayCounters {
+    /// Requests rejected because the intake queue was full.
+    pub admission_rejected: u64,
+    /// Requests rejected by a tenant's token bucket.
+    pub rate_limited: u64,
+    /// Closed→Open and HalfOpen→Open breaker transitions.
+    pub breaker_trips: u64,
+    /// Requests admitted as half-open recovery probes.
+    pub breaker_half_open_probes: u64,
+    /// Requests executed at degraded resolution.
+    pub browned_out: u64,
+    /// Requests shed at dispatch for an exhausted deadline budget.
+    pub deadline_shed: u64,
+}
+
+impl GatewayCounters {
+    /// Total requests refused outright: queue overflow, rate limiting,
+    /// and deadline sheds. Breaker rejections are per-request outcomes
+    /// (`breaker_trips` counts state transitions, not refusals), and
+    /// brownouts still execute.
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        self.admission_rejected + self.rate_limited + self.deadline_shed
+    }
+}
+
+impl fmt::Display for GatewayCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admission_rejected={} rate_limited={} breaker_trips={} breaker_half_open_probes={} browned_out={} deadline_shed={}",
+            self.admission_rejected,
+            self.rate_limited,
+            self.breaker_trips,
+            self.breaker_half_open_probes,
+            self.browned_out,
+            self.deadline_shed
+        )
+    }
+}
+
+/// Everything one gateway run produced.
+#[derive(Debug, Clone)]
+pub struct GatewayReport {
+    /// Per-request outcomes, in the caller's request order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Logical tick the last in-flight job completed.
+    pub drained_tick: u64,
+    /// The overload counters for this run.
+    pub counters: GatewayCounters,
+}
+
+impl GatewayReport {
+    /// The canonical run digest: one [`RequestOutcome::digest_line`]
+    /// per request in request order, then the counters. Contains no
+    /// wall-clock fields, so equal configurations produce byte-equal
+    /// digests at any worker count.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.digest_line());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "drained_tick={} {}\n",
+            self.drained_tick, self.counters
+        ));
+        out
+    }
+
+    /// Whether every request reached a terminal outcome — executed or
+    /// explicitly rejected — with nothing lost in the queue.
+    #[must_use]
+    pub fn clean_drain(&self) -> bool {
+        let executed = self.outcomes.iter().filter(|o| o.executed()).count() as u64;
+        let rejected = self.counters.admission_rejected
+            + self.counters.rate_limited
+            + self.counters.deadline_shed
+            + self
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o.disposition, Disposition::Rejected(Rejected::BreakerOpen)))
+                .count() as u64;
+        executed + rejected == self.outcomes.len() as u64
+    }
+
+    /// Ids of requests that executed (any quality), in request order.
+    #[must_use]
+    pub fn executed_ids(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.executed())
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Ids of requests rejected with the given reason, in request
+    /// order.
+    #[must_use]
+    pub fn rejected_ids(&self, reason: Rejected) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.disposition, Disposition::Rejected(r) if r == reason))
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Ids of requests that executed at degraded quality, in request
+    /// order.
+    #[must_use]
+    pub fn browned_out_ids(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Executed {
+                        quality: Quality::Degraded,
+                        ..
+                    }
+                )
+            })
+            .map(|o| o.id)
+            .collect()
+    }
+}
+
+/// Gateway construction options. All time-like fields are logical
+/// ticks except [`GatewayConfig::tick_wall`], which maps ticks onto
+/// the runtime watchdog's wall-clock deadline as an execution safety
+/// net — it is never an input to any admission decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayConfig {
+    /// Bounded intake queue capacity; arrivals past it are rejected
+    /// with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Jobs the gateway dispatches concurrently per tick.
+    pub service_slots: usize,
+    /// Workload units ([`CatalogEntry::calibration_workload`] samples)
+    /// one logical tick of service represents.
+    pub work_units_per_tick: u64,
+    /// Deadline budget assigned by [`Gateway::trace_from_plan`] when
+    /// the caller does not choose one.
+    pub default_deadline_ticks: u64,
+    /// Per-tenant token-bucket capacity in millitokens
+    /// ([`TokenBucket::WHOLE_TOKEN`] per request).
+    pub bucket_capacity_milli: u64,
+    /// Per-tenant refill rate in millitokens per tick.
+    pub bucket_refill_milli_per_tick: u64,
+    /// Per-sensor-family circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Brownout watermark and resolution cut.
+    pub degradation: DegradationPolicy,
+    /// Wall-clock length of one logical tick for the runtime watchdog
+    /// handoff. [`Duration::ZERO`] (the default) leaves the watchdog
+    /// alone.
+    pub tick_wall: Duration,
+}
+
+impl Default for GatewayConfig {
+    /// A queue of 32, four service slots, 256 work units per tick
+    /// (one full-resolution amperometric calibration ≈ 4 ticks), a
+    /// 64-tick default deadline, buckets of 8 tokens refilling 2 per
+    /// tick, and default breaker/brownout tuning.
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            queue_capacity: 32,
+            service_slots: 4,
+            work_units_per_tick: 256,
+            default_deadline_ticks: 64,
+            bucket_capacity_milli: 8 * TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 2 * TokenBucket::WHOLE_TOKEN,
+            breaker: BreakerConfig::default(),
+            degradation: DegradationPolicy::default(),
+            tick_wall: Duration::ZERO,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Defaults overridden from the environment:
+    ///
+    /// * `BIOS_GATEWAY_QPS` — whole tokens refilled per tick, > 0.
+    /// * `BIOS_BREAKER_THRESHOLD` — consecutive failures to trip, > 0.
+    ///
+    /// Malformed values produce one deterministic warning line on
+    /// stderr (via [`bios_runtime::parse_env_value`]) and keep the
+    /// default, same as [`bios_runtime::RuntimeConfig::from_env`].
+    #[must_use]
+    pub fn from_env() -> GatewayConfig {
+        let mut config = GatewayConfig::default();
+        if let Ok(raw) = std::env::var("BIOS_GATEWAY_QPS") {
+            if let Some(qps) =
+                bios_runtime::parse_env_value::<u64>("BIOS_GATEWAY_QPS", &raw, "a positive integer")
+                    .filter(|&q| q > 0)
+            {
+                config.bucket_refill_milli_per_tick = qps.saturating_mul(TokenBucket::WHOLE_TOKEN);
+                config.bucket_capacity_milli = config
+                    .bucket_capacity_milli
+                    .max(config.bucket_refill_milli_per_tick);
+            }
+        }
+        if let Ok(raw) = std::env::var("BIOS_BREAKER_THRESHOLD") {
+            if let Some(t) = bios_runtime::parse_env_value::<u32>(
+                "BIOS_BREAKER_THRESHOLD",
+                &raw,
+                "a positive integer",
+            )
+            .filter(|&t| t > 0)
+            {
+                config.breaker.trip_after = t;
+            }
+        }
+        config
+    }
+}
+
+/// A job the gateway has dispatched whose logical service time has not
+/// yet elapsed.
+#[derive(Debug)]
+struct InFlight {
+    idx: usize,
+    dispatched_tick: u64,
+    done_tick: u64,
+    probe: bool,
+    quality: Quality,
+    result: JobResult,
+}
+
+/// The overload-robust front door. Owns a [`Runtime`] and feeds it
+/// per-tick batches of admitted work.
+#[derive(Debug)]
+pub struct Gateway {
+    config: GatewayConfig,
+    runtime: Runtime,
+}
+
+impl Gateway {
+    /// A gateway in front of `runtime`. When
+    /// [`GatewayConfig::tick_wall`] is non-zero the runtime's watchdog
+    /// deadline is derived from it (ticks × wall-per-tick ×
+    /// default deadline) purely as a hang safety net.
+    #[must_use]
+    pub fn new(config: GatewayConfig, runtime: Runtime) -> Gateway {
+        Gateway { config, runtime }
+    }
+
+    /// The configuration the gateway was built with.
+    #[must_use]
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// A snapshot of the owned runtime's metrics, including the six
+    /// gateway overload counters this gateway has recorded into it.
+    #[must_use]
+    pub fn metrics(&self) -> bios_runtime::MetricsSnapshot {
+        self.runtime.metrics_handle().snapshot()
+    }
+
+    /// Logical service ticks for `workload` sample units, always ≥ 1.
+    #[must_use]
+    pub fn service_ticks(&self, workload: u64) -> u64 {
+        workload
+            .div_ceil(self.config.work_units_per_tick.max(1))
+            .max(1)
+    }
+
+    /// Runs a trace of requests to completion and reports every
+    /// outcome. The trace need not be sorted; arrivals are processed
+    /// in (arrival tick, trace order) order.
+    #[must_use]
+    pub fn run(&self, requests: &[Request]) -> GatewayReport {
+        let metrics = self.runtime.metrics_handle();
+        let mut outcomes: Vec<Option<Disposition>> = Vec::new();
+        outcomes.resize_with(requests.len(), || None);
+        let mut counters = GatewayCounters::default();
+
+        // Arrival order: (arrival_tick, trace position), stable.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].arrival_tick);
+
+        let mut buckets: BTreeMap<&str, TokenBucket> = BTreeMap::new();
+        let mut breakers: BTreeMap<&str, CircuitBreaker> = BTreeMap::new();
+        let mut probes: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut running: Vec<InFlight> = Vec::new();
+
+        let slots = self.config.service_slots.max(1);
+        let mut next_arrival = 0usize;
+        let mut tick = match order.first() {
+            Some(&i) => requests[i].arrival_tick,
+            None => {
+                return GatewayReport {
+                    outcomes: Vec::new(),
+                    drained_tick: 0,
+                    counters,
+                }
+            }
+        };
+        let mut drained_tick = tick;
+
+        loop {
+            // 1. Completions due at this tick, in (done tick, dispatch
+            // tick, trace position) order, feed the breakers.
+            let mut due: Vec<InFlight> = Vec::new();
+            let mut still: Vec<InFlight> = Vec::new();
+            for r in running.drain(..) {
+                if r.done_tick <= tick {
+                    due.push(r);
+                } else {
+                    still.push(r);
+                }
+            }
+            running = still;
+            due.sort_by_key(|r| (r.done_tick, r.dispatched_tick, r.idx));
+            for fin in due {
+                let req = &requests[fin.idx];
+                let breaker = breakers
+                    .entry(req.family())
+                    .or_insert_with(|| CircuitBreaker::new(self.config.breaker));
+                match breaker_verdict(&fin.result) {
+                    Some(ok) if breaker.on_result(ok, fin.probe, tick) => {
+                        counters.breaker_trips += 1;
+                        metrics.record_breaker_trip();
+                    }
+                    Some(_) => {}
+                    None if fin.probe => breaker.cancel_probe(),
+                    None => {}
+                }
+                drained_tick = drained_tick.max(fin.done_tick);
+                outcomes[fin.idx] = Some(Disposition::Executed {
+                    quality: fin.quality,
+                    dispatched_tick: fin.dispatched_tick,
+                    done_tick: fin.done_tick,
+                    result: fin.result,
+                });
+            }
+
+            // 2. Arrivals at this tick, in trace order: rate limit,
+            // then queue capacity, then the family breaker.
+            while next_arrival < order.len() && requests[order[next_arrival]].arrival_tick <= tick {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                let req = &requests[idx];
+                let bucket = buckets.entry(req.tenant.as_str()).or_insert_with(|| {
+                    TokenBucket::new(
+                        self.config.bucket_capacity_milli,
+                        self.config.bucket_refill_milli_per_tick,
+                    )
+                });
+                bucket.advance_to(tick);
+                if !bucket.try_take(TokenBucket::WHOLE_TOKEN) {
+                    counters.rate_limited += 1;
+                    metrics.record_rate_limited();
+                    outcomes[idx] = Some(Disposition::Rejected(Rejected::RateLimited));
+                    continue;
+                }
+                if queue.len() >= self.config.queue_capacity.max(1) {
+                    counters.admission_rejected += 1;
+                    metrics.record_admission_rejected();
+                    outcomes[idx] = Some(Disposition::Rejected(Rejected::QueueFull));
+                    continue;
+                }
+                let breaker = breakers
+                    .entry(req.family())
+                    .or_insert_with(|| CircuitBreaker::new(self.config.breaker));
+                match breaker.admit(tick) {
+                    Admission::Reject => {
+                        outcomes[idx] = Some(Disposition::Rejected(Rejected::BreakerOpen));
+                        continue;
+                    }
+                    Admission::Probe => {
+                        counters.breaker_half_open_probes += 1;
+                        metrics.record_breaker_half_open_probe();
+                        probes.insert(idx);
+                    }
+                    Admission::Admit => {}
+                }
+                queue.push_back(idx);
+            }
+
+            // 3. Dispatch into free slots: charge queueing time against
+            // the deadline budget, brown out under pressure, shed what
+            // cannot finish even degraded.
+            let mut batch: Vec<(usize, CatalogEntry, Quality, u64)> = Vec::new();
+            while batch.len() + running.len() < slots {
+                let Some(idx) = queue.pop_front() else { break };
+                let req = &requests[idx];
+                let waited = tick.saturating_sub(req.arrival_tick);
+                let remaining = req.deadline_ticks.saturating_sub(waited);
+                let full_ticks = self.service_ticks(req.entry.calibration_workload());
+                let pressured = self
+                    .config
+                    .degradation
+                    .triggered(queue.len(), self.config.queue_capacity);
+                let fits_full = full_ticks <= remaining;
+                if fits_full && !pressured {
+                    batch.push((idx, req.entry.clone(), Quality::Full, full_ticks));
+                    continue;
+                }
+                let thin = self.config.degradation.degrade(&req.entry);
+                let thin_ticks = self.service_ticks(thin.calibration_workload());
+                if thin_ticks <= remaining && thin_ticks < full_ticks {
+                    counters.browned_out += 1;
+                    metrics.record_browned_out();
+                    batch.push((idx, thin, Quality::Degraded, thin_ticks));
+                } else if fits_full {
+                    // Pressured, but degradation cannot shrink this
+                    // entry: run it at full resolution anyway.
+                    batch.push((idx, req.entry.clone(), Quality::Full, full_ticks));
+                } else {
+                    counters.deadline_shed += 1;
+                    metrics.record_deadline_shed();
+                    if probes.remove(&idx) {
+                        if let Some(b) = breakers.get_mut(req.family()) {
+                            b.cancel_probe();
+                        }
+                    }
+                    outcomes[idx] = Some(Disposition::Rejected(Rejected::DeadlineShed));
+                }
+            }
+
+            // 4. Execute the tick's batch as one fleet on the worker
+            // pool. Outcomes are pure functions of (entry, seed, plan),
+            // so physical parallelism cannot leak into decisions.
+            if !batch.is_empty() {
+                let mut builder = Fleet::builder("gateway-tick");
+                for (idx, entry, _, _) in &batch {
+                    builder = builder.job(entry.clone(), requests[*idx].seed);
+                }
+                let report = self.runtime.run(&builder.build());
+                for (result, (idx, _, quality, serv)) in report.results.into_iter().zip(batch) {
+                    running.push(InFlight {
+                        idx,
+                        dispatched_tick: tick,
+                        done_tick: tick + serv,
+                        probe: probes.remove(&idx),
+                        quality,
+                        result,
+                    });
+                }
+            }
+
+            // 5. Advance to the next event, or stop when fully drained.
+            let upcoming_arrival = order
+                .get(next_arrival)
+                .map(|&i| requests[i].arrival_tick.max(tick + 1));
+            let upcoming_done = running.iter().map(|r| r.done_tick).min();
+            tick = match (upcoming_arrival, upcoming_done) {
+                (Some(a), Some(d)) => a.min(d),
+                (Some(a), None) => a,
+                (None, Some(d)) => d,
+                (None, None) => {
+                    if queue.is_empty() {
+                        break;
+                    }
+                    // Queue still holds work but nothing is running and
+                    // no arrivals remain: loop again at the next tick to
+                    // dispatch it.
+                    tick + 1
+                }
+            };
+        }
+
+        let outcomes = requests
+            .iter()
+            .zip(outcomes)
+            .map(|(req, slot)| RequestOutcome {
+                id: req.id,
+                tenant: req.tenant.clone(),
+                sensor: req.entry.id().to_string(),
+                seed: req.seed,
+                arrival_tick: req.arrival_tick,
+                // Every request is terminal by construction: arrivals
+                // either reject or enqueue, and the loop only exits
+                // once queue and running set are empty.
+                disposition: slot.unwrap_or(Disposition::Rejected(Rejected::QueueFull)),
+            })
+            .collect();
+
+        GatewayReport {
+            outcomes,
+            drained_tick,
+            counters,
+        }
+    }
+
+    /// Builds an arrival trace from a fault plan: one request per
+    /// (entry, seed) pair, arrival ticks drawn from
+    /// [`bios_faults::FaultPlan::arrival_ticks`] so a
+    /// [`bios_faults::FaultKind::TrafficBurst`] spec compresses the
+    /// trace into bursts.
+    #[must_use]
+    pub fn trace_from_plan(
+        &self,
+        plan: &bios_faults::FaultPlan,
+        pairs: &[(CatalogEntry, u64)],
+        tenant: &str,
+        base_interval_ticks: u64,
+    ) -> Vec<Request> {
+        let ticks = plan.arrival_ticks(pairs.len(), base_interval_ticks);
+        pairs
+            .iter()
+            .zip(ticks)
+            .enumerate()
+            .map(|(i, ((entry, seed), arrival))| {
+                Request::new(
+                    i as u64,
+                    tenant,
+                    entry.clone(),
+                    *seed,
+                    arrival,
+                    self.config.default_deadline_ticks,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_core::catalog::{our_glucose_sensor, our_lactate_sensor};
+    use bios_runtime::RuntimeConfig;
+
+    fn runtime() -> Runtime {
+        Runtime::new(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        })
+    }
+
+    #[test]
+    fn a_gentle_trickle_all_executes_at_full_quality() {
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request::new(i, "icu", our_glucose_sensor(), i, i * 8, 64))
+            .collect();
+        let report = gw.run(&reqs);
+        assert!(report.clean_drain());
+        assert_eq!(report.executed_ids(), vec![0, 1, 2, 3]);
+        assert!(report.browned_out_ids().is_empty());
+        assert_eq!(report.counters, GatewayCounters::default());
+    }
+
+    #[test]
+    fn a_burst_past_the_bucket_is_rate_limited() {
+        let config = GatewayConfig {
+            bucket_capacity_milli: 2 * TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 0,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, runtime());
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| Request::new(i, "ward", our_glucose_sensor(), i, 0, 64))
+            .collect();
+        let report = gw.run(&reqs);
+        assert_eq!(report.executed_ids(), vec![0, 1]);
+        assert_eq!(report.rejected_ids(Rejected::RateLimited), vec![2, 3, 4]);
+        assert_eq!(report.counters.rate_limited, 3);
+        assert!(report.clean_drain());
+    }
+
+    #[test]
+    fn a_full_queue_rejects_explicitly() {
+        let config = GatewayConfig {
+            queue_capacity: 2,
+            service_slots: 1,
+            bucket_capacity_milli: 100 * TokenBucket::WHOLE_TOKEN,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, runtime());
+        // All at tick 0: slot takes one, queue holds two, rest bounce.
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| Request::new(i, "ward", our_glucose_sensor(), i, 0, 640))
+            .collect();
+        let report = gw.run(&reqs);
+        assert!(report.counters.admission_rejected >= 1);
+        assert!(!report.rejected_ids(Rejected::QueueFull).is_empty());
+        assert!(report.clean_drain());
+    }
+
+    #[test]
+    fn hopeless_deadlines_are_shed_before_burning_a_worker() {
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        // Deadline of 1 tick cannot cover even a degraded glucose run
+        // (≈ 2 ticks at 256 units/tick).
+        let reqs = vec![Request::new(7, "er", our_glucose_sensor(), 1, 0, 1)];
+        let report = gw.run(&reqs);
+        assert_eq!(report.rejected_ids(Rejected::DeadlineShed), vec![7]);
+        assert_eq!(report.counters.deadline_shed, 1);
+        assert!(report.clean_drain());
+    }
+
+    #[test]
+    fn families_are_isolated_by_their_breakers() {
+        // Two sweep points are below the linear-range detector's
+        // three-standard minimum, so every run of this entry fails
+        // with a deterministic calibration error.
+        let bad = our_lactate_sensor().with_sweep_points(2);
+        let config = GatewayConfig {
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_ticks: 1000,
+                probe_quota: 1,
+            },
+            bucket_capacity_milli: 100 * TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 100 * TokenBucket::WHOLE_TOKEN,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, runtime());
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|i| Request::new(i, "lab", bad.clone(), i, i * 4, 64))
+            .collect();
+        reqs.extend((4..8).map(|i| Request::new(i, "lab", our_glucose_sensor(), i, 64 + i, 64)));
+        let report = gw.run(&reqs);
+        assert!(report.counters.breaker_trips >= 1, "lactate family trips");
+        assert!(
+            !report.rejected_ids(Rejected::BreakerOpen).is_empty(),
+            "later lactate requests bounce off the open breaker"
+        );
+        assert_eq!(
+            report.executed_ids().iter().filter(|&&i| i >= 4).count(),
+            4,
+            "the glucose family sails through untouched"
+        );
+    }
+
+    #[test]
+    fn digest_is_identical_across_worker_counts() {
+        let reqs: Vec<Request> = (0..12)
+            .map(|i| {
+                Request::new(
+                    i,
+                    if i % 2 == 0 { "a" } else { "b" },
+                    our_glucose_sensor(),
+                    i,
+                    i / 3,
+                    64,
+                )
+            })
+            .collect();
+        let digests: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let rt = Runtime::new(RuntimeConfig {
+                    workers: w,
+                    ..RuntimeConfig::default()
+                });
+                Gateway::new(GatewayConfig::default(), rt)
+                    .run(&reqs)
+                    .digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn counters_mirror_into_the_runtime_metrics_snapshot() {
+        let rt = runtime();
+        let config = GatewayConfig {
+            bucket_capacity_milli: TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 0,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, rt);
+        let reqs: Vec<Request> = (0..3)
+            .map(|i| Request::new(i, "ward", our_glucose_sensor(), 0, 0, 64))
+            .collect();
+        let report = gw.run(&reqs);
+        assert_eq!(report.counters.rate_limited, 2);
+        let snap = gw.metrics();
+        assert_eq!(snap.rate_limited, 2, "counters mirror runtime-side");
+        assert_eq!(snap.admission_rejected, 0);
+    }
+
+    #[test]
+    fn from_env_reads_gateway_knobs_with_warnings() {
+        // Env-var tests share a process; mutate distinct vars only.
+        std::env::set_var("BIOS_GATEWAY_QPS", "5");
+        std::env::set_var("BIOS_BREAKER_THRESHOLD", "9");
+        let c = GatewayConfig::from_env();
+        assert_eq!(c.bucket_refill_milli_per_tick, 5 * TokenBucket::WHOLE_TOKEN);
+        assert_eq!(c.breaker.trip_after, 9);
+        std::env::set_var("BIOS_GATEWAY_QPS", "fast");
+        std::env::set_var("BIOS_BREAKER_THRESHOLD", "0");
+        let d = GatewayConfig::from_env();
+        assert_eq!(
+            d.bucket_refill_milli_per_tick,
+            GatewayConfig::default().bucket_refill_milli_per_tick,
+            "malformed qps keeps the default"
+        );
+        assert_eq!(
+            d.breaker.trip_after,
+            GatewayConfig::default().breaker.trip_after,
+            "zero threshold keeps the default"
+        );
+        std::env::remove_var("BIOS_GATEWAY_QPS");
+        std::env::remove_var("BIOS_BREAKER_THRESHOLD");
+    }
+
+    #[test]
+    fn trace_from_plan_matches_arrival_ticks() {
+        use bios_faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::builder("burst", 11)
+            .spec(FaultKind::TrafficBurst, 0.5, 1.0)
+            .build();
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        let pairs: Vec<(CatalogEntry, u64)> = (0..6).map(|s| (our_glucose_sensor(), s)).collect();
+        let trace = gw.trace_from_plan(&plan, &pairs, "ward", 3);
+        let expect = plan.arrival_ticks(6, 3);
+        assert_eq!(
+            trace.iter().map(|r| r.arrival_tick).collect::<Vec<_>>(),
+            expect
+        );
+        assert!(trace.iter().all(|r| r.deadline_ticks == 64));
+    }
+}

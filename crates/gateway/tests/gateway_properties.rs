@@ -1,0 +1,213 @@
+//! Property and exhaustive small-state tests for the gateway's two
+//! decision machines: the token bucket and the circuit breaker.
+//!
+//! The breaker state space is small enough to enumerate outright:
+//! every ok/fail outcome sequence of length 10 (2¹⁰ = 1024 traces) is
+//! driven through a breaker with a tight config, checking structural
+//! invariants after every step. The bucket properties are driven by
+//! the in-tree seeded [`bios_prng::cases`] driver.
+
+use bios_gateway::{Admission, BreakerConfig, BreakerState, CircuitBreaker, TokenBucket};
+use bios_prng::cases;
+
+/// Drives one ok/fail trace through a breaker, interleaving admission
+/// probes, and checks invariants at every step.
+fn drive_trace(trace_bits: u32, len: u32, config: BreakerConfig) {
+    let mut b = CircuitBreaker::new(config);
+    let mut tick = 0u64;
+    let mut probe_pending = 0u32;
+    for step in 0..len {
+        tick += 1;
+        // Interleave an admission attempt before each outcome so the
+        // Open → HalfOpen transition is exercised mid-trace.
+        let admission = b.admit(tick);
+        match admission {
+            Admission::Probe => {
+                probe_pending += 1;
+                assert_ne!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "probes only issue from a half-open breaker"
+                );
+            }
+            Admission::Admit => {
+                assert_eq!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "plain admits only when closed"
+                );
+            }
+            Admission::Reject => {
+                assert_ne!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "a closed breaker never rejects"
+                );
+            }
+        }
+        let ok = (trace_bits >> step) & 1 == 1;
+        let as_probe = probe_pending > 0;
+        if as_probe {
+            probe_pending -= 1;
+        }
+        let tripped = b.on_result(ok, as_probe, tick);
+        if tripped {
+            assert_eq!(b.state(), BreakerState::Open, "a trip always lands Open");
+            assert!(!ok, "a success can never trip the breaker");
+        }
+        if ok && b.state() == BreakerState::Open {
+            // The only way a success leaves the breaker open is as a
+            // straggler that arrived while already open.
+            assert!(!tripped);
+        }
+    }
+}
+
+#[test]
+fn breaker_invariants_hold_on_every_length_10_trace() {
+    let config = BreakerConfig {
+        trip_after: 2,
+        cooldown_ticks: 3,
+        probe_quota: 2,
+    };
+    for trace in 0u32..(1 << 10) {
+        drive_trace(trace, 10, config);
+    }
+}
+
+#[test]
+fn breaker_closed_to_open_needs_exactly_trip_after_consecutive_failures() {
+    for trip_after in 1u32..=4 {
+        let config = BreakerConfig {
+            trip_after,
+            cooldown_ticks: 100,
+            probe_quota: 1,
+        };
+        let mut b = CircuitBreaker::new(config);
+        for i in 0..trip_after - 1 {
+            assert!(!b.on_result(false, false, u64::from(i)));
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // One success resets the whole streak…
+        assert!(!b.on_result(true, false, 10));
+        for i in 0..trip_after - 1 {
+            assert!(!b.on_result(false, false, 11 + u64::from(i)));
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "streak reset by the success"
+        );
+        // …and only an unbroken streak of `trip_after` trips.
+        assert!(b.on_result(false, false, 20));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}
+
+#[test]
+fn breaker_full_recovery_cycle_closed_open_half_open_closed() {
+    let config = BreakerConfig {
+        trip_after: 3,
+        cooldown_ticks: 5,
+        probe_quota: 2,
+    };
+    let mut b = CircuitBreaker::new(config);
+    assert_eq!(b.state(), BreakerState::Closed);
+    for t in 0..3 {
+        b.on_result(false, false, t);
+    }
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.admit(6), Admission::Reject, "cooldown not yet elapsed");
+    assert_eq!(
+        b.admit(7),
+        Admission::Probe,
+        "cooldown elapsed (5 ticks after trip at 2)"
+    );
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    assert_eq!(b.admit(7), Admission::Probe, "quota of 2");
+    assert_eq!(b.admit(7), Admission::Reject, "quota exhausted");
+    assert!(!b.on_result(true, true, 8));
+    assert_eq!(
+        b.state(),
+        BreakerState::HalfOpen,
+        "one success is not enough"
+    );
+    assert!(!b.on_result(true, true, 9));
+    assert_eq!(b.state(), BreakerState::Closed, "quota met closes the loop");
+}
+
+#[test]
+fn bucket_refill_is_monotone_in_elapsed_ticks() {
+    cases(0x0601, 128, |rng| {
+        let capacity = 1 + (rng.next_u64() % 50_000);
+        let rate = rng.next_u64() % 5_000;
+        let spend = rng.next_u64() % (capacity + 1);
+        let t1 = rng.next_u64() % 1_000;
+        let t2 = t1 + rng.next_u64() % 1_000;
+        let mut a = TokenBucket::new(capacity, rate);
+        assert!(a.try_take(spend));
+        let mut b = a.clone();
+        a.advance_to(t1);
+        b.advance_to(t2);
+        assert!(
+            b.level_milli() >= a.level_milli(),
+            "waiting longer can never yield fewer tokens (t1={t1} t2={t2})"
+        );
+    });
+}
+
+#[test]
+fn bucket_level_never_exceeds_capacity() {
+    cases(0x0602, 128, |rng| {
+        let capacity = 1 + (rng.next_u64() % 10_000);
+        let rate = rng.next_u64() % u32::MAX as u64;
+        let mut b = TokenBucket::new(capacity, rate);
+        let mut tick = 0u64;
+        for _ in 0..32 {
+            tick += rng.next_u64() % 1_000;
+            b.advance_to(tick);
+            assert!(
+                b.level_milli() <= b.capacity_milli(),
+                "level {} above capacity {}",
+                b.level_milli(),
+                b.capacity_milli()
+            );
+            let cost = rng.next_u64() % (capacity * 2);
+            let before = b.level_milli();
+            let taken = b.try_take(cost);
+            assert_eq!(taken, before >= cost, "take succeeds iff affordable");
+            if taken {
+                assert_eq!(b.level_milli(), before - cost, "take is exact");
+            } else {
+                assert_eq!(b.level_milli(), before, "a refused take never drains");
+            }
+        }
+    });
+}
+
+#[test]
+fn bucket_interleaved_advances_equal_one_big_advance() {
+    cases(0x0603, 64, |rng| {
+        let capacity = 1 + (rng.next_u64() % 100_000);
+        let rate = rng.next_u64() % 100;
+        let mut stepped = TokenBucket::new(capacity, rate);
+        let mut jumped = TokenBucket::new(capacity, rate);
+        assert!(stepped.try_take(capacity));
+        assert!(jumped.try_take(capacity));
+        let hops: Vec<u64> = (0..8).map(|_| rng.next_u64() % 100).collect();
+        let mut tick = 0u64;
+        for h in &hops {
+            tick += h;
+            stepped.advance_to(tick);
+        }
+        jumped.advance_to(tick);
+        // Refill below capacity is linear, so path does not matter —
+        // only when the clamp engages may the stepped path differ, and
+        // then both must sit at the same clamped level.
+        assert_eq!(
+            stepped.level_milli(),
+            jumped.level_milli(),
+            "refill must be path-independent"
+        );
+    });
+}

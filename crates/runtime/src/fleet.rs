@@ -58,6 +58,7 @@ impl Fleet {
             name: name.to_owned(),
             sensors: Vec::new(),
             seeds: Vec::new(),
+            explicit: Vec::new(),
             fault_plan: None,
         }
     }
@@ -145,6 +146,7 @@ pub struct FleetBuilder {
     name: String,
     sensors: Vec<CatalogEntry>,
     seeds: Vec<u64>,
+    explicit: Vec<(CatalogEntry, u64)>,
     fault_plan: Option<Arc<FaultPlan>>,
 }
 
@@ -177,6 +179,18 @@ impl FleetBuilder {
         self
     }
 
+    /// Adds one explicit `(sensor, seed)` job, bypassing the
+    /// sensors × seeds cross product. This is the gateway's intake
+    /// path: an admission-controlled batch is an arbitrary mix of
+    /// tenants and replicate seeds, not a rectangular matrix. Explicit
+    /// jobs are appended after the crossed jobs in the order they were
+    /// added.
+    #[must_use]
+    pub fn job(mut self, entry: CatalogEntry, seed: u64) -> FleetBuilder {
+        self.explicit.push((entry, seed));
+        self
+    }
+
     /// Arms a fault plan: every job realizes its faults deterministically
     /// from `(plan, sensor id, job seed)` before running. Fleets without
     /// a plan pay zero fault-path overhead.
@@ -187,7 +201,9 @@ impl FleetBuilder {
     }
 
     /// Builds the job matrix, seed-major (all sensors at seed₀, then
-    /// all sensors at seed₁, …). An empty seed list means seed 0.
+    /// all sensors at seed₁, …), followed by any explicit jobs in
+    /// insertion order. An empty seed list means seed 0 (irrelevant
+    /// when the fleet is purely explicit).
     #[must_use]
     pub fn build(self) -> Fleet {
         let seeds = if self.seeds.is_empty() {
@@ -198,6 +214,7 @@ impl FleetBuilder {
         let jobs = seeds
             .iter()
             .flat_map(|&seed| self.sensors.iter().cloned().map(move |entry| (entry, seed)))
+            .chain(self.explicit)
             .enumerate()
             .map(|(index, (entry, seed))| Job { index, entry, seed })
             .collect();
@@ -495,6 +512,30 @@ mod tests {
         for (k, job) in fleet.jobs().iter().enumerate() {
             assert_eq!(job.index, k);
         }
+    }
+
+    #[test]
+    fn explicit_jobs_append_after_the_cross_product() {
+        let fleet = Fleet::builder("mixed")
+            .sensor(catalog::our_glucose_sensor())
+            .seed(1)
+            .job(catalog::our_lactate_sensor(), 99)
+            .job(catalog::our_glucose_sensor(), 7)
+            .build();
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.jobs()[0].seed, 1);
+        assert_eq!(fleet.jobs()[1].seed, 99);
+        assert_eq!(fleet.jobs()[1].entry.id(), "lactate/ours");
+        assert_eq!(fleet.jobs()[2].seed, 7);
+        for (k, job) in fleet.jobs().iter().enumerate() {
+            assert_eq!(job.index, k);
+        }
+        // A purely explicit fleet does not inherit the implicit seed 0.
+        let explicit_only = Fleet::builder("explicit")
+            .job(catalog::our_glucose_sensor(), 5)
+            .build();
+        assert_eq!(explicit_only.len(), 1);
+        assert_eq!(explicit_only.jobs()[0].seed, 5);
     }
 
     #[test]

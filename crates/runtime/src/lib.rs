@@ -181,33 +181,55 @@ impl RuntimeConfig {
         self
     }
 
-    /// Default config with the worker count taken from `BIOS_WORKERS`
-    /// and the cache capacity from `BIOS_CACHE_CAP`, when set and
-    /// parseable.
+    /// Default config with the worker count taken from `BIOS_WORKERS`,
+    /// the cache capacity from `BIOS_CACHE_CAP`, and the watchdog
+    /// deadline from `BIOS_JOB_DEADLINE_MS`, when set and parseable.
+    /// A set-but-malformed value is *not* silently ignored: it keeps
+    /// the default and prints one deterministic warning line to stderr
+    /// (see [`parse_env_value`]).
     #[must_use]
     pub fn from_env() -> RuntimeConfig {
         let mut config = RuntimeConfig::default();
-        if let Some(n) = std::env::var("BIOS_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        if let Some(n) =
+            env_parsed::<usize>("BIOS_WORKERS", "a positive integer").filter(|&n| n > 0)
         {
             config.workers = n;
         }
-        if let Some(cap) = std::env::var("BIOS_CACHE_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
+        if let Some(cap) = env_parsed::<usize>("BIOS_CACHE_CAP", "a non-negative integer") {
             config.cache_capacity = cap;
         }
-        if let Some(ms) = std::env::var("BIOS_JOB_DEADLINE_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-        {
+        if let Some(ms) = env_parsed::<u64>("BIOS_JOB_DEADLINE_MS", "milliseconds as an integer") {
             config.job_deadline = Duration::from_millis(ms);
         }
         config
     }
+}
+
+/// Parses one environment-variable value, warning instead of silently
+/// ignoring garbage: a malformed `raw` produces exactly one
+/// deterministic line on stderr —
+/// `warning: ignoring malformed NAME="raw" (expected WHAT)` — and
+/// `None`, so the caller keeps its default. Shared by
+/// [`RuntimeConfig::from_env`] and `bios-gateway`'s
+/// `GatewayConfig::from_env` (`BIOS_GATEWAY_QPS`,
+/// `BIOS_BREAKER_THRESHOLD`). `name`, `raw`, and `what` are free-form
+/// identifier/text strings.
+pub fn parse_env_value<T: std::str::FromStr>(name: &str, raw: &str, what: &str) -> Option<T> {
+    match raw.parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: ignoring malformed {name}={raw:?} (expected {what})");
+            None
+        }
+    }
+}
+
+/// [`parse_env_value`] applied to the process environment; unset
+/// variables are silently `None`.
+fn env_parsed<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| parse_env_value(name, &raw, what))
 }
 
 /// The per-job robustness knobs, copied out of [`RuntimeConfig`] so the
@@ -283,6 +305,15 @@ impl Runtime {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// The live counter block shared with every worker. The gateway
+    /// layer (`bios-gateway`) records its admission/breaker/brownout
+    /// decisions here so one [`MetricsSnapshot`] covers the whole
+    /// intake-to-result pipeline.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<RuntimeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Point-in-time copy of the cumulative runtime counters, with the
@@ -827,5 +858,24 @@ mod tests {
         // the whole test process.
         let config = RuntimeConfig::from_env();
         assert!(config.workers >= 1);
+    }
+
+    #[test]
+    fn parse_env_value_warns_and_keeps_default_on_garbage() {
+        // Well-formed values parse...
+        assert_eq!(parse_env_value::<usize>("BIOS_WORKERS", "4", "n"), Some(4));
+        assert_eq!(
+            parse_env_value::<u64>("BIOS_GATEWAY_QPS", "250", "tokens per tick"),
+            Some(250)
+        );
+        // ...and every malformed shape yields None (plus one warning
+        // line on stderr) instead of a silent skip or a panic.
+        for bad in ["", "abc", "-3", "4.5", "1e3", " 8"] {
+            assert_eq!(
+                parse_env_value::<u64>("BIOS_BREAKER_THRESHOLD", bad, "a positive integer"),
+                None,
+                "{bad:?} should not parse"
+            );
+        }
     }
 }

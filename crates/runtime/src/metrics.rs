@@ -31,6 +31,12 @@ pub struct RuntimeMetrics {
     stalled_workers: AtomicU64,
     deadline_kills: AtomicU64,
     nonfinite_quarantined: AtomicU64,
+    admission_rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_half_open_probes: AtomicU64,
+    browned_out: AtomicU64,
+    deadline_shed: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -121,6 +127,41 @@ impl RuntimeMetrics {
         self.nonfinite_quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request refused at the gateway intake because the
+    /// bounded admission queue was full.
+    pub fn record_admission_rejected(&self) {
+        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request refused by a tenant's token bucket.
+    pub fn record_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one circuit breaker tripping open (including a
+    /// half-open probe failure re-opening it).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request admitted as a half-open breaker probe.
+    pub fn record_breaker_half_open_probe(&self) {
+        self.breaker_half_open_probes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request downgraded (served at reduced resolution)
+    /// by the gateway's brownout policy.
+    pub fn record_browned_out(&self) {
+        self.browned_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed because its remaining deadline budget
+    /// could no longer cover even a degraded execution.
+    pub fn record_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     /// `cache_evictions` lives in the cache, not here; the runtime
     /// merges it in when it assembles a snapshot.
@@ -144,6 +185,12 @@ impl RuntimeMetrics {
             deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
             cache_corrupt_dropped: 0,
             nonfinite_quarantined: self.nonfinite_quarantined.load(Ordering::Relaxed),
+            admission_rejected: self.admission_rejected.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_half_open_probes: self.breaker_half_open_probes.load(Ordering::Relaxed),
+            browned_out: self.browned_out.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
             histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
         }
     }
@@ -193,6 +240,21 @@ pub struct MetricsSnapshot {
     pub cache_corrupt_dropped: u64,
     /// Jobs quarantined for producing NaN/±Inf results.
     pub nonfinite_quarantined: u64,
+    /// Gateway requests refused because the bounded admission queue
+    /// was full.
+    pub admission_rejected: u64,
+    /// Gateway requests refused by a tenant's token bucket.
+    pub rate_limited: u64,
+    /// Circuit-breaker trips (closed→open and a probe failure
+    /// re-opening a half-open breaker both count).
+    pub breaker_trips: u64,
+    /// Requests admitted as half-open breaker probes.
+    pub breaker_half_open_probes: u64,
+    /// Requests served at degraded resolution by the brownout policy.
+    pub browned_out: u64,
+    /// Requests shed because their remaining deadline budget could no
+    /// longer cover even a degraded execution.
+    pub deadline_shed: u64,
     /// Per-job wall-time histogram (log₂ µs buckets).
     pub histogram: [u64; HISTOGRAM_BUCKETS],
 }
@@ -251,6 +313,9 @@ impl MetricsSnapshot {
                 "\"journal_records\":{},\"resumed_jobs\":{},",
                 "\"stalled_workers\":{},\"deadline_kills\":{},",
                 "\"cache_corrupt_dropped\":{},\"nonfinite_quarantined\":{},",
+                "\"admission_rejected\":{},\"rate_limited\":{},",
+                "\"breaker_trips\":{},\"breaker_half_open_probes\":{},",
+                "\"browned_out\":{},\"deadline_shed\":{},",
                 "\"wall_histogram\":[{}]}}"
             ),
             self.jobs_submitted,
@@ -273,6 +338,12 @@ impl MetricsSnapshot {
             self.deadline_kills,
             self.cache_corrupt_dropped,
             self.nonfinite_quarantined,
+            self.admission_rejected,
+            self.rate_limited,
+            self.breaker_trips,
+            self.breaker_half_open_probes,
+            self.browned_out,
+            self.deadline_shed,
             buckets.join(",")
         )
     }
@@ -345,6 +416,34 @@ mod tests {
         assert_eq!(s.budget_rejections, 0);
         assert_eq!(s.worker_respawns, 0);
         assert_eq!(s.cache_evictions, 0);
+    }
+
+    #[test]
+    fn gateway_counters_accumulate_and_serialize() {
+        let m = RuntimeMetrics::new();
+        m.record_admission_rejected();
+        m.record_rate_limited();
+        m.record_rate_limited();
+        m.record_breaker_trip();
+        m.record_breaker_half_open_probe();
+        m.record_breaker_half_open_probe();
+        m.record_breaker_half_open_probe();
+        m.record_browned_out();
+        m.record_deadline_shed();
+        let s = m.snapshot();
+        assert_eq!(s.admission_rejected, 1);
+        assert_eq!(s.rate_limited, 2);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_half_open_probes, 3);
+        assert_eq!(s.browned_out, 1);
+        assert_eq!(s.deadline_shed, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"admission_rejected\":1"));
+        assert!(json.contains("\"rate_limited\":2"));
+        assert!(json.contains("\"breaker_trips\":1"));
+        assert!(json.contains("\"breaker_half_open_probes\":3"));
+        assert!(json.contains("\"browned_out\":1"));
+        assert!(json.contains("\"deadline_shed\":1"));
     }
 
     #[test]

@@ -39,6 +39,22 @@ if [ "$ref_fnv" != "$resumed_fnv" ]; then
 fi
 echo "    resumed digest matches reference ($ref_fnv)"
 
+# Overload gate: a fixed bursty trace through the gateway must shed,
+# brown out, and circuit-break — but in a bounded way, draining every
+# request to a terminal outcome — and the whole decision trace must be
+# byte-identical at 1 and 8 workers. The binary itself asserts the
+# nonzero-but-bounded counters and the clean drain (non-zero exit on
+# violation); the shell compares the two digests.
+echo "==> overload gate"
+overload_gate() { cargo run --release -q -p bios-bench --bin overload_gate -- "$@"; }
+overload_1="$(overload_gate --workers 1 | grep digest_fnv)"
+overload_8="$(overload_gate --workers 8 | grep digest_fnv)"
+if [ "$overload_1" != "$overload_8" ]; then
+    echo "overload gate: digest differs across worker counts ($overload_1 vs $overload_8)" >&2
+    exit 1
+fi
+echo "    overload decisions identical at 1 and 8 workers ($overload_1)"
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

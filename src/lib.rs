@@ -28,6 +28,7 @@
 //! | [`faults`] | `bios-faults` | deterministic fault plans injected across the physical layers |
 //! | [`recover`] | `bios-recover` | checksummed journal + snapshot primitives for crash resume |
 //! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
+//! | [`gateway`] | `bios-gateway` | overload-robust admission control, circuit breaking, brownout degradation |
 //!
 //! # Quick start
 //!
@@ -51,6 +52,7 @@ pub use bios_core as core;
 pub use bios_electrochem as electrochem;
 pub use bios_enzyme as enzyme;
 pub use bios_faults as faults;
+pub use bios_gateway as gateway;
 pub use bios_instrument as instrument;
 pub use bios_labelfree as labelfree;
 pub use bios_nanomaterial as nanomaterial;
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use bios_core::protocol::{CalibrationProtocol, Chronoamperometry, CyclicVoltammetry};
     pub use bios_core::{Analyte, Biosensor, CoreError, Sample};
     pub use bios_faults::{FaultKind, FaultPlan};
+    pub use bios_gateway::{Gateway, GatewayConfig, GatewayReport, Request};
     pub use bios_instrument::ReadoutChain;
     pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
     pub use bios_runtime::{
