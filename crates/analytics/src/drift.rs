@@ -11,8 +11,109 @@
 //! rolling window (so a consistent shift stands out above uncorrelated
 //! noise), and compared against a z-score threshold.
 
+//!
+//! [`ResidualRing`] is the fixed-capacity rolling window both detectors
+//! share: one allocation at construction, zero per-push allocation, and
+//! a mean that sums the retained residuals in logical (oldest-first)
+//! order so its result is bit-identical to the slice-window formulation
+//! it replaced. [`DriftMonitor`] wraps the ring into the *incremental*
+//! form the longitudinal stream engine needs: one normalized residual
+//! per logical tick, a warm-up baseline that absorbs calibration bias,
+//! and a latched trip decision.
+
 use crate::calibration::CalibrationCurve;
 use crate::error::{AnalyticsError, Result};
+
+/// A fixed-capacity ring buffer over the last `capacity` normalized
+/// residuals. Allocates once at construction; every push thereafter is
+/// a slot overwrite, so rolling a window across a curve (or a
+/// million-tick patient stream) costs zero allocation.
+///
+/// # Examples
+///
+/// ```
+/// use bios_analytics::drift::ResidualRing;
+///
+/// let mut ring = ResidualRing::new(3);
+/// for z in [1.0, 2.0, 3.0, 4.0] {
+///     ring.push(z);
+/// }
+/// // Oldest value (1.0) was evicted; mean of [2, 3, 4] is 3.
+/// assert!((ring.mean() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualRing {
+    slots: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl ResidualRing {
+    /// A ring holding the last `capacity` pushes (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResidualRing {
+        ResidualRing {
+            slots: vec![0.0; capacity.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// The fixed window length.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Residuals currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been pushed since construction/`clear`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window has filled to capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Pushes one residual, evicting the oldest once full.
+    pub fn push(&mut self, z: f64) {
+        self.slots[self.head] = z;
+        self.head = (self.head + 1) % self.capacity();
+        self.len = (self.len + 1).min(self.capacity());
+    }
+
+    /// Mean of the retained residuals, summed oldest-first — the same
+    /// association order as summing a contiguous slice window, so the
+    /// result is bit-identical to the `windows()` formulation. Returns
+    /// 0.0 while empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let cap = self.capacity();
+        let start = (self.head + cap - self.len) % cap;
+        let mut sum = 0.0;
+        for k in 0..self.len {
+            sum += self.slots[(start + k) % cap];
+        }
+        sum / self.len as f64
+    }
+
+    /// Forgets every retained residual (capacity is kept).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
 
 /// Rolling-residual drift detector.
 ///
@@ -111,17 +212,18 @@ impl DriftDetector {
 
         let ref_y = reference.mean_currents_micro_amps();
         let obs_y = observed.mean_currents_micro_amps();
-        let z: Vec<f64> = ref_y
-            .iter()
-            .zip(&obs_y)
-            .map(|(r, o)| (o - r) / sigma_point)
-            .collect();
-
-        let window = self.window.min(z.len());
+        let window = self.window.min(ref_y.len());
+        // One fixed ring instead of materializing the residual vector
+        // and re-walking slice windows: each push overwrites one slot,
+        // and `mean()` sums oldest-first, so the scores are bit-identical
+        // to the previous `windows()` formulation.
+        let mut ring = ResidualRing::new(window);
         let mut score: f64 = 0.0;
-        for chunk in z.windows(window) {
-            let mean = chunk.iter().sum::<f64>() / window as f64;
-            score = score.max(mean.abs());
+        for (r, o) in ref_y.iter().zip(&obs_y) {
+            ring.push((o - r) / sigma_point);
+            if ring.is_full() {
+                score = score.max(ring.mean().abs());
+            }
         }
         Ok(DriftAssessment {
             score,
@@ -149,6 +251,140 @@ pub struct DriftAssessment {
     /// The window length actually used (≤ configured, bounded by the
     /// number of points).
     pub window: usize,
+}
+
+/// Incremental per-channel drift monitor — [`DriftDetector`] promoted
+/// from offline curve comparison to online tick-by-tick operation.
+///
+/// Feed it one *normalized residual* per observation (observed minus
+/// predicted current, divided by the channel's noise scale). The first
+/// `window` observations after construction or [`DriftMonitor::rebaseline`]
+/// form a **baseline**: their mean is subtracted from every later
+/// rolling mean, so a constant calibration bias (the new epoch's slope
+/// being a hair off the channel's true slope) can never masquerade as
+/// drift. Once warmed, the monitor trips — and stays tripped, so a
+/// caller polling it cannot miss the edge — when the baseline-corrected
+/// rolling mean exceeds the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use bios_analytics::drift::DriftMonitor;
+///
+/// let mut monitor = DriftMonitor::new(4, 4.0);
+/// for _ in 0..8 {
+///     assert!(!monitor.observe(0.1)); // warm-up + healthy plateau
+/// }
+/// for _ in 0..4 {
+///     monitor.observe(9.0); // a real shift
+/// }
+/// assert!(monitor.tripped());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    threshold: f64,
+    ring: ResidualRing,
+    warmup: ResidualRing,
+    baseline: Option<f64>,
+    score: f64,
+    tripped: bool,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given rolling-window length (clamped to ≥ 1)
+    /// and z-score threshold on the baseline-corrected window mean.
+    #[must_use]
+    pub fn new(window: usize, threshold: f64) -> DriftMonitor {
+        DriftMonitor {
+            threshold,
+            ring: ResidualRing::new(window),
+            warmup: ResidualRing::new(window),
+            baseline: None,
+            score: 0.0,
+            tripped: false,
+        }
+    }
+
+    /// A monitor with the same window and threshold as `detector`.
+    #[must_use]
+    pub fn from_detector(detector: &DriftDetector) -> DriftMonitor {
+        DriftMonitor::new(detector.window(), detector.threshold())
+    }
+
+    /// Rolling-window length in observations.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Detection threshold on the baseline-corrected window mean.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the monitor has tripped since the last
+    /// [`DriftMonitor::rebaseline`] / [`DriftMonitor::rearm`].
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Whether the warm-up baseline has been established.
+    #[must_use]
+    pub fn warmed(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// The last baseline-corrected |window mean|, in σ units (0.0 until
+    /// warmed).
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Pushes one normalized residual and returns the (latched) trip
+    /// state after it.
+    pub fn observe(&mut self, z: f64) -> bool {
+        match self.baseline {
+            None => {
+                self.warmup.push(z);
+                if self.warmup.is_full() {
+                    self.baseline = Some(self.warmup.mean());
+                    self.warmup.clear();
+                }
+            }
+            Some(baseline) => {
+                self.ring.push(z);
+                if self.ring.is_full() {
+                    self.score = (self.ring.mean() - baseline).abs();
+                    if self.score > self.threshold {
+                        self.tripped = true;
+                    }
+                }
+            }
+        }
+        self.tripped
+    }
+
+    /// Full reset after a calibration-epoch swap: forgets the window,
+    /// the trip, *and* the baseline, so the next `window` observations
+    /// re-zero the monitor against the fresh calibration.
+    pub fn rebaseline(&mut self) {
+        self.ring.clear();
+        self.warmup.clear();
+        self.baseline = None;
+        self.score = 0.0;
+        self.tripped = false;
+    }
+
+    /// Clears only the trip latch (window and baseline are kept): a
+    /// still-drifting channel re-trips on the next observation. Used
+    /// when a re-calibration attempt was rejected and should be retried
+    /// later.
+    pub fn rearm(&mut self) {
+        self.tripped = false;
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +482,137 @@ mod tests {
             DriftDetector::default().assess(&tiny, &tiny),
             Err(AnalyticsError::TooFewPoints { .. })
         ));
+    }
+
+    #[test]
+    fn ring_matches_slice_windows_bit_for_bit() {
+        bios_prng::cases(0x41B6_D21F, 64, |rng| {
+            let n = 3 + (rng.uniform() * 20.0) as usize;
+            let window = 1 + (rng.uniform() * n as f64) as usize;
+            let z: Vec<f64> = (0..n).map(|_| rng.gaussian() * 3.0).collect();
+            let mut expected: f64 = 0.0;
+            for chunk in z.windows(window.min(n)) {
+                let mean = chunk.iter().sum::<f64>() / window.min(n) as f64;
+                expected = expected.max(mean.abs());
+            }
+            let mut ring = ResidualRing::new(window.min(n));
+            let mut got: f64 = 0.0;
+            for &v in &z {
+                ring.push(v);
+                if ring.is_full() {
+                    got = got.max(ring.mean().abs());
+                }
+            }
+            assert_eq!(got.to_bits(), expected.to_bits());
+        });
+    }
+
+    #[test]
+    fn detector_never_trips_on_reference_level_noise() {
+        // Property (`cases`): replicate-scale uncorrelated noise around
+        // the reference curve never trips the default detector.
+        let sigma_point = 0.01 / 3f64.sqrt();
+        bios_prng::cases(0xD21F_0001, 48, |rng| {
+            let reference = curve(2.0, &[0.0; 12]);
+            let offsets: Vec<f64> = (0..12).map(|_| rng.gaussian() * sigma_point).collect();
+            let observed = curve(2.0, &offsets);
+            let assessment = DriftDetector::default()
+                .assess(&reference, &observed)
+                .unwrap();
+            assert!(
+                !assessment.drifted,
+                "noise tripped the detector: score {}",
+                assessment.score
+            );
+        });
+    }
+
+    #[test]
+    fn detector_score_grows_monotonically_with_drift_magnitude() {
+        // Property (`cases`): for any base slope, injecting a larger
+        // sensitivity loss can never score lower than a smaller one,
+        // and large losses trip.
+        bios_prng::cases(0xD21F_0002, 48, |rng| {
+            let slope = 1.0 + 3.0 * rng.uniform();
+            let reference = curve(slope, &[0.0; 12]);
+            let detector = DriftDetector::default();
+            let mut last = -1.0f64;
+            for loss in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
+                let degraded = curve(slope * (1.0 - loss), &[0.0; 12]);
+                let assessment = detector.assess(&reference, &degraded).unwrap();
+                assert!(
+                    assessment.score >= last,
+                    "score fell from {last} to {} at loss {loss}",
+                    assessment.score
+                );
+                last = assessment.score;
+            }
+            assert!(last > detector.threshold(), "40% loss must trip: {last}");
+        });
+    }
+
+    #[test]
+    fn monitor_never_trips_on_pure_noise() {
+        bios_prng::cases(0xD21F_0003, 32, |rng| {
+            let mut monitor = DriftMonitor::new(12, 4.0);
+            for _ in 0..600 {
+                assert!(!monitor.observe(rng.gaussian()), "noise tripped");
+            }
+        });
+    }
+
+    #[test]
+    fn monitor_trips_on_a_ramp_and_rebaseline_clears_it() {
+        let mut monitor = DriftMonitor::new(8, 4.0);
+        for _ in 0..16 {
+            monitor.observe(0.0);
+        }
+        assert!(monitor.warmed());
+        assert!(!monitor.tripped());
+        let mut t = 0u64;
+        let tripped_at = loop {
+            t += 1;
+            if monitor.observe(t as f64 * 0.5) {
+                break t;
+            }
+            assert!(t < 200, "ramp never tripped");
+        };
+        assert!(tripped_at >= 8, "needs a full window past warm-up");
+        // The latch holds even when the signal returns to baseline.
+        monitor.observe(0.0);
+        assert!(monitor.tripped());
+        monitor.rebaseline();
+        assert!(!monitor.tripped());
+        assert!(!monitor.warmed());
+    }
+
+    #[test]
+    fn monitor_baseline_absorbs_constant_calibration_bias() {
+        // A constant 3σ bias (slightly-off epoch slope) is absorbed by
+        // the warm-up baseline; only *additional* drift can trip.
+        let mut monitor = DriftMonitor::new(6, 4.0);
+        for _ in 0..60 {
+            assert!(!monitor.observe(3.0), "constant bias must not trip");
+        }
+        for _ in 0..6 {
+            monitor.observe(3.0 + 9.0);
+        }
+        assert!(monitor.tripped(), "drift on top of bias must trip");
+    }
+
+    #[test]
+    fn monitor_rearm_keeps_window_so_persistent_drift_retrips() {
+        let mut monitor = DriftMonitor::new(4, 4.0);
+        for _ in 0..8 {
+            monitor.observe(0.0);
+        }
+        for _ in 0..4 {
+            monitor.observe(8.0);
+        }
+        assert!(monitor.tripped());
+        monitor.rearm();
+        assert!(!monitor.tripped());
+        assert!(monitor.observe(8.0), "persistent drift re-trips at once");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod report;
 pub mod standard_addition;
 
 pub use calibration::{CalibrationCurve, CalibrationPoint, CalibrationSummary};
-pub use drift::{DriftAssessment, DriftDetector};
+pub use drift::{DriftAssessment, DriftDetector, DriftMonitor, ResidualRing};
 pub use error::{AnalyticsError, Result};
 pub use limits::{detection_limit, quantification_limit};
 pub use linear_range::{detect_linear_range, LinearRangeOptions};

@@ -139,6 +139,13 @@ impl Default for Config {
                 // clocks and unordered maps are banned here too.
                 "gateway/src/bucket".into(),
                 "gateway/src/breaker".into(),
+                // The stream layer's deterministic core: cohort
+                // generation, the tick loop, and epoch swaps all feed
+                // StreamReport::digest, which check.sh pins across
+                // worker counts.
+                "stream/src/cohort".into(),
+                "stream/src/engine".into(),
+                "stream/src/epoch".into(),
             ],
             index_paths: vec![
                 "recover/src/codec".into(),

@@ -28,4 +28,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_chaos_ablation(seed));
     println!("{}", bios_bench::ablation::render_stall_ablation(seed));
     println!("{}", bios_bench::ablation::render_overload_ablation(seed));
+    println!("{}", bios_bench::ablation::render_stream_ablation(seed));
 }

@@ -1,0 +1,145 @@
+//! Stream gate for CI: runs a seeded longitudinal cohort — aging
+//! films armed — through the full drift-detect/recalibrate loop and
+//! proves the stream layer behaves: drift is injected and detected,
+//! completed recalibrations swap epochs, no monitor false-trips, no
+//! recalibration is ever browned out, and the whole stream digest is
+//! byte-identical at any worker count. `scripts/check.sh` runs it at
+//! two worker counts and compares the `digest_fnv=0x…` lines.
+//!
+//! ```text
+//! stream_gate --workers 1 --patients 1000 --ticks 288
+//! stream_gate --workers 8 --patients 1000 --ticks 288
+//! ```
+
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use bios_gateway::{Gateway, GatewayConfig};
+use bios_recover::fnv1a;
+use bios_runtime::{Runtime, RuntimeConfig};
+use bios_stream::{StreamConfig, StreamEngine};
+
+/// Wider intake than the default front door: a thousand patients can
+/// trip monitors in bursts when a shared aging cohort degrades
+/// together, and the gate measures the stream loop, not queue
+/// starvation.
+fn gate_config() -> GatewayConfig {
+    GatewayConfig {
+        queue_capacity: 64,
+        service_slots: 8,
+        ..GatewayConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    bios_bench::silence_injected_panics();
+    let mut workers = 4usize;
+    let mut patients = 1000usize;
+    let mut ticks = 288u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers =
+                    bios_bench::parse_flag_or_exit(args.next(), "--workers", "a positive integer");
+            }
+            "--patients" => {
+                patients =
+                    bios_bench::parse_flag_or_exit(args.next(), "--patients", "a positive integer");
+            }
+            "--ticks" => {
+                ticks =
+                    bios_bench::parse_flag_or_exit(args.next(), "--ticks", "a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let runtime = Runtime::new(RuntimeConfig {
+        workers,
+        ..RuntimeConfig::default()
+    });
+    let engine = StreamEngine::new(
+        StreamConfig::new(patients, ticks, 0x57AE_A11E),
+        Gateway::new(gate_config(), runtime),
+    );
+    let report = engine.run();
+
+    println!(
+        "stream gate: {} patients x {} ticks, {} drifted, {} detected, {} swapped, drained at tick {}",
+        report.patients,
+        report.horizon_ticks,
+        report.drift_injected,
+        report.drift_detected,
+        report.epoch_swaps,
+        report.drained_tick
+    );
+    println!(
+        "  false_trips={} enqueued={} completed={} failed={} rejected={} degraded={} latency_mean={:.1} latency_max={} mard={:.4}",
+        report.false_trips,
+        report.recal_enqueued,
+        report.recal_completed,
+        report.recal_failed,
+        report.recal_rejected,
+        report.recal_degraded,
+        report.mean_detection_latency(),
+        report.max_detection_latency(),
+        report.mean_mard
+    );
+    println!("  gateway: {}", report.gateway);
+    println!("digest_fnv=0x{:016x}", fnv1a(report.digest().as_bytes()));
+
+    // The gate must actually exercise the loop end to end…
+    let mut ok = true;
+    if report.bootstrap_failed > 0 {
+        eprintln!(
+            "FAIL: {} bootstrap calibrations failed on the healthy catalog",
+            report.bootstrap_failed
+        );
+        ok = false;
+    }
+    if report.drift_injected == 0 {
+        eprintln!("FAIL: the aging plan injected no drift");
+        ok = false;
+    }
+    if report.drift_detected == 0 {
+        eprintln!("FAIL: no injected drift was detected");
+        ok = false;
+    }
+    if report.epoch_swaps == 0 {
+        eprintln!("FAIL: no recalibration ever swapped an epoch");
+        ok = false;
+    }
+    // …and hold the stream layer's invariants.
+    if report.drift_detected > report.drift_injected {
+        eprintln!(
+            "FAIL: detected {} exceeds injected {}",
+            report.drift_detected, report.drift_injected
+        );
+        ok = false;
+    }
+    if report.false_trips > 0 {
+        eprintln!(
+            "FAIL: {} monitor trips without injected drift",
+            report.false_trips
+        );
+        ok = false;
+    }
+    if report.recal_degraded > 0 {
+        eprintln!(
+            "FAIL: {} recalibrations were browned out — the recal class must never degrade",
+            report.recal_degraded
+        );
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

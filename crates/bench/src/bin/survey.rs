@@ -15,6 +15,7 @@ use bios_core::catalog::CatalogEntry;
 use bios_faults::{FaultKind, FaultPlan};
 use bios_gateway::{Gateway, GatewayConfig};
 use bios_runtime::{Fleet, Runtime, RuntimeConfig};
+use bios_stream::{StreamConfig, StreamEngine};
 
 fn main() {
     bios_bench::silence_injected_panics();
@@ -174,12 +175,34 @@ fn main() {
         gc
     );
 
+    // Continuous-monitoring stream: a seeded longitudinal cohort with
+    // aging films, online drift detection, and gateway-admitted
+    // recalibrations. Counts and latencies are deterministic (logical
+    // ticks, seeded streams), so this block is byte-stable too.
+    let stream_seed = 0x57AE_A11E;
+    let stream_runtime = Runtime::new(config.with_cache(false));
+    let stream_engine = StreamEngine::new(
+        StreamConfig::new(64, 96, stream_seed),
+        Gateway::new(GatewayConfig::default(), stream_runtime),
+    );
+    let stream = stream_engine.run();
+    println!(
+        "  stream cohort ({} patients x {} ticks): {} drifted, {} detected (mean latency {:.1} ticks), {} epochs swapped, MARD {:.4}",
+        stream.patients,
+        stream.horizon_ticks,
+        stream.drift_injected,
+        stream.drift_detected,
+        stream.mean_detection_latency(),
+        stream.epoch_swaps,
+        stream.mean_mard
+    );
+
     // The JSON is emitted with a fixed, documented key order (schema
     // first, then sizing, timing, derived ratios, nested blocks) so
     // diffs between runs are line-stable; bump `schema_version` whenever
     // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"schema_version\": 3,\n  \
+        "{{\n  \"schema_version\": 4,\n  \
          \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
          \"warm_cache_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
@@ -192,6 +215,11 @@ fn main() {
          \"gateway\": {{\"requests\": {}, \"executed\": {}, \"drained_tick\": {}, \
          \"admission_rejected\": {}, \"rate_limited\": {}, \"breaker_trips\": {}, \
          \"breaker_half_open_probes\": {}, \"browned_out\": {}, \"deadline_shed\": {}}},\n  \
+         \"stream\": {{\"patients\": {}, \"horizon_ticks\": {}, \"drift_injected\": {}, \
+         \"drift_detected\": {}, \"false_trips\": {}, \"detection_latency_mean_ticks\": {:.3}, \
+         \"detection_latency_max_ticks\": {}, \"recal_enqueued\": {}, \"recal_completed\": {}, \
+         \"recal_rejected\": {}, \"recal_degraded\": {}, \"epoch_swaps\": {}, \
+         \"mean_mard\": {:.6}, \"drained_tick\": {}}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
@@ -218,6 +246,20 @@ fn main() {
         gc.breaker_half_open_probes,
         gc.browned_out,
         gc.deadline_shed,
+        stream.patients,
+        stream.horizon_ticks,
+        stream.drift_injected,
+        stream.drift_detected,
+        stream.false_trips,
+        stream.mean_detection_latency(),
+        stream.max_detection_latency(),
+        stream.recal_enqueued,
+        stream.recal_completed,
+        stream.recal_rejected,
+        stream.recal_degraded,
+        stream.epoch_swaps,
+        stream.mean_mard,
+        stream.drained_tick,
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

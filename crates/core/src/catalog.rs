@@ -89,6 +89,7 @@ pub struct CatalogEntry {
     technique: Technique,
     sweep: ConcentrationRange,
     sweep_points: usize,
+    film_activity: f64,
     is_ours: bool,
 }
 
@@ -161,6 +162,26 @@ impl CatalogEntry {
         self
     }
 
+    /// Retained enzyme-film activity this entry is assembled with
+    /// (1.0 = fresh film).
+    #[must_use]
+    pub fn film_activity(&self) -> f64 {
+        self.film_activity
+    }
+
+    /// Returns the entry with the film's retained activity pinned to
+    /// `activity` (clamped to [0.05, 1.0]) — an **aged** device. A
+    /// calibration of the aged entry measures the degraded film with
+    /// the full sweep, which is how the stream engine rebuilds a
+    /// drifted patient channel's calibration epoch. The activity is
+    /// part of the protocol fingerprint, so aged and fresh runs never
+    /// alias in the memo cache.
+    #[must_use]
+    pub fn with_film_activity(mut self, activity: f64) -> CatalogEntry {
+        self.film_activity = activity.clamp(0.05, 1.0);
+        self
+    }
+
     /// A stable 64-bit fingerprint (FNV-1a) of everything that
     /// determines the calibration protocol: electrode, modification,
     /// chemistry, technique, sweep, and the paper figures the film
@@ -193,7 +214,7 @@ impl CatalogEntry {
     /// in the module docs.
     #[must_use]
     pub fn build_sensor(&self) -> Biosensor {
-        self.assemble_sensor(1.0, 1.0)
+        self.assemble_sensor(self.film_activity, 1.0)
     }
 
     /// Sensor assembly parametrized by degradation: `activity` scales the
@@ -367,7 +388,12 @@ impl CatalogEntry {
         let (sensor, mut chain) = match &realized {
             None => (self.build_sensor(), self.build_readout(seed)),
             Some(faults) => (
-                self.assemble_sensor(faults.film_activity, self.electrode_current_factor(faults)),
+                // An injected denaturation compounds with the entry's
+                // own aged-film state multiplicatively.
+                self.assemble_sensor(
+                    (self.film_activity * faults.film_activity).max(0.05),
+                    self.electrode_current_factor(faults),
+                ),
                 self.build_readout(seed).with_faults(faults),
             ),
         };
@@ -446,6 +472,7 @@ fn entry(
             // bios-audit: allow(P-expect) — static paper constant, exercised by every catalog test
             .expect("sweep is well-formed"),
         sweep_points: 25,
+        film_activity: 1.0,
         is_ours: citation.is_none(),
     }
 }
@@ -962,6 +989,55 @@ mod tests {
             s.detection_limit.as_micro_molar()
         );
         assert!(s.r_squared > 0.99);
+    }
+
+    #[test]
+    fn aged_entry_calibrates_with_proportionally_lower_sensitivity() {
+        let fresh = our_glucose_sensor();
+        let aged = fresh.clone().with_film_activity(0.6);
+        assert!((aged.film_activity() - 0.6).abs() < 1e-12);
+        assert_ne!(
+            fresh.protocol_fingerprint(),
+            aged.protocol_fingerprint(),
+            "aged and fresh entries must not alias in the memo cache"
+        );
+        let s_fresh = fresh.run_calibration(77).unwrap().summary.sensitivity;
+        let s_aged = aged.run_calibration(77).unwrap().summary.sensitivity;
+        let ratio = s_aged.as_micro_amps_per_milli_molar_square_cm()
+            / s_fresh.as_micro_amps_per_milli_molar_square_cm();
+        assert!(
+            (0.45..0.75).contains(&ratio),
+            "60% film should measure ≈60% sensitivity, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn film_activity_clamps_and_compounds_with_injected_denaturation() {
+        let e = our_glucose_sensor().with_film_activity(-3.0);
+        assert!((e.film_activity() - 0.05).abs() < 1e-12, "clamps to floor");
+        let e = our_glucose_sensor().with_film_activity(7.0);
+        assert!((e.film_activity() - 1.0).abs() < 1e-12, "clamps to fresh");
+        // The same denaturation plan degrades an aged entry further
+        // than a fresh one.
+        let plan = bios_faults::FaultPlan::builder("age", 3)
+            .spec(bios_faults::FaultKind::FilmDenaturation, 1.0, 0.5)
+            .build();
+        let fresh = our_glucose_sensor()
+            .run_calibration_with(5, Some(&plan))
+            .unwrap();
+        let aged = our_glucose_sensor()
+            .with_film_activity(0.5)
+            .run_calibration_with(5, Some(&plan))
+            .unwrap();
+        assert!(
+            aged.summary
+                .sensitivity
+                .as_micro_amps_per_milli_molar_square_cm()
+                < fresh
+                    .summary
+                    .sensitivity
+                    .as_micro_amps_per_milli_molar_square_cm()
+        );
     }
 
     #[test]

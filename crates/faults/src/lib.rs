@@ -364,6 +364,94 @@ impl FaultPlan {
         }
         out
     }
+
+    /// Realizes this plan's [`FaultKind::FilmDenaturation`] spec along a
+    /// **longitudinal time axis** for one patient channel: whether the
+    /// film ages at all (the spec's probability), when the decay starts,
+    /// and how fast it proceeds (scaled by the spec's intensity, with
+    /// the same half-to-full severity draw as [`FaultPlan::realize`]).
+    ///
+    /// Where `realize` answers "how degraded is this sensor for this
+    /// one job", `aging_profile` answers "how does this patient's film
+    /// activity evolve tick by tick" — the drift-injection input of the
+    /// stream engine. Pure function of `(plan seed, spec, patient_id,
+    /// horizon_ticks)`: each patient draws from its own
+    /// `SplitMix64`-derived stream, so cohort size and iteration order
+    /// never perturb an individual profile. Without a `FilmDenaturation`
+    /// spec (or with zero probability) the profile never ages.
+    ///
+    /// The onset is uniform over the first 40 % of the horizon so that
+    /// detection *and* re-calibration both fit inside the run; at full
+    /// magnitude the film loses 0.5 % activity per tick.
+    #[must_use]
+    pub fn aging_profile(&self, patient_id: &str, horizon_ticks: u64) -> AgingProfile {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::FilmDenaturation)
+            .copied()
+            .filter(|s| s.probability > 0.0);
+        let healthy = AgingProfile {
+            onset_tick: None,
+            decay_per_tick: 0.0,
+        };
+        let Some(spec) = spec else {
+            return healthy;
+        };
+        let id_hash = fnv1a(patient_id.bytes());
+        let base = SplitMix64::new(self.seed).derive(id_hash);
+        // A dedicated stream tag: the longitudinal profile must not
+        // alias the per-job realization stream of the same spec.
+        let stream = SplitMix64::new(base).derive(0xA9E5_0000 | spec.kind.stream_tag());
+        let mut rng = Rng::seed_from_u64(stream);
+        if rng.uniform() >= spec.probability {
+            return healthy;
+        }
+        let onset = (rng.uniform() * 0.4 * horizon_ticks.max(1) as f64).floor() as u64;
+        // Severity draw between half and full intensity, mirroring
+        // `realize` so an intensity ramp produces a decay-rate ramp.
+        let magnitude = spec.intensity * (0.5 + 0.5 * rng.uniform());
+        AgingProfile {
+            onset_tick: Some(onset),
+            decay_per_tick: 0.005 * magnitude,
+        }
+    }
+}
+
+/// How one patient channel's enzyme-film activity evolves over a
+/// longitudinal run — the time-axis realization of a
+/// [`FaultKind::FilmDenaturation`] spec (see
+/// [`FaultPlan::aging_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingProfile {
+    /// Tick the film starts losing activity; `None` never ages.
+    pub onset_tick: Option<u64>,
+    /// Fractional activity lost per tick once aging has started.
+    pub decay_per_tick: f64,
+}
+
+impl AgingProfile {
+    /// Films never decay below this retained-activity floor (matches
+    /// the per-job realization clamp in [`FaultPlan::realize`]).
+    pub const FLOOR: f64 = 0.05;
+
+    /// Whether this profile ever injects drift.
+    #[must_use]
+    pub fn ages(&self) -> bool {
+        self.onset_tick.is_some() && self.decay_per_tick > 0.0
+    }
+
+    /// Retained film activity at `tick`: 1.0 before onset, then a
+    /// linear decay clamped at [`AgingProfile::FLOOR`].
+    #[must_use]
+    pub fn activity_at(&self, tick: u64) -> f64 {
+        match self.onset_tick {
+            Some(onset) if tick >= onset => {
+                (1.0 - (tick - onset) as f64 * self.decay_per_tick).max(AgingProfile::FLOOR)
+            }
+            _ => 1.0,
+        }
+    }
 }
 
 /// Builder for [`FaultPlan`].
@@ -607,6 +695,56 @@ mod tests {
             both.realize("s", 1).film_activity,
             film_only.realize("s", 1).film_activity
         );
+    }
+
+    #[test]
+    fn aging_profile_is_deterministic_and_per_patient() {
+        let plan = demo_plan();
+        let a = plan.aging_profile("p000001", 288);
+        assert_eq!(a, plan.aging_profile("p000001", 288));
+        // Probability 1.0 ages every patient, with onset in the early
+        // window and a decay bounded by the intensity.
+        let profiles: Vec<AgingProfile> = (0..16)
+            .map(|i| plan.aging_profile(&format!("p{i:06}"), 288))
+            .collect();
+        for p in &profiles {
+            assert!(p.ages());
+            let onset = p.onset_tick.unwrap_or(u64::MAX);
+            assert!(onset < 116, "onset {onset} outside the first 40%");
+            assert!(p.decay_per_tick > 0.0 && p.decay_per_tick <= 0.005 * 0.8);
+        }
+        assert!(
+            profiles.iter().any(|p| *p != profiles[0]),
+            "patients must draw independent profiles"
+        );
+    }
+
+    #[test]
+    fn aging_profile_without_denaturation_never_ages() {
+        let plan = FaultPlan::builder("calm", 1)
+            .spec(FaultKind::ElectrodeFouling, 1.0, 1.0)
+            .build();
+        let p = plan.aging_profile("p000001", 288);
+        assert!(!p.ages());
+        for t in [0, 100, 1000] {
+            assert!((p.activity_at(t) - 1.0).abs() < f64::EPSILON);
+        }
+        let zero = FaultPlan::builder("zero", 1)
+            .spec(FaultKind::FilmDenaturation, 0.0, 1.0)
+            .build();
+        assert!(!zero.aging_profile("p000001", 288).ages());
+    }
+
+    #[test]
+    fn aging_activity_decays_linearly_to_the_floor() {
+        let profile = AgingProfile {
+            onset_tick: Some(10),
+            decay_per_tick: 0.01,
+        };
+        assert!((profile.activity_at(0) - 1.0).abs() < f64::EPSILON);
+        assert!((profile.activity_at(10) - 1.0).abs() < f64::EPSILON);
+        assert!((profile.activity_at(60) - 0.5).abs() < 1e-12);
+        assert!((profile.activity_at(10_000) - AgingProfile::FLOOR).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -52,20 +52,52 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
 use bios_core::catalog::CatalogEntry;
-use bios_runtime::{Fleet, JobResult, Runtime};
+use bios_runtime::{JobResult, Runtime};
 
 pub mod breaker;
 pub mod bucket;
 pub mod degrade;
+mod session;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use bucket::TokenBucket;
 pub use degrade::{DegradationPolicy, Quality};
+pub use session::GatewaySession;
+
+/// Scheduling class of a request.
+///
+/// [`Priority::Recalibration`] is the maintenance class used by the
+/// streaming layer for drift-triggered re-calibrations. It bypasses
+/// tenant rate limiting (a patient whose sensor has drifted must not
+/// wait behind their own routine traffic), is drained ahead of routine
+/// work at dispatch, and is **never browned out** — a degraded sweep
+/// would corrupt the very calibration epoch it is meant to restore.
+/// Recalibrations remain subject to queue capacity and the family
+/// circuit breaker: a sick chemistry stays cut off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Normal request class; full admission pipeline applies.
+    #[default]
+    Routine,
+    /// Drift-recovery class: no rate limit, head-of-line dispatch,
+    /// never degraded.
+    Recalibration,
+}
+
+impl Priority {
+    /// Stable lowercase label for digests and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Routine => "routine",
+            Priority::Recalibration => "recal",
+        }
+    }
+}
 
 /// One calibration request presented at the gateway's front door.
 #[derive(Debug, Clone)]
@@ -82,10 +114,13 @@ pub struct Request {
     pub arrival_tick: u64,
     /// Deadline budget in logical ticks, counted from arrival.
     pub deadline_ticks: u64,
+    /// Scheduling class; [`Priority::Routine`] unless overridden with
+    /// [`Request::with_priority`].
+    pub priority: Priority,
 }
 
 impl Request {
-    /// A request with every field explicit.
+    /// A routine-priority request with every other field explicit.
     #[must_use]
     pub fn new(
         id: u64,
@@ -102,7 +137,21 @@ impl Request {
             seed,
             arrival_tick,
             deadline_ticks,
+            priority: Priority::Routine,
         }
+    }
+
+    /// The same request in a different scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Request {
+        self.priority = priority;
+        self
+    }
+
+    /// Whether this request is in the recalibration class.
+    #[must_use]
+    pub fn is_recalibration(&self) -> bool {
+        self.priority == Priority::Recalibration
     }
 
     /// The sensor family the request's breaker is keyed on: the
@@ -204,6 +253,8 @@ pub struct RequestOutcome {
     pub seed: u64,
     /// Tick the request arrived.
     pub arrival_tick: u64,
+    /// Scheduling class the request carried.
+    pub priority: Priority,
     /// What happened to it.
     pub disposition: Disposition,
 }
@@ -217,9 +268,15 @@ impl RequestOutcome {
 
     /// The outcome's line in the canonical gateway digest (no trailing
     /// newline). Wall-clock fields never appear, so the digest is
-    /// byte-identical at any worker count.
+    /// byte-identical at any worker count. Routine lines are unchanged
+    /// from earlier schema versions; recalibration-class lines insert
+    /// a ` recal` tag after the tenant.
     #[must_use]
     pub fn digest_line(&self) -> String {
+        let tag = match self.priority {
+            Priority::Routine => "",
+            Priority::Recalibration => " recal",
+        };
         match &self.disposition {
             Disposition::Executed {
                 quality,
@@ -227,9 +284,10 @@ impl RequestOutcome {
                 done_tick,
                 result,
             } => format!(
-                "req {:04} {} t{}->{}->{} {} {}",
+                "req {:04} {}{} t{}->{}->{} {} {}",
                 self.id,
                 self.tenant,
+                tag,
                 self.arrival_tick,
                 dispatched_tick,
                 done_tick,
@@ -237,8 +295,8 @@ impl RequestOutcome {
                 result.digest_line()
             ),
             Disposition::Rejected(r) => format!(
-                "req {:04} {} t{} rejected {} {} seed={}",
-                self.id, self.tenant, self.arrival_tick, r, self.sensor, self.seed
+                "req {:04} {}{} t{} rejected {} {} seed={}",
+                self.id, self.tenant, tag, self.arrival_tick, r, self.sensor, self.seed
             ),
         }
     }
@@ -465,18 +523,6 @@ impl GatewayConfig {
     }
 }
 
-/// A job the gateway has dispatched whose logical service time has not
-/// yet elapsed.
-#[derive(Debug)]
-struct InFlight {
-    idx: usize,
-    dispatched_tick: u64,
-    done_tick: u64,
-    probe: bool,
-    quality: Quality,
-    result: JobResult,
-}
-
 /// The overload-robust front door. Owns a [`Runtime`] and feeds it
 /// per-tick batches of admitted work.
 #[derive(Debug)]
@@ -501,6 +547,24 @@ impl Gateway {
         &self.config
     }
 
+    /// The runtime this gateway feeds. Streaming callers use this for
+    /// work that deliberately bypasses admission (e.g. the bootstrap
+    /// calibration fleet in `bios-stream`).
+    #[must_use]
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Opens an incremental admission session: requests are offered
+    /// tick by tick ([`GatewaySession::offer`]) instead of as one
+    /// pre-assembled trace, and outcomes surface as their ticks pass
+    /// ([`GatewaySession::advance_to`]). [`Gateway::run`] is this
+    /// session driven to completion over a full trace.
+    #[must_use]
+    pub fn session(&self) -> GatewaySession<'_> {
+        GatewaySession::new(self)
+    }
+
     /// A snapshot of the owned runtime's metrics, including the six
     /// gateway overload counters this gateway has recorded into it.
     #[must_use]
@@ -518,222 +582,16 @@ impl Gateway {
 
     /// Runs a trace of requests to completion and reports every
     /// outcome. The trace need not be sorted; arrivals are processed
-    /// in (arrival tick, trace order) order.
+    /// in (arrival tick, trace order) order. This is a
+    /// [`GatewaySession`] offered the whole trace up front and driven
+    /// until every request is terminal.
     #[must_use]
     pub fn run(&self, requests: &[Request]) -> GatewayReport {
-        let metrics = self.runtime.metrics_handle();
-        let mut outcomes: Vec<Option<Disposition>> = Vec::new();
-        outcomes.resize_with(requests.len(), || None);
-        let mut counters = GatewayCounters::default();
-
-        // Arrival order: (arrival_tick, trace position), stable.
-        let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by_key(|&i| requests[i].arrival_tick);
-
-        let mut buckets: BTreeMap<&str, TokenBucket> = BTreeMap::new();
-        let mut breakers: BTreeMap<&str, CircuitBreaker> = BTreeMap::new();
-        let mut probes: BTreeSet<usize> = BTreeSet::new();
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut running: Vec<InFlight> = Vec::new();
-
-        let slots = self.config.service_slots.max(1);
-        let mut next_arrival = 0usize;
-        let mut tick = match order.first() {
-            Some(&i) => requests[i].arrival_tick,
-            None => {
-                return GatewayReport {
-                    outcomes: Vec::new(),
-                    drained_tick: 0,
-                    counters,
-                }
-            }
-        };
-        let mut drained_tick = tick;
-
-        loop {
-            // 1. Completions due at this tick, in (done tick, dispatch
-            // tick, trace position) order, feed the breakers.
-            let mut due: Vec<InFlight> = Vec::new();
-            let mut still: Vec<InFlight> = Vec::new();
-            for r in running.drain(..) {
-                if r.done_tick <= tick {
-                    due.push(r);
-                } else {
-                    still.push(r);
-                }
-            }
-            running = still;
-            due.sort_by_key(|r| (r.done_tick, r.dispatched_tick, r.idx));
-            for fin in due {
-                let req = &requests[fin.idx];
-                let breaker = breakers
-                    .entry(req.family())
-                    .or_insert_with(|| CircuitBreaker::new(self.config.breaker));
-                match breaker_verdict(&fin.result) {
-                    Some(ok) if breaker.on_result(ok, fin.probe, tick) => {
-                        counters.breaker_trips += 1;
-                        metrics.record_breaker_trip();
-                    }
-                    Some(_) => {}
-                    None if fin.probe => breaker.cancel_probe(),
-                    None => {}
-                }
-                drained_tick = drained_tick.max(fin.done_tick);
-                outcomes[fin.idx] = Some(Disposition::Executed {
-                    quality: fin.quality,
-                    dispatched_tick: fin.dispatched_tick,
-                    done_tick: fin.done_tick,
-                    result: fin.result,
-                });
-            }
-
-            // 2. Arrivals at this tick, in trace order: rate limit,
-            // then queue capacity, then the family breaker.
-            while next_arrival < order.len() && requests[order[next_arrival]].arrival_tick <= tick {
-                let idx = order[next_arrival];
-                next_arrival += 1;
-                let req = &requests[idx];
-                let bucket = buckets.entry(req.tenant.as_str()).or_insert_with(|| {
-                    TokenBucket::new(
-                        self.config.bucket_capacity_milli,
-                        self.config.bucket_refill_milli_per_tick,
-                    )
-                });
-                bucket.advance_to(tick);
-                if !bucket.try_take(TokenBucket::WHOLE_TOKEN) {
-                    counters.rate_limited += 1;
-                    metrics.record_rate_limited();
-                    outcomes[idx] = Some(Disposition::Rejected(Rejected::RateLimited));
-                    continue;
-                }
-                if queue.len() >= self.config.queue_capacity.max(1) {
-                    counters.admission_rejected += 1;
-                    metrics.record_admission_rejected();
-                    outcomes[idx] = Some(Disposition::Rejected(Rejected::QueueFull));
-                    continue;
-                }
-                let breaker = breakers
-                    .entry(req.family())
-                    .or_insert_with(|| CircuitBreaker::new(self.config.breaker));
-                match breaker.admit(tick) {
-                    Admission::Reject => {
-                        outcomes[idx] = Some(Disposition::Rejected(Rejected::BreakerOpen));
-                        continue;
-                    }
-                    Admission::Probe => {
-                        counters.breaker_half_open_probes += 1;
-                        metrics.record_breaker_half_open_probe();
-                        probes.insert(idx);
-                    }
-                    Admission::Admit => {}
-                }
-                queue.push_back(idx);
-            }
-
-            // 3. Dispatch into free slots: charge queueing time against
-            // the deadline budget, brown out under pressure, shed what
-            // cannot finish even degraded.
-            let mut batch: Vec<(usize, CatalogEntry, Quality, u64)> = Vec::new();
-            while batch.len() + running.len() < slots {
-                let Some(idx) = queue.pop_front() else { break };
-                let req = &requests[idx];
-                let waited = tick.saturating_sub(req.arrival_tick);
-                let remaining = req.deadline_ticks.saturating_sub(waited);
-                let full_ticks = self.service_ticks(req.entry.calibration_workload());
-                let pressured = self
-                    .config
-                    .degradation
-                    .triggered(queue.len(), self.config.queue_capacity);
-                let fits_full = full_ticks <= remaining;
-                if fits_full && !pressured {
-                    batch.push((idx, req.entry.clone(), Quality::Full, full_ticks));
-                    continue;
-                }
-                let thin = self.config.degradation.degrade(&req.entry);
-                let thin_ticks = self.service_ticks(thin.calibration_workload());
-                if thin_ticks <= remaining && thin_ticks < full_ticks {
-                    counters.browned_out += 1;
-                    metrics.record_browned_out();
-                    batch.push((idx, thin, Quality::Degraded, thin_ticks));
-                } else if fits_full {
-                    // Pressured, but degradation cannot shrink this
-                    // entry: run it at full resolution anyway.
-                    batch.push((idx, req.entry.clone(), Quality::Full, full_ticks));
-                } else {
-                    counters.deadline_shed += 1;
-                    metrics.record_deadline_shed();
-                    if probes.remove(&idx) {
-                        if let Some(b) = breakers.get_mut(req.family()) {
-                            b.cancel_probe();
-                        }
-                    }
-                    outcomes[idx] = Some(Disposition::Rejected(Rejected::DeadlineShed));
-                }
-            }
-
-            // 4. Execute the tick's batch as one fleet on the worker
-            // pool. Outcomes are pure functions of (entry, seed, plan),
-            // so physical parallelism cannot leak into decisions.
-            if !batch.is_empty() {
-                let mut builder = Fleet::builder("gateway-tick");
-                for (idx, entry, _, _) in &batch {
-                    builder = builder.job(entry.clone(), requests[*idx].seed);
-                }
-                let report = self.runtime.run(&builder.build());
-                for (result, (idx, _, quality, serv)) in report.results.into_iter().zip(batch) {
-                    running.push(InFlight {
-                        idx,
-                        dispatched_tick: tick,
-                        done_tick: tick + serv,
-                        probe: probes.remove(&idx),
-                        quality,
-                        result,
-                    });
-                }
-            }
-
-            // 5. Advance to the next event, or stop when fully drained.
-            let upcoming_arrival = order
-                .get(next_arrival)
-                .map(|&i| requests[i].arrival_tick.max(tick + 1));
-            let upcoming_done = running.iter().map(|r| r.done_tick).min();
-            tick = match (upcoming_arrival, upcoming_done) {
-                (Some(a), Some(d)) => a.min(d),
-                (Some(a), None) => a,
-                (None, Some(d)) => d,
-                (None, None) => {
-                    if queue.is_empty() {
-                        break;
-                    }
-                    // Queue still holds work but nothing is running and
-                    // no arrivals remain: loop again at the next tick to
-                    // dispatch it.
-                    tick + 1
-                }
-            };
+        let mut session = self.session();
+        for req in requests {
+            session.offer(req.clone());
         }
-
-        let outcomes = requests
-            .iter()
-            .zip(outcomes)
-            .map(|(req, slot)| RequestOutcome {
-                id: req.id,
-                tenant: req.tenant.clone(),
-                sensor: req.entry.id().to_string(),
-                seed: req.seed,
-                arrival_tick: req.arrival_tick,
-                // Every request is terminal by construction: arrivals
-                // either reject or enqueue, and the loop only exits
-                // once queue and running set are empty.
-                disposition: slot.unwrap_or(Disposition::Rejected(Rejected::QueueFull)),
-            })
-            .collect();
-
-        GatewayReport {
-            outcomes,
-            drained_tick,
-            counters,
-        }
+        session.finish()
     }
 
     /// Builds an arrival trace from a fault plan: one request per
@@ -949,6 +807,141 @@ mod tests {
         );
         std::env::remove_var("BIOS_GATEWAY_QPS");
         std::env::remove_var("BIOS_BREAKER_THRESHOLD");
+    }
+
+    #[test]
+    fn a_recalibration_is_never_browned_out_under_pressure() {
+        // One service slot and a long queue: enough routine work piles
+        // up at tick 0 that the brownout watermark is well past
+        // triggered when the recal request reaches dispatch. Routine
+        // requests degrade; the recalibration must run at full quality.
+        let config = GatewayConfig {
+            queue_capacity: 12,
+            service_slots: 1,
+            bucket_capacity_milli: 100 * TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 100 * TokenBucket::WHOLE_TOKEN,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, runtime());
+        let mut reqs: Vec<Request> = (0..10)
+            .map(|i| Request::new(i, "ward", our_glucose_sensor(), i, 0, 640))
+            .collect();
+        reqs.push(
+            Request::new(99, "ward", our_glucose_sensor(), 99, 0, 640)
+                .with_priority(Priority::Recalibration),
+        );
+        let report = gw.run(&reqs);
+        assert!(report.clean_drain());
+        assert!(
+            report.counters.browned_out >= 1,
+            "routine work must brown out under this pressure: {}",
+            report.counters
+        );
+        assert!(
+            !report.browned_out_ids().contains(&99),
+            "the recalibration must not be degraded"
+        );
+        let recal = report.outcomes.iter().find(|o| o.id == 99).unwrap();
+        assert!(
+            matches!(
+                recal.disposition,
+                Disposition::Executed {
+                    quality: Quality::Full,
+                    ..
+                }
+            ),
+            "recal outcome: {}",
+            recal.digest_line()
+        );
+        // Head-of-line dispatch: despite being offered last, the recal
+        // is the first request to leave the queue.
+        let Disposition::Executed {
+            dispatched_tick, ..
+        } = recal.disposition
+        else {
+            unreachable!()
+        };
+        assert_eq!(dispatched_tick, 0, "recal dispatches in its arrival tick");
+        assert!(recal.digest_line().contains(" recal "), "digest is tagged");
+    }
+
+    #[test]
+    fn recalibrations_bypass_the_rate_limit_but_not_the_queue() {
+        let config = GatewayConfig {
+            bucket_capacity_milli: TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 0,
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::new(config, runtime());
+        let reqs = vec![
+            Request::new(0, "ward", our_glucose_sensor(), 0, 0, 64),
+            Request::new(1, "ward", our_glucose_sensor(), 1, 0, 64),
+            Request::new(2, "ward", our_glucose_sensor(), 2, 0, 64)
+                .with_priority(Priority::Recalibration),
+        ];
+        let report = gw.run(&reqs);
+        // The bucket holds one token: request 1 is rate limited, but
+        // the recalibration never draws from the bucket at all.
+        assert_eq!(report.rejected_ids(Rejected::RateLimited), vec![1]);
+        assert_eq!(report.executed_ids(), vec![0, 2]);
+        assert!(report.clean_drain());
+    }
+
+    #[test]
+    fn digest_with_recalibrations_is_identical_across_worker_counts() {
+        let mut reqs: Vec<Request> = (0..9)
+            .map(|i| {
+                Request::new(
+                    i,
+                    if i % 2 == 0 { "a" } else { "b" },
+                    our_glucose_sensor(),
+                    i,
+                    i / 3,
+                    64,
+                )
+            })
+            .collect();
+        reqs.push(
+            Request::new(50, "a", our_glucose_sensor(), 50, 1, 64)
+                .with_priority(Priority::Recalibration),
+        );
+        let digests: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let rt = Runtime::new(RuntimeConfig {
+                    workers: w,
+                    ..RuntimeConfig::default()
+                });
+                Gateway::new(GatewayConfig::default(), rt)
+                    .run(&reqs)
+                    .digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+        assert!(digests[0].contains(" recal "));
+    }
+
+    #[test]
+    fn a_session_advanced_incrementally_matches_the_batch_digest() {
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request::new(i, "icu", our_glucose_sensor(), i, i * 2, 64))
+            .collect();
+        let batch = Gateway::new(GatewayConfig::default(), runtime()).run(&reqs);
+        // Same trace, offered tick by tick against a live session.
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        let mut session = gw.session();
+        let mut terminal = 0usize;
+        for tick in 0..=14 {
+            for req in reqs.iter().filter(|r| r.arrival_tick == tick) {
+                session.offer(req.clone());
+            }
+            terminal += session.advance_to(tick).len();
+        }
+        assert_eq!(session.offered(), reqs.len());
+        let report = session.finish();
+        assert_eq!(report.digest(), batch.digest());
+        assert!(terminal <= reqs.len());
     }
 
     #[test]

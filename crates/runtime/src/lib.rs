@@ -65,6 +65,7 @@ pub mod metrics;
 pub mod pool;
 mod watchdog;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -187,6 +188,14 @@ impl RuntimeConfig {
     /// A set-but-malformed value is *not* silently ignored: it keeps
     /// the default and prints one deterministic warning line to stderr
     /// (see [`parse_env_value`]).
+    ///
+    /// `BIOS_CACHE_CAP` must be **positive**. In
+    /// [`RuntimeConfig::with_cache_capacity`] a capacity of 0 means
+    /// *unbounded*, but an operator writing `BIOS_CACHE_CAP=0` almost
+    /// always means *disabled* — the opposite. Rather than guess, a
+    /// zero value is rejected with the same style of stderr warning as
+    /// a malformed one, and the default capacity is kept; disable
+    /// memoization with [`RuntimeConfig::with_cache`] instead.
     #[must_use]
     pub fn from_env() -> RuntimeConfig {
         let mut config = RuntimeConfig::default();
@@ -195,8 +204,14 @@ impl RuntimeConfig {
         {
             config.workers = n;
         }
-        if let Some(cap) = env_parsed::<usize>("BIOS_CACHE_CAP", "a non-negative integer") {
-            config.cache_capacity = cap;
+        match env_parsed::<usize>("BIOS_CACHE_CAP", "a positive integer") {
+            Some(0) => eprintln!(
+                "warning: ignoring ambiguous BIOS_CACHE_CAP=\"0\" (0 would mean unbounded, \
+                 not disabled; set a positive capacity, or disable memoization with \
+                 RuntimeConfig::with_cache(false))"
+            ),
+            Some(cap) => config.cache_capacity = cap,
+            None => {}
         }
         if let Some(ms) = env_parsed::<u64>("BIOS_JOB_DEADLINE_MS", "milliseconds as an integer") {
             config.job_deadline = Duration::from_millis(ms);
@@ -504,6 +519,24 @@ impl Runtime {
         }
     }
 
+    /// Opens an incremental job stream over this runtime's pool — the
+    /// submission surface for callers that discover jobs one at a time
+    /// (a streaming gateway tick) instead of assembling a [`Fleet`] up
+    /// front. Heals the pool first, exactly like a batch run.
+    #[must_use]
+    pub fn open_stream(&self) -> JobStream<'_> {
+        let respawned = self.pool.heal();
+        self.metrics.record_worker_respawns(respawned as u64);
+        let (tx, rx) = mpsc::channel();
+        JobStream {
+            runtime: self,
+            tx,
+            rx,
+            next_ticket: 0,
+            outstanding: BTreeMap::new(),
+        }
+    }
+
     /// Runs the fleet on the calling thread, in job order — the parity
     /// reference for the concurrent path. Shares the same cache and
     /// metrics semantics as [`Runtime::run`].
@@ -545,6 +578,136 @@ impl Runtime {
             elapsed: started.elapsed(),
             results,
             metrics: self.metrics(),
+        }
+    }
+}
+
+/// An incremental submission handle over a [`Runtime`]'s worker pool,
+/// opened with [`Runtime::open_stream`]. Jobs go in one at a time via
+/// [`JobStream::submit`] (each returns a monotonically increasing
+/// *ticket*) and come back via [`JobStream::recv`] in whatever order
+/// workers finish them, tagged with their ticket so the caller can
+/// reorder deterministically.
+///
+/// Execution semantics are identical to the batch path: every job runs
+/// through the same per-job pipeline (fault realization, budget gate,
+/// memo-cache probe, retry loop, non-finite quarantine), so a streamed
+/// job's outcome is byte-identical to the same `(entry, seed, plan)`
+/// run inside a [`Fleet`]. Streams never arm the hang watchdog: an
+/// injected stall is rejected synchronously as the deterministic
+/// [`JobError::Deadline`] instead of livelocking a worker.
+#[derive(Debug)]
+pub struct JobStream<'rt> {
+    runtime: &'rt Runtime,
+    tx: mpsc::Sender<(u64, Completion)>,
+    rx: mpsc::Receiver<(u64, Completion)>,
+    next_ticket: u64,
+    /// Ticket → (sensor id, seed) for every submitted-but-uncollected
+    /// job; `BTreeMap` so the oldest ticket is recoverable when a lost
+    /// worker forces a synthesized failure.
+    outstanding: BTreeMap<u64, (String, u64)>,
+}
+
+impl JobStream<'_> {
+    /// Submits one job and returns its ticket. The entry and plan are
+    /// cloned into the worker closure; the call never blocks.
+    pub fn submit(&mut self, entry: &CatalogEntry, seed: u64, plan: Option<&FaultPlan>) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.outstanding
+            .insert(ticket, (entry.id().to_owned(), seed));
+        self.runtime.metrics.record_submitted(1);
+        let tx = self.tx.clone();
+        let entry = entry.clone();
+        let plan = plan.cloned();
+        let cache = self
+            .runtime
+            .config
+            .cache
+            .then(|| Arc::clone(&self.runtime.cache));
+        let metrics = Arc::clone(&self.runtime.metrics);
+        let policy = ExecPolicy::from_config(&self.runtime.config);
+        self.runtime.pool.execute(move || {
+            let completion = execute_job(
+                ticket as usize,
+                &entry,
+                seed,
+                plan.as_ref(),
+                cache.as_deref(),
+                None,
+                &metrics,
+                policy,
+            );
+            let _ = tx.send((ticket, completion));
+        });
+        ticket
+    }
+
+    /// Jobs submitted but not yet collected with [`JobStream::recv`].
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Blocks until the next outstanding job completes and returns its
+    /// `(ticket, result)`; `None` when nothing is outstanding. Mirrors
+    /// the batch collection loop's self-healing: if every worker has
+    /// retired, the pool is healed so queued jobs keep flowing, and if
+    /// the OS refuses new threads the oldest outstanding job is
+    /// surfaced as the deterministic "worker lost" failure instead of
+    /// blocking forever.
+    pub fn recv(&mut self) -> Option<(u64, JobResult)> {
+        loop {
+            self.outstanding.keys().next()?;
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok((ticket, completion)) => {
+                    // A completion whose ticket was already synthesized
+                    // as lost (worker limped back) is dropped.
+                    if let Some((sensor, seed)) = self.outstanding.remove(&ticket) {
+                        return Some((
+                            ticket,
+                            JobResult {
+                                index: ticket as usize,
+                                sensor,
+                                seed,
+                                wall: completion.wall,
+                                from_cache: completion.from_cache,
+                                attempts: completion.attempts,
+                                injected: completion.injected,
+                                outcome: completion.outcome,
+                            },
+                        ));
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.runtime.pool.live_workers() == 0 {
+                        let respawned = self.runtime.pool.heal();
+                        self.runtime
+                            .metrics
+                            .record_worker_respawns(respawned as u64);
+                        if respawned == 0 {
+                            // OS refuses threads: fail the oldest job
+                            // deterministically rather than hang.
+                            let ticket = self.outstanding.keys().next().copied()?;
+                            let (sensor, seed) = self.outstanding.remove(&ticket)?;
+                            return Some((
+                                ticket,
+                                JobResult {
+                                    index: ticket as usize,
+                                    sensor,
+                                    seed,
+                                    wall: Duration::ZERO,
+                                    from_cache: false,
+                                    attempts: 0,
+                                    injected: FaultTally::default(),
+                                    outcome: Err(JobError::Panicked("worker lost".into())),
+                                },
+                            ));
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+            }
         }
     }
 }
@@ -850,6 +1013,72 @@ mod tests {
         let report = Runtime::with_workers(2).run(&Fleet::builder("empty").build());
         assert!(report.results.is_empty());
         assert_eq!(report.throughput_jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn stream_matches_batch_outcomes() {
+        let fleet = Fleet::builder("stream-parity")
+            .sensors(catalog::cyp_sensors())
+            .seeds([7, 8])
+            .build();
+        let batch = Runtime::with_workers(4).run(&fleet);
+        let runtime = Runtime::with_workers(2);
+        let mut stream = runtime.open_stream();
+        for job in fleet.jobs() {
+            let ticket = stream.submit(&job.entry, job.seed, None);
+            assert_eq!(ticket as usize, job.index);
+        }
+        let mut slots: Vec<Option<JobResult>> = (0..fleet.len()).map(|_| None).collect();
+        while stream.pending() > 0 {
+            let (ticket, result) = stream.recv().unwrap();
+            slots[ticket as usize] = Some(result);
+        }
+        assert!(stream.recv().is_none());
+        for (job, slot) in fleet.jobs().iter().zip(&slots) {
+            let streamed = slot.as_ref().unwrap();
+            assert_eq!(streamed.sensor, job.entry.id());
+            assert_eq!(streamed.seed, job.seed);
+            let batched = &batch.results[job.index];
+            let (Ok(a), Ok(b)) = (&streamed.outcome, &batched.outcome) else {
+                panic!("both paths should calibrate {}", job.entry.id());
+            };
+            assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+        }
+    }
+
+    #[test]
+    fn stream_applies_fault_plans_like_batch() {
+        use bios_faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::builder("stream-faults", 9)
+            .spec(FaultKind::FilmDenaturation, 1.0, 0.8)
+            .build();
+        let fleet = Fleet::builder("stream-faults")
+            .sensor(catalog::our_glucose_sensor())
+            .seed(5)
+            .fault_plan(plan.clone())
+            .build();
+        let batch = Runtime::with_workers(2).run(&fleet);
+        let runtime = Runtime::with_workers(2);
+        let mut stream = runtime.open_stream();
+        stream.submit(&fleet.jobs()[0].entry, 5, Some(&plan));
+        let (_, streamed) = stream.recv().unwrap();
+        assert_eq!(streamed.injected, batch.results[0].injected);
+        let (Ok(a), Ok(b)) = (&streamed.outcome, &batch.results[0].outcome) else {
+            panic!("denatured-film calibration should still converge");
+        };
+        assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+    }
+
+    #[test]
+    fn from_env_rejects_zero_cache_cap() {
+        // `from_env` is the only reader of BIOS_CACHE_CAP, and the other
+        // env test asserts nothing about cache capacity, so mutating
+        // just this variable is race-free.
+        std::env::set_var("BIOS_CACHE_CAP", "0");
+        assert_eq!(RuntimeConfig::from_env().cache_capacity, DEFAULT_CAPACITY);
+        std::env::set_var("BIOS_CACHE_CAP", "512");
+        assert_eq!(RuntimeConfig::from_env().cache_capacity, 512);
+        std::env::remove_var("BIOS_CACHE_CAP");
     }
 
     #[test]

@@ -55,6 +55,21 @@ if [ "$overload_1" != "$overload_8" ]; then
 fi
 echo "    overload decisions identical at 1 and 8 workers ($overload_1)"
 
+# Stream gate: a 1000-patient × 288-tick (one simulated day) cohort
+# with aging films through the longitudinal stream engine. The binary
+# asserts the closed loop engages (drift injected, detected, epochs
+# swapped; zero false trips, zero browned-out recalibrations); the
+# shell pins the stream digest byte-identical at 1 and 8 workers.
+echo "==> stream gate"
+stream_gate() { cargo run --release -q -p bios-bench --bin stream_gate -- "$@"; }
+stream_1="$(stream_gate --workers 1 --patients 1000 --ticks 288 | grep digest_fnv)"
+stream_8="$(stream_gate --workers 8 --patients 1000 --ticks 288 | grep digest_fnv)"
+if [ "$stream_1" != "$stream_8" ]; then
+    echo "stream gate: digest differs across worker counts ($stream_1 vs $stream_8)" >&2
+    exit 1
+fi
+echo "    stream decisions identical at 1 and 8 workers ($stream_1)"
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -29,6 +29,7 @@
 //! | [`recover`] | `bios-recover` | checksummed journal + snapshot primitives for crash resume |
 //! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
 //! | [`gateway`] | `bios-gateway` | overload-robust admission control, circuit breaking, brownout degradation |
+//! | [`stream`] | `bios-stream` | longitudinal patient streams, online drift monitors, deterministic re-calibration |
 //!
 //! # Quick start
 //!
@@ -59,11 +60,14 @@ pub use bios_nanomaterial as nanomaterial;
 pub use bios_prng as prng;
 pub use bios_recover as recover;
 pub use bios_runtime as runtime;
+pub use bios_stream as stream;
 pub use bios_units as units;
 
 /// Commonly used items for scripting against the platform.
 pub mod prelude {
-    pub use bios_analytics::{CalibrationCurve, CalibrationSummary, DriftDetector, LinearFit};
+    pub use bios_analytics::{
+        CalibrationCurve, CalibrationSummary, DriftDetector, DriftMonitor, LinearFit,
+    };
     pub use bios_core::catalog;
     pub use bios_core::platform::SensingPlatform;
     pub use bios_core::protocol::{CalibrationProtocol, Chronoamperometry, CyclicVoltammetry};
@@ -75,6 +79,7 @@ pub mod prelude {
     pub use bios_runtime::{
         Fleet, FleetOutcome, FleetReport, JournalOptions, ResumeReport, Runtime, RuntimeConfig,
     };
+    pub use bios_stream::{PatientCohort, StreamConfig, StreamEngine, StreamReport};
     pub use bios_units::{
         Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
     };
