@@ -146,6 +146,13 @@ impl Default for Config {
                 "stream/src/cohort".into(),
                 "stream/src/engine".into(),
                 "stream/src/epoch".into(),
+                // The sharded layer's placement machinery: routing,
+                // quarantine folds, and report merging must stay pure
+                // in (config, trace, tick) or the shard_gate digest
+                // pin across (shard × worker) layouts breaks.
+                "shard/src/route".into(),
+                "shard/src/supervisor".into(),
+                "shard/src/merge".into(),
             ],
             index_paths: vec![
                 "recover/src/codec".into(),

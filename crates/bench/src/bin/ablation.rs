@@ -29,4 +29,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_stall_ablation(seed));
     println!("{}", bios_bench::ablation::render_overload_ablation(seed));
     println!("{}", bios_bench::ablation::render_stream_ablation(seed));
+    println!("{}", bios_bench::ablation::render_shard_ablation(seed));
 }

@@ -1,0 +1,113 @@
+//! Shard gate for CI: drives a fixed multi-tenant trace through the
+//! tenant-sharded fleet-of-fleets and proves the placement layer is
+//! invisible to results — `ShardedReport::digest_fnv` must be
+//! byte-identical at any (shard count × worker count), including a run
+//! where one shard is lost and quarantined mid-trace and its tenants
+//! redistributed. `scripts/check.sh` runs it at (1×1), (4×2), and
+//! (8×8), plus one quarantined (4×2) run, and compares the
+//! `digest_fnv=0x…` lines.
+//!
+//! ```text
+//! shard_gate --shards 1 --workers 1
+//! shard_gate --shards 4 --workers 2 --quarantine
+//! shard_gate --shards 8 --workers 8
+//! ```
+
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use bios_recover::fnv1a;
+use bios_shard::{tenant_trace, ShardChaos, ShardConfig, ShardedGateway};
+
+fn main() -> ExitCode {
+    bios_bench::silence_injected_panics();
+    let mut shards = 4usize;
+    let mut workers = 2usize;
+    let mut quarantine = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards =
+                    bios_bench::parse_flag_or_exit(args.next(), "--shards", "a positive integer");
+            }
+            "--workers" => {
+                workers =
+                    bios_bench::parse_flag_or_exit(args.next(), "--workers", "a positive integer");
+            }
+            "--quarantine" => quarantine = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The gate trace is fixed: 8 wards × 6 requests, tight arrivals.
+    let trace = tenant_trace(8, 6, 2, 96, None);
+    let total = trace.len() as u64;
+    let sharded = ShardedGateway::new(
+        ShardConfig::default()
+            .with_shards(shards)
+            .with_workers_per_shard(workers),
+    );
+    // The quarantined run loses ward-00's home shard at tick 1: its
+    // tenants must redistribute and the digest must not move. With one
+    // shard there is nowhere to redistribute to; the loop then falls
+    // back to the (lost) home shard, which still computes correctly —
+    // placement never changes outcomes.
+    let chaos = if quarantine {
+        ShardChaos::none().with_shard_loss_at(bios_shard::home_shard("ward-00", shards.max(1)), 1)
+    } else {
+        ShardChaos::none()
+    };
+    let report = sharded.run_with(&trace, &chaos);
+    let executed = report.executed();
+
+    println!(
+        "shard gate: {shards} shards x {workers} workers{}: {total} requests, \
+         {executed} executed, {} steals, drained at tick {}",
+        if quarantine { " (quarantined)" } else { "" },
+        report.steals(),
+        report.drained_tick
+    );
+    for p in &report.placement {
+        println!(
+            "  shard {}: {} tenants homed, {} completions, {} steals in, \
+             {} redistributions in, {:?}",
+            p.shard, p.tenants_homed, p.completions, p.steals_in, p.redistributions_in, p.health
+        );
+    }
+    println!("digest_fnv=0x{:016x}", fnv1a(report.digest().as_bytes()));
+
+    let mut ok = true;
+    if executed == 0 {
+        eprintln!("FAIL: nothing executed");
+        ok = false;
+    }
+    if report.outcomes.len() as u64 != total {
+        eprintln!(
+            "FAIL: {} outcomes for {total} requests — some never reached a terminal state",
+            report.outcomes.len()
+        );
+        ok = false;
+    }
+    if quarantine {
+        if report.quarantined_shards().is_empty() {
+            eprintln!("FAIL: --quarantine armed but no shard ended quarantined");
+            ok = false;
+        }
+        let redistributed: u64 = report.placement.iter().map(|p| p.redistributions_in).sum();
+        if shards > 1 && redistributed == 0 {
+            eprintln!("FAIL: a quarantined shard's tenants never redistributed");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

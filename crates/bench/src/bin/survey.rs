@@ -15,6 +15,7 @@ use bios_core::catalog::CatalogEntry;
 use bios_faults::{FaultKind, FaultPlan};
 use bios_gateway::{Gateway, GatewayConfig};
 use bios_runtime::{Fleet, Runtime, RuntimeConfig};
+use bios_shard::{tenant_trace, ShardConfig, ShardedGateway};
 use bios_stream::{StreamConfig, StreamEngine};
 
 fn main() {
@@ -43,6 +44,22 @@ fn main() {
         .build();
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let physical_cores = bios_bench::physical_cores();
+    // The oversubscription caveat is printed at most once per run —
+    // several blocks below (cold speedup, the shard sweep) can each
+    // exceed the machine, and repeating the same warning per
+    // configuration buries the signal.
+    let mut oversubscription_warned = false;
+    let warn_oversubscribed = |total_workers: usize, warned: &mut bool| {
+        if !*warned {
+            println!(
+                "  warning: speedup_valid: false — {total_workers} workers on {cores} \
+                 available cores ({physical_cores} physical); wall-clock ratios measure \
+                 oversubscription, not the runtime"
+            );
+            *warned = true;
+        }
+    };
     let sequential = Runtime::new(RuntimeConfig::default().with_workers(1).with_cache(false))
         .run_sequential(&fleet);
     let runtime = Runtime::new(config);
@@ -110,9 +127,10 @@ fn main() {
     let speedup_valid = cores >= concurrent.workers;
     let metrics = runtime.metrics();
     println!(
-        "\nFleet runtime benchmark ({} jobs, {} cores):",
+        "\nFleet runtime benchmark ({} jobs, {} cores, {} physical):",
         fleet.len(),
-        cores
+        cores,
+        physical_cores
     );
     println!(
         "  sequential: {:?} ({:.1} jobs/s)",
@@ -127,10 +145,7 @@ fn main() {
         speedup
     );
     if !speedup_valid {
-        println!(
-            "  warning: {} workers on {} available cores — the cold speedup measures oversubscription, not the runtime",
-            concurrent.workers, cores
-        );
+        warn_oversubscribed(concurrent.workers, &mut oversubscription_warned);
     }
     println!(
         "  {} workers, warm cache: {:?} ({:.1} jobs/s, {:.2}x, {} of {} jobs from cache)",
@@ -197,13 +212,62 @@ fn main() {
         stream.mean_mard
     );
 
+    // Sharded fleet-of-fleets: the same multi-tenant trace at several
+    // (shard count × workers per shard) layouts. The digest is pinned
+    // byte-identical across layouts (the shard_gate contract); the
+    // per-layout wall times and steal counts land in the JSON below.
+    let shard_trace = tenant_trace(8, 6, 2, 96, None);
+    let shard_layouts = [(1usize, 1usize), (4, 2), (8, 2)];
+    let mut shard_rows = Vec::new();
+    let mut shard_digest = None;
+    let mut shard_digests_agree = true;
+    println!(
+        "  sharded gateway ({} tenants, {} requests):",
+        8,
+        shard_trace.len()
+    );
+    for (shards, workers_per_shard) in shard_layouts {
+        if shards * workers_per_shard > cores {
+            warn_oversubscribed(shards * workers_per_shard, &mut oversubscription_warned);
+        }
+        let sharded = ShardedGateway::new(
+            ShardConfig::default()
+                .with_shards(shards)
+                .with_workers_per_shard(workers_per_shard),
+        );
+        let started = std::time::Instant::now();
+        let report = sharded.run(&shard_trace);
+        let secs = started.elapsed().as_secs_f64();
+        let fnv = report.digest_fnv();
+        let stable = *shard_digest.get_or_insert(fnv) == fnv;
+        shard_digests_agree &= stable;
+        println!(
+            "    {shards} shards x {workers_per_shard} workers: {} executed, {} steals, \
+             drained t{}, {:.3}s, digest_fnv=0x{fnv:016x}{}",
+            report.executed(),
+            report.steals(),
+            report.drained_tick,
+            secs,
+            if stable { "" } else { " (DIGEST DIVERGED)" }
+        );
+        shard_rows.push(format!(
+            "{{\"shards\": {shards}, \"workers_per_shard\": {workers_per_shard}, \
+             \"executed\": {}, \"steals\": {}, \"drained_tick\": {}, \
+             \"secs\": {secs:.6}, \"digest_fnv\": \"0x{fnv:016x}\"}}",
+            report.executed(),
+            report.steals(),
+            report.drained_tick,
+        ));
+    }
+
     // The JSON is emitted with a fixed, documented key order (schema
     // first, then sizing, timing, derived ratios, nested blocks) so
     // diffs between runs are line-stable; bump `schema_version` whenever
     // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"schema_version\": 4,\n  \
-         \"workers\": {},\n  \"available_cores\": {},\n  \"jobs\": {},\n  \
+        "{{\n  \"schema_version\": 5,\n  \
+         \"workers\": {},\n  \"available_cores\": {},\n  \"physical_cores\": {},\n  \
+         \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
          \"warm_cache_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"speedup_valid\": {},\n  \
@@ -220,9 +284,12 @@ fn main() {
          \"detection_latency_max_ticks\": {}, \"recal_enqueued\": {}, \"recal_completed\": {}, \
          \"recal_rejected\": {}, \"recal_degraded\": {}, \"epoch_swaps\": {}, \
          \"mean_mard\": {:.6}, \"drained_tick\": {}}},\n  \
+         \"shard\": {{\"tenants\": 8, \"requests\": {}, \"digests_agree\": {}, \
+         \"layouts\": [{}]}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
+        physical_cores,
         fleet.len(),
         sequential.elapsed.as_secs_f64(),
         concurrent.elapsed.as_secs_f64(),
@@ -260,6 +327,9 @@ fn main() {
         stream.epoch_swaps,
         stream.mean_mard,
         stream.drained_tick,
+        shard_trace.len(),
+        shard_digests_agree,
+        shard_rows.join(", "),
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

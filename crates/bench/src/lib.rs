@@ -59,6 +59,47 @@ pub fn parse_flag_or_exit<T: std::str::FromStr>(
     }
 }
 
+/// Best-effort physical core count: on Linux, the number of distinct
+/// `(physical id, core id)` pairs in `/proc/cpuinfo` (which collapses
+/// SMT siblings); elsewhere — or when the file is unreadable or
+/// carries no topology — the logical
+/// [`std::thread::available_parallelism`]. Benchmarks record this next
+/// to the logical count so shard-scaling numbers stay interpretable on
+/// a 1-core container where no speedup is physically possible.
+#[must_use]
+pub fn physical_cores() -> usize {
+    let logical = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical;
+    };
+    let mut cores = std::collections::BTreeSet::new();
+    let (mut physical_id, mut core_id) = (None::<u64>, None::<u64>);
+    for line in cpuinfo.lines() {
+        let mut parts = line.splitn(2, ':');
+        let key = parts.next().unwrap_or("").trim();
+        let value = parts.next().unwrap_or("").trim();
+        match key {
+            "physical id" => physical_id = value.parse().ok(),
+            "core id" => core_id = value.parse().ok(),
+            // A blank line ends one processor stanza.
+            "" => {
+                if let (Some(p), Some(c)) = (physical_id.take(), core_id.take()) {
+                    cores.insert((p, c));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let (Some(p), Some(c)) = (physical_id, core_id) {
+        cores.insert((p, c));
+    }
+    if cores.is_empty() {
+        logical
+    } else {
+        cores.len().min(logical)
+    }
+}
+
 use bios_analytics::report::{format_percent, TextTable};
 use bios_analytics::CalibrationSummary;
 use bios_core::catalog::{self, CatalogEntry};

@@ -93,11 +93,27 @@ pub enum FaultKind {
     /// when work shows up, not what any single job computes.
     /// Layer: `bios-gateway`.
     TrafficBurst,
+    /// A whole tenant shard goes away mid-run — host reboot, cgroup
+    /// OOM-kill, or a maintenance drain that never came back. Like
+    /// [`TrafficBurst`] this is an infrastructure fault, not a device
+    /// fault: it is realized at the *placement* level
+    /// ([`FaultPlan::shard_loss_tick`]), changing *where* pending work
+    /// runs, never what any single job computes. Layer: `bios-shard`.
+    ///
+    /// [`TrafficBurst`]: FaultKind::TrafficBurst
+    ShardLoss,
+    /// Demand concentrates on a few tenants instead of spreading
+    /// evenly — the ward that batch-uploads ten times the panels of
+    /// its neighbors. Realized at the *trace-shaping* level
+    /// ([`FaultPlan::hotspot_factor`]), scaling how many requests a
+    /// tenant contributes, never what one computes.
+    /// Layer: `bios-shard`.
+    TenantHotspot,
 }
 
 impl FaultKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::FilmDenaturation,
         FaultKind::ElectrodeFouling,
         FaultKind::ReferenceDrift,
@@ -109,6 +125,8 @@ impl FaultKind {
         FaultKind::WorkerPanic,
         FaultKind::WorkerStall,
         FaultKind::TrafficBurst,
+        FaultKind::ShardLoss,
+        FaultKind::TenantHotspot,
     ];
 
     /// Stable tag used to derive an independent PRNG stream per kind.
@@ -125,6 +143,8 @@ impl FaultKind {
             FaultKind::WorkerPanic => 0x09,
             FaultKind::WorkerStall => 0x0A,
             FaultKind::TrafficBurst => 0x0B,
+            FaultKind::ShardLoss => 0x0C,
+            FaultKind::TenantHotspot => 0x0D,
         }
     }
 
@@ -142,6 +162,8 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker panic",
             FaultKind::WorkerStall => "worker stall",
             FaultKind::TrafficBurst => "traffic burst",
+            FaultKind::ShardLoss => "shard loss",
+            FaultKind::TenantHotspot => "tenant hotspot",
         }
     }
 }
@@ -312,6 +334,16 @@ impl FaultPlan {
                     // Arrival-level fault: shapes *when* jobs arrive
                     // (see `arrival_ticks`), never what one computes.
                 }
+                FaultKind::ShardLoss => {
+                    // Placement-level fault: decides *where* pending
+                    // work runs (see `shard_loss_tick`), never what
+                    // one job computes.
+                }
+                FaultKind::TenantHotspot => {
+                    // Trace-shaping fault: scales how many requests a
+                    // tenant contributes (see `hotspot_factor`), never
+                    // what one computes.
+                }
             }
         }
         out
@@ -363,6 +395,65 @@ impl FaultPlan {
             out.push(tick);
         }
         out
+    }
+
+    /// Realizes this plan's [`FaultKind::ShardLoss`] spec for one
+    /// shard: the logical tick the shard is lost, or `None` when it
+    /// survives the horizon.
+    ///
+    /// Pure function of `(plan seed, spec, shard_index, horizon_ticks)`:
+    /// each shard draws from its own `SplitMix64`-derived stream
+    /// (dedicated tag, so it can never alias the per-job realization
+    /// stream), and a realized loss lands in the first half of the
+    /// horizon so the supervisor's quarantine-and-redistribute path is
+    /// actually exercised before the run drains. Without a `ShardLoss`
+    /// spec (or with zero probability) every shard survives.
+    #[must_use]
+    pub fn shard_loss_tick(&self, shard_index: usize, horizon_ticks: u64) -> Option<u64> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::ShardLoss)
+            .copied()
+            .filter(|s| s.probability > 0.0)?;
+        let base = SplitMix64::new(self.seed).derive(shard_index as u64);
+        let stream = SplitMix64::new(base).derive(0x5AAD_0000 | spec.kind.stream_tag());
+        let mut rng = Rng::seed_from_u64(stream);
+        if rng.uniform() >= spec.probability {
+            return None;
+        }
+        Some((rng.uniform() * 0.5 * horizon_ticks.max(1) as f64).floor() as u64)
+    }
+
+    /// Realizes this plan's [`FaultKind::TenantHotspot`] spec for one
+    /// tenant: the demand multiplier (≥ 1) that tenant's request volume
+    /// carries. A cold tenant keeps factor 1; a hot one contributes
+    /// `1 + ⌊7·intensity·u⌋` times the baseline, up to 8× at full
+    /// intensity — the ward batch-uploading a backlog of panels.
+    ///
+    /// Pure function of `(plan seed, spec, tenant)` via a dedicated
+    /// per-tenant stream, so adding tenants to a trace never perturbs
+    /// who is hot. Without a `TenantHotspot` spec (or with zero
+    /// probability) every tenant stays at factor 1.
+    #[must_use]
+    pub fn hotspot_factor(&self, tenant: &str) -> u64 {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::TenantHotspot)
+            .copied()
+            .filter(|s| s.probability > 0.0);
+        let Some(spec) = spec else {
+            return 1;
+        };
+        let id_hash = fnv1a(tenant.bytes());
+        let base = SplitMix64::new(self.seed).derive(id_hash);
+        let stream = SplitMix64::new(base).derive(0x4075_0000 | spec.kind.stream_tag());
+        let mut rng = Rng::seed_from_u64(stream);
+        if rng.uniform() >= spec.probability {
+            return 1;
+        }
+        1 + (7.0 * spec.intensity * rng.uniform()).floor() as u64
     }
 
     /// Realizes this plan's [`FaultKind::FilmDenaturation`] spec along a
@@ -799,6 +890,67 @@ mod tests {
         for seed in 0..16 {
             assert!(plan.realize("glucose/gox", seed).is_healthy());
         }
+    }
+
+    #[test]
+    fn shard_loss_never_touches_job_physics() {
+        let plan = FaultPlan::builder("loss-only", 13)
+            .spec(FaultKind::ShardLoss, 1.0, 1.0)
+            .spec(FaultKind::TenantHotspot, 1.0, 1.0)
+            .build();
+        for seed in 0..16 {
+            assert!(plan.realize("glucose/gox", seed).is_healthy());
+        }
+    }
+
+    #[test]
+    fn shard_loss_tick_is_deterministic_and_in_the_first_half() {
+        let plan = FaultPlan::builder("lossy", 0x10_55)
+            .spec(FaultKind::ShardLoss, 1.0, 1.0)
+            .build();
+        let mut distinct = std::collections::BTreeSet::new();
+        for shard in 0..8 {
+            let tick = plan.shard_loss_tick(shard, 288);
+            assert_eq!(tick, plan.shard_loss_tick(shard, 288));
+            let t = tick.unwrap_or(u64::MAX);
+            assert!(t < 144, "loss tick {t} outside the first half");
+            distinct.insert(t);
+        }
+        assert!(distinct.len() > 1, "shards must draw independent ticks");
+    }
+
+    #[test]
+    fn shard_loss_without_spec_never_fires() {
+        let plan = demo_plan();
+        for shard in 0..8 {
+            assert_eq!(plan.shard_loss_tick(shard, 288), None);
+        }
+        let zero = FaultPlan::builder("zero", 1)
+            .spec(FaultKind::ShardLoss, 0.0, 1.0)
+            .build();
+        assert_eq!(zero.shard_loss_tick(0, 288), None);
+    }
+
+    #[test]
+    fn hotspot_factor_is_deterministic_and_bounded() {
+        let plan = FaultPlan::builder("hot", 0x407)
+            .spec(FaultKind::TenantHotspot, 1.0, 1.0)
+            .build();
+        let mut max_seen = 0;
+        for i in 0..16 {
+            let tenant = format!("ward-{i:02}");
+            let f = plan.hotspot_factor(&tenant);
+            assert_eq!(f, plan.hotspot_factor(&tenant));
+            assert!((1..=8).contains(&f), "factor {f} outside [1, 8]");
+            max_seen = max_seen.max(f);
+        }
+        assert!(max_seen > 1, "full-intensity hotspot never skewed");
+        // Without a spec (or at zero probability) everyone stays cold.
+        assert_eq!(demo_plan().hotspot_factor("ward-00"), 1);
+        let zero = FaultPlan::builder("zero", 1)
+            .spec(FaultKind::TenantHotspot, 0.0, 1.0)
+            .build();
+        assert_eq!(zero.hotspot_factor("ward-00"), 1);
     }
 
     #[test]

@@ -945,6 +945,79 @@ mod tests {
     }
 
     #[test]
+    fn offers_after_a_full_drain_clamp_forward_and_match_the_batch() {
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        let mut session = gw.session();
+        session.offer(Request::new(0, "icu", our_glucose_sensor(), 1, 0, 64));
+        // Drain everything the session has been offered so far.
+        while let Some(t) = session.next_event_tick() {
+            let _ = session.advance_to(t);
+        }
+        assert_eq!(session.open(), 0, "the first request must be terminal");
+        // A late offer with a stale arrival tick: clamped forward,
+        // never landing in the already-processed past.
+        session.offer(Request::new(1, "icu", our_glucose_sensor(), 2, 0, 64));
+        let report = session.finish();
+        let clamped = report.outcomes[1].arrival_tick;
+        assert!(clamped > 0, "arrival must clamp past processed ticks");
+        // The batch path, handed the *effective* trace, agrees byte
+        // for byte.
+        let batch = Gateway::new(GatewayConfig::default(), runtime()).run(&[
+            Request::new(0, "icu", our_glucose_sensor(), 1, 0, 64),
+            Request::new(1, "icu", our_glucose_sensor(), 2, clamped, 64),
+        ]);
+        assert_eq!(report.digest(), batch.digest());
+    }
+
+    #[test]
+    fn a_zero_tenant_trace_matches_the_empty_batch() {
+        let batch = Gateway::new(GatewayConfig::default(), runtime()).run(&[]);
+        let gw = Gateway::new(GatewayConfig::default(), runtime());
+        let session = gw.session();
+        assert_eq!(session.next_event_tick(), None);
+        let report = session.finish();
+        assert_eq!(report.digest(), batch.digest());
+        assert_eq!(report.drained_tick, 0);
+        assert_eq!(report.counters, GatewayCounters::default());
+    }
+
+    #[test]
+    fn a_breaker_opening_mid_session_matches_the_batch_digest() {
+        // Two sweep points fail deterministically (below the detector's
+        // three-standard minimum), so the lactate family's breaker
+        // opens while later offers are still arriving.
+        let bad = our_lactate_sensor().with_sweep_points(2);
+        let config = GatewayConfig {
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_ticks: 1000,
+                probe_quota: 1,
+            },
+            bucket_capacity_milli: 100 * TokenBucket::WHOLE_TOKEN,
+            bucket_refill_milli_per_tick: 100 * TokenBucket::WHOLE_TOKEN,
+            ..GatewayConfig::default()
+        };
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|i| Request::new(i, "lab", bad.clone(), i, i * 4, 64))
+            .collect();
+        reqs.extend((4..8).map(|i| Request::new(i, "lab", our_glucose_sensor(), i, 64 + i, 64)));
+        let batch = Gateway::new(config.clone(), runtime()).run(&reqs);
+        assert!(batch.counters.breaker_trips >= 1);
+        assert!(!batch.rejected_ids(Rejected::BreakerOpen).is_empty());
+        // The same trace offered tick by tick against a live session.
+        let gw = Gateway::new(config, runtime());
+        let mut session = gw.session();
+        for tick in 0..=72 {
+            for req in reqs.iter().filter(|r| r.arrival_tick == tick) {
+                session.offer(req.clone());
+            }
+            let _ = session.advance_to(tick);
+        }
+        let report = session.finish();
+        assert_eq!(report.digest(), batch.digest());
+    }
+
+    #[test]
     fn trace_from_plan_matches_arrival_ticks() {
         use bios_faults::{FaultKind, FaultPlan};
         let plan = FaultPlan::builder("burst", 11)

@@ -12,7 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bios_core::catalog::CatalogEntry;
-use bios_runtime::{JobResult, JobStream};
+use bios_faults::FaultPlan;
+use bios_runtime::{JobResult, JobStream, Runtime};
 
 use crate::breaker::{Admission, CircuitBreaker};
 use crate::bucket::TokenBucket;
@@ -75,6 +76,14 @@ pub struct GatewaySession<'g> {
     /// Last tick the loop processed; events never run earlier.
     last_tick: Option<u64>,
     drained_tick: Option<u64>,
+    /// Fault plan applied to every job this session dispatches — the
+    /// per-tenant chaos seam `bios-shard` arms (see
+    /// [`GatewaySession::set_fault_plan`]).
+    plan: Option<FaultPlan>,
+    /// Runtime whose worker pool physically executes the next
+    /// dispatches; `None` means the session's own gateway runtime (see
+    /// [`GatewaySession::set_execution_host`]).
+    host: Option<&'g Runtime>,
 }
 
 impl<'g> GatewaySession<'g> {
@@ -95,7 +104,29 @@ impl<'g> GatewaySession<'g> {
             results: BTreeMap::new(),
             last_tick: None,
             drained_tick: None,
+            plan: None,
+            host: None,
         }
+    }
+
+    /// Arms a fault plan on every job this session dispatches from now
+    /// on — the per-tenant chaos seam: `bios-shard` arms one tenant's
+    /// plan on that tenant's session only, so a neighbor's session
+    /// (its own breakers, buckets, queues, and counters) never sees it.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// Routes the *physical* execution of subsequent dispatches onto
+    /// `host`'s worker pool (or back to the session's own gateway
+    /// runtime with `None`) — the work-stealing/redistribution seam.
+    /// Accounting never moves: jobs are still billed to, memoized in,
+    /// and collected from the home runtime
+    /// (see [`JobStream::submit_on`]), and because job outcomes are
+    /// pure functions of `(entry, seed, plan)` the digest is
+    /// host-independent.
+    pub fn set_execution_host(&mut self, host: Option<&'g Runtime>) {
+        self.host = host;
     }
 
     /// Offers one request to the session. A request whose arrival tick
@@ -373,7 +404,10 @@ impl<'g> GatewaySession<'g> {
             match dispatch {
                 Some((entry, quality, serv)) => {
                     let seed = self.requests[idx].seed;
-                    let ticket = self.stream.submit(&entry, seed, None);
+                    let host = self.host.unwrap_or_else(|| self.gateway.runtime());
+                    let ticket = self
+                        .stream
+                        .submit_on(host, &entry, seed, self.plan.as_ref());
                     self.running.push(InFlight {
                         idx,
                         dispatched_tick: tick,

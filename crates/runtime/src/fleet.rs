@@ -129,9 +129,10 @@ impl Fleet {
 
     /// Builds a fleet directly from pre-indexed jobs, reusing this
     /// fleet's name and fault plan. Used by the resume path to run the
-    /// not-yet-journaled remainder of a fleet.
+    /// not-yet-journaled remainder of a fleet, and by `bios-shard` to
+    /// carve per-shard sub-fleets out of one logical fleet.
     #[must_use]
-    pub(crate) fn with_jobs(&self, jobs: Vec<Job>) -> Fleet {
+    pub fn with_jobs(&self, jobs: Vec<Job>) -> Fleet {
         Fleet {
             name: self.name.clone(),
             jobs,

@@ -612,6 +612,29 @@ impl JobStream<'_> {
     /// Submits one job and returns its ticket. The entry and plan are
     /// cloned into the worker closure; the call never blocks.
     pub fn submit(&mut self, entry: &CatalogEntry, seed: u64, plan: Option<&FaultPlan>) -> u64 {
+        let home = self.runtime;
+        self.submit_on(home, entry, seed, plan)
+    }
+
+    /// Submits one job for execution on `host`'s worker pool while
+    /// keeping every *accounting* surface on the stream's home runtime:
+    /// the memo cache probed and filled, the metrics billed, the retry
+    /// policy applied, and the completion channel delivered to are all
+    /// the home runtime's. This is the work-stealing seam `bios-shard`
+    /// dispatches through — because `execute_job` is a pure function of
+    /// `(entry, seed, plan, policy)`, *where* the closure runs can
+    /// never change *what* it computes, so a stolen job's
+    /// [`JobResult`] is byte-identical to a home-run one.
+    ///
+    /// With `host == self.runtime` this is exactly
+    /// [`JobStream::submit`].
+    pub fn submit_on(
+        &mut self,
+        host: &Runtime,
+        entry: &CatalogEntry,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+    ) -> u64 {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.outstanding
@@ -627,7 +650,7 @@ impl JobStream<'_> {
             .then(|| Arc::clone(&self.runtime.cache));
         let metrics = Arc::clone(&self.runtime.metrics);
         let policy = ExecPolicy::from_config(&self.runtime.config);
-        self.runtime.pool.execute(move || {
+        host.pool.execute(move || {
             let completion = execute_job(
                 ticket as usize,
                 &entry,
@@ -1067,6 +1090,42 @@ mod tests {
             panic!("denatured-film calibration should still converge");
         };
         assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+    }
+
+    #[test]
+    fn stolen_submission_matches_home_run_and_bills_home() {
+        let entry = catalog::our_glucose_sensor();
+        let home = Runtime::with_workers(2);
+        let host = Runtime::with_workers(2);
+        let mut stream = home.open_stream();
+        let home_ticket = stream.submit(&entry, 5, None);
+        let stolen_ticket = stream.submit_on(&host, &entry, 6, None);
+        let mut results = BTreeMap::new();
+        while stream.pending() > 0 {
+            let (ticket, result) = stream.recv().unwrap();
+            results.insert(ticket, result);
+        }
+        let home_run = &results[&home_ticket];
+        let stolen = &results[&stolen_ticket];
+        let (Ok(_), Ok(_)) = (&home_run.outcome, &stolen.outcome) else {
+            panic!("both placements should calibrate");
+        };
+        // Placement never changes what a job computes: a re-run of the
+        // stolen (entry, seed) on the home pool is byte-identical.
+        let mut check = home.open_stream();
+        check.submit(&entry, 6, None);
+        let (_, rerun) = check.recv().unwrap();
+        let (Ok(a), Ok(b)) = (&stolen.outcome, &rerun.outcome) else {
+            panic!("re-run should calibrate");
+        };
+        assert_eq!(format!("{:?}", a.summary), format!("{:?}", b.summary));
+        // Accounting stays home: the stolen job was billed to (and
+        // memoized in) the home runtime, never the host.
+        assert_eq!(home.metrics().jobs_submitted, 3);
+        assert_eq!(host.metrics().jobs_submitted, 0);
+        assert_eq!(home.cache_len(), 2);
+        assert_eq!(host.cache_len(), 0);
+        assert!(rerun.from_cache, "stolen job must fill the home cache");
     }
 
     #[test]

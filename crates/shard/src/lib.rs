@@ -1,0 +1,944 @@
+//! Tenant-sharded fleet-of-fleets: bulkhead isolation, shard
+//! supervision, and deterministic work-stealing over per-shard
+//! runtimes.
+//!
+//! The gateway (PR 5) and stream engine (PR 6) feed every tenant into
+//! a *single* [`Runtime`] — one tenant's chaos plan, breaker storm,
+//! or brownout degrades every neighbor. `bios-shard` partitions the
+//! fleet across N tenant-sharded runtimes, each with its own worker
+//! pool, bounded memo cache, metrics, and journal segment:
+//!
+//! * **Routing** ([`route`]) — a tenant's home shard is FNV-1a of its
+//!   id mod N; re-homing off a quarantined shard re-hashes over the
+//!   ordered healthy set. Stateless and reproducible.
+//! * **Bulkheads** — every tenant gets its *own*
+//!   [`bios_gateway::GatewaySession`] (token bucket, breakers,
+//!   queues, brownout state, counters) bound to its home shard, so a
+//!   neighbor's chaos plan, breaker trips, or panics are physically
+//!   and logically invisible to it.
+//! * **Supervision** ([`supervisor`]) — a pure fold over logical
+//!   health events quarantines wedged shards (deadline-kill storms),
+//!   poisoned shards (respawn exhaustion), and lost shards
+//!   ([`bios_faults::FaultKind::ShardLoss`]); pending work of a quarantined
+//!   shard's tenants deterministically redistributes to healthy
+//!   shards.
+//! * **Work-stealing** — tick-aligned: when a home shard's logical
+//!   backlog reaches [`ShardConfig::steal_batch`] and a healthy shard
+//!   sits idle, the lowest-indexed idle shard hosts that tenant's
+//!   dispatches for the tick. Placement only; never outcomes.
+//!
+//! The whole layer is a pure function of `(config, trace, chaos)`:
+//! job outcomes are pure in `(entry, seed, plan)` (see
+//! [`bios_runtime::JobStream::submit_on`]) and admission state is
+//! per-tenant, so [`ShardedReport::digest`] is **byte-identical at
+//! any (shard count × worker count)** — even mid-quarantine. CI pins
+//! this with the `shard_gate` binary.
+//!
+//! ```
+//! use bios_shard::{tenant_trace, ShardConfig, ShardedGateway};
+//!
+//! let trace = tenant_trace(2, 2, 2, 64, None);
+//! let one = ShardedGateway::new(ShardConfig {
+//!     shards: 1,
+//!     ..ShardConfig::default()
+//! })
+//! .run(&trace);
+//! let four = ShardedGateway::new(ShardConfig {
+//!     shards: 4,
+//!     ..ShardConfig::default()
+//! })
+//! .run(&trace);
+//! assert_eq!(one.digest(), four.digest());
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use bios_core::catalog;
+use bios_faults::FaultPlan;
+use bios_gateway::{Disposition, Gateway, GatewayConfig, GatewayCounters, Request};
+use bios_runtime::journal::JournalError;
+use bios_runtime::{parse_env_value, Fleet, Job, JobError, Runtime, RuntimeConfig};
+
+pub mod merge;
+pub mod route;
+pub mod supervisor;
+
+pub use merge::{ShardPlacement, ShardedReport, TenantStats};
+pub use route::{home_shard, redistribute};
+pub use supervisor::{
+    HealthEvent, QuarantineReason, ShardHealth, ShardSupervisor, SupervisorConfig,
+};
+
+/// Construction knobs for the sharded layer.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of tenant shards (each its own gateway + runtime).
+    pub shards: usize,
+    /// Minimum logical backlog (open requests homed on a shard)
+    /// before an idle shard may steal that shard's dispatches.
+    pub steal_batch: usize,
+    /// Per-shard admission tuning (every shard gets a copy).
+    pub gateway: GatewayConfig,
+    /// Per-shard runtime template — `runtime.workers` is workers *per
+    /// shard*.
+    pub runtime: RuntimeConfig,
+    /// Quarantine tuning for the shard supervisor.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ShardConfig {
+    /// Four shards, steal batch 4, default gateway/runtime/supervisor
+    /// tuning.
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            steal_batch: 4,
+            gateway: GatewayConfig::default(),
+            runtime: RuntimeConfig::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Defaults layered with the environment: the nested gateway and
+    /// runtime knobs come from their own `from_env` readers, the
+    /// shard count from `BIOS_SHARDS`, and the steal threshold from
+    /// `BIOS_STEAL_BATCH`. A set-but-malformed value keeps the
+    /// default and prints one deterministic warning line to stderr
+    /// (see [`parse_env_value`]).
+    ///
+    /// `BIOS_SHARDS` must be **positive**: a fleet-of-fleets needs at
+    /// least one fleet, and an operator writing `BIOS_SHARDS=0` most
+    /// likely meant "unsharded", which is spelled `BIOS_SHARDS=1`.
+    /// Like the `BIOS_CACHE_CAP=0` case in `bios-runtime`, the zero
+    /// is rejected with a warning rather than guessed at.
+    #[must_use]
+    pub fn from_env() -> ShardConfig {
+        let mut config = ShardConfig {
+            gateway: GatewayConfig::from_env(),
+            runtime: RuntimeConfig::from_env(),
+            ..ShardConfig::default()
+        };
+        match env_parsed::<usize>("BIOS_SHARDS", "a positive integer") {
+            Some(0) => eprintln!(
+                "warning: ignoring ambiguous BIOS_SHARDS=\"0\" (a sharded fleet needs at \
+                 least one shard; write BIOS_SHARDS=1 for an unsharded layout)"
+            ),
+            Some(n) => config.shards = n,
+            None => {}
+        }
+        if let Some(batch) =
+            env_parsed::<usize>("BIOS_STEAL_BATCH", "a positive integer").filter(|&b| b > 0)
+        {
+            config.steal_batch = batch;
+        }
+        config
+    }
+
+    /// Overrides the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> ShardConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the per-shard worker count.
+    #[must_use]
+    pub fn with_workers_per_shard(mut self, workers: usize) -> ShardConfig {
+        self.runtime.workers = workers;
+        self
+    }
+}
+
+/// [`parse_env_value`] applied to the process environment; unset
+/// variables are silently `None`.
+fn env_parsed<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+    std::env::var(name)
+        .ok()
+        .and_then(|raw| parse_env_value(name, &raw, what))
+}
+
+/// The chaos inputs of a sharded run, all deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct ShardChaos {
+    /// Per-tenant fault plans: armed on that tenant's session only,
+    /// so the bulkhead keeps them invisible to every neighbor.
+    pub tenant_plans: BTreeMap<String, FaultPlan>,
+    /// Infrastructure plan whose [`bios_faults::FaultKind::ShardLoss`] spec decides
+    /// which shards are lost when (see
+    /// [`FaultPlan::shard_loss_tick`]).
+    pub infra: Option<FaultPlan>,
+    /// Horizon handed to [`FaultPlan::shard_loss_tick`] — losses land
+    /// in its first half.
+    pub horizon_ticks: u64,
+    /// Explicit `(shard, tick)` losses, injected in addition to the
+    /// plan-derived ones; the deterministic hook tests and the CI
+    /// gate use to force a quarantine.
+    pub forced_losses: Vec<(usize, u64)>,
+}
+
+impl ShardChaos {
+    /// No chaos at all.
+    #[must_use]
+    pub fn none() -> ShardChaos {
+        ShardChaos::default()
+    }
+
+    /// Arms `plan` on `tenant`'s session (and no one else's).
+    #[must_use]
+    pub fn with_tenant_plan(mut self, tenant: &str, plan: FaultPlan) -> ShardChaos {
+        self.tenant_plans.insert(tenant.to_string(), plan);
+        self
+    }
+
+    /// Arms an infrastructure plan over `horizon_ticks`.
+    #[must_use]
+    pub fn with_infra(mut self, plan: FaultPlan, horizon_ticks: u64) -> ShardChaos {
+        self.infra = Some(plan);
+        self.horizon_ticks = horizon_ticks;
+        self
+    }
+
+    /// Forces the loss of one shard at one tick.
+    #[must_use]
+    pub fn with_shard_loss_at(mut self, shard: usize, tick: u64) -> ShardChaos {
+        self.forced_losses.push((shard, tick));
+        self
+    }
+}
+
+/// The fleet-of-fleets front door: N per-shard [`Gateway`]s (each
+/// owning its own [`Runtime`]) behind deterministic tenant routing,
+/// supervision, and work-stealing.
+#[derive(Debug)]
+pub struct ShardedGateway {
+    config: ShardConfig,
+    gateways: Vec<Gateway>,
+}
+
+impl ShardedGateway {
+    /// Builds `config.shards` shards, each a fresh gateway over a
+    /// fresh runtime from the config's templates.
+    #[must_use]
+    pub fn new(config: ShardConfig) -> ShardedGateway {
+        let gateways = (0..config.shards.max(1))
+            .map(|_| Gateway::new(config.gateway.clone(), Runtime::new(config.runtime)))
+            .collect();
+        ShardedGateway { config, gateways }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// The construction config.
+    #[must_use]
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// One shard's gateway, if in range.
+    #[must_use]
+    pub fn gateway(&self, shard: usize) -> Option<&Gateway> {
+        self.gateways.get(shard)
+    }
+
+    /// Runs a trace with no chaos armed.
+    #[must_use]
+    pub fn run(&self, trace: &[Request]) -> ShardedReport {
+        self.run_with(trace, &ShardChaos::none())
+    }
+
+    /// Runs a multi-tenant trace through the sharded fleet.
+    ///
+    /// Every tenant gets its own session on its home shard's gateway
+    /// (bulkhead), with that tenant's chaos plan — if any — armed on
+    /// it alone. The lockstep loop then advances all sessions through
+    /// the globally merged tick sequence; before each tenant's tick
+    /// the loop picks its execution host:
+    ///
+    /// 1. home shard quarantined → re-hash over the healthy set
+    ///    ([`route::redistribute`]), falling back to home when no
+    ///    shard is healthy;
+    /// 2. home backlog ≥ [`ShardConfig::steal_batch`] and a healthy
+    ///    shard has zero backlog → the lowest-indexed such idle shard
+    ///    steals the dispatches;
+    /// 3. otherwise → home.
+    ///
+    /// Sessions are advanced in ascending tenant order, and health
+    /// events (deadline kills, panic losses, plan-derived and forced
+    /// shard losses) fold into the supervisor in that same order —
+    /// the whole run is a pure function of `(config, trace, chaos)`
+    /// and its digest is placement-independent by construction.
+    #[must_use]
+    pub fn run_with(&self, trace: &[Request], chaos: &ShardChaos) -> ShardedReport {
+        let shards = self.gateways.len();
+        let mut tenant_names: Vec<String> = trace.iter().map(|r| r.tenant.clone()).collect();
+        tenant_names.sort();
+        tenant_names.dedup();
+        let slot_of: BTreeMap<&str, usize> = tenant_names
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i))
+            .collect();
+        let homes: Vec<usize> = tenant_names
+            .iter()
+            .map(|t| route::home_shard(t, shards))
+            .collect();
+
+        // One bulkheaded session per tenant, on its home shard, with
+        // only its own chaos plan armed.
+        let mut sessions = Vec::with_capacity(tenant_names.len());
+        for (slot, tenant) in tenant_names.iter().enumerate() {
+            let mut session = self.gateways[homes[slot]].session();
+            if let Some(plan) = chaos.tenant_plans.get(tenant) {
+                session.set_fault_plan(Some(plan.clone()));
+            }
+            sessions.push(session);
+        }
+
+        // Offer the full trace up front; `(slot, k)` recovers global
+        // offer order from the per-tenant reports at the end.
+        let mut global_of: Vec<(usize, usize)> = Vec::with_capacity(trace.len());
+        let mut offered = vec![0usize; tenant_names.len()];
+        for request in trace {
+            let slot = slot_of[request.tenant.as_str()];
+            global_of.push((slot, offered[slot]));
+            offered[slot] += 1;
+            sessions[slot].offer(request.clone());
+        }
+
+        // Shard losses: plan-derived plus forced, fired as the global
+        // tick passes them.
+        let mut supervisor = ShardSupervisor::new(self.config.supervisor, shards);
+        let mut losses: Vec<(usize, u64)> = (0..shards)
+            .filter_map(|i| {
+                chaos
+                    .infra
+                    .as_ref()
+                    .and_then(|p| p.shard_loss_tick(i, chaos.horizon_ticks))
+                    .map(|t| (i, t))
+            })
+            .collect();
+        losses.extend(chaos.forced_losses.iter().copied());
+        losses.sort_unstable_by_key(|&(shard, tick)| (tick, shard));
+        let mut next_loss = 0usize;
+
+        let mut completions = vec![0u64; shards];
+        let mut steals_in = vec![0u64; shards];
+        let mut redistributions_in = vec![0u64; shards];
+
+        while let Some(tick) = sessions.iter().filter_map(|s| s.next_event_tick()).min() {
+            while next_loss < losses.len() && losses[next_loss].1 <= tick {
+                let (shard, loss_tick) = losses[next_loss];
+                supervisor.observe(HealthEvent::ShardLost {
+                    shard,
+                    tick: loss_tick,
+                });
+                next_loss += 1;
+            }
+            // Logical backlog per home shard: open (non-terminal)
+            // requests of the tenants homed there, measured before
+            // anyone advances this tick.
+            let mut backlog = vec![0usize; shards];
+            for (slot, session) in sessions.iter().enumerate() {
+                backlog[homes[slot]] += session.open();
+            }
+            let healthy = supervisor.healthy_shards();
+            for slot in 0..sessions.len() {
+                let due = sessions[slot].next_event_tick().is_some_and(|t| t <= tick);
+                if !due {
+                    continue;
+                }
+                let home = homes[slot];
+                let host = if supervisor.is_quarantined(home) {
+                    let target = route::redistribute(&tenant_names[slot], &healthy).unwrap_or(home);
+                    if target != home {
+                        redistributions_in[target] += 1;
+                    }
+                    target
+                } else if backlog[home] >= self.config.steal_batch.max(1) {
+                    match healthy
+                        .iter()
+                        .copied()
+                        .find(|&i| i != home && backlog[i] == 0)
+                    {
+                        Some(idle) => {
+                            steals_in[idle] += 1;
+                            idle
+                        }
+                        None => home,
+                    }
+                } else {
+                    home
+                };
+                sessions[slot].set_execution_host(if host == home {
+                    None
+                } else {
+                    Some(self.gateways[host].runtime())
+                });
+                for outcome in sessions[slot].advance_to(tick) {
+                    let Disposition::Executed {
+                        done_tick, result, ..
+                    } = &outcome.disposition
+                    else {
+                        continue;
+                    };
+                    completions[host] += 1;
+                    match &result.outcome {
+                        Err(JobError::Deadline) => supervisor.observe(HealthEvent::DeadlineKill {
+                            shard: host,
+                            tick: *done_tick,
+                        }),
+                        Err(JobError::Panicked(_)) => {
+                            supervisor.observe(HealthEvent::PanicLoss {
+                                shard: host,
+                                tick: *done_tick,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let reports: Vec<bios_gateway::GatewayReport> =
+            sessions.into_iter().map(|s| s.finish()).collect();
+        let mut counters = GatewayCounters::default();
+        let mut drained_tick = 0u64;
+        for report in &reports {
+            counters = merge_counters(counters, report.counters);
+            drained_tick = drained_tick.max(report.drained_tick);
+        }
+        let outcomes = global_of
+            .iter()
+            .map(|&(slot, k)| reports[slot].outcomes[k].clone())
+            .collect();
+        let placement = (0..shards)
+            .map(|i| ShardPlacement {
+                shard: i,
+                tenants_homed: homes.iter().filter(|&&h| h == i).count() as u64,
+                completions: completions[i],
+                steals_in: steals_in[i],
+                redistributions_in: redistributions_in[i],
+                health: supervisor.health(i),
+            })
+            .collect();
+        ShardedReport::new(outcomes, counters, drained_tick, placement)
+    }
+}
+
+/// Element-wise sum of two counter sets.
+fn merge_counters(a: GatewayCounters, b: GatewayCounters) -> GatewayCounters {
+    GatewayCounters {
+        admission_rejected: a.admission_rejected + b.admission_rejected,
+        rate_limited: a.rate_limited + b.rate_limited,
+        breaker_trips: a.breaker_trips + b.breaker_trips,
+        breaker_half_open_probes: a.breaker_half_open_probes + b.breaker_half_open_probes,
+        browned_out: a.browned_out + b.browned_out,
+        deadline_shed: a.deadline_shed + b.deadline_shed,
+    }
+}
+
+/// Builds a deterministic multi-tenant trace: `tenants` wards
+/// (`ward-00`, `ward-01`, …), `per_tenant` requests each, arriving
+/// one per `base_interval` ticks within a tenant, sensors alternating
+/// between the platform's glucose and lactate entries. With a `skew`
+/// plan carrying a [`bios_faults::FaultKind::TenantHotspot`] spec, a
+/// hot tenant contributes [`FaultPlan::hotspot_factor`] times the
+/// baseline request count at proportionally tighter arrival spacing
+/// (`base_interval / factor`, floored at one tick) — a genuine rate
+/// hotspot, the arrival-skew input of the isolation ablation.
+#[must_use]
+pub fn tenant_trace(
+    tenants: usize,
+    per_tenant: usize,
+    base_interval: u64,
+    deadline_ticks: u64,
+    skew: Option<&FaultPlan>,
+) -> Vec<Request> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for t in 0..tenants {
+        let tenant = format!("ward-{t:02}");
+        let factor = skew.map_or(1, |p| p.hotspot_factor(&tenant));
+        let count = per_tenant.saturating_mul(factor as usize);
+        let interval = (base_interval / factor).max(1);
+        for k in 0..count {
+            let entry = if (t + k) % 2 == 0 {
+                catalog::our_glucose_sensor()
+            } else {
+                catalog::our_lactate_sensor()
+            };
+            let seed = ((t as u64) << 32) | k as u64;
+            out.push(Request::new(
+                id,
+                &tenant,
+                entry,
+                seed,
+                k as u64 * interval,
+                deadline_ticks,
+            ));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// What a sharded journaled run (or resume) produced: per-shard
+/// segments merged back into one fleet-order digest.
+#[derive(Debug)]
+pub struct ShardedFleetReport {
+    /// Jobs in the logical fleet.
+    pub total_jobs: usize,
+    /// Jobs replayed from journal segments instead of re-executing.
+    pub resumed_jobs: usize,
+    /// Jobs executed by this process.
+    pub executed_jobs: usize,
+    /// Jobs routed to each shard, ascending by shard index.
+    pub per_shard_jobs: Vec<usize>,
+    digest: String,
+}
+
+impl ShardedFleetReport {
+    /// The canonical per-job digest of the whole fleet, segment lines
+    /// merged back into fleet job order — byte-identical to
+    /// `FleetReport::summaries_digest` of an unsharded run at any
+    /// worker count.
+    #[must_use]
+    pub fn summaries_digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// FNV-1a of [`ShardedFleetReport::summaries_digest`].
+    #[must_use]
+    pub fn digest_fnv(&self) -> u64 {
+        bios_recover::fnv1a(self.digest.as_bytes())
+    }
+}
+
+/// N per-shard [`Runtime`]s for batch fleets: jobs are deterministically
+/// partitioned across shards, each shard journals into its own segment
+/// file, and resume re-verifies and merges the segments.
+#[derive(Debug)]
+pub struct ShardedRuntime {
+    shards: Vec<Runtime>,
+}
+
+impl ShardedRuntime {
+    /// Builds `config.shards` runtimes from the config's per-shard
+    /// template.
+    #[must_use]
+    pub fn new(config: &ShardConfig) -> ShardedRuntime {
+        ShardedRuntime {
+            shards: (0..config.shards.max(1))
+                .map(|_| Runtime::new(config.runtime))
+                .collect(),
+        }
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's runtime, if in range.
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> Option<&Runtime> {
+        self.shards.get(shard)
+    }
+
+    /// The journal segment path of one shard under `dir`.
+    #[must_use]
+    pub fn segment_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard}.journal"))
+    }
+
+    /// Deterministically partitions a fleet: job → shard is FNV-1a of
+    /// `"{sensor id} {seed:016x}"` mod N, so the split depends only
+    /// on job identity — never on job order, shard load, or timing —
+    /// and a resume recomputes exactly the same segments. Returns the
+    /// dense per-shard sub-jobs plus the map back to fleet indexes.
+    fn partition(&self, fleet: &Fleet) -> Vec<(Vec<Job>, Vec<usize>)> {
+        let mut parts: Vec<(Vec<Job>, Vec<usize>)> = (0..self.shards.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for job in fleet.jobs() {
+            let key = format!("{} {:016x}", job.entry.id(), job.seed);
+            let shard = (bios_recover::fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize;
+            let (jobs, orig_of) = &mut parts[shard];
+            jobs.push(Job {
+                index: jobs.len(),
+                entry: job.entry.clone(),
+                seed: job.seed,
+            });
+            orig_of.push(job.index);
+        }
+        parts
+    }
+
+    /// Runs a fleet with one write-ahead journal segment per shard
+    /// (`dir/shard-<i>.journal`) and merges the per-shard digest
+    /// lines back into fleet job order.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when a segment cannot be created,
+    /// appended, or sealed.
+    pub fn run_journaled(
+        &self,
+        fleet: &Fleet,
+        dir: impl AsRef<Path>,
+    ) -> Result<ShardedFleetReport, JournalError> {
+        let dir = dir.as_ref();
+        let mut lines: Vec<Option<String>> = vec![None; fleet.len()];
+        let mut per_shard_jobs = vec![0usize; self.shards.len()];
+        for (shard, (jobs, orig_of)) in self.partition(fleet).into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            per_shard_jobs[shard] = jobs.len();
+            let sub_fleet = fleet.with_jobs(jobs);
+            let report =
+                self.shards[shard].run_journaled(&sub_fleet, Self::segment_path(dir, shard))?;
+            for result in &report.results {
+                if let Some(&orig) = orig_of.get(result.index) {
+                    lines[orig] = Some(result.digest_line());
+                }
+            }
+        }
+        let executed_jobs = fleet.len();
+        Ok(ShardedFleetReport {
+            total_jobs: fleet.len(),
+            resumed_jobs: 0,
+            executed_jobs,
+            per_shard_jobs,
+            digest: join_lines(lines),
+        })
+    }
+
+    /// Resumes a sharded journaled run: every present segment is
+    /// fingerprint-verified against its shard's sub-fleet and
+    /// replayed/completed exactly like [`Runtime::resume`]; a
+    /// **missing** segment (the crash predated its creation) is
+    /// tolerated by executing that shard's jobs fresh under a new
+    /// segment. The merged digest is byte-identical to an
+    /// uninterrupted unsharded run.
+    ///
+    /// # Errors
+    ///
+    /// * [`JournalError::FingerprintMismatch`] — a segment belongs to
+    ///   a different fleet; resuming would alias its results;
+    /// * other [`JournalError`]s as in [`Runtime::resume`].
+    pub fn resume(
+        &self,
+        fleet: &Fleet,
+        dir: impl AsRef<Path>,
+    ) -> Result<ShardedFleetReport, JournalError> {
+        let dir = dir.as_ref();
+        let mut lines: Vec<Option<String>> = vec![None; fleet.len()];
+        let mut per_shard_jobs = vec![0usize; self.shards.len()];
+        let mut resumed_jobs = 0usize;
+        let mut executed_jobs = 0usize;
+        for (shard, (jobs, orig_of)) in self.partition(fleet).into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            per_shard_jobs[shard] = jobs.len();
+            let sub_fleet = fleet.with_jobs(jobs);
+            let path = Self::segment_path(dir, shard);
+            if path.exists() {
+                let report = self.shards[shard].resume(&sub_fleet, &path)?;
+                resumed_jobs += report.resumed_jobs;
+                executed_jobs += report.executed_jobs;
+                for (sub_index, line) in report.summaries_digest().lines().enumerate() {
+                    if let Some(&orig) = orig_of.get(sub_index) {
+                        lines[orig] = Some(line.to_string());
+                    }
+                }
+            } else {
+                let report = self.shards[shard].run_journaled(&sub_fleet, &path)?;
+                executed_jobs += sub_fleet.len();
+                for result in &report.results {
+                    if let Some(&orig) = orig_of.get(result.index) {
+                        lines[orig] = Some(result.digest_line());
+                    }
+                }
+            }
+        }
+        Ok(ShardedFleetReport {
+            total_jobs: fleet.len(),
+            resumed_jobs,
+            executed_jobs,
+            per_shard_jobs,
+            digest: join_lines(lines),
+        })
+    }
+}
+
+/// Joins per-job digest lines (fleet order) into the canonical digest
+/// string; unfilled slots are unreachable but skipped rather than
+/// trusted.
+fn join_lines(lines: Vec<Option<String>>) -> String {
+    let mut out = String::new();
+    for line in lines.into_iter().flatten() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_faults::FaultKind;
+
+    fn shard_config(shards: usize, workers: usize) -> ShardConfig {
+        ShardConfig::default()
+            .with_shards(shards)
+            .with_workers_per_shard(workers)
+    }
+
+    #[test]
+    fn digest_is_identical_across_shard_and_worker_configs() {
+        let trace = tenant_trace(6, 4, 2, 64, None);
+        let digests: Vec<String> = [(1usize, 1usize), (4, 2), (8, 8)]
+            .iter()
+            .map(|&(s, w)| ShardedGateway::new(shard_config(s, w)).run(&trace).digest())
+            .collect();
+        assert!(!digests[0].is_empty());
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn bulkhead_chaos_on_one_tenant_leaves_neighbors_untouched() {
+        // The golden bulkhead test: arm worker panics and stalls on
+        // ward-01 alone; every other ward's digest lines *and*
+        // latency statistics must be byte-identical to a run with no
+        // chaos anywhere.
+        let trace = tenant_trace(4, 5, 2, 64, None);
+        let quiet = ShardedGateway::new(shard_config(4, 2)).run(&trace);
+        let chaos = ShardChaos::none().with_tenant_plan(
+            "ward-01",
+            FaultPlan::builder("tenant-chaos", 77)
+                .spec(FaultKind::WorkerPanic, 0.6, 1.0)
+                .spec(FaultKind::WorkerStall, 0.3, 1.0)
+                .build(),
+        );
+        let noisy = ShardedGateway::new(shard_config(4, 2)).run_with(&trace, &chaos);
+        // The victim tenant really did take damage…
+        assert_ne!(
+            quiet.tenant_digest_lines("ward-01"),
+            noisy.tenant_digest_lines("ward-01"),
+            "the armed plan must actually bite ward-01"
+        );
+        // …and no neighbor saw any of it.
+        for neighbor in ["ward-00", "ward-02", "ward-03"] {
+            assert_eq!(
+                quiet.tenant_digest_lines(neighbor),
+                noisy.tenant_digest_lines(neighbor),
+                "{neighbor} digest lines moved under a neighbor's chaos"
+            );
+            let (q, n) = match (quiet.tenant(neighbor), noisy.tenant(neighbor)) {
+                (Some(q), Some(n)) => (q, n),
+                other => panic!("missing stats for {neighbor}: {other:?}"),
+            };
+            assert_eq!(q.latencies, n.latencies, "{neighbor} latencies moved");
+            assert_eq!(q.p99(), n.p99());
+        }
+    }
+
+    #[test]
+    fn a_quarantined_shard_redistributes_without_touching_the_digest() {
+        let trace = tenant_trace(6, 4, 3, 64, None);
+        let healthy = ShardedGateway::new(shard_config(4, 2)).run(&trace);
+        // Lose ward-00's home shard right after the run starts.
+        let victim_home = route::home_shard("ward-00", 4);
+        let chaos = ShardChaos::none().with_shard_loss_at(victim_home, 1);
+        let lossy = ShardedGateway::new(shard_config(4, 2)).run_with(&trace, &chaos);
+        assert_eq!(lossy.quarantined_shards(), vec![victim_home]);
+        assert!(
+            lossy
+                .placement
+                .iter()
+                .map(|p| p.redistributions_in)
+                .sum::<u64>()
+                > 0,
+            "pending work of the lost shard's tenants must re-home"
+        );
+        assert_eq!(
+            healthy.digest(),
+            lossy.digest(),
+            "placement (even mid-quarantine) must never reach the digest"
+        );
+    }
+
+    #[test]
+    fn idle_shards_steal_deterministically_and_digest_neutrally() {
+        // Two tenants over eight shards: at least six shards are
+        // idle, and a steal batch of 1 lets them host from tick 0.
+        let trace = tenant_trace(2, 6, 1, 64, None);
+        let mut config = shard_config(8, 1);
+        config.steal_batch = 1;
+        let report = ShardedGateway::new(config).run(&trace);
+        assert!(report.steals() > 0, "idle shards must steal");
+        let reference = ShardedGateway::new(shard_config(1, 1)).run(&trace);
+        assert_eq!(report.digest(), reference.digest());
+        // And the placement fold itself is deterministic.
+        let mut config2 = shard_config(8, 1);
+        config2.steal_batch = 1;
+        let again = ShardedGateway::new(config2).run(&trace);
+        assert_eq!(report.steals(), again.steals());
+    }
+
+    #[test]
+    fn hotspot_skew_shapes_the_trace_not_the_jobs() {
+        let skew = FaultPlan::builder("skew", 0x5EED)
+            .spec(FaultKind::TenantHotspot, 0.5, 1.0)
+            .build();
+        let flat = tenant_trace(6, 3, 2, 64, None);
+        let skewed = tenant_trace(6, 3, 2, 64, Some(&skew));
+        assert!(
+            skewed.len() > flat.len(),
+            "a hotspot plan must inflate someone's volume"
+        );
+        let again = tenant_trace(6, 3, 2, 64, Some(&skew));
+        assert_eq!(skewed.len(), again.len());
+        for (a, b) in skewed.iter().zip(&again) {
+            assert_eq!(
+                (a.id, &a.tenant, a.seed, a.arrival_tick),
+                (b.id, &b.tenant, b.seed, b.arrival_tick)
+            );
+        }
+    }
+
+    #[test]
+    fn an_empty_trace_drains_to_an_empty_report() {
+        let report = ShardedGateway::new(shard_config(4, 1)).run(&[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.drained_tick, 0);
+        assert_eq!(report.executed(), 0);
+        assert!(report.digest().starts_with("drained_tick=0 "));
+    }
+
+    #[test]
+    fn from_env_reads_shard_knobs_and_rejects_zero_shards() {
+        // Env tests share a process; this is the only test touching
+        // BIOS_SHARDS / BIOS_STEAL_BATCH.
+        std::env::set_var("BIOS_SHARDS", "0");
+        assert_eq!(
+            ShardConfig::from_env().shards,
+            ShardConfig::default().shards,
+            "BIOS_SHARDS=0 must keep the default"
+        );
+        std::env::set_var("BIOS_SHARDS", "6");
+        std::env::set_var("BIOS_STEAL_BATCH", "9");
+        let config = ShardConfig::from_env();
+        assert_eq!(config.shards, 6);
+        assert_eq!(config.steal_batch, 9);
+        std::env::set_var("BIOS_SHARDS", "not-a-number");
+        std::env::set_var("BIOS_STEAL_BATCH", "0");
+        let config = ShardConfig::from_env();
+        assert_eq!(config.shards, ShardConfig::default().shards);
+        assert_eq!(config.steal_batch, ShardConfig::default().steal_batch);
+        std::env::remove_var("BIOS_SHARDS");
+        std::env::remove_var("BIOS_STEAL_BATCH");
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bios-shard-{name}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::create_dir_all(&dir).ok();
+        dir
+    }
+
+    fn demo_fleet() -> Fleet {
+        Fleet::builder("sharded")
+            .sensors(catalog::cyp_sensors())
+            .seeds([1, 2, 3])
+            .build()
+    }
+
+    #[test]
+    fn sharded_journaled_run_matches_the_monolithic_digest() {
+        let dir = scratch_dir("journal");
+        let fleet = demo_fleet();
+        let sharded = ShardedRuntime::new(&shard_config(4, 2));
+        let report = match sharded.run_journaled(&fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("journaled run failed: {e:?}"),
+        };
+        assert_eq!(report.total_jobs, fleet.len());
+        assert_eq!(report.per_shard_jobs.iter().sum::<usize>(), fleet.len());
+        assert!(
+            report.per_shard_jobs.iter().filter(|&&n| n > 0).count() > 1,
+            "partitioning should spread this fleet over shards"
+        );
+        let monolithic = Runtime::with_workers(2).run(&fleet);
+        assert_eq!(report.summaries_digest(), monolithic.summaries_digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_merges_segments_and_tolerates_a_missing_one() {
+        let dir = scratch_dir("resume");
+        let fleet = demo_fleet();
+        let sharded = ShardedRuntime::new(&shard_config(4, 2));
+        let first = match sharded.run_journaled(&fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("journaled run failed: {e:?}"),
+        };
+        // A pure replay resumes everything and executes nothing.
+        let replay = match sharded.resume(&fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("replay failed: {e:?}"),
+        };
+        assert_eq!(replay.executed_jobs, 0);
+        assert_eq!(replay.resumed_jobs, fleet.len());
+        assert_eq!(replay.summaries_digest(), first.summaries_digest());
+        // Delete one populated segment: its shard re-executes fresh,
+        // everyone else replays, and the digest is still identical.
+        let victim = match first.per_shard_jobs.iter().position(|&n| n > 0) {
+            Some(v) => v,
+            None => panic!("no populated shard"),
+        };
+        std::fs::remove_file(ShardedRuntime::segment_path(&dir, victim)).ok();
+        let partial = match sharded.resume(&fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("partial resume failed: {e:?}"),
+        };
+        assert_eq!(partial.executed_jobs, first.per_shard_jobs[victim]);
+        assert_eq!(
+            partial.resumed_jobs,
+            fleet.len() - first.per_shard_jobs[victim]
+        );
+        assert_eq!(partial.summaries_digest(), first.summaries_digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_fleet() {
+        let dir = scratch_dir("foreign");
+        let sharded = ShardedRuntime::new(&shard_config(2, 1));
+        if let Err(e) = sharded.run_journaled(&demo_fleet(), &dir) {
+            panic!("journaled run failed: {e:?}");
+        }
+        let other = Fleet::builder("other")
+            .sensors(catalog::cyp_sensors())
+            .seeds([9, 10, 11])
+            .build();
+        match sharded.resume(&other, &dir) {
+            Err(JournalError::FingerprintMismatch { .. }) => {}
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

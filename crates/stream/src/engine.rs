@@ -50,6 +50,11 @@ pub struct StreamConfig {
     /// The sensor-aging plan; its `FilmDenaturation` spec decides who
     /// ages, when, and how fast (see [`FaultPlan::aging_profile`]).
     pub aging: FaultPlan,
+    /// Tenant id stamped on every recalibration request the engine
+    /// offers to the gateway. The default (`"stream"`) preserves the
+    /// historical digests; a sharded deployment sets one tenant per
+    /// stream so `bios-shard` can home and bulkhead it.
+    pub tenant: String,
 }
 
 impl StreamConfig {
@@ -71,7 +76,15 @@ impl StreamConfig {
             aging: FaultPlan::builder("stream-aging", seed)
                 .spec(FaultKind::FilmDenaturation, 0.35, 0.8)
                 .build(),
+            tenant: "stream".to_string(),
         }
+    }
+
+    /// Overrides the tenant id carried by recalibration requests.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &str) -> StreamConfig {
+        self.tenant = tenant.to_string();
+        self
     }
 
     /// Overrides the aging plan.
@@ -381,7 +394,7 @@ impl StreamEngine {
                 session.offer(
                     Request::new(
                         rid,
-                        "stream",
+                        &cfg.tenant,
                         aged,
                         seed,
                         tick + 1,
@@ -532,6 +545,15 @@ mod tests {
             ..RuntimeConfig::default()
         });
         StreamEngine::new(config, Gateway::new(GatewayConfig::default(), runtime))
+    }
+
+    #[test]
+    fn tenant_override_is_digest_neutral() {
+        // The tenant id only decides where a sharded deployment homes
+        // the stream's recalibrations; it must never reach outcomes.
+        let a = engine(StreamConfig::new(6, 96, 11), 2).run();
+        let b = engine(StreamConfig::new(6, 96, 11).with_tenant("ward-07"), 2).run();
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

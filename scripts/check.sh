@@ -70,6 +70,28 @@ if [ "$stream_1" != "$stream_8" ]; then
 fi
 echo "    stream decisions identical at 1 and 8 workers ($stream_1)"
 
+# Shard gate: the tenant-sharded fleet-of-fleets must be placement-
+# invisible — the merged digest byte-identical at (1 shard × 1 worker),
+# (4 × 2), and (8 × 8), and unchanged when a shard is lost mid-trace,
+# quarantined, and its tenants redistributed. The binary asserts the
+# quarantine actually happened (non-zero exit on violation); the shell
+# compares the four digests.
+echo "==> shard gate"
+shard_gate() { cargo run --release -q -p bios-bench --bin shard_gate -- "$@"; }
+shard_1x1="$(shard_gate --shards 1 --workers 1 | grep digest_fnv)"
+shard_4x2="$(shard_gate --shards 4 --workers 2 | grep digest_fnv)"
+shard_8x8="$(shard_gate --shards 8 --workers 8 | grep digest_fnv)"
+shard_q="$(shard_gate --shards 4 --workers 2 --quarantine | grep digest_fnv)"
+if [ "$shard_1x1" != "$shard_4x2" ] || [ "$shard_4x2" != "$shard_8x8" ]; then
+    echo "shard gate: digest differs across shard layouts ($shard_1x1 / $shard_4x2 / $shard_8x8)" >&2
+    exit 1
+fi
+if [ "$shard_1x1" != "$shard_q" ]; then
+    echo "shard gate: quarantine changed the digest ($shard_1x1 vs $shard_q)" >&2
+    exit 1
+fi
+echo "    sharded decisions identical at 1x1, 4x2, 8x8, and quarantined 4x2 ($shard_1x1)"
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -30,6 +30,7 @@
 //! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
 //! | [`gateway`] | `bios-gateway` | overload-robust admission control, circuit breaking, brownout degradation |
 //! | [`stream`] | `bios-stream` | longitudinal patient streams, online drift monitors, deterministic re-calibration |
+//! | [`shard`] | `bios-shard` | tenant-sharded fleet-of-fleets: bulkheads, shard supervision, deterministic work-stealing |
 //!
 //! # Quick start
 //!
@@ -60,6 +61,7 @@ pub use bios_nanomaterial as nanomaterial;
 pub use bios_prng as prng;
 pub use bios_recover as recover;
 pub use bios_runtime as runtime;
+pub use bios_shard as shard;
 pub use bios_stream as stream;
 pub use bios_units as units;
 
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use bios_runtime::{
         Fleet, FleetOutcome, FleetReport, JournalOptions, ResumeReport, Runtime, RuntimeConfig,
     };
+    pub use bios_shard::{ShardConfig, ShardedGateway, ShardedReport, ShardedRuntime};
     pub use bios_stream::{PatientCohort, StreamConfig, StreamEngine, StreamReport};
     pub use bios_units::{
         Amperes, ConcentrationRange, Molar, Seconds, Sensitivity, SquareCm, Volts,
