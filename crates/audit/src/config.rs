@@ -153,6 +153,13 @@ impl Default for Config {
                 "shard/src/route".into(),
                 "shard/src/supervisor".into(),
                 "shard/src/merge".into(),
+                // The redundancy layer's deciding machinery: ballot
+                // clustering, the majority vote, and the suspect
+                // scoreboard must stay pure in (config, plan, job
+                // stream) or quorum verdicts drift across layouts and
+                // the quorum_gate digest pin breaks.
+                "quorum/src/vote".into(),
+                "quorum/src/suspect".into(),
             ],
             index_paths: vec![
                 "recover/src/codec".into(),

@@ -643,6 +643,98 @@ pub fn render_shard_ablation(seed: u64) -> String {
     )
 }
 
+/// Ablation 11: ramp silent-corruption intensity through the
+/// redundancy screen. A `FaultKind::SilentCorruption` plan armed on
+/// every ward perturbs what offender replica lanes *observe* (the
+/// committed physics never changes); the triple-replica vote at full
+/// sampling must out-vote every realized corruption. The columns to
+/// read together are caught vs escaped — the catch rate — and the
+/// digest column: because the vote validates the committed value
+/// instead of replacing it, the armed digest is byte-equal to the
+/// healthy baseline on every row, no matter how hard the ramp fires.
+#[must_use]
+pub fn render_quorum_ablation(seed: u64) -> String {
+    use bios_faults::{FaultKind, FaultPlan};
+    use bios_quorum::QuorumConfig;
+    use bios_shard::{tenant_trace, ShardChaos, ShardConfig, ShardedGateway};
+
+    let tenants = 6;
+    let trace = tenant_trace(tenants, 8, 2, 96, None);
+    let run = |chaos: &ShardChaos| {
+        ShardedGateway::new(
+            ShardConfig::default()
+                .with_shards(4)
+                .with_workers_per_shard(2),
+        )
+        .run_with(&trace, chaos)
+    };
+    let baseline = run(&ShardChaos::none());
+
+    // The offender gate is a pure coin per (plan seed, lane): with 3
+    // replica lanes roughly one seed in eight arms a plan whose whole
+    // roster happens to be honest, which would render an all-zero
+    // table. Advance deterministically to the first plan seed whose
+    // roster contains an offender so the ramp always has something to
+    // catch (pure in `seed`, usually zero or one probe).
+    let roster_has_offender = |s: u64| {
+        let probe = FaultPlan::builder("quorum-ramp", s)
+            .spec(FaultKind::SilentCorruption, 1.0, 1.0)
+            .build();
+        (0..3u64).any(|lane| probe.silent_corruption("probe", 0, lane).is_some())
+    };
+    let plan_seed = (seed..seed.saturating_add(64))
+        .find(|s| roster_has_offender(*s))
+        .unwrap_or(seed);
+
+    let mut t = TextTable::new(vec![
+        "intensity",
+        "votes",
+        "injected",
+        "caught",
+        "escaped",
+        "disagreements",
+        "false suspects",
+        "quarantined",
+        "digest unchanged",
+    ]);
+    for intensity in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let plan = FaultPlan::builder("quorum-ramp", plan_seed)
+            .spec(FaultKind::SilentCorruption, 0.6 * intensity, intensity)
+            .build();
+        let mut chaos = ShardChaos::none().with_quorum(QuorumConfig {
+            sampling: 1.0,
+            ..QuorumConfig::default()
+        });
+        for ward in 0..tenants {
+            chaos = chaos.with_tenant_plan(&format!("ward-{ward:02}"), plan.clone());
+        }
+        let report = run(&chaos);
+        let q = report.quorum.unwrap_or_default();
+        t.add_row(vec![
+            format!("{intensity:.2}"),
+            format!("{}", q.votes),
+            format!("{}", q.injected),
+            format!("{}", q.caught),
+            format!("{}", q.escaped),
+            format!("{}", q.disagreements),
+            format!("{}", q.false_suspects),
+            format!("{}", q.quarantined),
+            if report.digest() == baseline.digest() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    format!(
+        "Ablation 11 — silent-corruption ramp ({tenants} wards × 8 requests through \
+         the 4-shard × 2-worker gateway; triple-replica vote, full sampling). A \
+         caught corruption loses its vote and strikes its lane; the committed value \
+         never moves, so the armed digest stays byte-equal to the healthy baseline\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -832,5 +924,37 @@ mod tests {
         );
         // Determinism: the table is a pure function of the seed.
         assert_eq!(s, render_shard_ablation(21));
+    }
+
+    #[test]
+    fn quorum_ablation_catches_everything_without_moving_the_digest() {
+        let s = render_quorum_ablation(0xC0DE);
+        let fields = |prefix: &str| -> Vec<String> {
+            s.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} row in:\n{s}"))
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect()
+        };
+        // Zero intensity is the armed-but-harmless baseline: the screen
+        // votes on every job yet nothing fires, nothing is struck.
+        let zero = fields("0.00");
+        assert_ne!(zero[1], "0", "the screen must vote at i=0: {zero:?}");
+        assert_eq!(zero[2], "0", "no corruption at i=0: {zero:?}");
+        assert_eq!(zero[6], "0", "no false suspects at i=0: {zero:?}");
+        assert_eq!(zero[7], "0", "no quarantines at i=0: {zero:?}");
+        // Full intensity must fire and every realized corruption must
+        // lose its vote — caught == injected, zero escapes.
+        let full = fields("1.00");
+        assert_ne!(full[2], "0", "i=1 must inject corruption: {full:?}");
+        assert_eq!(full[2], full[3], "caught must equal injected: {full:?}");
+        assert_eq!(full[4], "0", "nothing may escape the vote: {full:?}");
+        assert!(
+            !s.contains("NO"),
+            "arming the screen may never move the digest:\n{s}"
+        );
+        // Determinism: the table is a pure function of the seed.
+        assert_eq!(s, render_quorum_ablation(0xC0DE));
     }
 }

@@ -30,4 +30,5 @@ fn main() {
     println!("{}", bios_bench::ablation::render_overload_ablation(seed));
     println!("{}", bios_bench::ablation::render_stream_ablation(seed));
     println!("{}", bios_bench::ablation::render_shard_ablation(seed));
+    println!("{}", bios_bench::ablation::render_quorum_ablation(seed));
 }

@@ -1,0 +1,167 @@
+//! Quorum gate for CI: drives the shard gate's fixed multi-tenant
+//! trace with silent corruption armed on every tenant and the
+//! redundancy screen voting on every completion, and proves two
+//! things at once:
+//!
+//! 1. **Detection** — every realized corruption loses its vote
+//!    (catch rate ≥ 99% is the acceptance floor; the deterministic
+//!    drill actually achieves 100%), nothing escapes into a committed
+//!    value, and repeat offenders are quarantined.
+//! 2. **Invariance** — the armed `digest_fnv` is byte-identical at any
+//!    (shard count × worker count) *and* byte-identical to the
+//!    unarmed healthy run, because the vote validates the committed
+//!    value rather than replacing it.
+//!
+//! `scripts/check.sh` runs the armed gate at (1×1), (4×2), and (8×8),
+//! compares the `digest_fnv=0x…` lines among themselves and against
+//! the unarmed run, and pins the unarmed digest to the shard gate's
+//! golden value.
+//!
+//! ```text
+//! quorum_gate --shards 4 --workers 2 --armed
+//! quorum_gate --shards 4 --workers 2
+//! ```
+
+// A CLI binary reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use bios_faults::{FaultKind, FaultPlan};
+use bios_quorum::QuorumConfig;
+use bios_recover::fnv1a;
+use bios_shard::{tenant_trace, ShardChaos, ShardConfig, ShardedGateway};
+
+fn main() -> ExitCode {
+    bios_bench::silence_injected_panics();
+    let mut shards = 4usize;
+    let mut workers = 2usize;
+    let mut armed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards =
+                    bios_bench::parse_flag_or_exit(args.next(), "--shards", "a positive integer");
+            }
+            "--workers" => {
+                workers =
+                    bios_bench::parse_flag_or_exit(args.next(), "--workers", "a positive integer");
+            }
+            "--armed" => armed = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The same fixed trace as shard_gate: 8 wards × 6 requests, tight
+    // arrivals — the unarmed digest must reproduce its golden pin.
+    let trace = tenant_trace(8, 6, 2, 96, None);
+    let total = trace.len() as u64;
+    let sharded = ShardedGateway::new(
+        ShardConfig::default()
+            .with_shards(shards)
+            .with_workers_per_shard(workers),
+    );
+    let chaos = if armed {
+        let plan = FaultPlan::builder("quorum drill", 0xC0DE)
+            .spec(FaultKind::SilentCorruption, 0.45, 0.8)
+            .build();
+        let mut chaos = ShardChaos::none().with_quorum(QuorumConfig {
+            sampling: 1.0,
+            ..QuorumConfig::default()
+        });
+        for ward in 0..8 {
+            chaos = chaos.with_tenant_plan(&format!("ward-{ward:02}"), plan.clone());
+        }
+        chaos
+    } else {
+        ShardChaos::none()
+    };
+    let report = sharded.run_with(&trace, &chaos);
+    let executed = report.executed();
+
+    println!(
+        "quorum gate: {shards} shards x {workers} workers{}: {total} requests, \
+         {executed} executed, drained at tick {}",
+        if armed { " (armed)" } else { " (unarmed)" },
+        report.drained_tick
+    );
+    if let Some(q) = &report.quorum {
+        println!(
+            "  quorum: {} covered, {} votes, {} escalations, {} disagreements, \
+             {}/{} caught ({:.1}%), {} escaped, {} lanes quarantined",
+            q.covered,
+            q.votes,
+            q.escalations,
+            q.disagreements,
+            q.caught,
+            q.injected,
+            q.catch_rate() * 100.0,
+            q.escaped,
+            q.quarantined
+        );
+    }
+    println!("digest_fnv=0x{:016x}", fnv1a(report.digest().as_bytes()));
+
+    let mut ok = true;
+    if executed == 0 {
+        eprintln!("FAIL: nothing executed");
+        ok = false;
+    }
+    if report.outcomes.len() as u64 != total {
+        eprintln!(
+            "FAIL: {} outcomes for {total} requests — some never reached a terminal state",
+            report.outcomes.len()
+        );
+        ok = false;
+    }
+    if armed {
+        match &report.quorum {
+            None => {
+                eprintln!("FAIL: --armed but the report carries no quorum summary");
+                ok = false;
+            }
+            Some(q) => {
+                if q.votes == 0 {
+                    eprintln!("FAIL: the screen never voted");
+                    ok = false;
+                }
+                if q.injected == 0 {
+                    eprintln!("FAIL: the corruption drill never fired");
+                    ok = false;
+                }
+                if q.disagreements == 0 {
+                    eprintln!("FAIL: corruption realized but no vote disagreed");
+                    ok = false;
+                }
+                if q.catch_rate() < 0.99 {
+                    eprintln!(
+                        "FAIL: catch rate {:.3} below the 0.99 floor ({} of {} caught)",
+                        q.catch_rate(),
+                        q.caught,
+                        q.injected
+                    );
+                    ok = false;
+                }
+                if q.escaped > 0 {
+                    eprintln!(
+                        "FAIL: {} corrupt ballots escaped into a winning cluster",
+                        q.escaped
+                    );
+                    ok = false;
+                }
+            }
+        }
+    } else if report.quorum.is_some() {
+        eprintln!("FAIL: unarmed run unexpectedly carries a quorum summary");
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

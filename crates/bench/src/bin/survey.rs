@@ -14,8 +14,9 @@ use bios_core::catalog;
 use bios_core::catalog::CatalogEntry;
 use bios_faults::{FaultKind, FaultPlan};
 use bios_gateway::{Gateway, GatewayConfig};
+use bios_quorum::QuorumConfig;
 use bios_runtime::{Fleet, Runtime, RuntimeConfig};
-use bios_shard::{tenant_trace, ShardConfig, ShardedGateway};
+use bios_shard::{tenant_trace, ShardChaos, ShardConfig, ShardedGateway};
 use bios_stream::{StreamConfig, StreamEngine};
 
 fn main() {
@@ -260,12 +261,66 @@ fn main() {
         ));
     }
 
+    // Redundancy screen: the same trace with silent corruption armed
+    // on every tenant and the quorum screen voting on every
+    // completion. Verdicts, catches, and quarantines are deterministic
+    // (logical lanes, seeded deltas); the wall-clock delta against the
+    // unarmed run on the same (4×2) layout prices the vote itself.
+    let quorum_plan = FaultPlan::builder("survey-quorum", 0xC0DE)
+        .spec(FaultKind::SilentCorruption, 0.45, 0.8)
+        .build();
+    let mut quorum_chaos = ShardChaos::none().with_quorum(QuorumConfig {
+        sampling: 1.0,
+        ..QuorumConfig::default()
+    });
+    for ward in 0..8 {
+        quorum_chaos =
+            quorum_chaos.with_tenant_plan(&format!("ward-{ward:02}"), quorum_plan.clone());
+    }
+    let quorum_gateway = ShardedGateway::new(
+        ShardConfig::default()
+            .with_shards(4)
+            .with_workers_per_shard(2),
+    );
+    let mut quorum_unarmed_secs = f64::INFINITY;
+    let mut quorum_armed_secs = f64::INFINITY;
+    let mut quorum_summary = None;
+    for _ in 0..3 {
+        let started = std::time::Instant::now();
+        let plain = quorum_gateway.run(&shard_trace);
+        quorum_unarmed_secs = quorum_unarmed_secs.min(started.elapsed().as_secs_f64());
+        let started = std::time::Instant::now();
+        let screened = quorum_gateway.run_with(&shard_trace, &quorum_chaos);
+        quorum_armed_secs = quorum_armed_secs.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            plain.digest(),
+            screened.digest(),
+            "arming the redundancy screen must never move the digest"
+        );
+        quorum_summary = screened.quorum;
+    }
+    let quorum = quorum_summary.unwrap_or_default();
+    let vote_overhead_us =
+        (quorum_armed_secs - quorum_unarmed_secs).max(0.0) * 1.0e6 / quorum.votes.max(1) as f64;
+    println!(
+        "  quorum screen (4 shards x 2 workers, corruption armed): {} votes, \
+         {} disagreements, {}/{} caught ({:.1}%), {} lanes quarantined, \
+         {:.1}µs vote overhead/job, digest unchanged",
+        quorum.votes,
+        quorum.disagreements,
+        quorum.caught,
+        quorum.injected,
+        quorum.catch_rate() * 100.0,
+        quorum.quarantined,
+        vote_overhead_us
+    );
+
     // The JSON is emitted with a fixed, documented key order (schema
     // first, then sizing, timing, derived ratios, nested blocks) so
     // diffs between runs are line-stable; bump `schema_version` whenever
     // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"schema_version\": 5,\n  \
+        "{{\n  \"schema_version\": 6,\n  \
          \"workers\": {},\n  \"available_cores\": {},\n  \"physical_cores\": {},\n  \
          \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
@@ -286,6 +341,11 @@ fn main() {
          \"mean_mard\": {:.6}, \"drained_tick\": {}}},\n  \
          \"shard\": {{\"tenants\": 8, \"requests\": {}, \"digests_agree\": {}, \
          \"layouts\": [{}]}},\n  \
+         \"quorum\": {{\"replicas\": 3, \"sampling\": 1.0, \"covered\": {}, \
+         \"votes\": {}, \"escalations\": {}, \"disagreements\": {}, \"injected\": {}, \
+         \"caught\": {}, \"catch_rate\": {:.4}, \"escaped\": {}, \
+         \"lanes_quarantined\": {}, \"unarmed_secs\": {:.6}, \"armed_secs\": {:.6}, \
+         \"vote_overhead_us_per_job\": {:.3}}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
@@ -330,6 +390,18 @@ fn main() {
         shard_trace.len(),
         shard_digests_agree,
         shard_rows.join(", "),
+        quorum.covered,
+        quorum.votes,
+        quorum.escalations,
+        quorum.disagreements,
+        quorum.injected,
+        quorum.caught,
+        quorum.catch_rate(),
+        quorum.escaped,
+        quorum.quarantined,
+        quorum_unarmed_secs,
+        quorum_armed_secs,
+        vote_overhead_us,
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

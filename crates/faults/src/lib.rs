@@ -109,11 +109,23 @@ pub enum FaultKind {
     /// tenant contributes, never what one computes.
     /// Layer: `bios-shard`.
     TenantHotspot,
+    /// A result is corrupted *in flight* after the physics completed —
+    /// a bit-flip in a DMA buffer, a marginal DIMM, a defective core
+    /// returning finite-but-wrong arithmetic. The perturbed value stays
+    /// finite, so it sails past `NonFinite` quarantine; only redundant
+    /// execution plus voting (or an end-to-end checksum) can catch it.
+    /// Realized at the *replica* level
+    /// ([`FaultPlan::silent_corruption`]), keyed to a replica-lane
+    /// identity so offenders are repeatable — never inside
+    /// [`FaultPlan::realize`], so healthy single-execution paths stay
+    /// byte-identical whether or not the spec is armed.
+    /// Layer: `bios-quorum`.
+    SilentCorruption,
 }
 
 impl FaultKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [FaultKind; 13] = [
+    pub const ALL: [FaultKind; 14] = [
         FaultKind::FilmDenaturation,
         FaultKind::ElectrodeFouling,
         FaultKind::ReferenceDrift,
@@ -127,6 +139,7 @@ impl FaultKind {
         FaultKind::TrafficBurst,
         FaultKind::ShardLoss,
         FaultKind::TenantHotspot,
+        FaultKind::SilentCorruption,
     ];
 
     /// Stable tag used to derive an independent PRNG stream per kind.
@@ -145,6 +158,7 @@ impl FaultKind {
             FaultKind::TrafficBurst => 0x0B,
             FaultKind::ShardLoss => 0x0C,
             FaultKind::TenantHotspot => 0x0D,
+            FaultKind::SilentCorruption => 0x0E,
         }
     }
 
@@ -164,6 +178,7 @@ impl FaultKind {
             FaultKind::TrafficBurst => "traffic burst",
             FaultKind::ShardLoss => "shard loss",
             FaultKind::TenantHotspot => "tenant hotspot",
+            FaultKind::SilentCorruption => "silent corruption",
         }
     }
 }
@@ -344,6 +359,12 @@ impl FaultPlan {
                     // tenant contributes (see `hotspot_factor`), never
                     // what one computes.
                 }
+                FaultKind::SilentCorruption => {
+                    // Replica-level fault: perturbs what one replica
+                    // *observed* (see `silent_corruption`), never what
+                    // the physics computed — the healthy path must
+                    // stay byte-identical with the spec armed.
+                }
             }
         }
         out
@@ -456,6 +477,72 @@ impl FaultPlan {
         1 + (7.0 * spec.intensity * rng.uniform()).floor() as u64
     }
 
+    /// Realizes this plan's [`FaultKind::SilentCorruption`] spec for
+    /// one replica lane of one job: the finite perturbation that lane's
+    /// *observation* of the result carries, or `None` when the lane
+    /// reports the true value.
+    ///
+    /// Two independent gates compose, both pure:
+    ///
+    /// * **offender gate** — a function of `(plan seed, lane)` only:
+    ///   roughly half of all lane identities are offenders, and an
+    ///   offender stays an offender for every job it observes, so a
+    ///   suspect scoreboard accumulates strikes against the same
+    ///   identity (the "defective core" model, not random cosmic rays);
+    /// * **occurrence gate** — a function of
+    ///   `(plan seed, sensor_id, job_seed, lane)` drawn against the
+    ///   spec's probability, so corruption intensity ramps the per-job
+    ///   firing rate on offender lanes.
+    ///
+    /// The returned delta is a relative factor with magnitude at least
+    /// `10⁻⁴` (far outside any sane vote tolerance, so an injected
+    /// corruption is *detectable* by construction) applied to one
+    /// summary field chosen by the stream. Both streams use dedicated
+    /// tag offsets, so they can never alias the per-job realization,
+    /// shard-loss, hotspot, or aging streams. Without a
+    /// `SilentCorruption` spec (or with zero probability) every lane
+    /// observes the truth.
+    #[must_use]
+    pub fn silent_corruption(
+        &self,
+        sensor_id: &str,
+        job_seed: u64,
+        lane: u64,
+    ) -> Option<CorruptionDelta> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.kind == FaultKind::SilentCorruption)
+            .copied()
+            .filter(|s| s.probability > 0.0)?;
+        // Offender gate: keyed to the lane identity alone.
+        let offender_stream = SplitMix64::new(self.seed)
+            .derive(0x0FFE_0000 | spec.kind.stream_tag())
+            .wrapping_add(lane);
+        let mut offender_rng = Rng::seed_from_u64(SplitMix64::new(offender_stream).derive(lane));
+        if offender_rng.uniform() >= 0.5 {
+            return None;
+        }
+        // Occurrence gate: this offender, this job.
+        let id_hash = fnv1a(sensor_id.bytes());
+        let base = SplitMix64::new(self.seed).derive(id_hash);
+        let base = SplitMix64::new(base).derive(job_seed);
+        let stream = SplitMix64::new(base).derive(0x51C7_0000 | spec.kind.stream_tag());
+        let mut rng = Rng::seed_from_u64(SplitMix64::new(stream).derive(lane));
+        if rng.uniform() >= spec.probability {
+            return None;
+        }
+        // Severity draw mirrors `realize`: half to full intensity.
+        let magnitude = spec.intensity * (0.5 + 0.5 * rng.uniform());
+        let field = ((rng.uniform() * CorruptionDelta::FIELDS as f64).floor() as usize)
+            .min(CorruptionDelta::FIELDS - 1);
+        let sign = if rng.uniform() < 0.5 { -1.0 } else { 1.0 };
+        Some(CorruptionDelta {
+            field,
+            relative: sign * (1e-4 + 0.05 * magnitude),
+        })
+    }
+
     /// Realizes this plan's [`FaultKind::FilmDenaturation`] spec along a
     /// **longitudinal time axis** for one patient channel: whether the
     /// film ages at all (the spec's probability), when the decay starts,
@@ -507,6 +594,26 @@ impl FaultPlan {
             decay_per_tick: 0.005 * magnitude,
         }
     }
+}
+
+/// The in-flight perturbation one replica lane's observation of a
+/// result carries — the realization of a
+/// [`FaultKind::SilentCorruption`] spec (see
+/// [`FaultPlan::silent_corruption`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionDelta {
+    /// Index of the perturbed summary field, in `[0, FIELDS)`.
+    pub field: usize,
+    /// Relative factor delta applied to that field: the lane observes
+    /// `true_value * (1 + relative)`. Always finite and non-zero, with
+    /// `|relative| ≥ 1e-4`.
+    pub relative: f64,
+}
+
+impl CorruptionDelta {
+    /// Number of comparable summary fields a corruption can land on
+    /// (sensitivity, range low, range high, detection limit, R²).
+    pub const FIELDS: usize = 5;
 }
 
 /// How one patient channel's enzyme-film activity evolves over a
@@ -951,6 +1058,78 @@ mod tests {
             .spec(FaultKind::TenantHotspot, 0.0, 1.0)
             .build();
         assert_eq!(zero.hotspot_factor("ward-00"), 1);
+    }
+
+    #[test]
+    fn silent_corruption_never_touches_job_physics() {
+        let plan = FaultPlan::builder("sdc-only", 17)
+            .spec(FaultKind::SilentCorruption, 1.0, 1.0)
+            .build();
+        for seed in 0..16 {
+            assert!(plan.realize("glucose/gox", seed).is_healthy());
+        }
+    }
+
+    #[test]
+    fn silent_corruption_is_deterministic_finite_and_detectable() {
+        let plan = FaultPlan::builder("sdc", 0x51C7)
+            .spec(FaultKind::SilentCorruption, 1.0, 0.5)
+            .build();
+        let mut fired = 0;
+        for lane in 0..8u64 {
+            for seed in 0..8u64 {
+                let a = plan.silent_corruption("glucose/gox", seed, lane);
+                assert_eq!(a, plan.silent_corruption("glucose/gox", seed, lane));
+                if let Some(d) = a {
+                    fired += 1;
+                    assert!(d.relative.is_finite());
+                    assert!(
+                        d.relative.abs() >= 1e-4,
+                        "delta {} undetectable",
+                        d.relative
+                    );
+                    assert!(d.field < CorruptionDelta::FIELDS);
+                }
+            }
+        }
+        assert!(fired > 0, "full-probability corruption never fired");
+    }
+
+    #[test]
+    fn silent_corruption_offenders_are_repeatable_lane_identities() {
+        // At probability 1.0 an offender lane fires on *every* job and
+        // a non-offender lane on none: the offender set is a property
+        // of the lane identity, not of the job.
+        let plan = FaultPlan::builder("sdc", 0x0BAD_C0DE)
+            .spec(FaultKind::SilentCorruption, 1.0, 1.0)
+            .build();
+        let mut offenders = Vec::new();
+        for lane in 0..16u64 {
+            let fires: Vec<bool> = (0..32u64)
+                .map(|seed| plan.silent_corruption("lactate/lox", seed, lane).is_some())
+                .collect();
+            assert!(
+                fires.iter().all(|&f| f == fires[0]),
+                "lane {lane} flip-flopped between offender and honest"
+            );
+            if fires[0] {
+                offenders.push(lane);
+            }
+        }
+        assert!(!offenders.is_empty(), "no offender lane in 16 identities");
+        assert!(offenders.len() < 16, "every lane offended");
+    }
+
+    #[test]
+    fn silent_corruption_without_spec_never_fires() {
+        let plan = demo_plan();
+        for lane in 0..8u64 {
+            assert_eq!(plan.silent_corruption("glucose/gox", 1, lane), None);
+        }
+        let zero = FaultPlan::builder("zero", 1)
+            .spec(FaultKind::SilentCorruption, 0.0, 1.0)
+            .build();
+        assert_eq!(zero.silent_corruption("glucose/gox", 1, 0), None);
     }
 
     #[test]

@@ -369,6 +369,12 @@ pub struct LoadedJournal {
     /// Records quarantined for failing checksum/decode. Reading stops
     /// at the first one — framing after it is untrusted.
     pub corrupt_records: u64,
+    /// The decode error of the first corrupt record, when any. Strict
+    /// consumers (a merged shard resume, for instance) refuse to trust
+    /// a journal whose *body* failed its checksum instead of silently
+    /// re-executing past it — a corrupt body is tampering or bit rot,
+    /// not the benign torn tail a crash leaves.
+    pub corrupt_error: Option<CodecError>,
     /// Byte offset of the end of the last trusted record; a resume
     /// writer truncates the file here before appending.
     pub valid_len: u64,
@@ -412,6 +418,7 @@ impl JournalReader {
         let mut seal = None;
         let mut truncated_tail = false;
         let mut corrupt_records = 0u64;
+        let mut corrupt_error: Option<CodecError> = None;
         let mut valid_len = MAGIC.len() as u64;
 
         loop {
@@ -422,11 +429,12 @@ impl JournalReader {
                     truncated_tail = true;
                     break;
                 }
-                FrameRead::Corrupt(_) => {
+                FrameRead::Corrupt(e) => {
                     // Once one frame fails its checksum, the length
                     // prefixes after it cannot be trusted to delimit
                     // records; quarantine and stop.
                     corrupt_records += 1;
+                    corrupt_error = Some(e);
                     break;
                 }
                 FrameRead::Payload(payload) => {
@@ -437,6 +445,9 @@ impl JournalReader {
                                 // A second header mid-file is structural
                                 // corruption; stop before it.
                                 corrupt_records += 1;
+                                corrupt_error = Some(CodecError::BadTag {
+                                    tag: Record::TAG_HEADER,
+                                });
                                 break;
                             }
                             header = Some(h);
@@ -461,8 +472,9 @@ impl JournalReader {
                             // it are not part of the run.
                             break;
                         }
-                        Err(_) => {
+                        Err(e) => {
                             corrupt_records += 1;
+                            corrupt_error = Some(e);
                             break;
                         }
                     }
@@ -479,6 +491,7 @@ impl JournalReader {
             seal,
             truncated_tail,
             corrupt_records,
+            corrupt_error,
             valid_len,
         })
     }
@@ -589,6 +602,26 @@ mod tests {
                 let _ = e.to_string();
             }
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_body_surfaces_first_error() {
+        let path = temp_path("corrupt-body");
+        write_sample(&path, true);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the first job record's digest-line string:
+        // the frame checksum no longer matches, deterministically.
+        let at = bytes.windows(7).position(|w| w == b"glucose").unwrap();
+        bytes[at] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = JournalReader::load(&path).unwrap();
+        assert_eq!(loaded.jobs.len(), 0);
+        assert_eq!(loaded.corrupt_records, 1);
+        assert!(matches!(
+            loaded.corrupt_error,
+            Some(CodecError::ChecksumMismatch { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use bios_analytics::{CalibrationCurve, CalibrationPoint, CalibrationSummary};
 use bios_core::catalog::CalibrationOutcome;
 use bios_recover::codec::{read_frame, write_frame, FrameRead};
-use bios_recover::{ByteReader, ByteWriter, CodecError};
+use bios_recover::{fnv1a, ByteReader, ByteWriter, CodecError};
 use bios_units::{Amperes, ConcentrationRange, Molar, Sensitivity, SquareCm};
 
 /// First bytes of a cache snapshot file.
@@ -72,11 +72,23 @@ pub struct CacheKey {
 
 /// One shard: the map plus a monotonic touch counter. An entry's stamp
 /// is the shard tick at its last get/insert, so the minimum stamp is
-/// the least-recently-used entry.
+/// the least-recently-used entry. The third field is the entry's
+/// integrity checksum, stamped at insert and re-verified at every
+/// serve (see [`outcome_checksum`]).
 #[derive(Debug, Default)]
 struct Shard {
-    map: BTreeMap<CacheKey, (Arc<CalibrationOutcome>, u64)>,
+    map: BTreeMap<CacheKey, (Arc<CalibrationOutcome>, u64, u64)>,
     tick: u64,
+}
+
+/// Integrity checksum of a memoized outcome: FNV-1a over the exact
+/// `{:?}` rendering of its summary that the fleet digest hashes. A
+/// cache hit whose recomputed checksum no longer matches its insert
+/// stamp was corrupted *at rest* — it is dropped and counted, never
+/// served, because a finite-but-wrong summary would sail through
+/// `NonFinite` quarantine and poison every later run that hits it.
+fn outcome_checksum(outcome: &CalibrationOutcome) -> u64 {
+    fnv1a(format!("{:?}", outcome.summary).as_bytes())
 }
 
 /// A sharded, thread-safe, bounded memo table of calibration outcomes.
@@ -142,31 +154,47 @@ impl ResultCache {
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
-    /// Looks up a memoized outcome, refreshing its recency stamp.
+    /// Looks up a memoized outcome, refreshing its recency stamp. The
+    /// entry's integrity checksum is re-verified before it is served; a
+    /// mismatch drops the entry (counted in
+    /// [`ResultCache::corrupt_dropped`]) and reports a miss, so the
+    /// caller recomputes instead of consuming rotten bytes.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CalibrationOutcome>> {
         let mut shard = self.shard(key).lock().ok()?;
         shard.tick += 1;
         let tick = shard.tick;
-        let (outcome, stamp) = shard.map.get_mut(key)?;
-        *stamp = tick;
-        Some(Arc::clone(outcome))
+        let served = {
+            let (outcome, stamp, sum) = shard.map.get_mut(key)?;
+            if outcome_checksum(outcome) == *sum {
+                *stamp = tick;
+                Some(Arc::clone(outcome))
+            } else {
+                None
+            }
+        };
+        if served.is_none() {
+            shard.map.remove(key);
+            self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        served
     }
 
     /// Stores an outcome, returning the shared handle. Evicts the
     /// shard's least-recently-used entry when the shard is over
     /// capacity.
     pub fn insert(&self, key: CacheKey, outcome: CalibrationOutcome) -> Arc<CalibrationOutcome> {
+        let sum = outcome_checksum(&outcome);
         let outcome = Arc::new(outcome);
         if let Ok(mut shard) = self.shard(&key).lock() {
             shard.tick += 1;
             let tick = shard.tick;
-            shard.map.insert(key, (Arc::clone(&outcome), tick));
+            shard.map.insert(key, (Arc::clone(&outcome), tick, sum));
             while shard.map.len() > self.shard_capacity {
                 let oldest = shard
                     .map
                     .iter()
-                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .min_by_key(|(_, (_, stamp, _))| *stamp)
                     .map(|(k, _)| k.clone());
                 match oldest {
                     Some(k) => {
@@ -208,6 +236,18 @@ impl ResultCache {
         self.corrupt_dropped.load(Ordering::Relaxed)
     }
 
+    /// Test hook: swaps the stored outcome under `key` *without*
+    /// updating its integrity checksum — simulating silent at-rest
+    /// corruption of a resident entry.
+    #[cfg(test)]
+    fn tamper(&self, key: &CacheKey, outcome: CalibrationOutcome) {
+        if let Ok(mut shard) = self.shard(key).lock() {
+            if let Some(entry) = shard.map.get_mut(key) {
+                entry.0 = Arc::new(outcome);
+            }
+        }
+    }
+
     /// Drops every memoized outcome (does not count as evictions).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -232,7 +272,7 @@ impl ResultCache {
             let mut in_shard: Vec<_> = shard
                 .map
                 .iter()
-                .map(|(k, (outcome, stamp))| (*stamp, k.clone(), Arc::clone(outcome)))
+                .map(|(k, (outcome, stamp, _))| (*stamp, k.clone(), Arc::clone(outcome)))
                 .collect();
             in_shard.sort_by_key(|(stamp, _, _)| *stamp);
             entries.extend(in_shard.into_iter().map(|(_, k, o)| (k, o)));
@@ -458,6 +498,34 @@ mod tests {
             cache.get(&faulted).is_none(),
             "a faulted job must never be served the healthy outcome"
         );
+    }
+
+    #[test]
+    fn tampered_entry_is_dropped_at_serve_never_served() {
+        let cache = ResultCache::new();
+        let entry = catalog::our_glucose_sensor();
+        let honest = entry.run_calibration(7).unwrap();
+        cache.insert(key(7), honest.clone());
+        assert!(cache.get(&key(7)).is_some(), "sanity: entry serves");
+        // Swap in a different (finite, plausible) outcome behind the
+        // checksum's back: exactly the silent corruption NonFinite
+        // quarantine cannot see.
+        let impostor = entry.run_calibration(8).unwrap();
+        assert_ne!(
+            format!("{:?}", honest.summary),
+            format!("{:?}", impostor.summary)
+        );
+        cache.tamper(&key(7), impostor);
+        assert!(
+            cache.get(&key(7)).is_none(),
+            "tampered entry must be a miss, not a serve"
+        );
+        assert_eq!(cache.corrupt_dropped(), 1);
+        assert!(
+            cache.get(&key(7)).is_none(),
+            "the rotten entry is gone, not re-served"
+        );
+        assert_eq!(cache.corrupt_dropped(), 1, "dropped exactly once");
     }
 
     #[test]

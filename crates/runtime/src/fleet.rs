@@ -324,9 +324,41 @@ pub struct JobResult {
     pub injected: FaultTally,
     /// The calibration outcome or the per-job error.
     pub outcome: Result<Arc<CalibrationOutcome>, JobError>,
+    /// End-to-end integrity checksum: FNV-1a over the result's payload
+    /// ([`JobResult::digest_line`] bytes), computed once at produce
+    /// time on the worker. Every later hop — memo-cache insert, journal
+    /// append, report merge — re-derives the checksum from the payload
+    /// it sees and refuses a result whose bytes no longer match, so a
+    /// finite-but-wrong value corrupted *in flight* is caught even
+    /// though it would pass `NonFinite` quarantine.
+    pub integrity: u64,
 }
 
 impl JobResult {
+    /// Re-derives the integrity checksum from the payload this result
+    /// currently carries (FNV-1a over [`JobResult::digest_line`]).
+    #[must_use]
+    pub fn payload_checksum(&self) -> u64 {
+        bios_recover::fnv1a(self.digest_line().as_bytes())
+    }
+
+    /// Stamps the produce-time integrity checksum. Call exactly once,
+    /// on the worker that computed the outcome, before the result
+    /// crosses any channel.
+    #[must_use]
+    pub fn sealed(mut self) -> JobResult {
+        self.integrity = self.payload_checksum();
+        self
+    }
+
+    /// Whether the payload still matches its produce-time checksum.
+    /// `false` means the result was corrupted somewhere between the
+    /// worker that computed it and this hop — it must not be cached,
+    /// journaled, or merged.
+    #[must_use]
+    pub fn verify_integrity(&self) -> bool {
+        self.integrity == self.payload_checksum()
+    }
     /// Whether the job succeeded but not cleanly: faults were injected
     /// or transient failures forced retries.
     #[must_use]

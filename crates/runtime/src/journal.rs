@@ -34,6 +34,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use bios_recover::codec::CodecError;
 use bios_recover::fnv1a;
 use bios_recover::journal::{Disposition, JournalReader, JournalWriter, Record, RunHeader};
 
@@ -152,6 +153,18 @@ impl Runtime {
             if journal_err.is_some() {
                 return; // journaling already failed; don't pile on
             }
+            // End-to-end integrity: the checksum stamped when the
+            // result was produced must still match its payload at the
+            // journal-append hop. A mismatch means the result mutated
+            // in flight — refuse to make the corruption durable.
+            if !result.verify_integrity() {
+                self.metrics.record_corruption_caught(1);
+                journal_err = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
+                    stored: result.integrity,
+                    computed: result.payload_checksum(),
+                }));
+                return;
+            }
             let record = Record::job_done(
                 result.index as u64,
                 disposition_of(result),
@@ -203,6 +216,13 @@ impl Runtime {
     ) -> Result<ResumeReport, JournalError> {
         let path = path.as_ref();
         let loaded = JournalReader::load(path)?;
+        // A corrupt *body* record is not the benign torn tail a crash
+        // leaves: its frame checksum failed, so the file was damaged at
+        // rest. Surface the checksum error instead of silently
+        // truncating and re-executing over untrusted provenance.
+        if let Some(e) = loaded.corrupt_error.clone() {
+            return Err(JournalError::Corrupt(e));
+        }
         let current = fleet.fingerprint();
         if loaded.header.fingerprint != current {
             return Err(JournalError::FingerprintMismatch {
@@ -249,6 +269,14 @@ impl Runtime {
             let mut journal_err: Option<JournalError> = None;
             let report = self.run_with_observer(&sub_fleet, |result| {
                 if journal_err.is_some() {
+                    return;
+                }
+                if !result.verify_integrity() {
+                    self.metrics.record_corruption_caught(1);
+                    journal_err = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
+                        stored: result.integrity,
+                        computed: result.payload_checksum(),
+                    }));
                     return;
                 }
                 let record = Record::job_done(

@@ -470,7 +470,9 @@ impl Runtime {
                         attempts: completion.attempts,
                         injected: completion.injected,
                         outcome: completion.outcome,
-                    };
+                        integrity: 0,
+                    }
+                    .sealed();
                     on_result(&result);
                     slots[completion.index] = Some(result);
                     received += 1;
@@ -498,15 +500,19 @@ impl Runtime {
             .map(|(job, slot)| {
                 // A missing slot can only mean the worker died harder
                 // than catch_unwind (e.g. stack overflow aborts).
-                slot.unwrap_or_else(|| JobResult {
-                    index: job.index,
-                    sensor: job.entry.id().to_owned(),
-                    seed: job.seed,
-                    wall: Duration::ZERO,
-                    from_cache: false,
-                    attempts: 0,
-                    injected: FaultTally::default(),
-                    outcome: Err(JobError::Panicked("worker lost".into())),
+                slot.unwrap_or_else(|| {
+                    JobResult {
+                        index: job.index,
+                        sensor: job.entry.id().to_owned(),
+                        seed: job.seed,
+                        wall: Duration::ZERO,
+                        from_cache: false,
+                        attempts: 0,
+                        injected: FaultTally::default(),
+                        outcome: Err(JobError::Panicked("worker lost".into())),
+                        integrity: 0,
+                    }
+                    .sealed()
                 })
             })
             .collect();
@@ -569,7 +575,9 @@ impl Runtime {
                     attempts: completion.attempts,
                     injected: completion.injected,
                     outcome: completion.outcome,
+                    integrity: 0,
                 }
+                .sealed()
             })
             .collect();
         FleetReport {
@@ -698,7 +706,9 @@ impl JobStream<'_> {
                                 attempts: completion.attempts,
                                 injected: completion.injected,
                                 outcome: completion.outcome,
-                            },
+                                integrity: 0,
+                            }
+                            .sealed(),
                         ));
                     }
                 }
@@ -724,7 +734,9 @@ impl JobStream<'_> {
                                     attempts: 0,
                                     injected: FaultTally::default(),
                                     outcome: Err(JobError::Panicked("worker lost".into())),
-                                },
+                                    integrity: 0,
+                                }
+                                .sealed(),
                             ));
                         }
                     }

@@ -37,6 +37,10 @@ pub struct RuntimeMetrics {
     breaker_half_open_probes: AtomicU64,
     browned_out: AtomicU64,
     deadline_shed: AtomicU64,
+    quorum_votes: AtomicU64,
+    disagreements: AtomicU64,
+    corruption_caught: AtomicU64,
+    suspects_quarantined: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
@@ -162,6 +166,33 @@ impl RuntimeMetrics {
         self.deadline_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one redundant-execution vote completed by the quorum
+    /// layer (unanimous or not).
+    pub fn record_quorum_vote(&self) {
+        self.quorum_votes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one vote whose replica lanes disagreed beyond the
+    /// configured tolerance and escalated to a tie-break.
+    pub fn record_disagreement(&self) {
+        self.disagreements.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` silently-corrupted replica observations caught by
+    /// the vote or by an integrity-checksum hop before they could
+    /// reach the cache, journal, or merged report.
+    pub fn record_corruption_caught(&self, n: u64) {
+        if n > 0 {
+            self.corruption_caught.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one suspect (worker lane or shard) quarantined after
+    /// losing repeated votes.
+    pub fn record_suspect_quarantined(&self) {
+        self.suspects_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     /// `cache_evictions` lives in the cache, not here; the runtime
     /// merges it in when it assembles a snapshot.
@@ -191,6 +222,10 @@ impl RuntimeMetrics {
             breaker_half_open_probes: self.breaker_half_open_probes.load(Ordering::Relaxed),
             browned_out: self.browned_out.load(Ordering::Relaxed),
             deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            quorum_votes: self.quorum_votes.load(Ordering::Relaxed),
+            disagreements: self.disagreements.load(Ordering::Relaxed),
+            corruption_caught: self.corruption_caught.load(Ordering::Relaxed),
+            suspects_quarantined: self.suspects_quarantined.load(Ordering::Relaxed),
             histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
         }
     }
@@ -255,6 +290,15 @@ pub struct MetricsSnapshot {
     /// Requests shed because their remaining deadline budget could no
     /// longer cover even a degraded execution.
     pub deadline_shed: u64,
+    /// Redundant-execution votes completed by the quorum layer.
+    pub quorum_votes: u64,
+    /// Votes whose replica lanes disagreed beyond tolerance.
+    pub disagreements: u64,
+    /// Silently-corrupted replica observations caught by a vote or an
+    /// integrity-checksum hop.
+    pub corruption_caught: u64,
+    /// Suspect lanes/shards quarantined after repeated lost votes.
+    pub suspects_quarantined: u64,
     /// Per-job wall-time histogram (log₂ µs buckets).
     pub histogram: [u64; HISTOGRAM_BUCKETS],
 }
@@ -316,6 +360,8 @@ impl MetricsSnapshot {
                 "\"admission_rejected\":{},\"rate_limited\":{},",
                 "\"breaker_trips\":{},\"breaker_half_open_probes\":{},",
                 "\"browned_out\":{},\"deadline_shed\":{},",
+                "\"quorum_votes\":{},\"disagreements\":{},",
+                "\"corruption_caught\":{},\"suspects_quarantined\":{},",
                 "\"wall_histogram\":[{}]}}"
             ),
             self.jobs_submitted,
@@ -344,6 +390,10 @@ impl MetricsSnapshot {
             self.breaker_half_open_probes,
             self.browned_out,
             self.deadline_shed,
+            self.quorum_votes,
+            self.disagreements,
+            self.corruption_caught,
+            self.suspects_quarantined,
             buckets.join(",")
         )
     }
@@ -444,6 +494,27 @@ mod tests {
         assert!(json.contains("\"breaker_half_open_probes\":3"));
         assert!(json.contains("\"browned_out\":1"));
         assert!(json.contains("\"deadline_shed\":1"));
+    }
+
+    #[test]
+    fn quorum_counters_accumulate_and_serialize() {
+        let m = RuntimeMetrics::new();
+        m.record_quorum_vote();
+        m.record_quorum_vote();
+        m.record_disagreement();
+        m.record_corruption_caught(3);
+        m.record_corruption_caught(0); // no-op
+        m.record_suspect_quarantined();
+        let s = m.snapshot();
+        assert_eq!(s.quorum_votes, 2);
+        assert_eq!(s.disagreements, 1);
+        assert_eq!(s.corruption_caught, 3);
+        assert_eq!(s.suspects_quarantined, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"quorum_votes\":2"));
+        assert!(json.contains("\"disagreements\":1"));
+        assert!(json.contains("\"corruption_caught\":3"));
+        assert!(json.contains("\"suspects_quarantined\":1"));
     }
 
     #[test]

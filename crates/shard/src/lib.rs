@@ -56,7 +56,8 @@ use std::path::{Path, PathBuf};
 
 use bios_core::catalog;
 use bios_faults::FaultPlan;
-use bios_gateway::{Disposition, Gateway, GatewayConfig, GatewayCounters, Request};
+use bios_gateway::{Disposition, Gateway, GatewayConfig, GatewayCounters, Priority, Request};
+use bios_quorum::{meter, QuorumConfig, QuorumScreen};
 use bios_runtime::journal::JournalError;
 use bios_runtime::{parse_env_value, Fleet, Job, JobError, Runtime, RuntimeConfig};
 
@@ -129,10 +130,14 @@ impl ShardConfig {
             Some(n) => config.shards = n,
             None => {}
         }
-        if let Some(batch) =
-            env_parsed::<usize>("BIOS_STEAL_BATCH", "a positive integer").filter(|&b| b > 0)
-        {
-            config.steal_batch = batch;
+        match env_parsed::<usize>("BIOS_STEAL_BATCH", "a positive integer") {
+            Some(0) => eprintln!(
+                "warning: ignoring degenerate BIOS_STEAL_BATCH=\"0\" (a steal threshold must \
+                 be positive; keeping the default of {})",
+                ShardConfig::default().steal_batch
+            ),
+            Some(batch) => config.steal_batch = batch,
+            None => {}
         }
         config
     }
@@ -177,6 +182,14 @@ pub struct ShardChaos {
     /// plan-derived ones; the deterministic hook tests and the CI
     /// gate use to force a quarantine.
     pub forced_losses: Vec<(usize, u64)>,
+    /// Arms the redundancy screen over the whole fleet's completions:
+    /// covered jobs are re-polled across replica lanes and
+    /// majority-voted, disagreements strike the offending lane *and*
+    /// the executing shard (see
+    /// [`supervisor::HealthEvent::CorruptionSuspect`]), and the run's
+    /// [`ShardedReport::quorum`] totals are filled. `None` leaves the
+    /// screen off.
+    pub quorum: Option<QuorumConfig>,
 }
 
 impl ShardChaos {
@@ -205,6 +218,13 @@ impl ShardChaos {
     #[must_use]
     pub fn with_shard_loss_at(mut self, shard: usize, tick: u64) -> ShardChaos {
         self.forced_losses.push((shard, tick));
+        self
+    }
+
+    /// Arms the redundancy screen with `config`.
+    #[must_use]
+    pub fn with_quorum(mut self, config: QuorumConfig) -> ShardChaos {
+        self.quorum = Some(config);
         self
     }
 }
@@ -315,6 +335,10 @@ impl ShardedGateway {
         // Shard losses: plan-derived plus forced, fired as the global
         // tick passes them.
         let mut supervisor = ShardSupervisor::new(self.config.supervisor, shards);
+        // One fleet-wide redundancy screen: replica lanes are logical
+        // identities, so the scoreboard is shared across shards and the
+        // verdict stream is placement-independent.
+        let mut quorum = chaos.quorum.map(QuorumScreen::new);
         let mut losses: Vec<(usize, u64)> = (0..shards)
             .filter_map(|i| {
                 chaos
@@ -402,6 +426,31 @@ impl ShardedGateway {
                         }
                         _ => {}
                     }
+                    if let Some(screen) = quorum.as_mut() {
+                        let metrics = self.gateways[host].runtime().metrics_handle();
+                        if !result.verify_integrity() {
+                            // The produce-time checksum no longer
+                            // matches the payload: refuse to treat the
+                            // value as clean and suspect the executor.
+                            metrics.record_corruption_caught(1);
+                            supervisor.observe(HealthEvent::CorruptionSuspect {
+                                shard: host,
+                                tick: *done_tick,
+                            });
+                        } else {
+                            let critical = outcome.priority == Priority::Recalibration;
+                            let plan = chaos.tenant_plans.get(&tenant_names[slot]);
+                            if let Some(verdict) = screen.screen_result(plan, result, critical) {
+                                if verdict.disagreement {
+                                    supervisor.observe(HealthEvent::CorruptionSuspect {
+                                        shard: host,
+                                        tick: *done_tick,
+                                    });
+                                }
+                                meter(&verdict, &metrics);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -428,7 +477,9 @@ impl ShardedGateway {
                 health: supervisor.health(i),
             })
             .collect();
-        ShardedReport::new(outcomes, counters, drained_tick, placement)
+        let mut report = ShardedReport::new(outcomes, counters, drained_tick, placement);
+        report.quorum = quorum.map(|screen| screen.summary());
+        report
     }
 }
 
@@ -921,6 +972,135 @@ mod tests {
             fleet.len() - first.per_shard_jobs[victim]
         );
         assert_eq!(partial.summaries_digest(), first.summaries_digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quorum_armed_digests_are_identical_across_layouts_while_votes_fire() {
+        // The tentpole determinism contract: with silent corruption
+        // armed on every tenant and the redundancy screen voting on
+        // every completion, the digest AND the quorum totals must be
+        // byte-identical at 1/2/8 workers and across shard layouts —
+        // and equal to a run with no screen at all.
+        let trace = tenant_trace(4, 5, 2, 64, None);
+        let plan = FaultPlan::builder("silent-corrupter", 0xC0DE)
+            .spec(FaultKind::SilentCorruption, 0.45, 0.8)
+            .build();
+        let mut chaos = ShardChaos::none().with_quorum(QuorumConfig {
+            sampling: 1.0,
+            ..QuorumConfig::default()
+        });
+        for ward in ["ward-00", "ward-01", "ward-02", "ward-03"] {
+            chaos = chaos.with_tenant_plan(ward, plan.clone());
+        }
+        let baseline = ShardedGateway::new(shard_config(1, 1)).run(&trace);
+        let mut digests = Vec::new();
+        let mut summaries = Vec::new();
+        for &(s, w) in &[(1usize, 1usize), (1, 2), (1, 8), (4, 2)] {
+            let report = ShardedGateway::new(shard_config(s, w)).run_with(&trace, &chaos);
+            let q = match report.quorum {
+                Some(q) => q,
+                None => panic!("({s}x{w}): armed run must carry a quorum summary"),
+            };
+            assert!(q.votes > 0, "({s}x{w}): the screen must vote");
+            assert!(q.disagreements > 0, "({s}x{w}): the drill must bite");
+            assert!(q.injected > 0, "({s}x{w}): corruption must realize");
+            assert_eq!(q.caught, q.injected, "({s}x{w}): every corruption caught");
+            assert_eq!(q.escaped, 0, "({s}x{w}): nothing may escape the vote");
+            digests.push(report.digest());
+            summaries.push(q);
+        }
+        for (d, s) in digests.iter().zip(&summaries) {
+            assert_eq!(d, &digests[0], "digest moved across layouts");
+            assert_eq!(s, &summaries[0], "quorum totals moved across layouts");
+        }
+        assert_eq!(
+            digests[0],
+            baseline.digest(),
+            "arming the screen must never move the digest"
+        );
+    }
+
+    #[test]
+    fn silent_corrupters_quarantine_lanes_and_suspect_the_host_shard() {
+        // High-rate corruption: offending lanes accumulate strikes and
+        // are quarantined, the executing shard collects
+        // CorruptionSuspect events until the supervisor pulls it, and
+        // the digest still never moves.
+        let trace = tenant_trace(2, 12, 2, 64, None);
+        let plan = FaultPlan::builder("corrupt-flood", 0xBAD)
+            .spec(FaultKind::SilentCorruption, 0.9, 1.0)
+            .build();
+        let chaos = ShardChaos::none()
+            .with_quorum(QuorumConfig {
+                sampling: 1.0,
+                ..QuorumConfig::default()
+            })
+            .with_tenant_plan("ward-00", plan.clone())
+            .with_tenant_plan("ward-01", plan);
+        let report = ShardedGateway::new(shard_config(1, 2)).run_with(&trace, &chaos);
+        let q = match report.quorum {
+            Some(q) => q,
+            None => panic!("armed run must carry a quorum summary"),
+        };
+        assert!(
+            q.quarantined > 0,
+            "repeat-offender lanes must be quarantined: {q:?}"
+        );
+        assert!(q.disagreements >= 3, "the flood must disagree repeatedly");
+        assert_eq!(
+            report.quarantined_shards(),
+            vec![0],
+            "the lone executing shard must be pulled after repeated suspicion"
+        );
+        let quiet = ShardedGateway::new(shard_config(1, 2)).run(&trace);
+        assert_eq!(
+            quiet.digest(),
+            report.digest(),
+            "corruption screening (and shard quarantine) must be digest-neutral"
+        );
+    }
+
+    #[test]
+    fn a_bit_flip_in_a_sealed_segment_surfaces_a_checksum_error_on_resume() {
+        // End-to-end integrity: flip one bit inside a sealed journal
+        // record's payload and the merged resume must refuse with a
+        // checksum error — deterministically — instead of merging the
+        // corrupt record.
+        let dir = scratch_dir("bitflip");
+        let fleet = demo_fleet();
+        let sharded = ShardedRuntime::new(&shard_config(4, 2));
+        let first = match sharded.run_journaled(&fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("journaled run failed: {e:?}"),
+        };
+        let victim = match first.per_shard_jobs.iter().position(|&n| n > 0) {
+            Some(v) => v,
+            None => panic!("no populated shard"),
+        };
+        let path = ShardedRuntime::segment_path(&dir, victim);
+        let mut bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => panic!("segment unreadable: {e}"),
+        };
+        // Target the last job record's digest-line payload (well past
+        // the header frame, well before nothing — the seal follows).
+        let needle = b"seed=";
+        let pos = match bytes.windows(needle.len()).rposition(|w| w == needle) {
+            Some(p) => p,
+            None => panic!("no digest line in segment"),
+        };
+        bytes[pos + needle.len()] ^= 0x01;
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            panic!("rewrite failed: {e}");
+        }
+        for attempt in 0..2 {
+            match sharded.resume(&fleet, &dir) {
+                Err(JournalError::Corrupt(_)) => {}
+                Err(e) => panic!("attempt {attempt}: expected Corrupt, got {e:?}"),
+                Ok(_) => panic!("attempt {attempt}: resume merged a bit-flipped record"),
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 
 use bios_gateway::{Disposition, GatewayCounters, RequestOutcome};
+use bios_quorum::QuorumSummary;
 use bios_recover::fnv1a;
 
 use crate::supervisor::ShardHealth;
@@ -124,6 +125,12 @@ pub struct ShardedReport {
     pub drained_tick: u64,
     /// Per-shard placement summary, ascending by shard index.
     pub placement: Vec<ShardPlacement>,
+    /// Totals of the redundancy screen when the run armed one
+    /// ([`crate::ShardChaos::quorum`]); `None` otherwise. Deliberately
+    /// *not* part of [`ShardedReport::digest`]: the vote validates
+    /// already-committed values, so arming a screen never moves the
+    /// digest — the summary is observability, not payload.
+    pub quorum: Option<QuorumSummary>,
 }
 
 impl ShardedReport {
@@ -141,6 +148,7 @@ impl ShardedReport {
             counters,
             drained_tick,
             placement,
+            quorum: None,
         }
     }
 

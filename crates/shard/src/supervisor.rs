@@ -39,15 +39,23 @@ pub struct SupervisorConfig {
     /// Cumulative panic losses a shard may absorb before it is
     /// declared poisoned.
     pub respawn_budget: u32,
+    /// Cumulative corruption strikes (a quorum vote this shard lost,
+    /// see `bios-quorum`) a shard may absorb before it is declared a
+    /// silent corrupter. Strikes never expire: a shard that keeps
+    /// producing finite-but-wrong values is defective hardware, not a
+    /// transient.
+    pub corruption_strikes: u32,
 }
 
 impl Default for SupervisorConfig {
-    /// Eight deadline kills inside 32 ticks, or sixteen panics total.
+    /// Eight deadline kills inside 32 ticks, sixteen panics total, or
+    /// three lost quorum votes total.
     fn default() -> SupervisorConfig {
         SupervisorConfig {
             storm_threshold: 8,
             storm_window_ticks: 32,
             respawn_budget: 16,
+            corruption_strikes: 3,
         }
     }
 }
@@ -80,6 +88,16 @@ pub enum HealthEvent {
         /// Logical tick of the loss.
         tick: u64,
     },
+    /// A quorum vote attributed a silently corrupted result to this
+    /// shard at `tick` (see `bios-quorum`): the value was finite —
+    /// past every NonFinite guard — but disagreed with the redundant
+    /// replicas and lost the vote.
+    CorruptionSuspect {
+        /// The suspected shard.
+        shard: usize,
+        /// Logical tick the disagreement surfaced.
+        tick: u64,
+    },
 }
 
 /// Why a shard was quarantined.
@@ -91,6 +109,9 @@ pub enum QuarantineReason {
     RespawnExhausted,
     /// The shard was lost at the infrastructure level.
     ShardLost,
+    /// The shard exhausted its corruption-strike budget: repeated
+    /// quorum votes attributed silently corrupted results to it.
+    SilentCorrupter,
 }
 
 impl QuarantineReason {
@@ -101,6 +122,7 @@ impl QuarantineReason {
             QuarantineReason::DeadlineStorm => "deadline-storm",
             QuarantineReason::RespawnExhausted => "respawn-exhausted",
             QuarantineReason::ShardLost => "shard-lost",
+            QuarantineReason::SilentCorrupter => "silent-corrupter",
         }
     }
 }
@@ -127,6 +149,8 @@ struct ShardState {
     recent_kills: VecDeque<u64>,
     /// Cumulative panic losses.
     panics: u32,
+    /// Cumulative corruption strikes (lost quorum votes).
+    strikes: u32,
     health: ShardHealth,
 }
 
@@ -148,6 +172,7 @@ impl ShardSupervisor {
                 .map(|_| ShardState {
                     recent_kills: VecDeque::new(),
                     panics: 0,
+                    strikes: 0,
                     health: ShardHealth::Healthy,
                 })
                 .collect(),
@@ -168,7 +193,8 @@ impl ShardSupervisor {
         let (shard, tick) = match event {
             HealthEvent::DeadlineKill { shard, tick }
             | HealthEvent::PanicLoss { shard, tick }
-            | HealthEvent::ShardLost { shard, tick } => (shard, tick),
+            | HealthEvent::ShardLost { shard, tick }
+            | HealthEvent::CorruptionSuspect { shard, tick } => (shard, tick),
         };
         let Some(state) = self.states.get_mut(shard) else {
             return;
@@ -204,6 +230,15 @@ impl ShardSupervisor {
                     since_tick: tick,
                     reason: QuarantineReason::ShardLost,
                 };
+            }
+            HealthEvent::CorruptionSuspect { .. } => {
+                state.strikes += 1;
+                if state.strikes >= self.config.corruption_strikes.max(1) {
+                    state.health = ShardHealth::Quarantined {
+                        since_tick: tick,
+                        reason: QuarantineReason::SilentCorrupter,
+                    };
+                }
             }
         }
     }
@@ -263,6 +298,7 @@ mod tests {
             storm_threshold: 3,
             storm_window_ticks: 10,
             respawn_budget: 2,
+            corruption_strikes: 2,
         }
     }
 
@@ -311,6 +347,26 @@ mod tests {
                 reason: QuarantineReason::RespawnExhausted
             }
         );
+    }
+
+    #[test]
+    fn corruption_strikes_accumulate_to_quarantine() {
+        let mut sup = ShardSupervisor::new(config(), 3);
+        sup.observe(HealthEvent::CorruptionSuspect { shard: 1, tick: 4 });
+        assert!(!sup.is_quarantined(1), "one strike is below the budget");
+        // Strikes never expire, like panics: a corrupter stays guilty.
+        sup.observe(HealthEvent::CorruptionSuspect {
+            shard: 1,
+            tick: 800,
+        });
+        assert_eq!(
+            sup.health(1),
+            ShardHealth::Quarantined {
+                since_tick: 800,
+                reason: QuarantineReason::SilentCorrupter
+            }
+        );
+        assert_eq!(sup.healthy_shards(), vec![0, 2]);
     }
 
     #[test]

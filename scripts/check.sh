@@ -92,6 +92,34 @@ if [ "$shard_1x1" != "$shard_q" ]; then
 fi
 echo "    sharded decisions identical at 1x1, 4x2, 8x8, and quarantined 4x2 ($shard_1x1)"
 
+# Quorum gate: silent corruption armed on every tenant with the
+# redundancy screen voting on every completion. The binary asserts
+# detection (catch rate ≥ 99%, zero escapes, disagreements fired,
+# repeat offenders quarantined — non-zero exit on violation); the
+# shell pins the armed digest byte-identical across layouts AND
+# byte-identical to the unarmed healthy run, which in turn must equal
+# the shard gate's golden digest — arming the screen may never move a
+# single byte of the report.
+echo "==> quorum gate"
+quorum_gate() { cargo run --release -q -p bios-bench --bin quorum_gate -- "$@"; }
+quorum_1x1="$(quorum_gate --shards 1 --workers 1 --armed | grep digest_fnv)"
+quorum_4x2="$(quorum_gate --shards 4 --workers 2 --armed | grep digest_fnv)"
+quorum_8x8="$(quorum_gate --shards 8 --workers 8 --armed | grep digest_fnv)"
+quorum_off="$(quorum_gate --shards 4 --workers 2 | grep digest_fnv)"
+if [ "$quorum_1x1" != "$quorum_4x2" ] || [ "$quorum_4x2" != "$quorum_8x8" ]; then
+    echo "quorum gate: armed digest differs across layouts ($quorum_1x1 / $quorum_4x2 / $quorum_8x8)" >&2
+    exit 1
+fi
+if [ "$quorum_1x1" != "$quorum_off" ]; then
+    echo "quorum gate: arming the screen moved the digest ($quorum_1x1 vs $quorum_off)" >&2
+    exit 1
+fi
+if [ "$quorum_off" != "$shard_4x2" ]; then
+    echo "quorum gate: unarmed digest diverged from the shard gate ($quorum_off vs $shard_4x2)" >&2
+    exit 1
+fi
+echo "    quorum voting identical at 1x1, 4x2, 8x8 and byte-equal to the unarmed run ($quorum_1x1)"
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -29,6 +29,7 @@
 //! | [`recover`] | `bios-recover` | checksummed journal + snapshot primitives for crash resume |
 //! | [`runtime`] | `bios-runtime` | hardened concurrent fleet simulation, bounded result cache, metrics |
 //! | [`gateway`] | `bios-gateway` | overload-robust admission control, circuit breaking, brownout degradation |
+//! | [`quorum`] | `bios-quorum` | N-modular redundancy: replica voting, silent-corruption detection, suspect quarantine |
 //! | [`stream`] | `bios-stream` | longitudinal patient streams, online drift monitors, deterministic re-calibration |
 //! | [`shard`] | `bios-shard` | tenant-sharded fleet-of-fleets: bulkheads, shard supervision, deterministic work-stealing |
 //!
@@ -59,6 +60,7 @@ pub use bios_instrument as instrument;
 pub use bios_labelfree as labelfree;
 pub use bios_nanomaterial as nanomaterial;
 pub use bios_prng as prng;
+pub use bios_quorum as quorum;
 pub use bios_recover as recover;
 pub use bios_runtime as runtime;
 pub use bios_shard as shard;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use bios_gateway::{Gateway, GatewayConfig, GatewayReport, Request};
     pub use bios_instrument::ReadoutChain;
     pub use bios_nanomaterial::{ElectrodeStock, SurfaceModification};
+    pub use bios_quorum::{QuorumConfig, QuorumScreen, QuorumSummary};
     pub use bios_runtime::{
         Fleet, FleetOutcome, FleetReport, JournalOptions, ResumeReport, Runtime, RuntimeConfig,
     };
