@@ -1,0 +1,733 @@
+//! A lightweight item-tree parser over the audit lexer's token stream.
+//!
+//! The semantic rules (DESIGN.md §16) need more structure than a flat
+//! token stream: which function a call site lives in, which `impl`
+//! owns a method, whether an item is `#[cfg(test)]`-gated, and where
+//! each item's body starts and ends. This module folds the token
+//! stream into exactly that — a per-file tree of `fn`/`impl`/`mod`/
+//! `use` items with raw-token spans — without attempting to be a real
+//! Rust parser. Items it does not understand (structs, enums, consts,
+//! `macro_rules!` bodies) are skipped structurally, never guessed at.
+//!
+//! Two hard guarantees, property-tested by
+//! `crates/audit/tests/items_properties.rs`:
+//!
+//! 1. the parser never panics, whatever token soup it is fed;
+//! 2. spans round-trip — every item's span lies inside the token
+//!    stream, children nest strictly inside their parents, and an
+//!    item's `line:col` is the position of its span's first token.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a tree node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item; `body` holds its brace-delimited block, if any.
+    Fn,
+    /// An `impl` block; `name` is the implementing type (after `for`,
+    /// when present).
+    Impl,
+    /// A `mod` item (inline or declaration).
+    Mod,
+    /// A `use` declaration; `name` is the full path text.
+    Use,
+    /// A `trait` definition; default method bodies are real code and
+    /// parse as `Fn` children.
+    Trait,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Classification of this item.
+    pub kind: ItemKind,
+    /// The item's name: fn name, impl target type, mod name, use path.
+    pub name: String,
+    /// 1-based line of the item's first token (attributes included).
+    pub line: u32,
+    /// 1-based column of the item's first token.
+    pub col: u32,
+    /// Raw-token index range `[start, end)` covering the whole item,
+    /// attributes through closing brace or semicolon.
+    pub span: (usize, usize),
+    /// For `Fn`: the raw-token range strictly inside the body braces.
+    pub body: Option<(usize, usize)>,
+    /// True when the item (or an ancestor) is `#[cfg(test)]`-gated or
+    /// `#[test]`-marked — the semantic rules skip such items entirely.
+    pub test_only: bool,
+    /// Nested items (an impl's methods, a mod's contents).
+    pub children: Vec<Item>,
+}
+
+/// Parse `tokens` into a tree of items. Never panics; unrecognized
+/// constructs are skipped.
+pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut parser = Parser {
+        tokens,
+        code: &code,
+    };
+    let (items, _) = parser.parse_level(0, code.len(), false, 0);
+    items
+}
+
+/// Maximum `mod`/`impl`/`trait` nesting the parser recurses into;
+/// deeper bodies are treated as opaque. Real code never gets close.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    /// Indices of non-comment tokens, the stream the grammar reads.
+    code: &'t [usize],
+}
+
+impl Parser<'_> {
+    /// Text of the code token at logical position `k`.
+    fn text(&self, k: usize) -> Option<&str> {
+        self.code.get(k).map(|&i| self.tokens[i].text.as_str())
+    }
+
+    /// The raw-token index of logical position `k`, saturating to the
+    /// token-stream length at end-of-input.
+    fn raw(&self, k: usize) -> usize {
+        self.code.get(k).copied().unwrap_or(self.tokens.len())
+    }
+
+    /// One past the raw index of logical position `k` (for exclusive
+    /// span ends).
+    fn raw_end(&self, k: usize) -> usize {
+        self.code
+            .get(k)
+            .map(|&i| i + 1)
+            .unwrap_or(self.tokens.len())
+    }
+
+    /// Parse items in the logical range `[k, end)`. Returns the items
+    /// and the logical position where parsing stopped.
+    fn parse_level(
+        &mut self,
+        mut k: usize,
+        end: usize,
+        inherited_test: bool,
+        depth: usize,
+    ) -> (Vec<Item>, usize) {
+        let mut items = Vec::new();
+        while k < end {
+            // Collect leading attributes, remembering where they start
+            // so the item span includes them.
+            let item_start = k;
+            let mut test_only = inherited_test;
+            let mut progressed = false;
+            while self.text(k) == Some("#") {
+                let inner = self.text(k + 1) == Some("!");
+                let bracket_at = if inner { k + 2 } else { k + 1 };
+                if self.text(bracket_at) != Some("[") {
+                    break;
+                }
+                let Some(close) = self.matching(bracket_at, "[", "]", end) else {
+                    // Unterminated attribute: nothing more to parse.
+                    return (items, end);
+                };
+                if attr_is_test(self.tokens, self.code, bracket_at + 1, close) {
+                    if inner {
+                        // `#![cfg(test)]` gates everything that follows
+                        // at this level.
+                        let (mut rest, stop) = self.parse_level(close + 1, end, true, depth);
+                        items.append(&mut rest);
+                        return (items, stop);
+                    }
+                    test_only = true;
+                }
+                k = close + 1;
+                progressed = true;
+            }
+
+            let Some(text) = self.text(k).map(str::to_string) else {
+                break;
+            };
+            if text == "pub" {
+                // Skip visibility, including `pub(crate)` etc., then
+                // re-enter the keyword dispatch with the original
+                // `item_start` so attributes stay attached.
+                k += 1;
+                if self.text(k) == Some("(") {
+                    k = self
+                        .matching(k, "(", ")", end)
+                        .map(|c| c + 1)
+                        .unwrap_or(end);
+                }
+                if let Some((item, next)) =
+                    self.parse_keyword_item(item_start, k, end, test_only, depth)
+                {
+                    items.push(item);
+                    k = next;
+                } else if k > item_start {
+                    // `pub` before something we don't model
+                    // (struct/const/…): skip the whole item.
+                    k = self.skip_item(k, end);
+                }
+                continue;
+            }
+            if let Some((item, next)) =
+                self.parse_keyword_item(item_start, k, end, test_only, depth)
+            {
+                items.push(item);
+                k = next;
+                continue;
+            }
+            if text == "macro_rules" {
+                // `macro_rules! name { … }` — skip the whole body.
+                let mut j = k + 1;
+                while j < end && self.text(j) != Some("{") {
+                    j += 1;
+                }
+                k = self
+                    .matching(j, "{", "}", end)
+                    .map(|c| c + 1)
+                    .unwrap_or(end);
+                continue;
+            }
+            if text == "struct"
+                || text == "enum"
+                || text == "union"
+                || text == "static"
+                || text == "const"
+                || text == "type"
+                || text == "extern"
+            {
+                k = self.skip_item(k, end);
+                continue;
+            }
+            if !progressed {
+                k += 1;
+            }
+        }
+        (items, end)
+    }
+
+    /// Try to parse a `fn`/`impl`/`mod`/`use`/`trait` item whose
+    /// keyword sits at logical `k` (attributes began at `item_start`).
+    /// Also accepts the `unsafe`/`async`/`const`/`extern "…"` prefixes
+    /// before `fn`. Returns the item and the position after it.
+    fn parse_keyword_item(
+        &mut self,
+        item_start: usize,
+        mut k: usize,
+        end: usize,
+        test_only: bool,
+        depth: usize,
+    ) -> Option<(Item, usize)> {
+        // Qualifier run before `fn`.
+        let mut q = k;
+        while matches!(self.text(q), Some("unsafe") | Some("async") | Some("const"))
+            || (self.text(q) == Some("extern")
+                && self
+                    .code
+                    .get(q + 1)
+                    .map(|&i| self.tokens[i].kind == TokenKind::Str)
+                    .unwrap_or(false))
+        {
+            q += if self.text(q) == Some("extern") { 2 } else { 1 };
+        }
+        if self.text(q) == Some("fn") {
+            k = q;
+            return self.parse_fn(item_start, k, end, test_only);
+        }
+        match self.text(k)? {
+            "impl" => {
+                self.parse_impl_or_trait(item_start, k, end, test_only, depth, ItemKind::Impl)
+            }
+            "trait" => {
+                self.parse_impl_or_trait(item_start, k, end, test_only, depth, ItemKind::Trait)
+            }
+            "mod" => self.parse_mod(item_start, k, end, test_only, depth),
+            "use" => self.parse_use(item_start, k, end, test_only),
+            _ => None,
+        }
+    }
+
+    /// `fn name …(…) … { body }` or `fn name …;` (trait declaration).
+    fn parse_fn(
+        &mut self,
+        item_start: usize,
+        k: usize,
+        end: usize,
+        test_only: bool,
+    ) -> Option<(Item, usize)> {
+        let name = self.text(k + 1).unwrap_or("?").to_string();
+        let start_tok = self.raw(item_start);
+        let anchor = &self.tokens[self.raw(item_start).min(self.tokens.len() - 1)];
+        let (line, col) = (anchor.line, anchor.col);
+        // Find the body `{` (angle-bracket-aware) or the `;`.
+        let mut j = k + 1;
+        let mut angle = 0isize;
+        while j < end {
+            match self.text(j) {
+                Some("{") => {
+                    let close = self
+                        .matching(j, "{", "}", end)
+                        .unwrap_or(end.saturating_sub(1));
+                    let body_start = self.raw_end(j);
+                    let body = (body_start, self.raw(close).max(body_start));
+                    let item = Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        line,
+                        col,
+                        span: (start_tok, self.raw_end(close)),
+                        body: Some(body),
+                        test_only,
+                        children: Vec::new(),
+                    };
+                    return Some((item, close + 1));
+                }
+                Some(";") if angle <= 0 => {
+                    let item = Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        line,
+                        col,
+                        span: (start_tok, self.raw_end(j)),
+                        body: None,
+                        test_only,
+                        children: Vec::new(),
+                    };
+                    return Some((item, j + 1));
+                }
+                Some("<") => angle += 1,
+                Some(">") => angle -= 1,
+                Some("[") => {
+                    j = self.matching(j, "[", "]", end).unwrap_or(end);
+                }
+                None => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        // Unterminated fn: consume to end.
+        let item = Item {
+            kind: ItemKind::Fn,
+            name,
+            line,
+            col,
+            span: (start_tok, self.tokens.len()),
+            body: None,
+            test_only,
+            children: Vec::new(),
+        };
+        Some((item, end))
+    }
+
+    /// `impl … Type { … }` / `impl Trait for Type { … }` /
+    /// `trait Name { … }` — children parse recursively.
+    fn parse_impl_or_trait(
+        &mut self,
+        item_start: usize,
+        k: usize,
+        end: usize,
+        test_only: bool,
+        depth: usize,
+        kind: ItemKind,
+    ) -> Option<(Item, usize)> {
+        let start_tok = self.raw(item_start);
+        let anchor = &self.tokens[self.raw(item_start).min(self.tokens.len() - 1)];
+        let (line, col) = (anchor.line, anchor.col);
+        // Find the opening brace; track the header tokens as we go.
+        let mut j = k + 1;
+        let mut angle = 0isize;
+        let mut header: Vec<(usize, String)> = Vec::new();
+        while j < end {
+            match self.text(j) {
+                Some("{") if angle <= 0 => break,
+                Some(";") if angle <= 0 => {
+                    // `impl Foo;`-ish degenerate input: treat as opaque.
+                    return Some((
+                        Item {
+                            kind,
+                            name: String::new(),
+                            line,
+                            col,
+                            span: (start_tok, self.raw_end(j)),
+                            body: None,
+                            test_only,
+                            children: Vec::new(),
+                        },
+                        j + 1,
+                    ));
+                }
+                Some("<") => angle += 1,
+                Some(">") => angle -= 1,
+                Some(t) => {
+                    if angle <= 0 {
+                        header.push((j, t.to_string()));
+                    }
+                }
+                None => return None,
+            }
+            j += 1;
+        }
+        if j >= end {
+            return Some((
+                Item {
+                    kind,
+                    name: String::new(),
+                    line,
+                    col,
+                    span: (start_tok, self.tokens.len()),
+                    body: None,
+                    test_only,
+                    children: Vec::new(),
+                },
+                end,
+            ));
+        }
+        // The implementing type: the identifier after `for` when
+        // present, else the first identifier in the header (skipping
+        // `where`-clause noise by taking the first, which precedes any
+        // `where`).
+        let name = {
+            let after_for = header
+                .iter()
+                .position(|(_, t)| t == "for")
+                .and_then(|p| header.get(p + 1));
+            let picked = after_for.or_else(|| {
+                header.iter().find(|(q, t)| {
+                    self.code
+                        .get(*q)
+                        .map(|&i| self.tokens[i].kind == TokenKind::Ident)
+                        .unwrap_or(false)
+                        && t != "where"
+                })
+            });
+            picked.map(|(_, t)| t.clone()).unwrap_or_default()
+        };
+        let close = self.matching(j, "{", "}", end)?;
+        let children = if depth < MAX_DEPTH {
+            let (c, _) = self.parse_level(j + 1, close, test_only, depth + 1);
+            c
+        } else {
+            Vec::new()
+        };
+        Some((
+            Item {
+                kind,
+                name,
+                line,
+                col,
+                span: (start_tok, self.raw_end(close)),
+                body: None,
+                test_only,
+                children,
+            },
+            close + 1,
+        ))
+    }
+
+    /// `mod name { … }` or `mod name;`.
+    fn parse_mod(
+        &mut self,
+        item_start: usize,
+        k: usize,
+        end: usize,
+        test_only: bool,
+        depth: usize,
+    ) -> Option<(Item, usize)> {
+        let start_tok = self.raw(item_start);
+        let anchor = &self.tokens[self.raw(item_start).min(self.tokens.len() - 1)];
+        let (line, col) = (anchor.line, anchor.col);
+        let name = self.text(k + 1).unwrap_or("?").to_string();
+        match self.text(k + 2) {
+            Some("{") => {
+                let close = self.matching(k + 2, "{", "}", end)?;
+                let children = if depth < MAX_DEPTH {
+                    let (c, _) = self.parse_level(k + 3, close, test_only, depth + 1);
+                    c
+                } else {
+                    Vec::new()
+                };
+                Some((
+                    Item {
+                        kind: ItemKind::Mod,
+                        name,
+                        line,
+                        col,
+                        span: (start_tok, self.raw_end(close)),
+                        body: None,
+                        test_only,
+                        children,
+                    },
+                    close + 1,
+                ))
+            }
+            Some(";") => Some((
+                Item {
+                    kind: ItemKind::Mod,
+                    name,
+                    line,
+                    col,
+                    span: (start_tok, self.raw_end(k + 2)),
+                    body: None,
+                    test_only,
+                    children: Vec::new(),
+                },
+                k + 3,
+            )),
+            _ => None,
+        }
+    }
+
+    /// `use path::to::thing;` — the name is the joined path text.
+    fn parse_use(
+        &mut self,
+        item_start: usize,
+        k: usize,
+        end: usize,
+        test_only: bool,
+    ) -> Option<(Item, usize)> {
+        let start_tok = self.raw(item_start);
+        let anchor = &self.tokens[self.raw(item_start).min(self.tokens.len() - 1)];
+        let (line, col) = (anchor.line, anchor.col);
+        let mut j = k + 1;
+        let mut path = String::new();
+        while j < end {
+            match self.text(j) {
+                Some(";") | None => break,
+                Some(t) => path.push_str(t),
+            }
+            j += 1;
+        }
+        let span_end = if j < end {
+            self.raw_end(j)
+        } else {
+            self.tokens.len()
+        };
+        Some((
+            Item {
+                kind: ItemKind::Use,
+                name: path,
+                line,
+                col,
+                span: (start_tok, span_end),
+                body: None,
+                test_only,
+                children: Vec::new(),
+            },
+            j + 1,
+        ))
+    }
+
+    /// Skip one item we don't model: to past its first brace block or
+    /// terminating `;` (angle-bracket-aware, like `item_end_after`).
+    fn skip_item(&mut self, k: usize, end: usize) -> usize {
+        let mut j = k;
+        let mut angle = 0isize;
+        while j < end {
+            match self.text(j) {
+                Some("{") => {
+                    return self
+                        .matching(j, "{", "}", end)
+                        .map(|c| c + 1)
+                        .unwrap_or(end);
+                }
+                Some(";") if angle <= 0 => return j + 1,
+                Some("<") => angle += 1,
+                Some(">") => angle -= 1,
+                Some("[") => {
+                    j = self.matching(j, "[", "]", end).unwrap_or(end);
+                }
+                None => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Logical index of the close matching the open at logical
+    /// `open_k`, searching no further than `end`.
+    fn matching(&self, open_k: usize, open: &str, close: &str, end: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut k = open_k;
+        while k < end {
+            match self.text(k) {
+                Some(t) if t == open => depth += 1,
+                Some(t) if t == close => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                None => return None,
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+}
+
+/// Does the attribute body `code[start..end]` mark its item as
+/// test-only? True for `test`, `cfg(test)`, `cfg(all(test, …))`;
+/// false for `cfg(not(test))` and for `cfg_attr(…)` (which gates an
+/// attribute, not the item).
+pub(crate) fn attr_is_test(tokens: &[Token], code: &[usize], start: usize, end: usize) -> bool {
+    let texts: Vec<&str> = code
+        .get(start..end)
+        .unwrap_or(&[])
+        .iter()
+        .map(|&i| tokens[i].text.as_str())
+        .collect();
+    match texts.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => {
+            let mut depth_not = 0usize;
+            let mut not_depth_stack: Vec<usize> = Vec::new();
+            let mut paren_depth = 0usize;
+            for w in texts.windows(1).skip(1) {
+                let t = w[0];
+                match t {
+                    "(" => paren_depth += 1,
+                    ")" => {
+                        paren_depth = paren_depth.saturating_sub(1);
+                        if not_depth_stack.last() == Some(&paren_depth) {
+                            not_depth_stack.pop();
+                            depth_not -= 1;
+                        }
+                    }
+                    "not" => {
+                        not_depth_stack.push(paren_depth);
+                        depth_not += 1;
+                    }
+                    "test" if depth_not == 0 => return true,
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&tokenize(src))
+    }
+
+    #[test]
+    fn free_fn_with_body() {
+        let items = parse("fn alpha(x: u64) -> u64 { x + 1 }\nfn beta() {}");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "alpha");
+        assert_eq!(items[0].kind, ItemKind::Fn);
+        assert!(items[0].body.is_some());
+        assert_eq!(items[1].name, "beta");
+    }
+
+    #[test]
+    fn impl_methods_are_children_with_owner_type() {
+        let items = parse(
+            "impl Widget { pub fn new() -> Widget { Widget } fn helper(&self) {} }\n\
+             impl Display for Gadget { fn fmt(&self) {} }",
+        );
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].name, "Widget");
+        assert_eq!(items[0].children.len(), 2);
+        assert_eq!(items[0].children[0].name, "new");
+        assert_eq!(items[1].name, "Gadget", "impl Trait for Type names Type");
+        assert_eq!(items[1].children[0].name, "fmt");
+    }
+
+    #[test]
+    fn generic_impl_header_names_the_type() {
+        let items = parse("impl<T: Clone> Holder<T> { fn get(&self) {} }");
+        assert_eq!(items[0].name, "Holder");
+    }
+
+    #[test]
+    fn cfg_test_marks_subtree() {
+        let items =
+            parse("fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }");
+        assert!(!items[0].test_only);
+        assert!(items[1].test_only);
+        assert!(items[1].children.iter().all(|c| c.test_only));
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let items = parse("#[test]\nfn t() {}\nfn live() {}");
+        assert!(items[0].test_only);
+        assert!(!items[1].test_only);
+    }
+
+    #[test]
+    fn use_paths_round_trip() {
+        let items = parse("use std::collections::BTreeMap;\nuse bios_runtime::Runtime;");
+        assert_eq!(items[0].kind, ItemKind::Use);
+        assert_eq!(items[0].name, "std::collections::BTreeMap");
+        assert_eq!(items[1].name, "bios_runtime::Runtime");
+    }
+
+    #[test]
+    fn mods_nest() {
+        let items = parse("mod outer { mod inner { fn deep() {} } }");
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[0].children[0].name, "inner");
+        assert_eq!(items[0].children[0].children[0].name, "deep");
+    }
+
+    #[test]
+    fn fn_with_generic_return_finds_its_body() {
+        let items = parse("fn make() -> Result<Vec<u64>, String> { Ok(Vec::new()) }");
+        assert_eq!(items[0].name, "make");
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let items = parse("macro_rules! m { ($x:expr) => { fn fake() {} }; }\nfn real() {}");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn trait_default_methods_parse() {
+        let items = parse("trait Sensor { fn id(&self) -> u64; fn label(&self) -> u64 { 0 } }");
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        assert_eq!(items[0].name, "Sensor");
+        assert_eq!(items[0].children.len(), 2);
+        assert!(items[0].children[0].body.is_none());
+        assert!(items[0].children[1].body.is_some());
+    }
+
+    #[test]
+    fn inner_cfg_test_gates_the_rest_of_the_level() {
+        let items = parse("#![cfg(test)]\nfn helper() {}");
+        assert!(items[0].test_only);
+    }
+
+    #[test]
+    fn adversarial_inputs_do_not_panic() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl",
+            "impl {",
+            "mod",
+            "use",
+            "#[cfg(test)",
+            "fn f() {",
+            "impl X { fn g(",
+            "{{{{",
+            "}}}}",
+            "fn f<T<U<V() {}",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

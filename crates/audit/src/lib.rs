@@ -14,7 +14,13 @@
 //! * **D — determinism** in digest/fingerprint/cache/journal modules,
 //! * **P — panic-freedom** in all non-test code,
 //! * **F — float hygiene** in solver and analytics code,
-//! * **U — unsafe & API hygiene** everywhere.
+//! * **U — unsafe & API hygiene** everywhere,
+//! * **G — graph rules** (DESIGN.md §16): transitive determinism
+//!   taint over the approximate workspace call graph, and crate-layer
+//!   proofs (physics never depends on serving; `prng`/`faults` stay
+//!   leaf-reachable; no cycles),
+//! * **L — lock & channel discipline**: no blocking call under a live
+//!   `MutexGuard`, no send on an endpoint whose pair was dropped.
 //!
 //! Findings print as `file:line:col rule message`; a JSON summary is
 //! written to `AUDIT_report.json`; any finding makes the process exit
@@ -32,11 +38,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod config;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod walk;
+pub mod workspace;
 
+pub use cache::CacheStats;
 pub use config::{Config, Rule};
-pub use rules::{audit_source, AuditOutcome, Finding, WaiverRecord};
+pub use graph::{FileFacts, TaintChain};
+pub use items::{parse_items, Item, ItemKind};
+pub use rules::{analyze_file, audit_source, AuditOutcome, Finding, WaiverRecord};
+pub use workspace::{audit_workspace, WorkspaceOutcome};

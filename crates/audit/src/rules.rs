@@ -9,15 +9,25 @@
 //! 2. a *waiver* pass collects `bios-audit` allow-comments from the
 //!    comment channel;
 //! 3. the *rule* pass matches lexical patterns over the unmasked code
-//!    tokens, scoped by path (see [`Config`]);
+//!    tokens, scoped by path (see [`Config`]) — including the
+//!    L-family lock/channel discipline, which walks the
+//!    [`crate::items`] tree to confine its guard automaton to one
+//!    function body at a time;
 //! 4. waivers are applied — each suppresses exactly one finding on its
 //!    own line or the line below — and waivers that are malformed or
 //!    suppressed nothing become findings themselves.
+//!
+//! For the whole-workspace semantic pass, [`analyze_file`] returns the
+//! *pre-waiver* [`crate::graph::FileFacts`] instead, so the pipeline
+//! in [`crate::workspace`] can run the cross-file G rules first and
+//! apply waivers to the combined finding set.
 //!
 //! Everything here is pure: same source bytes in, same findings out,
 //! in a deterministic order.
 
 use crate::config::{Config, Rule};
+use crate::graph::{extract_facts, fnv1a, FileFacts};
+use crate::items::{parse_items, Item, ItemKind};
 use crate::lexer::{tokenize, Token, TokenKind};
 
 /// One audit finding, printable as `file:line:col rule message`.
@@ -84,8 +94,23 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 /// Audit a single file's source text.
 ///
 /// `path` should be repo-relative with forward slashes; it is used for
-/// rule scoping and is echoed into the findings.
+/// rule scoping and is echoed into the findings. This runs every
+/// single-file rule (D/P/F/U/L) and applies the file's waivers; the
+/// cross-file G rules need the whole workspace and live in
+/// [`crate::workspace`].
 pub fn audit_source(path: &str, source: &str, config: &Config) -> AuditOutcome {
+    let facts = analyze_file(path, source, config);
+    let mut findings = facts.local_findings;
+    let mut waivers = facts.waivers;
+    finalize(&mut findings, &mut waivers);
+    AuditOutcome { findings, waivers }
+}
+
+/// Analyze one file into its pre-waiver [`FileFacts`]: local findings
+/// (D/P/F/U/L), declared waivers, and the call/dependency facts the
+/// graph passes consume. Pure in `(path, source, config)` — the unit
+/// the FNV cache stores.
+pub fn analyze_file(path: &str, source: &str, config: &Config) -> FileFacts {
     let tokens = tokenize(source);
     let masked = mask_ignored_regions(&tokens);
     // Indices of code (non-comment) tokens, the stream rules match on.
@@ -94,16 +119,33 @@ pub fn audit_source(path: &str, source: &str, config: &Config) -> AuditOutcome {
         .collect();
 
     let mut findings = Vec::new();
-    let mut waivers = collect_waivers(path, &tokens, &mut findings);
+    let waivers = collect_waivers(path, &tokens, &mut findings);
 
     run_token_rules(path, &tokens, &code, &masked, config, &mut findings);
     run_doc_rule(path, &tokens, &code, &masked, config, &mut findings);
 
-    apply_waivers(&mut findings, &mut waivers);
-    for w in &waivers {
+    let items = parse_items(&tokens);
+    run_lock_rules(path, &tokens, &items, &mut findings);
+    let (fns, use_deps) = extract_facts(path, &tokens, &masked, &items);
+
+    FileFacts {
+        path: path.to_string(),
+        source_fnv: fnv1a(source.as_bytes()),
+        local_findings: findings,
+        waivers,
+        fns,
+        use_deps,
+    }
+}
+
+/// Apply waivers to a finding set, convert unused waivers into
+/// `W-waiver` findings, and sort into report order.
+pub fn finalize(findings: &mut Vec<Finding>, waivers: &mut [WaiverRecord]) {
+    apply_waivers(findings, waivers);
+    for w in waivers.iter() {
         if !w.used {
             findings.push(Finding {
-                path: path.to_string(),
+                path: w.path.clone(),
                 line: w.line,
                 col: 1,
                 rule: Rule::WWaiver,
@@ -111,9 +153,14 @@ pub fn audit_source(path: &str, source: &str, config: &Config) -> AuditOutcome {
             });
         }
     }
-
-    findings.sort_by(|a, b| (a.line, a.col, a.rule.id()).cmp(&(b.line, b.col, b.rule.id())));
-    AuditOutcome { findings, waivers }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule.id()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule.id(),
+        ))
+    });
 }
 
 /// Mark every token inside a `#[cfg(test)]` item, `#[test]` fn, or
@@ -674,11 +721,14 @@ fn doc_text_above(tokens: &[Token], i: usize) -> Option<String> {
 }
 
 /// Apply waivers: each unused waiver suppresses the first finding of a
-/// matching rule on its own line or the line directly below it.
+/// matching rule in the same file, on its own line or the line
+/// directly below it.
 fn apply_waivers(findings: &mut Vec<Finding>, waivers: &mut [WaiverRecord]) {
     for w in waivers.iter_mut() {
         let matches_rule = |f: &Finding| {
-            f.rule != Rule::WWaiver && (w.rule == f.rule.id() || w.rule == f.rule.family())
+            f.rule != Rule::WWaiver
+                && f.path == w.path
+                && (w.rule == f.rule.id() || w.rule == f.rule.family())
         };
         let on_waived_line = |f: &Finding| f.line == w.line || f.line == w.line.saturating_add(1);
         if let Some(pos) = findings
@@ -689,4 +739,309 @@ fn apply_waivers(findings: &mut Vec<Finding>, waivers: &mut [WaiverRecord]) {
             w.used = true;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// L family: lock & channel discipline
+// ---------------------------------------------------------------------------
+
+/// Run the L-family rules over every non-test function body.
+///
+/// * `L-lock`: no `.lock()`/`.recv()`/`.join()` call while a
+///   `MutexGuard` binding is live in the same block. Guards are
+///   tracked by a brace-depth automaton: a binding created by
+///   `let g = ….lock()…`, `let Ok(g) = ….lock() else`, or a
+///   `match ….lock() { Ok(g) => …` arm is live until `drop(g)`, the
+///   end of its block, or (for match arms) the end of its arm.
+/// * `L-send`: no `send` on a channel endpoint after an explicit
+///   `drop` of its pair (`let (tx, rx) = …channel…`, `drop(rx)`,
+///   `tx.send(…)` can only fail).
+fn run_lock_rules(path: &str, tokens: &[Token], items: &[Item], findings: &mut Vec<Finding>) {
+    for item in items {
+        if item.test_only {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Fn => {
+                if let Some((start, end)) = item.body {
+                    lock_scan_body(path, tokens, start, end, findings);
+                }
+            }
+            ItemKind::Impl | ItemKind::Trait | ItemKind::Mod => {
+                run_lock_rules(path, tokens, &item.children, findings);
+            }
+            ItemKind::Use => {}
+        }
+    }
+}
+
+/// A live `MutexGuard` binding inside the automaton.
+struct LiveGuard {
+    name: String,
+    /// Brace depth the binding lives at; it dies when depth drops
+    /// below this.
+    depth: usize,
+    /// Match-arm bindings additionally die at a `,` on their own depth.
+    arm: bool,
+}
+
+/// The blocking calls `L-lock` bans under a live guard.
+const BLOCKING_CALLS: &[&str] = &["lock", "recv", "recv_timeout", "join"];
+
+/// The guard automaton over one function body (raw-token range).
+fn lock_scan_body(
+    path: &str,
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let code: Vec<usize> = (start..end.min(tokens.len()))
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth: usize = 0;
+    let mut paren: usize = 0;
+    // Channel endpoint pairs (`tx` → `rx` and back) and explicitly
+    // dropped endpoints, for L-send.
+    let mut pairs: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut dropped: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    let text = |k: usize| -> Option<&str> { code.get(k).map(|&i| tokens[i].text.as_str()) };
+
+    for k in 0..code.len() {
+        let i = code[k];
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                continue;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                continue;
+            }
+            "(" => {
+                paren += 1;
+                continue;
+            }
+            ")" => {
+                paren = paren.saturating_sub(1);
+                continue;
+            }
+            "," if paren == 0 => {
+                // End of a match arm: arm-scoped guards at this depth die.
+                guards.retain(|g| !(g.arm && g.depth == depth));
+                continue;
+            }
+            _ => {}
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+
+        // `let (tx, rx) = …channel…;` — record the endpoint pair.
+        if t.text == "let" && text(k + 1) == Some("(") {
+            if let Some((a, b, after)) = channel_pair(tokens, &code, k + 2) {
+                if statement_mentions_channel(tokens, &code, after) {
+                    pairs.insert(a.clone(), b.clone());
+                    pairs.insert(b, a);
+                }
+            }
+            continue;
+        }
+
+        // `drop(x)` — kill a guard or mark a channel endpoint dropped.
+        if t.text == "drop" && text(k + 1) == Some("(") {
+            if let (Some(arg), Some(")")) = (text(k + 2).map(str::to_string), text(k + 3)) {
+                guards.retain(|g| g.name != arg);
+                if pairs.contains_key(&arg) {
+                    dropped.insert(arg);
+                }
+            }
+            continue;
+        }
+
+        // `x.send(…)` after `drop` of x's pair.
+        if t.text == "send" && text(k + 1) == Some("(") && k >= 2 && text(k - 1) == Some(".") {
+            if let Some(endpoint) = code
+                .get(k - 2)
+                .map(|&j| &tokens[j])
+                .filter(|e| e.kind == TokenKind::Ident)
+            {
+                if let Some(pair) = pairs.get(&endpoint.text) {
+                    if dropped.contains(pair) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line: t.line,
+                            col: t.col,
+                            rule: Rule::LSend,
+                            message: format!(
+                                "`{}.send(..)` after its paired endpoint `{pair}` was \
+                                 dropped — the send can only fail",
+                                endpoint.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Blocking calls under a live guard, and new guard bindings.
+        if BLOCKING_CALLS.contains(&t.text.as_str())
+            && text(k + 1) == Some("(")
+            && k >= 1
+            && text(k - 1) == Some(".")
+        {
+            if let Some(g) = guards.first() {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    rule: Rule::LLock,
+                    message: format!(
+                        "`.{}()` while MutexGuard `{}` is live in this block — \
+                         release the guard (drop({})) before blocking",
+                        t.text, g.name, g.name
+                    ),
+                });
+            }
+            if t.text == "lock" {
+                if let Some(g) = lock_binding(tokens, &code, k, depth) {
+                    guards.push(g);
+                }
+            }
+        }
+    }
+}
+
+/// Parse `a , b )` starting at logical index `k` (just past `let (`).
+/// Returns the two idents and the index past the `)`.
+fn channel_pair(tokens: &[Token], code: &[usize], k: usize) -> Option<(String, String, usize)> {
+    let ident = |k: usize| -> Option<&Token> {
+        code.get(k)
+            .map(|&i| &tokens[i])
+            .filter(|t| t.kind == TokenKind::Ident)
+    };
+    let text = |k: usize| -> Option<&str> { code.get(k).map(|&i| tokens[i].text.as_str()) };
+    // Skip `mut` on either binding.
+    let mut pos = k;
+    if text(pos) == Some("mut") {
+        pos += 1;
+    }
+    let a = ident(pos)?.text.clone();
+    if text(pos + 1) != Some(",") {
+        return None;
+    }
+    pos += 2;
+    if text(pos) == Some("mut") {
+        pos += 1;
+    }
+    let b = ident(pos)?.text.clone();
+    if text(pos + 1) != Some(")") {
+        return None;
+    }
+    Some((a, b, pos + 2))
+}
+
+/// Does the statement starting at logical index `k` (just past the
+/// destructuring pattern) mention a channel constructor before its
+/// terminating `;`?
+fn statement_mentions_channel(tokens: &[Token], code: &[usize], k: usize) -> bool {
+    for &i in code.iter().skip(k) {
+        let t = &tokens[i];
+        if t.text == ";" {
+            return false;
+        }
+        if t.kind == TokenKind::Ident && (t.text == "channel" || t.text == "sync_channel") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Find the binding a `.lock()` call at logical index `k` creates, if
+/// any: first look *backward* for the `let` of the enclosing
+/// statement, then (for `match ….lock() { Ok(g) => …`) *forward* into
+/// the first match arm.
+fn lock_binding(tokens: &[Token], code: &[usize], k: usize, depth: usize) -> Option<LiveGuard> {
+    const PATTERN_NOISE: &[&str] = &["Ok", "Some", "Err", "(", ")", "mut", "&", "ref"];
+    let text = |k: usize| -> Option<&str> { code.get(k).map(|&i| tokens[i].text.as_str()) };
+
+    // Backward: stop at statement/block boundaries; a `match` or `=>`
+    // before the `let` means the lock result is consumed by a match,
+    // so the binding (if any) is in an arm pattern instead.
+    let mut j = k;
+    let mut backward_let: Option<usize> = None;
+    while j > 0 {
+        j -= 1;
+        match text(j) {
+            Some(";") | Some("{") | Some("}") | Some("=>") | Some("match") => break,
+            Some("let") => {
+                backward_let = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    if let Some(l) = backward_let {
+        // `if let` / `while let` scope the binding to the block that
+        // follows, one brace deeper than the statement itself.
+        let conditional = l > 0 && matches!(text(l - 1), Some("if") | Some("while"));
+        let bind_depth = if conditional { depth + 1 } else { depth };
+        // First pattern ident after `let`, skipping `Ok(`/`Some(`/`mut`.
+        let mut p = l + 1;
+        while let Some(tx) = text(p) {
+            if PATTERN_NOISE.contains(&tx) {
+                p += 1;
+                continue;
+            }
+            let tok = &tokens[code[p]];
+            if tok.kind == TokenKind::Ident {
+                return Some(LiveGuard {
+                    name: tok.text.clone(),
+                    depth: bind_depth,
+                    arm: false,
+                });
+            }
+            return None;
+        }
+        return None;
+    }
+
+    // Forward: `….lock() { Ok(g) => …` — skip to the `)` closing the
+    // lock call, then look for a brace-opened match with an Ok/Err arm
+    // binding within the next few tokens.
+    let close = k + 2; // `lock ( )` — the call has no arguments.
+    if text(close) != Some(")") {
+        return None;
+    }
+    if text(close + 1) != Some("{") {
+        return None;
+    }
+    let mut p = close + 2;
+    let limit = close + 10;
+    while p < limit {
+        match text(p) {
+            Some("Ok") | Some("Some") if text(p + 1) == Some("(") => {
+                let mut q = p + 2;
+                if text(q) == Some("mut") {
+                    q += 1;
+                }
+                let tok = code.get(q).map(|&i| &tokens[i])?;
+                if tok.kind == TokenKind::Ident && text(q + 1) == Some(")") {
+                    return Some(LiveGuard {
+                        name: tok.text.clone(),
+                        depth: depth + 1,
+                        arm: true,
+                    });
+                }
+                return None;
+            }
+            Some("=>") | None => return None,
+            _ => p += 1,
+        }
+    }
+    None
 }

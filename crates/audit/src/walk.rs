@@ -43,6 +43,24 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Collect every crate manifest (`crates/*/Cargo.toml`), sorted, for
+/// the G-layer dependency checks. The workspace root manifest is not
+/// included — it declares the member list, not dependency edges.
+pub fn collect_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut manifests = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let manifest = entry?.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(manifest);
+            }
+        }
+    }
+    manifests.sort();
+    Ok(manifests)
+}
+
 /// Normalize a path for scoping and reporting: repo-relative with
 /// forward slashes.
 pub fn display_path(root: &Path, path: &Path) -> String {

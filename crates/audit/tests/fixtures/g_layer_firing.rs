@@ -1,0 +1,10 @@
+//! G-layer firing fixture: a physics crate reaching into the serving
+//! layer. Staged (by the golden test and check.sh) as
+//! `crates/enzyme/src/lib.rs`.
+
+use bios_runtime::FleetReport;
+
+/// Physics leaning on the serving layer: banned.
+pub fn peek(report: &FleetReport) -> usize {
+    report.summaries.len()
+}

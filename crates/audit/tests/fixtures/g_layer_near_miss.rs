@@ -1,0 +1,10 @@
+//! G-layer near-miss fixture: the same reference shape in the legal
+//! direction — serving depending on physics. Staged as
+//! `crates/runtime/src/lib.rs`.
+
+use bios_units::Volts;
+
+/// Serving consuming physics types: allowed.
+pub fn bias(v: Volts) -> f64 {
+    v.0
+}

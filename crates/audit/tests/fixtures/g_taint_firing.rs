@@ -1,0 +1,16 @@
+//! G-taint firing fixture: the banned call hides two hops from the
+//! digest entry point, outside every D-scoped module.
+
+/// Entry point: named `digest`, so the taint pass starts here.
+pub fn digest() -> u64 {
+    fold()
+}
+
+fn fold() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

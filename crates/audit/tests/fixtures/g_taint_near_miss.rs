@@ -1,0 +1,17 @@
+//! G-taint near-miss fixture: the banned API exists in the file but
+//! no determinism entry point can reach it.
+
+/// Entry point: calls only clean helpers.
+pub fn digest() -> u64 {
+    fold()
+}
+
+fn fold() -> u64 {
+    7
+}
+
+/// Unreachable from `digest`: the wall clock stays untainted.
+pub fn profile() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

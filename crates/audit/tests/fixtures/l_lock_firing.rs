@@ -1,0 +1,27 @@
+//! L-lock / L-send firing fixture: blocking calls under a live
+//! MutexGuard, and a send whose paired receiver is already gone.
+
+use std::sync::{mpsc, Mutex};
+
+/// Nested lock: deadlock shape #1.
+pub fn relock(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock().unwrap_or_else(|e| e.into_inner());
+    let second = b.lock().unwrap_or_else(|e| e.into_inner());
+    *first + *second
+}
+
+/// Join under a held guard: deadlock shape #2.
+pub fn join_under_guard(handles: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    if let Ok(mut held) = handles.lock() {
+        for h in held.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Send after the receiver is dropped: the send can only fail.
+pub fn send_after_drop() {
+    let (tx, rx) = mpsc::channel::<u32>();
+    drop(rx);
+    let _ = tx.send(1);
+}

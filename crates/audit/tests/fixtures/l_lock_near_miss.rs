@@ -1,0 +1,32 @@
+//! L-lock near-miss fixture: the same shapes with the guard released
+//! in time.
+
+use std::sync::{mpsc, Mutex};
+
+/// The first guard lives only inside its match arm.
+pub fn relock_released(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = match a.lock() {
+        Ok(guard) => *guard,
+        Err(_) => 0,
+    };
+    let second = b.lock().map(|g| *g).unwrap_or_default();
+    first + second
+}
+
+/// The handles leave the lock scope before being joined.
+pub fn drain_then_join(handles: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut retired = Vec::new();
+    if let Ok(mut held) = handles.lock() {
+        retired.append(&mut held);
+    }
+    for h in retired {
+        let _ = h.join();
+    }
+}
+
+/// The receiver outlives the send.
+pub fn send_alive() -> u32 {
+    let (tx, rx) = mpsc::channel::<u32>();
+    let _ = tx.send(7);
+    rx.recv().unwrap_or_default()
+}

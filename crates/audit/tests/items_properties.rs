@@ -1,0 +1,159 @@
+//! Property suite for the item-tree parser (DESIGN.md §16),
+//! mirroring `crates/recover/tests/journal_robustness.rs`: the parser
+//! must never panic, whatever token soup it is fed, and its spans must
+//! round-trip — every span lies inside the token stream, bodies lie
+//! inside their item, children nest inside their parents, and each
+//! item's `line:col` is the position of its span's first token.
+
+use bios_audit::lexer::tokenize;
+use bios_audit::{parse_items, Item};
+use bios_prng::Rng;
+
+/// Fragments the generator splices together: item skeletons,
+/// attributes, raw strings with hashes, nested comments, deep
+/// generics, stray delimiters — everything the lexer and parser must
+/// survive in any order.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { 1 }",
+    "pub fn g<T: Into<Vec<u8>>>(x: T) -> u64 { x.into().len() as u64 }",
+    "impl Foo { fn m(&self) {} }",
+    "impl<T> Trait for Foo<T> where T: Clone { fn m(&self) {} }",
+    "mod inner { fn h() {} }",
+    "mod decl;",
+    "use std::collections::BTreeMap;",
+    "trait T { fn d(&self) -> u32 { 0 } }",
+    "#[cfg(test)]",
+    "#[test]",
+    "#[cfg(not(test))]",
+    "#![cfg(test)]",
+    "#[derive(Debug, Clone)]",
+    "struct S { a: u32 }",
+    "enum E { A, B(u32) }",
+    "macro_rules! m { ($x:expr) => { $x + 1 }; }",
+    "const C: u32 = 3;",
+    "static ST: &str = \"s\";",
+    "let r = r#\"raw \" string\"#;",
+    "let r2 = r##\"nested \"# inside\"##;",
+    "/* block /* nested */ comment */",
+    "// line comment with fn impl mod keywords",
+    "/// doc comment\n",
+    "let v: Vec<Vec<Vec<Vec<u64>>>> = Vec::new();",
+    "x < y >> z",
+    "'a",
+    "'x'",
+    "\"string with { braces } and fn\"",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    ";",
+    "fn",
+    "impl",
+    "mod",
+    "use",
+    "pub",
+    "unsafe",
+    "async fn af() {}",
+    "extern \"C\" fn ef() {}",
+    "const fn cf() -> u32 { 1 }",
+    "pub(crate) fn pc() {}",
+    "for x in 0..10 {",
+    "match x {",
+    "=> {},",
+];
+
+/// Build one adversarial source string from the rng.
+fn gen_source(rng: &mut Rng) -> String {
+    let pieces = rng.index(40) + 1;
+    let mut src = String::new();
+    for _ in 0..pieces {
+        src.push_str(FRAGMENTS[rng.index(FRAGMENTS.len())]);
+        src.push(if rng.index(4) == 0 { ' ' } else { '\n' });
+    }
+    // Occasionally truncate mid-token to exercise unterminated input.
+    if rng.index(5) == 0 && !src.is_empty() {
+        let mut cut = rng.index(src.len()) + 1;
+        while cut < src.len() && !src.is_char_boundary(cut) {
+            cut += 1;
+        }
+        src.truncate(cut.min(src.len()));
+    }
+    src
+}
+
+/// Recursively assert the span invariants over the item tree.
+fn check_items(items: &[Item], parent: (usize, usize), tokens_len: usize, src: &str) {
+    for item in items {
+        let (start, end) = item.span;
+        assert!(start <= end, "inverted span {:?} in {src:?}", item.span);
+        assert!(
+            end <= tokens_len,
+            "span {:?} beyond stream in {src:?}",
+            item.span
+        );
+        assert!(
+            start >= parent.0 && end <= parent.1,
+            "child span {:?} escapes parent {parent:?} in {src:?}",
+            item.span
+        );
+        if let Some((bs, be)) = item.body {
+            assert!(bs <= be, "inverted body {:?} in {src:?}", item.body);
+            assert!(
+                bs >= start && be <= end,
+                "body {:?} escapes item span {:?} in {src:?}",
+                item.body,
+                item.span
+            );
+        }
+        check_items(&item.children, item.span, tokens_len, src);
+    }
+}
+
+#[test]
+fn parser_never_panics_and_spans_round_trip_on_adversarial_streams() {
+    bios_prng::cases(0xA0D1_7B07, 512, |rng| {
+        let src = gen_source(rng);
+        let tokens = tokenize(&src);
+        let items = parse_items(&tokens);
+        check_items(&items, (0, tokens.len()), tokens.len(), &src);
+        // line/col must be the position of the span's first token.
+        for item in &items {
+            if item.span.0 < tokens.len() {
+                let anchor = &tokens[item.span.0];
+                assert_eq!(
+                    (item.line, item.col),
+                    (anchor.line, anchor.col),
+                    "item anchor drifted in {src:?}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn parser_survives_pathological_depth_and_raw_strings() {
+    // Deep nesting beyond MAX_DEPTH must degrade to opaque, not crash.
+    let deep = "mod m { ".repeat(200) + &"}".repeat(200);
+    let _ = parse_items(&tokenize(&deep));
+
+    let unbalanced = "fn f() { { { ( [ < ".repeat(50);
+    let _ = parse_items(&tokenize(&unbalanced));
+
+    let raw = "fn g() { let x = r###\"fn fake() { } \"## still raw \"###; }";
+    let items = parse_items(&tokenize(raw));
+    assert_eq!(items.len(), 1, "raw string must stay opaque: {items:?}");
+    assert_eq!(items[0].name, "g");
+}
+
+#[test]
+fn parse_is_deterministic() {
+    bios_prng::cases(0xD37E_2817, 64, |rng| {
+        let src = gen_source(rng);
+        let tokens = tokenize(&src);
+        let a = format!("{:?}", parse_items(&tokens));
+        let b = format!("{:?}", parse_items(&tokens));
+        assert_eq!(a, b);
+    });
+}

@@ -315,12 +315,64 @@ fn main() {
         vote_overhead_us
     );
 
+    // Static-analysis timing: the semantic audit (DESIGN.md §16) over
+    // the whole tree, first pass populating the per-file facts cache
+    // and a second pass riding it, so the report carries both the cold
+    // cost and the warm hit rate check.sh depends on.
+    let mut audit_files = 0usize;
+    let mut audit_findings = 0usize;
+    let mut audit_waivers = 0usize;
+    let mut audit_by_family = String::from("{}");
+    let mut audit_pass_secs = 0.0f64;
+    let mut audit_warm_secs = 0.0f64;
+    let mut audit_hit_rate = 0.0f64;
+    let audit_root = std::env::current_dir()
+        .ok()
+        .and_then(|d| bios_audit::walk::find_root(&d));
+    if let Some(root) = audit_root {
+        let audit_config = bios_audit::Config::default();
+        let started = std::time::Instant::now();
+        let first = bios_audit::audit_workspace(&root, &audit_config, true);
+        audit_pass_secs = started.elapsed().as_secs_f64();
+        let started = std::time::Instant::now();
+        let second = bios_audit::audit_workspace(&root, &audit_config, true);
+        audit_warm_secs = started.elapsed().as_secs_f64();
+        if let (Ok(first), Ok(second)) = (first, second) {
+            audit_files = second.files_scanned;
+            audit_findings = second.findings.len();
+            audit_waivers = second.waivers.len();
+            audit_hit_rate = second.cache.hit_rate();
+            let mut counts = std::collections::BTreeMap::new();
+            for f in &first.findings {
+                *counts.entry(f.rule.family()).or_insert(0usize) += 1;
+            }
+            audit_by_family = format!(
+                "{{{}}}",
+                ["D", "P", "F", "U", "G", "L", "W"]
+                    .iter()
+                    .map(|fam| format!("\"{fam}\": {}", counts.get(fam).copied().unwrap_or(0)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            println!(
+                "  semantic audit: {} files, {} findings, {} waivers, \
+                 {:.3}s first pass, {:.3}s warm pass ({:.0}% facts-cache hits)",
+                audit_files,
+                audit_findings,
+                audit_waivers,
+                audit_pass_secs,
+                audit_warm_secs,
+                audit_hit_rate * 100.0
+            );
+        }
+    }
+
     // The JSON is emitted with a fixed, documented key order (schema
     // first, then sizing, timing, derived ratios, nested blocks) so
     // diffs between runs are line-stable; bump `schema_version` whenever
     // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"schema_version\": 6,\n  \
+        "{{\n  \"schema_version\": 7,\n  \
          \"workers\": {},\n  \"available_cores\": {},\n  \"physical_cores\": {},\n  \
          \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
@@ -346,6 +398,9 @@ fn main() {
          \"caught\": {}, \"catch_rate\": {:.4}, \"escaped\": {}, \
          \"lanes_quarantined\": {}, \"unarmed_secs\": {:.6}, \"armed_secs\": {:.6}, \
          \"vote_overhead_us_per_job\": {:.3}}},\n  \
+         \"audit\": {{\"files\": {}, \"findings\": {}, \"waivers\": {}, \
+         \"findings_by_family\": {}, \"first_pass_secs\": {:.6}, \
+         \"warm_pass_secs\": {:.6}, \"cache_hit_rate\": {:.4}}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
@@ -402,6 +457,13 @@ fn main() {
         quorum_unarmed_secs,
         quorum_armed_secs,
         vote_overhead_us,
+        audit_files,
+        audit_findings,
+        audit_waivers,
+        audit_by_family,
+        audit_pass_secs,
+        audit_warm_secs,
+        audit_hit_rate,
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

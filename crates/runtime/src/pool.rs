@@ -95,6 +95,7 @@ fn worker_loop(context: &WorkerContext) {
         // `recv` (the handoff pattern) but released before the task
         // runs, so a panicking task cannot poison the queue.
         let task = match context.receiver.lock() {
+            // bios-audit: allow(L-lock) — deliberate handoff: the guard spans only the recv so exactly one worker dequeues; it is released before the task runs
             Ok(guard) => guard.recv(),
             Err(_) => return, // a sibling died mid-dequeue
         };
@@ -205,27 +206,35 @@ impl WorkerPool {
     /// Joins every retired (finished) worker and spawns replacements up
     /// to the target size. Returns the number of workers respawned.
     pub fn heal(&self) -> usize {
-        let Ok(mut handles) = self.workers.lock() else {
-            return 0;
-        };
-        let mut i = 0;
-        while i < handles.len() {
-            if handles[i].is_finished() {
-                let handle = handles.swap_remove(i);
-                let _ = handle.join();
-            } else {
-                i += 1;
+        let mut retired = Vec::new();
+        let mut respawned = 0;
+        {
+            let Ok(mut handles) = self.workers.lock() else {
+                return 0;
+            };
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    retired.push(handles.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            while handles.len() < self.target {
+                match self.spawn_worker() {
+                    Ok(handle) => {
+                        handles.push(handle);
+                        respawned += 1;
+                    }
+                    Err(_) => break, // OS still refusing threads; stay degraded
+                }
             }
         }
-        let mut respawned = 0;
-        while handles.len() < self.target {
-            match self.spawn_worker() {
-                Ok(handle) => {
-                    handles.push(handle);
-                    respawned += 1;
-                }
-                Err(_) => break, // OS still refusing threads; stay degraded
-            }
+        // Joins happen outside the lock: the retired threads are already
+        // finished, but `join` can still block on OS cleanup, and holding
+        // `workers` through it would stall `execute`'s liveness check.
+        for handle in retired {
+            let _ = handle.join();
         }
         self.respawns.fetch_add(respawned as u64, Ordering::Relaxed);
         respawned
@@ -275,12 +284,17 @@ impl Drop for WorkerPool {
     /// tasks first.
     fn drop(&mut self) {
         drop(self.sender.take());
-        if let Ok(mut handles) = self.workers.lock() {
-            for worker in handles.drain(..) {
-                // A worker that caught a panicking task already recorded
-                // it; nothing useful to do with a join error here.
-                let _ = worker.join();
-            }
+        // Drain under the lock, join outside it: joining with `workers`
+        // held would block any concurrent `heal`/`live_workers` caller
+        // for the whole shutdown.
+        let drained: Vec<_> = match self.workers.lock() {
+            Ok(mut handles) => handles.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for worker in drained {
+            // A worker that caught a panicking task already recorded
+            // it; nothing useful to do with a join error here.
+            let _ = worker.join();
         }
     }
 }
