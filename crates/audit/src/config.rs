@@ -317,10 +317,15 @@ impl Default for Config {
                 // the quorum_gate digest pin breaks.
                 "quorum/src/vote".into(),
                 "quorum/src/suspect".into(),
+                // The simulated disk: fault decisions and surviving-
+                // prefix lengths must be pure in (seed, op-index) or
+                // torture schedules stop replaying byte-identically.
+                "recover/src/sim".into(),
             ],
             index_paths: vec![
                 "recover/src/codec".into(),
                 "recover/src/journal".into(),
+                "recover/src/sim".into(),
                 "runtime/src/cache".into(),
                 "runtime/src/journal".into(),
             ],

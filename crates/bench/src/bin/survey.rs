@@ -367,12 +367,33 @@ fn main() {
         }
     }
 
+    // Storage torture (DESIGN.md §17): a compact campaign — both
+    // crash sweeps (every op index of the monolithic and sharded
+    // reference runs) plus a reduced mixed block — so the JSON
+    // carries the trichotomy counts; `torture_gate` runs the full
+    // campaign under scripts/check.sh.
+    let torture = bios_bench::torture::run_torture(40).unwrap_or_else(|e| {
+        eprintln!("warning: storage torture reference run failed ({e}); reporting zeros");
+        bios_bench::torture::TortureReport::default()
+    });
+    println!(
+        "  storage torture: {} schedules ({} crash points): {} recovered, \
+         {} degraded, {} typed errors, {} panics, {} divergences",
+        torture.schedules,
+        torture.crash_points,
+        torture.recoveries,
+        torture.degradations,
+        torture.typed_errors,
+        torture.panics,
+        torture.divergences
+    );
+
     // The JSON is emitted with a fixed, documented key order (schema
     // first, then sizing, timing, derived ratios, nested blocks) so
     // diffs between runs are line-stable; bump `schema_version` whenever
     // a key is added, removed, or reordered.
     let json = format!(
-        "{{\n  \"schema_version\": 7,\n  \
+        "{{\n  \"schema_version\": 8,\n  \
          \"workers\": {},\n  \"available_cores\": {},\n  \"physical_cores\": {},\n  \
          \"jobs\": {},\n  \
          \"sequential_secs\": {:.6},\n  \"concurrent_secs\": {:.6},\n  \
@@ -401,6 +422,9 @@ fn main() {
          \"audit\": {{\"files\": {}, \"findings\": {}, \"waivers\": {}, \
          \"findings_by_family\": {}, \"first_pass_secs\": {:.6}, \
          \"warm_pass_secs\": {:.6}, \"cache_hit_rate\": {:.4}}},\n  \
+         \"torture\": {{\"schedules\": {}, \"crash_points\": {}, \
+         \"recoveries\": {}, \"degradations\": {}, \"typed_errors\": {}, \
+         \"panics\": {}, \"divergences\": {}}},\n  \
          \"metrics\": {}\n}}\n",
         concurrent.workers,
         cores,
@@ -464,6 +488,13 @@ fn main() {
         audit_pass_secs,
         audit_warm_secs,
         audit_hit_rate,
+        torture.schedules,
+        torture.crash_points,
+        torture.recoveries,
+        torture.degradations,
+        torture.typed_errors,
+        torture.panics,
+        torture.divergences,
         metrics.to_json(),
     );
     let path = "BENCH_runtime.json";

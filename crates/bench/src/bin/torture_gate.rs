@@ -1,0 +1,144 @@
+//! Storage-torture gate for CI: enumerates hundreds of seeded
+//! `SimIo` fault schedules — crash at **every** op index of the
+//! monolithic and sharded reference runs, plus randomized fault
+//! mixes (short writes, `ENOSPC`, failed syncs, crashes) — and
+//! asserts the trichotomy: every schedule ends in a byte-identical
+//! recovery, a typed error, or a metered degradation. Never a panic,
+//! never a silent divergence, never a half-written snapshot served.
+//!
+//! ```text
+//! torture_gate                      # default mixed-schedule count
+//! torture_gate --schedules 500     # more mixed schedules
+//! BIOS_TORTURE_SCHEDULES=500 torture_gate
+//! ```
+//!
+//! Exit status is non-zero when any schedule panics, diverges, or a
+//! crash-sweep schedule fails to recover. `scripts/check.sh` greps
+//! the `panics=0` / `divergences=0` summary line.
+
+// A CLI gate reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use bios_bench::torture::{
+    crash_sweep, golden_digest, mixed_campaign, reference_op_count, sharded_crash_sweep,
+    torture_fleet,
+};
+use bios_runtime::parse_env_value;
+
+/// Default mixed-schedule count; with the two crash sweeps on top the
+/// campaign comfortably clears the 200-schedule floor.
+const DEFAULT_SCHEDULES: u64 = 240;
+
+/// Mixed-schedule count: `--schedules N` wins, then
+/// `BIOS_TORTURE_SCHEDULES`, then the default. A malformed or zero
+/// value keeps the default with one deterministic stderr warning —
+/// zero schedules would quietly gut the gate, so it is rejected the
+/// same way `BIOS_CACHE_CAP=0` is.
+fn schedules_from_env() -> u64 {
+    let Ok(raw) = std::env::var("BIOS_TORTURE_SCHEDULES") else {
+        return DEFAULT_SCHEDULES;
+    };
+    match parse_env_value::<u64>("BIOS_TORTURE_SCHEDULES", &raw, "a positive schedule count") {
+        Some(0) => {
+            eprintln!(
+                "warning: ignoring BIOS_TORTURE_SCHEDULES=\"0\" (the gate needs at least one \
+                 mixed schedule; keeping the default of {DEFAULT_SCHEDULES})"
+            );
+            DEFAULT_SCHEDULES
+        }
+        Some(n) => n,
+        None => DEFAULT_SCHEDULES,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut schedules = schedules_from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schedules" => {
+                schedules = bios_bench::parse_flag_or_exit(
+                    args.next(),
+                    "--schedules",
+                    "a positive schedule count",
+                );
+                if schedules == 0 {
+                    eprintln!("--schedules needs a positive schedule count");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: torture_gate [--schedules N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let fleet = torture_fleet();
+    let golden = golden_digest(&fleet);
+    let ops = match reference_op_count(&fleet, &golden) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "torture_gate: fleet={} jobs, reference_ops={ops}",
+        fleet.len()
+    );
+
+    let sweep = crash_sweep(&fleet, &golden, ops);
+    println!(
+        "crash sweep (monolithic): {} crash points, {} recovered",
+        sweep.crash_points, sweep.recoveries
+    );
+    let sharded = match sharded_crash_sweep(&fleet, &golden) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "crash sweep (sharded):    {} crash points, {} recovered",
+        sharded.crash_points, sharded.recoveries
+    );
+    let mixed = mixed_campaign(&fleet, &golden, schedules, 0x70B7);
+    println!(
+        "mixed campaign:           {} schedules: {} recovered, {} degraded, {} typed errors",
+        mixed.schedules, mixed.recoveries, mixed.degradations, mixed.typed_errors
+    );
+
+    let mut total = sweep;
+    total.merge(&sharded);
+    total.merge(&mixed);
+    println!(
+        "total: schedules={} crash_points={} recoveries={} degradations={} typed_errors={} \
+         panics={} divergences={}",
+        total.schedules,
+        total.crash_points,
+        total.recoveries,
+        total.degradations,
+        total.typed_errors,
+        total.panics,
+        total.divergences
+    );
+
+    let sweeps_recovered =
+        sweep.recoveries == sweep.schedules && sharded.recoveries == sharded.schedules;
+    if !sweeps_recovered {
+        eprintln!("FAIL: a crash-sweep schedule did not recover to the golden digest");
+        return ExitCode::FAILURE;
+    }
+    if !total.clean() {
+        eprintln!("FAIL: panics or silent divergences detected");
+        return ExitCode::FAILURE;
+    }
+    println!("torture gate clean: every schedule landed in the trichotomy");
+    ExitCode::SUCCESS
+}

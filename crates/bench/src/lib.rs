@@ -20,6 +20,7 @@
 
 pub mod ablation;
 pub mod timing;
+pub mod torture;
 
 /// Installs a panic hook that swallows the backtrace spam from
 /// injected `WorkerPanic` faults (they unwind inside `catch_unwind`

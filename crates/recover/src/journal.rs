@@ -30,12 +30,25 @@
 //!   reports it in `corrupt_records`. Nothing panics.
 //! * `valid_len` is the byte offset of the last trusted record; a
 //!   resume writer truncates the file there before appending.
+//!
+//! ## Storage backend and write-path faults
+//!
+//! Every byte goes through a [`crate::sim::StorageIo`] backend: the
+//! `*_with` constructors take one explicitly, the plain constructors
+//! default to [`RealIo`]. Append failures are classified like the
+//! runtime classifies job errors ([`crate::sim::classify_io`]):
+//! *transient* failures (a flaky `EIO`, a short write) truncate the
+//! torn bytes back to the last trusted length and retry with bounded
+//! deterministic backoff; *permanent* failures (`ENOSPC`) and
+//! simulated crashes surface immediately so the caller can retire the
+//! journal or die honestly.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, Seek, SeekFrom, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::codec::{self, ByteReader, ByteWriter, CodecError, FrameRead};
+use crate::sim::{classify_io, IoErrorClass, RealIo, StorageFile, StorageIo};
 
 /// Eight-byte file magic; the trailing digit versions the format.
 pub const MAGIC: &[u8; 8] = b"BIOSJRN1";
@@ -264,33 +277,64 @@ impl From<io::Error> for JournalError {
     }
 }
 
+/// Transient IO failures get this many attempts (first try included)
+/// before the error surfaces and the caller retires the journal.
+pub const JOURNAL_IO_ATTEMPTS: u32 = 3;
+
+/// Deterministic backoff before transient-IO retry `attempt`
+/// (0-based): 100µs doubling, capped at 2ms. Pure in the attempt
+/// number — no clock reads, so replay stays deterministic.
+#[must_use]
+pub fn journal_backoff(attempt: u32) -> Duration {
+    let micros = 100u64.saturating_mul(1u64 << attempt.min(10));
+    Duration::from_micros(micros.min(2_000))
+}
+
 /// Appends records durably; each append is flushed before returning so
 /// the write-ahead invariant holds across process death.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     records: u64,
+    /// Bytes of trusted, fully-appended frames (magic included) — the
+    /// truncation point when a failed append leaves torn bytes.
+    len: u64,
+    io_retries: u64,
 }
 
 impl JournalWriter {
     /// Creates a fresh journal (truncating any existing file) and
-    /// writes the magic plus the `RunHeader` record.
+    /// writes the magic plus the `RunHeader` record, on [`RealIo`].
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on filesystem failure.
     pub fn create(path: &Path, header: &RunHeader) -> Result<JournalWriter, JournalError> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        JournalWriter::create_with(&RealIo, path, header)
+    }
+
+    /// [`JournalWriter::create`] on an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on backend failure (a failed create is
+    /// *not* retried: with no journal yet there is nothing to repair,
+    /// and the caller decides between erroring and running
+    /// non-durable).
+    pub fn create_with(
+        io: &dyn StorageIo,
+        path: &Path,
+        header: &RunHeader,
+    ) -> Result<JournalWriter, JournalError> {
+        let mut file = io.create(path)?;
         file.write_all(MAGIC)?;
         let mut writer = JournalWriter {
             file,
             path: path.to_path_buf(),
             records: 0,
+            len: MAGIC.len() as u64,
+            io_retries: 0,
         };
         writer.append(&Record::RunHeader(header.clone()))?;
         Ok(writer)
@@ -298,51 +342,140 @@ impl JournalWriter {
 
     /// Reopens an existing journal for resumption: truncates the file
     /// to `valid_len` (discarding any torn or corrupt tail a crash
-    /// left) and positions for appending.
+    /// left) and positions for appending, on [`RealIo`].
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on filesystem failure.
     pub fn open_resume(path: &Path, valid_len: u64) -> Result<JournalWriter, JournalError> {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
+        JournalWriter::open_resume_with(&RealIo, path, valid_len)
+    }
+
+    /// [`JournalWriter::open_resume`] on an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on backend failure.
+    pub fn open_resume_with(
+        io: &dyn StorageIo,
+        path: &Path,
+        valid_len: u64,
+    ) -> Result<JournalWriter, JournalError> {
+        let file = io.open_truncated(path, valid_len)?;
         Ok(JournalWriter {
             file,
             path: path.to_path_buf(),
             records: 0,
+            len: valid_len,
+            io_retries: 0,
         })
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record and flushes it to the OS. Transient IO
+    /// failures truncate the torn bytes and retry (bounded,
+    /// deterministic backoff); permanent failures and crashes surface
+    /// on the first strike.
     ///
     /// # Errors
     ///
-    /// [`JournalError::Io`] on filesystem failure.
+    /// [`JournalError::Io`] once retries are exhausted or the failure
+    /// is not retryable.
     pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
-        codec::write_frame(&mut self.file, &record.encode())?;
+        let payload = record.encode();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_append(&payload) {
+                Ok(()) => {
+                    self.records += 1;
+                    return Ok(());
+                }
+                Err(e) => match classify_io(&e) {
+                    IoErrorClass::Permanent | IoErrorClass::Crash => {
+                        return Err(JournalError::Io(e));
+                    }
+                    IoErrorClass::Transient => {
+                        if attempt + 1 >= JOURNAL_IO_ATTEMPTS {
+                            return Err(JournalError::Io(e));
+                        }
+                        // A failed frame write may have landed a prefix;
+                        // cut back to the last trusted byte before the
+                        // retry so the journal never holds torn frames
+                        // followed by good ones.
+                        self.file.truncate(self.len).map_err(JournalError::Io)?;
+                        std::thread::sleep(journal_backoff(attempt));
+                        self.io_retries += 1;
+                        attempt += 1;
+                    }
+                },
+            }
+        }
+    }
+
+    fn try_append(&mut self, payload: &[u8]) -> io::Result<()> {
+        codec::write_frame(&mut self.file, payload)?;
         self.file.flush()?;
-        self.records += 1;
+        self.len += 4 + payload.len() as u64 + 8;
         Ok(())
     }
 
     /// Appends the terminal `RunSealed` record and syncs the file to
-    /// stable storage.
+    /// stable storage. The sync gets the same transient-retry
+    /// treatment as appends.
     ///
     /// # Errors
     ///
-    /// [`JournalError::Io`] on filesystem failure.
+    /// [`JournalError::Io`] once retries are exhausted or the failure
+    /// is not retryable.
     pub fn seal(&mut self, jobs_done: u64, digest: u64) -> Result<(), JournalError> {
         self.append(&Record::RunSealed { jobs_done, digest })?;
-        self.file.sync_all()?;
-        Ok(())
+        self.sync_retrying()
+    }
+
+    /// Forces appended records to stable storage, retrying transient
+    /// sync failures with bounded deterministic backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] once retries are exhausted or the failure
+    /// is not retryable.
+    pub fn sync_retrying(&mut self) -> Result<(), JournalError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.file.sync_all() {
+                Ok(()) => return Ok(()),
+                Err(e) => match classify_io(&e) {
+                    IoErrorClass::Permanent | IoErrorClass::Crash => {
+                        return Err(JournalError::Io(e));
+                    }
+                    IoErrorClass::Transient => {
+                        if attempt + 1 >= JOURNAL_IO_ATTEMPTS {
+                            return Err(JournalError::Io(e));
+                        }
+                        std::thread::sleep(journal_backoff(attempt));
+                        self.io_retries += 1;
+                        attempt += 1;
+                    }
+                },
+            }
+        }
     }
 
     /// Records appended through this writer (header and seal included).
     #[must_use]
     pub fn records_written(&self) -> u64 {
         self.records
+    }
+
+    /// Transient-IO retries this writer absorbed (metrics feed).
+    #[must_use]
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Bytes of trusted, fully-appended frames.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.len
     }
 
     /// The journal's path.
@@ -399,8 +532,17 @@ impl JournalReader {
     /// Torn tails and corrupt records *after* the header are not
     /// errors: they are reported in the returned [`LoadedJournal`].
     pub fn load(path: &Path) -> Result<LoadedJournal, JournalError> {
-        let file = File::open(path)?;
-        let mut reader = BufReader::new(file);
+        JournalReader::load_with(&RealIo, path)
+    }
+
+    /// [`JournalReader::load`] on an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`JournalReader::load`].
+    pub fn load_with(io: &dyn StorageIo, path: &Path) -> Result<LoadedJournal, JournalError> {
+        let bytes = io.read_all(path)?;
+        let mut reader = io::Cursor::new(bytes);
         let mut magic = [0u8; 8];
         match io::Read::read_exact(&mut reader, &mut magic) {
             Ok(()) => {}
@@ -500,6 +642,7 @@ impl JournalReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("bios-recover-tests");
@@ -681,6 +824,71 @@ mod tests {
         assert!(!reloaded.truncated_tail);
         assert_eq!(reloaded.corrupt_records, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_write_faults_retry_and_keep_the_journal_parseable() {
+        use crate::sim::{IoFaultScript, SimIo};
+        // A moderate short-write rate: across seeds, some appends fail
+        // once and succeed on retry. The retry must truncate the torn
+        // bytes so the journal stays parseable end to end.
+        let mut saw_retry = false;
+        for seed in 0..64u64 {
+            let io = SimIo::new(IoFaultScript::healthy(seed).with_rates(250, 0, 0, 0));
+            let path = PathBuf::from("/sim/retry.journal");
+            let Ok(mut w) = JournalWriter::create_with(&io, &path, &sample_header()) else {
+                continue; // retries exhausted on this seed; fine
+            };
+            let mut appended = 0u64;
+            for i in 0..6u64 {
+                let rec = Record::job_done(i, Disposition::Completed, 1, format!("job {i} ok"));
+                match w.append(&rec) {
+                    Ok(()) => appended += 1,
+                    Err(_) => break,
+                }
+            }
+            saw_retry |= w.io_retries() > 0;
+            let loaded = JournalReader::load_with(&io, &path).unwrap();
+            assert_eq!(
+                loaded.jobs.len() as u64,
+                appended,
+                "every acknowledged append must be readable (seed {seed})"
+            );
+            assert_eq!(
+                loaded.corrupt_records, 0,
+                "retries must not leave torn frames"
+            );
+        }
+        assert!(saw_retry, "some seed must exercise the retry path");
+    }
+
+    #[test]
+    fn enospc_retires_immediately_without_retry() {
+        use crate::sim::{IoFaultScript, SimIo};
+        let io = SimIo::perfect(11);
+        let path = PathBuf::from("/sim/full.journal");
+        let mut w = JournalWriter::create_with(&io, &path, &sample_header()).unwrap();
+        // Disk fills up mid-run: every write now hits ENOSPC.
+        io.set_script(IoFaultScript::healthy(11).with_rates(0, 1000, 0, 0));
+        let err = w
+            .append(&Record::job_done(0, Disposition::Completed, 1, "x".into()))
+            .unwrap_err();
+        assert!(matches!(err, JournalError::Io(ref e)
+            if crate::sim::classify_io(e) == crate::sim::IoErrorClass::Permanent));
+        assert_eq!(w.io_retries(), 0, "permanent errors must not be retried");
+        // The journal up to the failure is still intact and readable.
+        io.set_script(IoFaultScript::healthy(11));
+        let loaded = JournalReader::load_with(&io, &path).unwrap();
+        assert_eq!(loaded.jobs.len(), 0);
+        assert_eq!(loaded.header, sample_header());
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        assert_eq!(journal_backoff(0), Duration::from_micros(100));
+        assert_eq!(journal_backoff(1), Duration::from_micros(200));
+        assert!(journal_backoff(30) <= Duration::from_millis(2));
+        assert_eq!(journal_backoff(5), journal_backoff(5));
     }
 
     #[test]

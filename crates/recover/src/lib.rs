@@ -7,7 +7,7 @@
 //! be journaled to disk *before* its results are surfaced and replayed
 //! after a crash.
 //!
-//! Three pieces, all on `std` only (the build environment is offline):
+//! Four pieces, all on `std` only (the build environment is offline):
 //!
 //! * [`codec`] — length-prefixed, FNV-1a-checksummed record framing and
 //!   little-endian field encoding shared by every durable file format;
@@ -15,6 +15,11 @@
 //!   ([`journal::JournalWriter`] / [`journal::JournalReader`]) with a
 //!   reader that tolerates torn tails and quarantines corrupt records
 //!   instead of panicking;
+//! * [`sim`] — the injectable storage backend ([`sim::StorageIo`]):
+//!   [`sim::RealIo`] passes through to `std::fs`, [`sim::SimIo`]
+//!   replays the same syscalls against a deterministic in-memory disk
+//!   whose short writes, `ENOSPC`, failed syncs, and hard crashes are
+//!   a pure function of (seed, op-index) — [`sim::IoFaultScript`];
 //! * the error taxonomy ([`JournalError`]) — every failure mode of a
 //!   durable file is a typed, displayable error; nothing in this crate
 //!   panics on hostile bytes.
@@ -49,6 +54,10 @@
 
 pub mod codec;
 pub mod journal;
+pub mod sim;
 
 pub use codec::{fnv1a, ByteReader, ByteWriter, CodecError};
 pub use journal::{Disposition, JournalError, JournalReader, JournalWriter, LoadedJournal, Record};
+pub use sim::{
+    classify_io, is_sim_crash, IoErrorClass, IoFaultScript, RealIo, SimIo, StorageFile, StorageIo,
+};

@@ -29,15 +29,15 @@
 //! decodes to non-finite physics.
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bios_analytics::{CalibrationCurve, CalibrationPoint, CalibrationSummary};
 use bios_core::catalog::CalibrationOutcome;
 use bios_recover::codec::{read_frame, write_frame, FrameRead};
+use bios_recover::sim::{RealIo, StorageIo};
 use bios_recover::{fnv1a, ByteReader, ByteWriter, CodecError};
 use bios_units::{Amperes, ConcentrationRange, Molar, Sensitivity, SquareCm};
 
@@ -262,10 +262,25 @@ impl ResultCache {
     /// (least-recently-used first, per shard), so reloading them in file
     /// order reproduces each shard's eviction order.
     ///
+    /// The replace is **atomic**: the snapshot is written to
+    /// `<path>.tmp`, synced to stable storage, and renamed over the
+    /// destination — a crash at any point leaves either the previous
+    /// good snapshot or the new one, never a half-written file.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors; the cache itself cannot fail.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<u64> {
+        self.save_with(&RealIo, path)
+    }
+
+    /// [`ResultCache::save`] on an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultCache::save`].
+    pub fn save_with(&self, backend: &dyn StorageIo, path: impl AsRef<Path>) -> io::Result<u64> {
+        let path = path.as_ref();
         let mut entries: Vec<(CacheKey, Arc<CalibrationOutcome>)> = Vec::new();
         for shard in &self.shards {
             let Ok(shard) = shard.lock() else { continue };
@@ -277,18 +292,24 @@ impl ResultCache {
             in_shard.sort_by_key(|(stamp, _, _)| *stamp);
             entries.extend(in_shard.into_iter().map(|(_, k, o)| (k, o)));
         }
-        let file = File::create(path)?;
-        let mut w = BufWriter::new(file);
-        w.write_all(CACHE_MAGIC)?;
+        // Serialize fully in memory first: the file sees whole frames
+        // only, so a short write can never interleave with encoding.
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
+        buf.extend_from_slice(CACHE_MAGIC);
         let mut header = ByteWriter::new();
         header.put_u32(CACHE_VERSION);
         header.put_u64(entries.len() as u64);
-        write_frame(&mut w, header.bytes())?;
+        write_frame(&mut buf, header.bytes())?;
         for (key, outcome) in &entries {
-            write_frame(&mut w, &encode_entry(key, outcome))?;
+            write_frame(&mut buf, &encode_entry(key, outcome))?;
         }
-        w.flush()?;
-        w.get_ref().sync_all()?;
+        let tmp = snapshot_tmp_path(path);
+        let mut file = backend.create(&tmp)?;
+        file.write_all(&buf)?;
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        backend.rename(&tmp, path)?;
         Ok(entries.len() as u64)
     }
 
@@ -305,8 +326,21 @@ impl ResultCache {
     /// snapshot at all (bad magic, unreadable header, or unknown
     /// version) is [`io::ErrorKind::InvalidData`].
     pub fn load(&self, path: impl AsRef<Path>) -> io::Result<CacheLoadReport> {
-        let file = File::open(path)?;
-        let mut r = BufReader::new(file);
+        self.load_with(&RealIo, path)
+    }
+
+    /// [`ResultCache::load`] on an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultCache::load`].
+    pub fn load_with(
+        &self,
+        backend: &dyn StorageIo,
+        path: impl AsRef<Path>,
+    ) -> io::Result<CacheLoadReport> {
+        let bytes = backend.read_all(path.as_ref())?;
+        let mut r = io::Cursor::new(bytes);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)
             .map_err(|_| invalid_snapshot("file too short for a cache snapshot"))?;
@@ -354,6 +388,13 @@ impl ResultCache {
 
 fn invalid_snapshot(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// `<path>.tmp` — the staging file of the atomic snapshot replace.
+fn snapshot_tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
 }
 
 /// Serializes one cache entry. Every float travels as its IEEE-754 bit
@@ -703,5 +744,60 @@ mod tests {
         }
         assert_eq!(cache.len(), 300);
         assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn snapshot_tmp_path_appends_suffix() {
+        assert_eq!(
+            snapshot_tmp_path(Path::new("/var/run/bios.cache")),
+            PathBuf::from("/var/run/bios.cache.tmp")
+        );
+    }
+
+    #[test]
+    fn crash_at_every_save_op_never_destroys_the_previous_snapshot() {
+        use bios_recover::sim::{is_sim_crash, IoFaultScript, SimIo};
+        let entry = catalog::our_glucose_sensor();
+        let path = PathBuf::from("/sim/bios.cache");
+        let old = ResultCache::new();
+        old.insert(key(1), entry.run_calibration(1).unwrap());
+        let newer = ResultCache::new();
+        newer.insert(key(1), entry.run_calibration(1).unwrap());
+        newer.insert(key(2), entry.run_calibration(2).unwrap());
+
+        // Count the ops one save costs (create, write, sync, rename).
+        let probe = SimIo::perfect(0);
+        old.save_with(&probe, &path).unwrap();
+        let save_ops = probe.op_count();
+        assert!(save_ops >= 4, "expected at least create/write/sync/rename");
+
+        for k in 0..save_ops {
+            // Fresh disk holding the old snapshot, then a save of the
+            // newer cache that crashes at its k-th op.
+            let io = SimIo::perfect(k);
+            old.save_with(&io, &path).unwrap();
+            io.set_script(IoFaultScript::crash_at(k, save_ops + k));
+            let err = newer.save_with(&io, &path).unwrap_err();
+            assert!(is_sim_crash(&err), "op {k} must die by simulated crash");
+            io.reboot();
+            let loader = ResultCache::new();
+            let report = loader.load_with(&io, &path).unwrap();
+            assert_eq!(
+                report.corrupt_dropped, 0,
+                "crash at op {k} must never leave a half-written snapshot served"
+            );
+            assert_eq!(
+                report.loaded, 1,
+                "old snapshot must survive every pre-rename crash point (op {k})"
+            );
+        }
+
+        // And with no crash, the replace commits the new snapshot.
+        let io = SimIo::perfect(99);
+        old.save_with(&io, &path).unwrap();
+        newer.save_with(&io, &path).unwrap();
+        let loader = ResultCache::new();
+        assert_eq!(loader.load_with(&io, &path).unwrap().loaded, 2);
+        assert!(!io.exists(Path::new("/sim/bios.cache.tmp")));
     }
 }

@@ -37,11 +37,20 @@ use std::path::Path;
 use bios_recover::codec::CodecError;
 use bios_recover::fnv1a;
 use bios_recover::journal::{Disposition, JournalReader, JournalWriter, Record, RunHeader};
+use bios_recover::sim::{is_sim_crash, RealIo, StorageIo};
 
 pub use bios_recover::journal::JournalError;
 
 use crate::fleet::{Fleet, FleetOutcome, FleetReport, Job, JobResult};
 use crate::Runtime;
+
+/// Whether a journal error is a simulated process crash — the one IO
+/// failure that must *not* be absorbed by graceful degradation: the
+/// "process" is gone, so the error propagates and the torture harness
+/// resumes against the surviving disk.
+fn is_crash(e: &JournalError) -> bool {
+    matches!(e, JournalError::Io(io_err) if is_sim_crash(io_err))
+}
 
 /// Knobs for [`Runtime::run_journaled_with`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -141,17 +150,47 @@ impl Runtime {
         path: impl AsRef<Path>,
         options: JournalOptions,
     ) -> Result<FleetReport, JournalError> {
+        self.run_journaled_on(&RealIo, fleet, path, options)
+    }
+
+    /// [`Runtime::run_journaled_with`] on an explicit storage backend
+    /// — the seam the torture gate injects [`bios_recover::SimIo`]
+    /// through.
+    ///
+    /// Failure policy (the trichotomy the torture gate asserts):
+    ///
+    /// * the journal cannot be **created** → typed error; nothing ran;
+    /// * an **append or seal** fails after bounded transient retries →
+    ///   the journal is *retired*: the `journal_lost` metric
+    ///   increments and the fleet completes non-durably with the
+    ///   correct digest (graceful degradation);
+    /// * a simulated **crash** → the error propagates (the process is
+    ///   dead); resume against the surviving bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on create failure or simulated crash;
+    /// [`JournalError::Corrupt`] when a result fails its in-flight
+    /// integrity check.
+    pub fn run_journaled_on(
+        &self,
+        io: &dyn StorageIo,
+        fleet: &Fleet,
+        path: impl AsRef<Path>,
+        options: JournalOptions,
+    ) -> Result<FleetReport, JournalError> {
         let header = RunHeader {
             fleet: fleet.name().to_owned(),
             fingerprint: fleet.fingerprint(),
             jobs: fleet.len() as u64,
         };
-        let mut writer = JournalWriter::create(path.as_ref(), &header)?;
-        let mut journal_err: Option<JournalError> = None;
+        let mut writer = Some(JournalWriter::create_with(io, path.as_ref(), &header)?);
+        let mut fatal: Option<JournalError> = None;
         let mut jobs_done = 0u64;
+        let mut retired: Option<(u64, u64)> = None; // (records, retries)
         let report = self.run_with_observer(fleet, |result| {
-            if journal_err.is_some() {
-                return; // journaling already failed; don't pile on
+            if fatal.is_some() {
+                return; // the run is already doomed; don't pile on
             }
             // End-to-end integrity: the checksum stamped when the
             // result was produced must still match its payload at the
@@ -159,19 +198,22 @@ impl Runtime {
             // in flight — refuse to make the corruption durable.
             if !result.verify_integrity() {
                 self.metrics.record_corruption_caught(1);
-                journal_err = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
+                fatal = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
                     stored: result.integrity,
                     computed: result.payload_checksum(),
                 }));
                 return;
             }
+            let Some(w) = writer.as_mut() else {
+                return; // journal retired: non-durable mode
+            };
             let record = Record::job_done(
                 result.index as u64,
                 disposition_of(result),
                 u64::from(result.attempts),
                 result.digest_line(),
             );
-            match writer.append(&record) {
+            match w.append(&record) {
                 Ok(()) => {
                     jobs_done += 1;
                     if options.crash_after_jobs == Some(jobs_done) {
@@ -181,16 +223,41 @@ impl Runtime {
                         std::process::abort();
                     }
                 }
-                Err(e) => journal_err = Some(e),
+                Err(e) if is_crash(&e) => fatal = Some(e),
+                Err(_) => {
+                    // Transient retries exhausted or the disk is full:
+                    // retire the journal, meter the loss, and let the
+                    // fleet finish non-durably.
+                    retired = Some((w.records_written(), w.io_retries()));
+                    self.metrics.record_journal_lost();
+                    writer = None;
+                }
             }
         });
-        if let Some(e) = journal_err {
+        if let Some(e) = fatal {
             return Err(e);
         }
         let digest = fnv1a(report.summaries_digest().as_bytes());
-        writer.seal(jobs_done, digest)?;
-        self.metrics
-            .record_journal_records(writer.records_written());
+        match writer.as_mut() {
+            Some(w) => match w.seal(jobs_done, digest) {
+                Ok(()) => {
+                    self.metrics.record_journal_records(w.records_written());
+                    self.metrics.record_journal_retries(w.io_retries());
+                }
+                Err(e) if is_crash(&e) => return Err(e),
+                Err(_) => {
+                    self.metrics.record_journal_records(w.records_written());
+                    self.metrics.record_journal_retries(w.io_retries());
+                    self.metrics.record_journal_lost();
+                }
+            },
+            None => {
+                if let Some((records, retries)) = retired {
+                    self.metrics.record_journal_records(records);
+                    self.metrics.record_journal_retries(retries);
+                }
+            }
+        }
         Ok(report)
     }
 
@@ -214,8 +281,27 @@ impl Runtime {
         fleet: &Fleet,
         path: impl AsRef<Path>,
     ) -> Result<ResumeReport, JournalError> {
+        self.resume_on(&RealIo, fleet, path)
+    }
+
+    /// [`Runtime::resume`] on an explicit storage backend. The resume
+    /// side of the trichotomy: an unreadable/foreign journal is a
+    /// typed error, a failed re-open or append *retires* the journal
+    /// (the remainder still executes and merges to the correct
+    /// digest, metered by `journal_lost`), and a simulated crash
+    /// propagates.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::resume`].
+    pub fn resume_on(
+        &self,
+        io: &dyn StorageIo,
+        fleet: &Fleet,
+        path: impl AsRef<Path>,
+    ) -> Result<ResumeReport, JournalError> {
         let path = path.as_ref();
-        let loaded = JournalReader::load(path)?;
+        let loaded = JournalReader::load_with(io, path)?;
         // A corrupt *body* record is not the benign torn tail a crash
         // leaves: its frame checksum failed, so the file was damaged at
         // rest. Surface the checksum error instead of silently
@@ -265,20 +351,33 @@ impl Runtime {
             None
         } else {
             let sub_fleet = fleet.with_jobs(sub_jobs);
-            let mut writer = JournalWriter::open_resume(path, loaded.valid_len)?;
-            let mut journal_err: Option<JournalError> = None;
+            let mut writer = match JournalWriter::open_resume_with(io, path, loaded.valid_len) {
+                Ok(w) => Some(w),
+                Err(e) if is_crash(&e) => return Err(e),
+                Err(_) => {
+                    // The journal survived the crash but the disk now
+                    // refuses the re-open: execute the remainder
+                    // non-durably rather than losing the run.
+                    self.metrics.record_journal_lost();
+                    None
+                }
+            };
+            let mut fatal: Option<JournalError> = None;
             let report = self.run_with_observer(&sub_fleet, |result| {
-                if journal_err.is_some() {
+                if fatal.is_some() {
                     return;
                 }
                 if !result.verify_integrity() {
                     self.metrics.record_corruption_caught(1);
-                    journal_err = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
+                    fatal = Some(JournalError::Corrupt(CodecError::ChecksumMismatch {
                         stored: result.integrity,
                         computed: result.payload_checksum(),
                     }));
                     return;
                 }
+                let Some(w) = writer.as_mut() else {
+                    return; // journal retired: non-durable mode
+                };
                 let record = Record::job_done(
                     // bios-audit: allow(P-index) — result.index < sub_fleet.len() (= orig_of.len()) by worker-pool contract
                     orig_of[result.index] as u64,
@@ -286,11 +385,18 @@ impl Runtime {
                     u64::from(result.attempts),
                     result.digest_line(),
                 );
-                if let Err(e) = writer.append(&record) {
-                    journal_err = Some(e);
+                match w.append(&record) {
+                    Ok(()) => {}
+                    Err(e) if is_crash(&e) => fatal = Some(e),
+                    Err(_) => {
+                        self.metrics.record_journal_records(w.records_written());
+                        self.metrics.record_journal_retries(w.io_retries());
+                        self.metrics.record_journal_lost();
+                        writer = None;
+                    }
                 }
             });
-            if let Some(e) = journal_err {
+            if let Some(e) = fatal {
                 return Err(e);
             }
             Some((writer, report))
@@ -325,10 +431,21 @@ impl Runtime {
 
         let executed_jobs = orig_of.len();
         let fresh = match fresh {
-            Some((mut writer, report)) => {
-                writer.seal(fleet.len() as u64, fnv1a(digest.as_bytes()))?;
-                self.metrics
-                    .record_journal_records(writer.records_written());
+            Some((writer, report)) => {
+                if let Some(mut w) = writer {
+                    match w.seal(fleet.len() as u64, fnv1a(digest.as_bytes())) {
+                        Ok(()) => {
+                            self.metrics.record_journal_records(w.records_written());
+                            self.metrics.record_journal_retries(w.io_retries());
+                        }
+                        Err(e) if is_crash(&e) => return Err(e),
+                        Err(_) => {
+                            self.metrics.record_journal_records(w.records_written());
+                            self.metrics.record_journal_retries(w.io_retries());
+                            self.metrics.record_journal_lost();
+                        }
+                    }
+                }
                 Some(report)
             }
             None => {
@@ -336,10 +453,22 @@ impl Runtime {
                 // seal: nothing to execute, but seal now so the next
                 // resume is a pure terminal replay.
                 if !loaded.sealed {
-                    let mut writer = JournalWriter::open_resume(path, loaded.valid_len)?;
-                    writer.seal(fleet.len() as u64, fnv1a(digest.as_bytes()))?;
-                    self.metrics
-                        .record_journal_records(writer.records_written());
+                    match JournalWriter::open_resume_with(io, path, loaded.valid_len) {
+                        Ok(mut w) => match w.seal(fleet.len() as u64, fnv1a(digest.as_bytes())) {
+                            Ok(()) => {
+                                self.metrics.record_journal_records(w.records_written());
+                                self.metrics.record_journal_retries(w.io_retries());
+                            }
+                            Err(e) if is_crash(&e) => return Err(e),
+                            Err(_) => {
+                                self.metrics.record_journal_records(w.records_written());
+                                self.metrics.record_journal_retries(w.io_retries());
+                                self.metrics.record_journal_lost();
+                            }
+                        },
+                        Err(e) if is_crash(&e) => return Err(e),
+                        Err(_) => self.metrics.record_journal_lost(),
+                    }
                 }
                 None
             }

@@ -27,6 +27,8 @@ pub struct RuntimeMetrics {
     budget_rejections: AtomicU64,
     worker_respawns: AtomicU64,
     journal_records: AtomicU64,
+    journal_lost: AtomicU64,
+    journal_retries: AtomicU64,
     resumed_jobs: AtomicU64,
     stalled_workers: AtomicU64,
     deadline_kills: AtomicU64,
@@ -103,6 +105,21 @@ impl RuntimeMetrics {
     pub fn record_journal_records(&self, n: u64) {
         if n > 0 {
             self.journal_records.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one journal retired mid-run: IO failed past its retry
+    /// budget, so the fleet finished non-durably (metered graceful
+    /// degradation, never silent).
+    pub fn record_journal_lost(&self) {
+        self.journal_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` transient journal-IO retries absorbed by bounded
+    /// deterministic backoff before the write eventually succeeded.
+    pub fn record_journal_retries(&self, n: u64) {
+        if n > 0 {
+            self.journal_retries.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -211,6 +228,8 @@ impl RuntimeMetrics {
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             cache_evictions: 0,
             journal_records: self.journal_records.load(Ordering::Relaxed),
+            journal_lost: self.journal_lost.load(Ordering::Relaxed),
+            journal_retries: self.journal_retries.load(Ordering::Relaxed),
             resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
             stalled_workers: self.stalled_workers.load(Ordering::Relaxed),
             deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
@@ -261,6 +280,12 @@ pub struct MetricsSnapshot {
     /// Records durably appended to run journals (headers, job
     /// completions, and seals).
     pub journal_records: u64,
+    /// Journals retired mid-run after IO failed past its retry budget;
+    /// the fleet completed non-durably (metered graceful degradation).
+    pub journal_lost: u64,
+    /// Transient journal-IO retries absorbed by bounded deterministic
+    /// backoff before the write eventually succeeded or gave up.
+    pub journal_retries: u64,
     /// Jobs skipped on resume because the journal already held their
     /// completed results.
     pub resumed_jobs: u64,
@@ -354,7 +379,8 @@ impl MetricsSnapshot {
                 "\"busy_micros\":{},\"wall_p50_micros\":{},\"wall_p99_micros\":{},",
                 "\"retries\":{},\"faults_injected\":{},\"budget_rejections\":{},",
                 "\"worker_respawns\":{},\"cache_evictions\":{},",
-                "\"journal_records\":{},\"resumed_jobs\":{},",
+                "\"journal_records\":{},\"journal_lost\":{},",
+                "\"journal_retries\":{},\"resumed_jobs\":{},",
                 "\"stalled_workers\":{},\"deadline_kills\":{},",
                 "\"cache_corrupt_dropped\":{},\"nonfinite_quarantined\":{},",
                 "\"admission_rejected\":{},\"rate_limited\":{},",
@@ -379,6 +405,8 @@ impl MetricsSnapshot {
             self.worker_respawns,
             self.cache_evictions,
             self.journal_records,
+            self.journal_lost,
+            self.journal_retries,
             self.resumed_jobs,
             self.stalled_workers,
             self.deadline_kills,
@@ -538,5 +566,22 @@ mod tests {
         assert!(json.contains("\"budget_rejections\":1"));
         assert!(json.contains("\"worker_respawns\":2"));
         assert!(json.contains("\"cache_evictions\":5"));
+    }
+
+    #[test]
+    fn journal_loss_counters_accumulate_and_serialize() {
+        let m = RuntimeMetrics::new();
+        m.record_journal_lost();
+        m.record_journal_retries(4);
+        m.record_journal_retries(0); // no-op
+        m.record_journal_records(7);
+        let s = m.snapshot();
+        assert_eq!(s.journal_lost, 1);
+        assert_eq!(s.journal_retries, 4);
+        assert_eq!(s.journal_records, 7);
+        let json = s.to_json();
+        assert!(json.contains("\"journal_lost\":1"));
+        assert!(json.contains("\"journal_retries\":4"));
+        assert!(json.contains("\"journal_records\":7"));
     }
 }

@@ -58,7 +58,8 @@ use bios_core::catalog;
 use bios_faults::FaultPlan;
 use bios_gateway::{Disposition, Gateway, GatewayConfig, GatewayCounters, Priority, Request};
 use bios_quorum::{meter, QuorumConfig, QuorumScreen};
-use bios_runtime::journal::JournalError;
+use bios_recover::{RealIo, StorageIo};
+use bios_runtime::journal::{JournalError, JournalOptions};
 use bios_runtime::{parse_env_value, Fleet, Job, JobError, Runtime, RuntimeConfig};
 
 pub mod merge;
@@ -646,6 +647,23 @@ impl ShardedRuntime {
         fleet: &Fleet,
         dir: impl AsRef<Path>,
     ) -> Result<ShardedFleetReport, JournalError> {
+        self.run_journaled_on(&RealIo, fleet, dir)
+    }
+
+    /// [`ShardedRuntime::run_journaled`] on an explicit storage
+    /// backend: every per-shard segment goes through `backend`, so the
+    /// torture gate can crash or degrade individual segments
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRuntime::run_journaled`].
+    pub fn run_journaled_on(
+        &self,
+        backend: &dyn StorageIo,
+        fleet: &Fleet,
+        dir: impl AsRef<Path>,
+    ) -> Result<ShardedFleetReport, JournalError> {
         let dir = dir.as_ref();
         let mut lines: Vec<Option<String>> = vec![None; fleet.len()];
         let mut per_shard_jobs = vec![0usize; self.shards.len()];
@@ -655,8 +673,12 @@ impl ShardedRuntime {
             }
             per_shard_jobs[shard] = jobs.len();
             let sub_fleet = fleet.with_jobs(jobs);
-            let report =
-                self.shards[shard].run_journaled(&sub_fleet, Self::segment_path(dir, shard))?;
+            let report = self.shards[shard].run_journaled_on(
+                backend,
+                &sub_fleet,
+                Self::segment_path(dir, shard),
+                JournalOptions::default(),
+            )?;
             for result in &report.results {
                 if let Some(&orig) = orig_of.get(result.index) {
                     lines[orig] = Some(result.digest_line());
@@ -676,10 +698,12 @@ impl ShardedRuntime {
     /// Resumes a sharded journaled run: every present segment is
     /// fingerprint-verified against its shard's sub-fleet and
     /// replayed/completed exactly like [`Runtime::resume`]; a
-    /// **missing** segment (the crash predated its creation) is
-    /// tolerated by executing that shard's jobs fresh under a new
-    /// segment. The merged digest is byte-identical to an
-    /// uninterrupted unsharded run.
+    /// **missing** segment (the crash predated its creation) and a
+    /// **headerless** one (`BadMagic`/`HeaderMissing`: the crash
+    /// predated the durable header, so the file holds nothing
+    /// trustworthy) are tolerated by executing that shard's jobs
+    /// fresh under a new segment. The merged digest is byte-identical
+    /// to an uninterrupted unsharded run.
     ///
     /// # Errors
     ///
@@ -688,6 +712,22 @@ impl ShardedRuntime {
     /// * other [`JournalError`]s as in [`Runtime::resume`].
     pub fn resume(
         &self,
+        fleet: &Fleet,
+        dir: impl AsRef<Path>,
+    ) -> Result<ShardedFleetReport, JournalError> {
+        self.resume_on(&RealIo, fleet, dir)
+    }
+
+    /// [`ShardedRuntime::resume`] on an explicit storage backend; the
+    /// per-segment existence check consults the backend, so a SimIo
+    /// disk is honored end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRuntime::resume`].
+    pub fn resume_on(
+        &self,
+        backend: &dyn StorageIo,
         fleet: &Fleet,
         dir: impl AsRef<Path>,
     ) -> Result<ShardedFleetReport, JournalError> {
@@ -703,17 +743,40 @@ impl ShardedRuntime {
             per_shard_jobs[shard] = jobs.len();
             let sub_fleet = fleet.with_jobs(jobs);
             let path = Self::segment_path(dir, shard);
-            if path.exists() {
-                let report = self.shards[shard].resume(&sub_fleet, &path)?;
-                resumed_jobs += report.resumed_jobs;
-                executed_jobs += report.executed_jobs;
-                for (sub_index, line) in report.summaries_digest().lines().enumerate() {
-                    if let Some(&orig) = orig_of.get(sub_index) {
-                        lines[orig] = Some(line.to_string());
+            let needs_fresh_run = if backend.exists(&path) {
+                match self.shards[shard].resume_on(backend, &sub_fleet, &path) {
+                    Ok(report) => {
+                        resumed_jobs += report.resumed_jobs;
+                        executed_jobs += report.executed_jobs;
+                        for (sub_index, line) in report.summaries_digest().lines().enumerate() {
+                            if let Some(&orig) = orig_of.get(sub_index) {
+                                lines[orig] = Some(line.to_string());
+                            }
+                        }
+                        false
                     }
+                    // A crash can predate the segment's durable
+                    // header: the magic or header frame never hit the
+                    // platter, so the file carries nothing
+                    // trustworthy. Treat it exactly like a missing
+                    // segment — execute the shard fresh. A
+                    // fingerprint mismatch or corrupt body still
+                    // propagates: those mean the bytes are *foreign*,
+                    // not merely torn.
+                    Err(JournalError::BadMagic | JournalError::HeaderMissing) => true,
+                    Err(JournalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => true,
+                    Err(e) => return Err(e),
                 }
             } else {
-                let report = self.shards[shard].run_journaled(&sub_fleet, &path)?;
+                true
+            };
+            if needs_fresh_run {
+                let report = self.shards[shard].run_journaled_on(
+                    backend,
+                    &sub_fleet,
+                    &path,
+                    JournalOptions::default(),
+                )?;
                 executed_jobs += sub_fleet.len();
                 for result in &report.results {
                     if let Some(&orig) = orig_of.get(result.index) {
@@ -973,6 +1036,163 @@ mod tests {
         );
         assert_eq!(partial.summaries_digest(), first.summaries_digest());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Walks journal frames (`[u32 len][payload][u64 sum]` after the
+    /// 8-byte magic) and returns the byte offset after each complete
+    /// frame, starting with the magic boundary itself.
+    fn frame_ends(bytes: &[u8]) -> Vec<usize> {
+        let mut ends = vec![8usize];
+        let mut at = 8usize;
+        while at + 4 <= bytes.len() {
+            let Some(len_buf) = bytes.get(at..at + 4) else {
+                break;
+            };
+            let Ok(len_arr) = <[u8; 4]>::try_from(len_buf) else {
+                break;
+            };
+            let end = at + 4 + u32::from_le_bytes(len_arr) as usize + 8;
+            if end > bytes.len() {
+                break;
+            }
+            at = end;
+            ends.push(at);
+        }
+        ends
+    }
+
+    #[test]
+    fn mixed_health_segments_resume_to_the_golden_digest() {
+        use bios_recover::SimIo;
+        // One sealed segment, one torn tail, one ENOSPC-style clean
+        // unsealed prefix: resume must recover exactly the journaled
+        // jobs, re-execute the rest, and land on the golden digest.
+        let fleet = demo_fleet();
+        let golden = Runtime::with_workers(2).run(&fleet).summaries_digest();
+        let dir = PathBuf::from("/sim/mixed-health");
+        let sharded = ShardedRuntime::new(&shard_config(3, 2));
+        let io = SimIo::perfect(0xD15C_0BAD);
+        let first = match sharded.run_journaled_on(&io, &fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("journaled run failed: {e:?}"),
+        };
+        assert_eq!(first.summaries_digest(), golden);
+        // Rank populated shards by job count: the biggest becomes the
+        // ENOSPC casualty (a retired journal is a valid unsealed
+        // prefix of complete frames), the runner-up tears mid-frame,
+        // everyone else stays sealed.
+        let mut populated: Vec<(usize, usize)> = first
+            .per_shard_jobs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        populated.sort_by_key(|&(shard, n)| (std::cmp::Reverse(n), shard));
+        let (&(prefix_shard, prefix_jobs), &(torn_shard, torn_jobs)) =
+            match (populated.first(), populated.get(1)) {
+                (Some(a), Some(b)) => (a, b),
+                other => panic!("need two populated shards, got {other:?}"),
+            };
+        assert!(
+            populated.len() >= 3,
+            "need a third, still-sealed shard: {populated:?}"
+        );
+        assert!(prefix_jobs >= 2, "prefix shard needs a job to lose");
+        assert!(torn_jobs >= 1);
+        // ENOSPC aftermath: keep the header frame plus one job record.
+        let prefix_path = ShardedRuntime::segment_path(&dir, prefix_shard);
+        let bytes = match io.file_bytes(&prefix_path) {
+            Some(b) => b,
+            None => panic!("missing segment {prefix_path:?}"),
+        };
+        let ends = frame_ends(&bytes);
+        let keep = match ends.get(2) {
+            Some(&k) => k as u64,
+            None => panic!("segment too short: {ends:?}"),
+        };
+        if let Err(e) = io.open_truncated(&prefix_path, keep) {
+            panic!("truncating prefix segment failed: {e:?}");
+        }
+        // Torn tail: cut three bytes into the last job frame so both
+        // the seal and that record are lost mid-byte.
+        let torn_path = ShardedRuntime::segment_path(&dir, torn_shard);
+        let tbytes = match io.file_bytes(&torn_path) {
+            Some(b) => b,
+            None => panic!("missing segment {torn_path:?}"),
+        };
+        let tends = frame_ends(&tbytes);
+        let cut = match tends.len().checked_sub(2).and_then(|i| tends.get(i)) {
+            Some(&end_last_job) => (end_last_job - 3) as u64,
+            None => panic!("torn segment too short: {tends:?}"),
+        };
+        if let Err(e) = io.open_truncated(&torn_path, cut) {
+            panic!("tearing segment failed: {e:?}");
+        }
+        // Fresh runtimes resume the mixed-health directory.
+        let resumed = match ShardedRuntime::new(&shard_config(3, 2)).resume_on(&io, &fleet, &dir) {
+            Ok(r) => r,
+            Err(e) => panic!("mixed-health resume failed: {e:?}"),
+        };
+        assert_eq!(
+            resumed.summaries_digest(),
+            golden,
+            "mixed-health resume must converge to the golden digest"
+        );
+        // Exactly the journaled jobs were recovered: the prefix shard
+        // lost all but its first record, the torn shard lost one.
+        let lost = (prefix_jobs - 1) + 1;
+        assert_eq!(resumed.executed_jobs, lost);
+        assert_eq!(resumed.resumed_jobs, fleet.len() - lost);
+    }
+
+    #[test]
+    fn enospc_mid_run_degrades_metered_and_still_resumes_to_golden() {
+        use bios_recover::{IoFaultScript, SimIo};
+        // A live ENOSPC on a segment append retires that shard's
+        // journal (metered via `journal_lost`), the degraded run still
+        // produces the golden digest, and a later resume over the
+        // half-journaled directory converges to it too. Seeds are
+        // scanned deterministically: some hit ENOSPC on `create`,
+        // which is the typed-error branch and simply skipped.
+        let fleet = demo_fleet();
+        let golden = Runtime::with_workers(2).run(&fleet).summaries_digest();
+        let mut exercised = false;
+        for seed in 0..64u64 {
+            let io = SimIo::new(IoFaultScript::healthy(seed).with_rates(0, 30, 0, 0));
+            let dir = PathBuf::from(format!("/sim/enospc-{seed}"));
+            let sharded = ShardedRuntime::new(&shard_config(3, 2));
+            let report = match sharded.run_journaled_on(&io, &fleet, &dir) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            let lost: u64 = (0..sharded.shards())
+                .filter_map(|i| sharded.shard(i))
+                .map(|rt| rt.metrics().journal_lost)
+                .sum();
+            if lost == 0 {
+                continue;
+            }
+            assert_eq!(
+                report.summaries_digest(),
+                golden,
+                "seed {seed}: a degraded run must still be correct"
+            );
+            io.set_script(IoFaultScript::healthy(seed));
+            let resumed =
+                match ShardedRuntime::new(&shard_config(3, 2)).resume_on(&io, &fleet, &dir) {
+                    Ok(r) => r,
+                    Err(e) => panic!("seed {seed}: resume failed: {e:?}"),
+                };
+            assert_eq!(
+                resumed.summaries_digest(),
+                golden,
+                "seed {seed}: resume after degradation diverged"
+            );
+            exercised = true;
+            break;
+        }
+        assert!(exercised, "no seed in 0..64 produced a metered ENOSPC");
     }
 
     #[test]

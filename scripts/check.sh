@@ -120,6 +120,25 @@ if [ "$quorum_off" != "$shard_4x2" ]; then
 fi
 echo "    quorum voting identical at 1x1, 4x2, 8x8 and byte-equal to the unarmed run ($quorum_1x1)"
 
+# Torture gate: hundreds of seeded storage-fault schedules (DESIGN.md
+# §17) — a crash at *every* op index of the monolithic and sharded
+# reference runs plus randomized mixes of short writes, ENOSPC, failed
+# syncs, and crashes. The binary asserts every schedule lands in the
+# trichotomy (recover / typed error / metered degradation) and that
+# both crash sweeps recover 100%; the shell re-asserts the zero
+# panic/divergence counters off the summary line.
+echo "==> torture gate"
+torture_out="$(cargo run --release -q -p bios-bench --bin torture_gate)"
+torture_total="$(printf '%s\n' "$torture_out" | grep '^total:')"
+echo "    $torture_total"
+case "$torture_total" in
+*"panics=0 divergences=0"*) ;;
+*)
+    echo "torture gate: panics or divergences detected ($torture_total)" >&2
+    exit 1
+    ;;
+esac
+
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
